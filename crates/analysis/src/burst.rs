@@ -1,0 +1,171 @@
+//! Burst detection and burst-length composition — Fig. 2 of the paper.
+//!
+//! A *burst* is a maximal run of spikes in consecutive time steps
+//! (ISI = 1), which is exactly what the burst neuron model produces while
+//! its adaptive threshold keeps being crossed. Fig. 2 reports, for each
+//! `v_th`, the percentage of all spikes that belong to bursts, broken
+//! down by burst length (2, 3, 4, 5, > 5).
+
+use bsnn_core::SpikeTrainRec;
+
+/// Burst statistics over a set of spike trains.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BurstStats {
+    /// Total spikes observed.
+    pub total_spikes: u64,
+    /// Spikes belonging to bursts of length exactly 2, 3, 4, 5.
+    pub spikes_in_length: [u64; 4],
+    /// Spikes belonging to bursts longer than 5.
+    pub spikes_in_longer: u64,
+}
+
+impl BurstStats {
+    /// Spikes that are part of any burst (length ≥ 2).
+    pub fn burst_spikes(&self) -> u64 {
+        self.spikes_in_length.iter().sum::<u64>() + self.spikes_in_longer
+    }
+
+    /// Fraction of all spikes that belong to bursts (Fig. 2's y-axis).
+    pub fn burst_fraction(&self) -> f64 {
+        if self.total_spikes == 0 {
+            0.0
+        } else {
+            self.burst_spikes() as f64 / self.total_spikes as f64
+        }
+    }
+
+    /// Fraction of spikes in bursts of length exactly `len` (2..=5).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 <= len <= 5`.
+    pub fn fraction_of_length(&self, len: usize) -> f64 {
+        assert!((2..=5).contains(&len), "burst length must be 2..=5");
+        if self.total_spikes == 0 {
+            0.0
+        } else {
+            self.spikes_in_length[len - 2] as f64 / self.total_spikes as f64
+        }
+    }
+
+    /// Fraction of spikes in bursts longer than 5.
+    pub fn fraction_longer(&self) -> f64 {
+        if self.total_spikes == 0 {
+            0.0
+        } else {
+            self.spikes_in_longer as f64 / self.total_spikes as f64
+        }
+    }
+
+    /// Merges another set of statistics into this one.
+    pub fn merge(&mut self, other: &BurstStats) {
+        self.total_spikes += other.total_spikes;
+        for (a, b) in self
+            .spikes_in_length
+            .iter_mut()
+            .zip(&other.spikes_in_length)
+        {
+            *a += b;
+        }
+        self.spikes_in_longer += other.spikes_in_longer;
+    }
+}
+
+/// Decomposes one spike train into maximal consecutive-step runs and
+/// returns the run lengths (length 1 = isolated spike).
+///
+/// ```
+/// use bsnn_analysis::burst::run_lengths;
+///
+/// assert_eq!(run_lengths(&[0, 1, 2, 5, 9, 10]), vec![3, 1, 2]);
+/// ```
+pub fn run_lengths(times: &[u32]) -> Vec<usize> {
+    let mut runs = Vec::new();
+    let mut current = 0usize;
+    for (i, &t) in times.iter().enumerate() {
+        if i == 0 || t == times[i - 1] + 1 {
+            current += 1;
+        } else {
+            runs.push(current);
+            current = 1;
+        }
+        let _ = t;
+    }
+    if current > 0 {
+        runs.push(current);
+    }
+    runs
+}
+
+/// Computes burst composition over many spike trains.
+pub fn burst_composition(trains: &[SpikeTrainRec]) -> BurstStats {
+    let mut stats = BurstStats::default();
+    for train in trains {
+        for len in run_lengths(&train.times) {
+            stats.total_spikes += len as u64;
+            match len {
+                0 | 1 => {}
+                2..=5 => stats.spikes_in_length[len - 2] += len as u64,
+                _ => stats.spikes_in_longer += len as u64,
+            }
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsnn_core::NeuronId;
+
+    fn rec(times: Vec<u32>) -> SpikeTrainRec {
+        SpikeTrainRec {
+            neuron: NeuronId { layer: 0, index: 0 },
+            times,
+        }
+    }
+
+    #[test]
+    fn run_lengths_basic() {
+        assert_eq!(run_lengths(&[]), Vec::<usize>::new());
+        assert_eq!(run_lengths(&[3]), vec![1]);
+        assert_eq!(run_lengths(&[1, 2, 3]), vec![3]);
+        assert_eq!(run_lengths(&[1, 3, 5]), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn composition_counts_spikes_by_burst_length() {
+        // train: burst of 3, isolated, burst of 2 → 6 spikes total
+        let stats = burst_composition(&[rec(vec![0, 1, 2, 5, 8, 9])]);
+        assert_eq!(stats.total_spikes, 6);
+        assert_eq!(stats.spikes_in_length, [2, 3, 0, 0]);
+        assert_eq!(stats.burst_spikes(), 5);
+        assert!((stats.burst_fraction() - 5.0 / 6.0).abs() < 1e-12);
+        assert!((stats.fraction_of_length(2) - 2.0 / 6.0).abs() < 1e-12);
+        assert!((stats.fraction_of_length(3) - 3.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn long_bursts_counted_separately() {
+        let stats = burst_composition(&[rec((0..8).collect())]);
+        assert_eq!(stats.total_spikes, 8);
+        assert_eq!(stats.spikes_in_longer, 8);
+        assert_eq!(stats.fraction_longer(), 1.0);
+    }
+
+    #[test]
+    fn empty_trains_yield_zero() {
+        let stats = burst_composition(&[rec(vec![])]);
+        assert_eq!(stats.total_spikes, 0);
+        assert_eq!(stats.burst_fraction(), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = burst_composition(&[rec(vec![0, 1])]);
+        let b = burst_composition(&[rec(vec![4, 5, 6])]);
+        a.merge(&b);
+        assert_eq!(a.total_spikes, 5);
+        assert_eq!(a.spikes_in_length, [2, 3, 0, 0]);
+    }
+}

@@ -1,0 +1,46 @@
+//! Spiking density — Table 2, footnote (a):
+//! `density = spikes per image / (# neurons · latency)`.
+
+/// Expected number of spikes per neuron per time step.
+///
+/// Returns 0.0 when `neurons` or `latency` is zero (no meaningful
+/// density).
+///
+/// ```
+/// use bsnn_analysis::spiking_density;
+///
+/// // 9.334e6 spikes, 280_586 neurons, 1_500 steps (the paper's
+/// // real-rate VGG-16 row) → ≈ 0.0222
+/// let d = spiking_density(9.334e6, 280_586, 1_500);
+/// assert!((d - 0.0222).abs() < 1e-3);
+/// ```
+pub fn spiking_density(spikes_per_image: f64, neurons: usize, latency: usize) -> f64 {
+    if neurons == 0 || latency == 0 {
+        return 0.0;
+    }
+    spikes_per_image / (neurons as f64 * latency as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_density() {
+        assert_eq!(spiking_density(100.0, 10, 10), 1.0);
+        assert_eq!(spiking_density(50.0, 10, 10), 0.5);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(spiking_density(100.0, 0, 10), 0.0);
+        assert_eq!(spiking_density(100.0, 10, 0), 0.0);
+    }
+
+    #[test]
+    fn paper_rows_reproduce() {
+        // Kim et al. phase-phase VGG-16 row: 35.196e6 spikes → 0.0836.
+        let d = spiking_density(35.196e6, 280_586, 1_500);
+        assert!((d - 0.0836).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,190 @@
+//! Normalized energy estimation on neuromorphic cost models — Table 2.
+//!
+//! The paper estimates energy by splitting a platform's budget into
+//! **computation**, **routing**, and **static** parts and scaling each
+//! "proportionally to the number of spikes, spiking density, and latency,
+//! respectively", with the split ratios taken from the TrueNorth \[6],
+//! SpiNNaker \[7], and on-chip-communication \[26] references; results are
+//! then normalized per dataset against a reference method (which is why
+//! the reference rows in Table 2 read `1.000`).
+//!
+//! We implement the same proportional model. The exact split ratios are
+//! not printed in the paper, so the presets below encode the qualitative
+//! platform characters reported by the references (documented in
+//! DESIGN.md): TrueNorth is an event-driven ASIC whose energy is
+//! dominated by spike processing and delivery with very low static power;
+//! SpiNNaker is an ARM-based platform with a large static/idle share.
+
+/// Measured workload characteristics of one (method, dataset) cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadMetrics {
+    /// Mean spikes per image.
+    pub spikes_per_image: f64,
+    /// Spiking density (spikes / neuron / step).
+    pub spiking_density: f64,
+    /// Inference latency in time steps.
+    pub latency: usize,
+}
+
+/// Relative energy contributions of one estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyBreakdown {
+    /// Computation part (∝ spikes).
+    pub computation: f64,
+    /// Routing part (∝ spiking density).
+    pub routing: f64,
+    /// Static part (∝ latency).
+    pub static_part: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total normalized energy.
+    pub fn total(&self) -> f64 {
+        self.computation + self.routing + self.static_part
+    }
+}
+
+/// A proportional three-component energy model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyModel {
+    name: String,
+    comp_weight: f64,
+    route_weight: f64,
+    static_weight: f64,
+}
+
+impl EnergyModel {
+    /// A model with explicit component weights (weights are normalized to
+    /// sum to 1, so a workload identical to the reference scores 1.0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any weight is negative or all are zero.
+    pub fn new(name: impl Into<String>, comp: f64, route: f64, static_w: f64) -> Self {
+        assert!(
+            comp >= 0.0 && route >= 0.0 && static_w >= 0.0,
+            "weights must be non-negative"
+        );
+        let sum = comp + route + static_w;
+        assert!(sum > 0.0, "at least one weight must be positive");
+        EnergyModel {
+            name: name.into(),
+            comp_weight: comp / sum,
+            route_weight: route / sum,
+            static_weight: static_w / sum,
+        }
+    }
+
+    /// TrueNorth-like preset: event-driven ASIC, energy dominated by
+    /// spike computation and routing, negligible static share.
+    pub fn truenorth() -> Self {
+        EnergyModel::new("TrueNorth", 0.60, 0.30, 0.10)
+    }
+
+    /// SpiNNaker-like preset: ARM many-core, large static/idle share,
+    /// routing fabric cheaper relative to compute.
+    pub fn spinnaker() -> Self {
+        EnergyModel::new("SpiNNaker", 0.25, 0.15, 0.60)
+    }
+
+    /// Model name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Normalized energy of `workload` relative to `reference`, with the
+    /// per-component breakdown. The reference workload scores exactly 1.0.
+    ///
+    /// Components whose reference value is zero contribute their weight
+    /// unchanged (treated as ratio 1), which keeps the estimate finite.
+    pub fn normalized(
+        &self,
+        workload: &WorkloadMetrics,
+        reference: &WorkloadMetrics,
+    ) -> EnergyBreakdown {
+        let ratio = |x: f64, x0: f64| if x0 > 0.0 { x / x0 } else { 1.0 };
+        EnergyBreakdown {
+            computation: self.comp_weight
+                * ratio(workload.spikes_per_image, reference.spikes_per_image),
+            routing: self.route_weight
+                * ratio(workload.spiking_density, reference.spiking_density),
+            static_part: self.static_weight
+                * ratio(workload.latency as f64, reference.latency as f64),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wl(spikes: f64, density: f64, latency: usize) -> WorkloadMetrics {
+        WorkloadMetrics {
+            spikes_per_image: spikes,
+            spiking_density: density,
+            latency,
+        }
+    }
+
+    #[test]
+    fn reference_scores_one() {
+        let r = wl(1e6, 0.02, 1000);
+        for model in [EnergyModel::truenorth(), EnergyModel::spinnaker()] {
+            let e = model.normalized(&r, &r).total();
+            assert!((e - 1.0).abs() < 1e-12, "{}: {e}", model.name());
+        }
+    }
+
+    #[test]
+    fn fewer_spikes_and_latency_cost_less() {
+        let reference = wl(1e6, 0.02, 1000);
+        let cheaper = wl(5e5, 0.01, 500);
+        for model in [EnergyModel::truenorth(), EnergyModel::spinnaker()] {
+            let e = model.normalized(&cheaper, &reference).total();
+            assert!(e < 1.0, "{}: {e}", model.name());
+        }
+    }
+
+    #[test]
+    fn spinnaker_punishes_latency_more_than_truenorth() {
+        let reference = wl(1e6, 0.02, 1000);
+        // Same spikes/density, double latency.
+        let slow = wl(1e6, 0.02, 2000);
+        let tn = EnergyModel::truenorth().normalized(&slow, &reference).total();
+        let sp = EnergyModel::spinnaker().normalized(&slow, &reference).total();
+        assert!(sp > tn, "spinnaker {sp} vs truenorth {tn}");
+    }
+
+    #[test]
+    fn truenorth_punishes_spikes_more_than_spinnaker() {
+        let reference = wl(1e6, 0.02, 1000);
+        let spiky = wl(4e6, 0.08, 1000);
+        let tn = EnergyModel::truenorth().normalized(&spiky, &reference).total();
+        let sp = EnergyModel::spinnaker().normalized(&spiky, &reference).total();
+        assert!(tn > sp);
+    }
+
+    #[test]
+    fn weights_normalized() {
+        let m = EnergyModel::new("custom", 2.0, 1.0, 1.0);
+        let r = wl(1.0, 1.0, 1);
+        let b = m.normalized(&r, &r);
+        assert!((b.computation - 0.5).abs() < 1e-12);
+        assert!((b.total() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_reference_component_is_safe() {
+        let m = EnergyModel::truenorth();
+        let reference = wl(0.0, 0.0, 100);
+        let w = wl(10.0, 0.1, 100);
+        let e = m.normalized(&w, &reference).total();
+        assert!(e.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_weight_panics() {
+        let _ = EnergyModel::new("bad", -1.0, 1.0, 1.0);
+    }
+}

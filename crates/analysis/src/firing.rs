@@ -1,0 +1,171 @@
+//! Firing rate (Eq. 11) and firing regularity (Eq. 12) — the spike
+//! pattern analysis behind Fig. 5.
+//!
+//! * firing rate `λ = n / Σ Iᵢ` where `Iᵢ` are the ISIs of a train,
+//! * firing regularity `κ = std(I) / mean(I)` (coefficient of
+//!   variation of the ISIs),
+//! * Fig. 5 plots the population averages `⟨log λ⟩` vs `⟨κ⟩` over
+//!   sampled neurons per coding scheme.
+
+use crate::isi::intervals;
+use bsnn_core::SpikeTrainRec;
+
+/// Firing rate of one spike train (Eq. 11): spikes per time step measured
+/// over the inter-spike span. `None` for trains with fewer than two
+/// spikes (no ISI is defined).
+///
+/// ```
+/// use bsnn_analysis::firing_rate;
+///
+/// // 5 spikes over 8 steps of ISI span → λ = 4 ISIs / 8 = 0.5
+/// assert_eq!(firing_rate(&[0, 2, 4, 6, 8]), Some(0.5));
+/// assert_eq!(firing_rate(&[3]), None);
+/// ```
+pub fn firing_rate(times: &[u32]) -> Option<f64> {
+    let isis = intervals(times);
+    if isis.is_empty() {
+        return None;
+    }
+    let span: u64 = isis.iter().map(|&i| i as u64).sum();
+    if span == 0 {
+        return None;
+    }
+    Some(isis.len() as f64 / span as f64)
+}
+
+/// Firing regularity of one spike train (Eq. 12): the coefficient of
+/// variation of its ISIs. `None` for trains with fewer than two ISIs.
+/// A perfectly periodic train has κ = 0; bursty trains have large κ.
+pub fn firing_regularity(times: &[u32]) -> Option<f64> {
+    let isis = intervals(times);
+    if isis.len() < 2 {
+        return None;
+    }
+    let n = isis.len() as f64;
+    let mean = isis.iter().map(|&i| i as f64).sum::<f64>() / n;
+    if mean == 0.0 {
+        return None;
+    }
+    let var = isis
+        .iter()
+        .map(|&i| (i as f64 - mean).powi(2))
+        .sum::<f64>()
+        / n;
+    Some(var.sqrt() / mean)
+}
+
+/// Population-level firing characteristics: the Fig. 5 coordinates of one
+/// coding scheme.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PopulationFiring {
+    /// Mean of `log λ` (natural log) over analysable neurons.
+    pub mean_log_rate: f64,
+    /// Mean firing regularity ⟨κ⟩ over analysable neurons.
+    pub mean_regularity: f64,
+    /// Number of neurons that contributed (≥ 2 ISIs).
+    pub neurons: usize,
+}
+
+/// Aggregates ⟨log λ⟩ and ⟨κ⟩ over recorded spike trains, skipping
+/// neurons with too few spikes to define the statistics (as any empirical
+/// spike-pattern analysis must).
+pub fn population_firing(trains: &[SpikeTrainRec]) -> PopulationFiring {
+    let mut sum_log_rate = 0.0f64;
+    let mut sum_kappa = 0.0f64;
+    let mut n = 0usize;
+    for t in trains {
+        let (Some(rate), Some(kappa)) = (firing_rate(&t.times), firing_regularity(&t.times))
+        else {
+            continue;
+        };
+        if rate <= 0.0 {
+            continue;
+        }
+        sum_log_rate += rate.ln();
+        sum_kappa += kappa;
+        n += 1;
+    }
+    if n == 0 {
+        PopulationFiring {
+            mean_log_rate: f64::NEG_INFINITY,
+            mean_regularity: 0.0,
+            neurons: 0,
+        }
+    } else {
+        PopulationFiring {
+            mean_log_rate: sum_log_rate / n as f64,
+            mean_regularity: sum_kappa / n as f64,
+            neurons: n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsnn_core::NeuronId;
+
+    fn rec(times: Vec<u32>) -> SpikeTrainRec {
+        SpikeTrainRec {
+            neuron: NeuronId { layer: 0, index: 0 },
+            times,
+        }
+    }
+
+    #[test]
+    fn rate_of_periodic_train() {
+        // period 4 → rate 0.25
+        assert_eq!(firing_rate(&[0, 4, 8, 12]), Some(0.25));
+    }
+
+    #[test]
+    fn rate_requires_two_spikes() {
+        assert_eq!(firing_rate(&[]), None);
+        assert_eq!(firing_rate(&[7]), None);
+    }
+
+    #[test]
+    fn regularity_zero_for_periodic() {
+        assert_eq!(firing_regularity(&[0, 3, 6, 9]), Some(0.0));
+    }
+
+    #[test]
+    fn regularity_positive_for_bursty() {
+        // ISIs: 1, 1, 10 — strongly bimodal
+        let k = firing_regularity(&[0, 1, 2, 12]).unwrap();
+        assert!(k > 1.0, "κ = {k}");
+    }
+
+    #[test]
+    fn regularity_requires_two_isis() {
+        assert_eq!(firing_regularity(&[0, 5]), None);
+    }
+
+    #[test]
+    fn bursty_has_higher_kappa_than_regular_at_same_rate() {
+        // Both trains: 5 ISIs totalling 25 steps → same λ = 0.2.
+        let regular = [0u32, 5, 10, 15, 20, 25];
+        let bursty = [0u32, 1, 2, 3, 4, 25];
+        let kr = firing_regularity(&regular).unwrap();
+        let kb = firing_regularity(&bursty).unwrap();
+        assert_eq!(firing_rate(&regular), firing_rate(&bursty));
+        assert!(kb > kr);
+    }
+
+    #[test]
+    fn population_averages() {
+        let trains = vec![rec(vec![0, 4, 8, 12]), rec(vec![0, 2, 4, 6]), rec(vec![1])];
+        let p = population_firing(&trains);
+        assert_eq!(p.neurons, 2);
+        let expected = ((0.25f64).ln() + (0.5f64).ln()) / 2.0;
+        assert!((p.mean_log_rate - expected).abs() < 1e-12);
+        assert_eq!(p.mean_regularity, 0.0);
+    }
+
+    #[test]
+    fn empty_population() {
+        let p = population_firing(&[]);
+        assert_eq!(p.neurons, 0);
+        assert!(p.mean_log_rate.is_infinite());
+    }
+}

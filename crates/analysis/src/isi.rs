@@ -1,0 +1,156 @@
+//! Inter-spike-interval (ISI) histograms — Fig. 1-C of the paper.
+
+use bsnn_core::SpikeTrainRec;
+
+/// Computes the inter-spike intervals of one spike train (differences of
+/// consecutive spike times). Empty for trains with fewer than two spikes.
+///
+/// ```
+/// use bsnn_analysis::isi::intervals;
+///
+/// assert_eq!(intervals(&[2, 3, 7, 8]), vec![1, 4, 1]);
+/// assert_eq!(intervals(&[5]), Vec::<u32>::new());
+/// ```
+pub fn intervals(times: &[u32]) -> Vec<u32> {
+    times.windows(2).map(|w| w[1] - w[0]).collect()
+}
+
+/// A histogram of inter-spike intervals across many spike trains.
+///
+/// Bin `i` (0-based) counts ISIs of exactly `i + 1` time steps; ISIs
+/// beyond `max_isi` land in the overflow count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IsiHistogram {
+    bins: Vec<u64>,
+    overflow: u64,
+}
+
+impl IsiHistogram {
+    /// An empty histogram tracking ISIs `1..=max_isi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_isi` is zero.
+    pub fn new(max_isi: usize) -> Self {
+        assert!(max_isi > 0, "max_isi must be positive");
+        IsiHistogram {
+            bins: vec![0; max_isi],
+            overflow: 0,
+        }
+    }
+
+    /// Builds a histogram from recorded spike trains.
+    pub fn from_trains(trains: &[SpikeTrainRec], max_isi: usize) -> Self {
+        let mut h = IsiHistogram::new(max_isi);
+        for t in trains {
+            h.add_train(&t.times);
+        }
+        h
+    }
+
+    /// Adds one spike train's ISIs.
+    pub fn add_train(&mut self, times: &[u32]) {
+        for isi in intervals(times) {
+            self.add_isi(isi);
+        }
+    }
+
+    /// Adds a single ISI observation.
+    pub fn add_isi(&mut self, isi: u32) {
+        let idx = isi as usize;
+        if idx >= 1 && idx <= self.bins.len() {
+            self.bins[idx - 1] += 1;
+        } else {
+            self.overflow += 1;
+        }
+    }
+
+    /// Count for ISI value `isi` (1-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `isi` is 0 or beyond `max_isi`.
+    pub fn count(&self, isi: usize) -> u64 {
+        assert!(isi >= 1 && isi <= self.bins.len(), "isi out of range");
+        self.bins[isi - 1]
+    }
+
+    /// All in-range bin counts (index 0 ↔ ISI 1).
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// ISIs that exceeded `max_isi`.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total ISIs observed (including overflow).
+    pub fn total(&self) -> u64 {
+        self.bins.iter().sum::<u64>() + self.overflow
+    }
+
+    /// Fraction of ISIs that are "short" (≤ `limit`) — the paper uses the
+    /// short-ISI ratio to demonstrate burst occurrence in Fig. 1-C.
+    pub fn short_isi_fraction(&self, limit: usize) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let short: u64 = self.bins[..limit.min(self.bins.len())].iter().sum();
+        short as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsnn_core::NeuronId;
+
+    fn rec(times: Vec<u32>) -> SpikeTrainRec {
+        SpikeTrainRec {
+            neuron: NeuronId { layer: 0, index: 0 },
+            times,
+        }
+    }
+
+    #[test]
+    fn intervals_of_consecutive_spikes() {
+        assert_eq!(intervals(&[0, 1, 2, 3]), vec![1, 1, 1]);
+        assert_eq!(intervals(&[]), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn histogram_counts_by_isi() {
+        let mut h = IsiHistogram::new(5);
+        h.add_train(&[0, 1, 4, 5, 15]);
+        // ISIs: 1, 3, 1, 10 -> bins: isi1=2, isi3=1, overflow=1
+        assert_eq!(h.count(1), 2);
+        assert_eq!(h.count(3), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn from_trains_aggregates() {
+        let trains = vec![rec(vec![0, 1]), rec(vec![10, 12])];
+        let h = IsiHistogram::from_trains(&trains, 10);
+        assert_eq!(h.count(1), 1);
+        assert_eq!(h.count(2), 1);
+    }
+
+    #[test]
+    fn short_isi_fraction_bounds() {
+        let mut h = IsiHistogram::new(10);
+        assert_eq!(h.short_isi_fraction(3), 0.0);
+        h.add_train(&[0, 1, 2, 10]); // ISIs 1,1,8
+        let f = h.short_isi_fraction(3);
+        assert!((f - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_isi must be positive")]
+    fn zero_max_isi_panics() {
+        let _ = IsiHistogram::new(0);
+    }
+}

@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+//! # bsnn-analysis
+//!
+//! Spike-train analysis for the `burst-snn` workspace, implementing the
+//! paper's evaluation metrics:
+//!
+//! * [`isi`] — inter-spike-interval histograms (Fig. 1-C),
+//! * [`burst`] — burst detection and burst-length composition (Fig. 2),
+//! * [`firing`] — firing rate λ (Eq. 11) and firing regularity κ — the
+//!   coefficient of variation of ISIs (Eq. 12) — plus the per-scheme
+//!   aggregates ⟨log λ⟩ / ⟨κ⟩ of Fig. 5,
+//! * [`density`] — spiking density (# spikes / (neurons · latency),
+//!   Table 2 footnote a),
+//! * [`energy`] — normalized energy estimation on TrueNorth-like and
+//!   SpiNNaker-like proportional cost models (Table 2).
+//!
+//! All functions operate on plain spike-time slices or the
+//! [`bsnn_core::SpikeTrainRec`] records produced by the simulator.
+
+pub mod burst;
+pub mod density;
+pub mod energy;
+pub mod firing;
+pub mod isi;
+pub mod report;
+pub mod variability;
+
+pub use burst::{burst_composition, BurstStats};
+pub use density::spiking_density;
+pub use energy::{EnergyBreakdown, EnergyModel, WorkloadMetrics};
+pub use firing::{firing_rate, firing_regularity, population_firing, PopulationFiring};
+pub use isi::IsiHistogram;
+pub use report::{ActivityReport, LayerActivity};
+pub use variability::{cv2, fano_factor};

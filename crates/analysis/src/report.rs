@@ -1,0 +1,181 @@
+//! Layer-wise spike-activity reports.
+//!
+//! The paper argues about *where* spikes are spent (input layer
+//! bottlenecks, hidden-layer adaptivity); this module turns a
+//! simulation's per-layer counts and sampled trains into a structured
+//! per-layer summary a practitioner can read.
+
+use crate::firing::{firing_rate, firing_regularity};
+use bsnn_core::SpikeTrainRec;
+
+/// Spike-activity summary of one layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerActivity {
+    /// Layer index (0 = input layer).
+    pub layer: usize,
+    /// Neurons in the layer.
+    pub neurons: usize,
+    /// Total spikes emitted over the run.
+    pub spikes: u64,
+    /// Spikes per neuron per time step.
+    pub density: f64,
+    /// Mean firing rate λ over sampled neurons with ≥ 2 spikes
+    /// (`None` if no sampled neuron qualifies).
+    pub mean_rate: Option<f64>,
+    /// Mean regularity κ over sampled neurons with ≥ 3 spikes.
+    pub mean_regularity: Option<f64>,
+}
+
+/// Per-layer activity report of one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActivityReport {
+    /// One entry per spike-emitting layer, in network order.
+    pub layers: Vec<LayerActivity>,
+    /// Simulation steps the report covers.
+    pub steps: u64,
+}
+
+impl ActivityReport {
+    /// Builds a report from per-layer counts, layer sizes, horizon, and
+    /// (optionally) sampled spike trains for the rate/regularity columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer_counts` and `layer_sizes` lengths differ.
+    pub fn new(
+        layer_counts: &[u64],
+        layer_sizes: &[usize],
+        steps: u64,
+        trains: &[SpikeTrainRec],
+    ) -> Self {
+        assert_eq!(
+            layer_counts.len(),
+            layer_sizes.len(),
+            "counts and sizes must align"
+        );
+        let layers = layer_counts
+            .iter()
+            .zip(layer_sizes)
+            .enumerate()
+            .map(|(layer, (&spikes, &neurons))| {
+                let denom = neurons as f64 * steps as f64;
+                let mut rates = Vec::new();
+                let mut kappas = Vec::new();
+                for t in trains.iter().filter(|t| t.neuron.layer == layer) {
+                    if let Some(r) = firing_rate(&t.times) {
+                        rates.push(r);
+                    }
+                    if let Some(k) = firing_regularity(&t.times) {
+                        kappas.push(k);
+                    }
+                }
+                let mean = |v: &[f64]| {
+                    if v.is_empty() {
+                        None
+                    } else {
+                        Some(v.iter().sum::<f64>() / v.len() as f64)
+                    }
+                };
+                LayerActivity {
+                    layer,
+                    neurons,
+                    spikes,
+                    density: if denom > 0.0 { spikes as f64 / denom } else { 0.0 },
+                    mean_rate: mean(&rates),
+                    mean_regularity: mean(&kappas),
+                }
+            })
+            .collect();
+        ActivityReport { layers, steps }
+    }
+
+    /// Total spikes across all layers.
+    pub fn total_spikes(&self) -> u64 {
+        self.layers.iter().map(|l| l.spikes).sum()
+    }
+
+    /// The layer with the highest spiking density (usually where the
+    /// coding scheme spends its budget), if any layer spiked.
+    pub fn hottest_layer(&self) -> Option<&LayerActivity> {
+        self.layers
+            .iter()
+            .filter(|l| l.spikes > 0)
+            .max_by(|a, b| a.density.partial_cmp(&b.density).unwrap_or(std::cmp::Ordering::Equal))
+    }
+
+    /// Renders a fixed-width text table.
+    pub fn to_table(&self) -> String {
+        let mut out = String::from(
+            "layer  neurons    spikes   density  <rate>  <kappa>\n",
+        );
+        for l in &self.layers {
+            let fmt_opt = |o: Option<f64>| match o {
+                Some(v) => format!("{v:.4}"),
+                None => "-".to_string(),
+            };
+            out.push_str(&format!(
+                "{:>5}  {:>7}  {:>8}  {:>8.5}  {:>6}  {:>7}\n",
+                l.layer,
+                l.neurons,
+                l.spikes,
+                l.density,
+                fmt_opt(l.mean_rate),
+                fmt_opt(l.mean_regularity),
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsnn_core::NeuronId;
+
+    fn train(layer: usize, times: Vec<u32>) -> SpikeTrainRec {
+        SpikeTrainRec {
+            neuron: NeuronId { layer, index: 0 },
+            times,
+        }
+    }
+
+    #[test]
+    fn report_computes_density_per_layer() {
+        let r = ActivityReport::new(&[100, 50], &[10, 5], 100, &[]);
+        assert_eq!(r.layers.len(), 2);
+        assert!((r.layers[0].density - 0.1).abs() < 1e-12);
+        assert!((r.layers[1].density - 0.1).abs() < 1e-12);
+        assert_eq!(r.total_spikes(), 150);
+    }
+
+    #[test]
+    fn rates_come_from_matching_layer_trains() {
+        let trains = vec![train(0, vec![0, 4, 8]), train(1, vec![0, 1, 2, 3])];
+        let r = ActivityReport::new(&[3, 4], &[1, 1], 10, &trains);
+        assert!((r.layers[0].mean_rate.unwrap() - 0.25).abs() < 1e-12);
+        assert!((r.layers[1].mean_rate.unwrap() - 1.0).abs() < 1e-12);
+        assert_eq!(r.layers[0].mean_regularity, Some(0.0));
+    }
+
+    #[test]
+    fn hottest_layer_picks_max_density() {
+        let r = ActivityReport::new(&[10, 90], &[10, 10], 10, &[]);
+        assert_eq!(r.hottest_layer().unwrap().layer, 1);
+        let empty = ActivityReport::new(&[0, 0], &[10, 10], 10, &[]);
+        assert!(empty.hottest_layer().is_none());
+    }
+
+    #[test]
+    fn table_renders_every_layer() {
+        let r = ActivityReport::new(&[5, 7], &[3, 4], 10, &[]);
+        let t = r.to_table();
+        assert_eq!(t.lines().count(), 3);
+        assert!(t.contains('-')); // no trains → '-' placeholders
+    }
+
+    #[test]
+    #[should_panic(expected = "counts and sizes must align")]
+    fn mismatched_inputs_panic() {
+        let _ = ActivityReport::new(&[1], &[1, 2], 10, &[]);
+    }
+}

@@ -1,0 +1,151 @@
+//! Additional spike-train variability measures beyond the paper's κ:
+//! the Fano factor and the local variation CV₂.
+//!
+//! κ (the global coefficient of variation, Eq. 12) conflates slow rate
+//! drift with genuine local irregularity. The neuroscience literature
+//! the paper draws on (\[19], Mochizuki et al.) therefore also uses
+//! *local* measures; we provide the two standard ones so burst trains
+//! can be characterized the way the source material does:
+//!
+//! * **Fano factor** `F = Var(N) / E[N]` of spike counts `N` in fixed
+//!   windows — `F = 1` for a Poisson process, `< 1` for regular trains,
+//!   `> 1` for bursty/clustered trains.
+//! * **CV₂** = mean of `2|I_{i+1} − I_i| / (I_{i+1} + I_i)` — a
+//!   rate-drift-robust local irregularity in `[0, 2]`; ≈ 1 for Poisson,
+//!   0 for perfectly periodic, → 2 for strongly alternating ISIs.
+
+use crate::isi::intervals;
+
+/// Fano factor of windowed spike counts.
+///
+/// Splits `[0, horizon)` into consecutive windows of `window` steps
+/// (dropping the ragged tail) and returns `Var(N)/E[N]`. `None` when
+/// fewer than two windows fit or no spike falls inside them.
+///
+/// ```
+/// use bsnn_analysis::variability::fano_factor;
+///
+/// // perfectly regular: one spike per 4-step window → variance 0
+/// let regular: Vec<u32> = (0..40).step_by(4).collect();
+/// assert_eq!(fano_factor(&regular, 40, 4), Some(0.0));
+/// ```
+pub fn fano_factor(times: &[u32], horizon: u32, window: u32) -> Option<f64> {
+    if window == 0 || horizon < 2 * window {
+        return None;
+    }
+    let n_windows = (horizon / window) as usize;
+    let mut counts = vec![0u64; n_windows];
+    for &t in times {
+        let w = (t / window) as usize;
+        if w < n_windows {
+            counts[w] += 1;
+        }
+    }
+    let n = n_windows as f64;
+    let mean = counts.iter().sum::<u64>() as f64 / n;
+    if mean == 0.0 {
+        return None;
+    }
+    let var = counts
+        .iter()
+        .map(|&c| (c as f64 - mean).powi(2))
+        .sum::<f64>()
+        / n;
+    Some(var / mean)
+}
+
+/// Local variation CV₂ of a spike train's ISIs.
+///
+/// Returns `None` for trains with fewer than three spikes (two ISIs).
+///
+/// ```
+/// use bsnn_analysis::variability::cv2;
+///
+/// assert_eq!(cv2(&[0, 5, 10, 15]), Some(0.0)); // periodic
+/// ```
+pub fn cv2(times: &[u32]) -> Option<f64> {
+    let isis = intervals(times);
+    if isis.len() < 2 {
+        return None;
+    }
+    let mut sum = 0.0f64;
+    let mut n = 0usize;
+    for w in isis.windows(2) {
+        let (a, b) = (w[0] as f64, w[1] as f64);
+        if a + b > 0.0 {
+            sum += 2.0 * (b - a).abs() / (a + b);
+            n += 1;
+        }
+    }
+    if n == 0 {
+        None
+    } else {
+        Some(sum / n as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fano_zero_for_regular_train() {
+        let times: Vec<u32> = (0..100).step_by(5).collect();
+        assert_eq!(fano_factor(&times, 100, 5), Some(0.0));
+    }
+
+    #[test]
+    fn fano_large_for_clustered_train() {
+        // all spikes in the first window
+        let times: Vec<u32> = (0..10).collect();
+        let f = fano_factor(&times, 100, 10).unwrap();
+        assert!(f > 5.0, "fano {f}");
+    }
+
+    #[test]
+    fn fano_requires_windows_and_spikes() {
+        assert_eq!(fano_factor(&[1, 2], 10, 0), None);
+        assert_eq!(fano_factor(&[1, 2], 10, 8), None); // < 2 windows
+        assert_eq!(fano_factor(&[], 100, 10), None); // no spikes
+    }
+
+    #[test]
+    fn cv2_zero_for_periodic() {
+        assert_eq!(cv2(&[0, 3, 6, 9, 12]), Some(0.0));
+    }
+
+    #[test]
+    fn cv2_high_for_alternating_isis() {
+        // ISIs alternate 1, 9, 1, 9 → CV₂ = 2·8/10 = 1.6
+        let v = cv2(&[0, 1, 10, 11, 20]).unwrap();
+        assert!((v - 1.6).abs() < 1e-12, "cv2 {v}");
+    }
+
+    #[test]
+    fn cv2_needs_two_isis() {
+        assert_eq!(cv2(&[0, 5]), None);
+        assert_eq!(cv2(&[]), None);
+    }
+
+    #[test]
+    fn cv2_bounded() {
+        let trains: [&[u32]; 3] = [&[0, 1, 2, 50, 51, 52], &[0, 10, 11, 30], &[0, 2, 9, 10, 18]];
+        for t in trains {
+            let v = cv2(t).unwrap();
+            assert!((0.0..=2.0).contains(&v), "cv2 {v} out of range");
+        }
+    }
+
+    #[test]
+    fn burst_train_beats_regular_on_both_measures() {
+        let regular: Vec<u32> = (0..96).step_by(6).collect();
+        let bursty: Vec<u32> = (0..96)
+            .step_by(16)
+            .flat_map(|b| [b, b + 1, b + 2])
+            .collect();
+        assert!(cv2(&bursty).unwrap() > cv2(&regular).unwrap());
+        assert!(
+            fano_factor(&bursty, 96, 8).unwrap() > fano_factor(&regular, 96, 8).unwrap()
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! Criterion bench behind Fig. 2: spike-train recording across the
+//! `v_th` sweep plus the burst-composition analysis pass.
+
+use bsnn_analysis::burst_composition;
+use bsnn_core::coding::CodingScheme;
+use bsnn_core::convert::{convert, ConversionConfig};
+use bsnn_core::simulator::record_spike_trains;
+use bsnn_core::{NeuronId, SpikeTrainRec};
+use bsnn_data::SynthSpec;
+use bsnn_dnn::models;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_vth_sweep(c: &mut Criterion) {
+    let (train, test) = SynthSpec::digits().with_counts(8, 2).generate();
+    let mut dnn = models::vgg_tiny(1, 12, 12, 10, 3).expect("model");
+    let (norm, _) = train.batch(&[0, 1, 2, 3]);
+    let scheme = CodingScheme::recommended();
+    let image = test.image(0).to_vec();
+
+    let mut group = c.benchmark_group("fig2_record_trains_64steps");
+    group.sample_size(10);
+    for vth in [0.5f32, 0.125, 0.03125] {
+        let cfg = ConversionConfig::new(scheme).with_vth(vth);
+        let mut snn = convert(&mut dnn, &norm, &cfg).expect("conversion");
+        group.bench_function(format!("vth_{vth}"), |b| {
+            b.iter(|| {
+                let trains =
+                    record_spike_trains(&mut snn, black_box(&image), scheme, 64, 0.1, 0)
+                        .expect("recording");
+                black_box(burst_composition(&trains).burst_fraction())
+            })
+        });
+    }
+    group.finish();
+
+    c.bench_function("fig2_burst_composition_1k_trains", |b| {
+        let trains: Vec<SpikeTrainRec> = (0..1000)
+            .map(|i| SpikeTrainRec {
+                neuron: NeuronId { layer: 1, index: i },
+                times: (0..64).filter(|t| !(t + i as u32).is_multiple_of(3)).collect(),
+            })
+            .collect();
+        b.iter(|| black_box(burst_composition(black_box(&trains)).burst_fraction()))
+    });
+}
+
+criterion_group!(benches, bench_vth_sweep);
+criterion_main!(benches);

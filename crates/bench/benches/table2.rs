@@ -1,0 +1,57 @@
+//! Criterion bench behind Table 2: dataset-level evaluation cost for the
+//! compared methods (rate-rate, real-rate, phase-phase, phase-burst) and
+//! the energy-model arithmetic itself.
+
+use bsnn_analysis::{EnergyModel, WorkloadMetrics};
+use bsnn_core::coding::{CodingScheme, HiddenCoding, InputCoding};
+use bsnn_core::convert::{convert, ConversionConfig};
+use bsnn_core::simulator::{evaluate_dataset, EvalConfig};
+use bsnn_data::SynthSpec;
+use bsnn_dnn::models;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_methods(c: &mut Criterion) {
+    let (train, test) = SynthSpec::digits().with_counts(8, 4).generate();
+    let mut dnn = models::vgg_tiny(1, 12, 12, 10, 3).expect("model");
+    let (norm, _) = train.batch(&[0, 1, 2, 3]);
+
+    let methods = [
+        CodingScheme::new(InputCoding::Rate, HiddenCoding::Rate),
+        CodingScheme::new(InputCoding::Real, HiddenCoding::Rate),
+        CodingScheme::new(InputCoding::Phase, HiddenCoding::Phase),
+        CodingScheme::new(InputCoding::Phase, HiddenCoding::Burst),
+    ];
+    let mut group = c.benchmark_group("table2_evaluate_10imgs_32steps");
+    group.sample_size(10);
+    for scheme in methods {
+        let cfg = ConversionConfig::new(scheme).with_vth(0.125);
+        let mut snn = convert(&mut dnn, &norm, &cfg).expect("conversion");
+        let eval_cfg = EvalConfig::new(scheme, 32).with_max_images(10);
+        group.bench_function(scheme.to_string(), |b| {
+            b.iter(|| {
+                let ev = evaluate_dataset(&mut snn, black_box(&test), &eval_cfg).expect("eval");
+                black_box(ev.final_mean_spikes())
+            })
+        });
+    }
+    group.finish();
+
+    c.bench_function("table2_energy_model", |b| {
+        let tn = EnergyModel::truenorth();
+        let w = WorkloadMetrics {
+            spikes_per_image: 6.92e6,
+            spiking_density: 0.022,
+            latency: 1125,
+        };
+        let r = WorkloadMetrics {
+            spikes_per_image: 9.334e6,
+            spiking_density: 0.0222,
+            latency: 1500,
+        };
+        b.iter(|| black_box(tn.normalized(black_box(&w), black_box(&r)).total()))
+    });
+}
+
+criterion_group!(benches, bench_methods);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Fig. 2 — percentage of burst spikes and their composition by burst
+//! length, as the burst threshold constant `v_th` sweeps
+//! `{0.5, 0.25, 0.125, 0.0625, 0.03125}`.
+//!
+//! Paper shape criteria: as `v_th` decreases, (a) the total burst-spike
+//! fraction grows, and (b) longer bursts (length > 5) appear more often.
+
+use bsnn_bench::{prepare_task, print_table, Profile};
+use bsnn_core::coding::CodingScheme;
+use bsnn_core::convert::{convert, ConversionConfig};
+use bsnn_core::simulator::record_spike_trains;
+use bsnn_data::SyntheticTask;
+use bsnn_analysis::burst_composition;
+
+fn main() {
+    let profile = Profile::from_env();
+    let mut setup = prepare_task(SyntheticTask::Cifar10, &profile);
+    let norm = setup.norm_batch(64);
+    let scheme = CodingScheme::recommended(); // phase-burst
+    let steps = profile.steps.max(256);
+    println!(
+        "Fig. 2 reproduction — burst-spike fraction vs v_th ({}, {}, {} steps)\n",
+        setup.task.name(),
+        scheme,
+        steps
+    );
+
+    let mut rows = Vec::new();
+    for vth in [0.5f32, 0.25, 0.125, 0.0625, 0.03125] {
+        let cfg = ConversionConfig::new(scheme).with_vth(vth);
+        let mut snn = convert(&mut setup.dnn, &norm, &cfg).expect("conversion");
+        let mut stats = bsnn_analysis::BurstStats::default();
+        for i in 0..4usize {
+            let trains = record_spike_trains(
+                &mut snn,
+                setup.test.image(i),
+                scheme,
+                steps,
+                0.10,
+                7 + i as u64,
+            )
+            .expect("recording");
+            let hidden: Vec<_> = trains
+                .into_iter()
+                .filter(|t| t.neuron.layer > 0)
+                .collect();
+            stats.merge(&burst_composition(&hidden));
+        }
+        rows.push(vec![
+            format!("{vth}"),
+            format!("{:.1}", 100.0 * stats.burst_fraction()),
+            format!("{:.1}", 100.0 * stats.fraction_of_length(2)),
+            format!("{:.1}", 100.0 * stats.fraction_of_length(3)),
+            format!("{:.1}", 100.0 * stats.fraction_of_length(4)),
+            format!("{:.1}", 100.0 * stats.fraction_of_length(5)),
+            format!("{:.1}", 100.0 * stats.fraction_longer()),
+            format!("{}", stats.total_spikes),
+        ]);
+    }
+    print_table(
+        &[
+            "v_th", "burst%", "len=2", "len=3", "len=4", "len=5", "len>5", "spikes",
+        ],
+        &rows,
+    );
+    println!("\n(percentages of all hidden-layer spikes; sample: 10% of neurons, 4 images)");
+}

@@ -1,0 +1,221 @@
+//! Neural coding taxonomy: input codings, hidden codings, and the hybrid
+//! scheme notation `"input-hidden"` used throughout the paper.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// How the input layer converts pixel intensities into a drive signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InputCoding {
+    /// *Real coding*: the analog pixel value is injected as a constant
+    /// current each time step (no input spikes). Used by Rueckauer et al.
+    Real,
+    /// *Rate coding*: a deterministic IF encoder fires unit-magnitude
+    /// spikes at a rate proportional to the pixel intensity.
+    Rate,
+    /// *Phase coding*: the pixel value's binary expansion is emitted with
+    /// per-phase weights `2^-(1+t mod k)` (Kim et al. 2018, Eq. 6).
+    Phase,
+    /// *Time-to-first-spike coding* (Thorpe et al. \[22], discussed in the
+    /// paper's background): one spike per window, earlier for brighter
+    /// pixels, carrying the pixel value as its magnitude. An extension
+    /// beyond the paper's evaluated codings.
+    Ttfs,
+}
+
+impl InputCoding {
+    /// The input codings evaluated in the paper's tables, in presentation
+    /// order (TTFS is an extension and deliberately excluded so that
+    /// [`CodingScheme::all`] matches the paper's nine combinations).
+    pub const ALL: [InputCoding; 3] = [InputCoding::Real, InputCoding::Rate, InputCoding::Phase];
+
+    /// Lower-case name as used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            InputCoding::Real => "real",
+            InputCoding::Rate => "rate",
+            InputCoding::Phase => "phase",
+            InputCoding::Ttfs => "ttfs",
+        }
+    }
+}
+
+impl fmt::Display for InputCoding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Threshold policy governing spiking neurons in hidden layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HiddenCoding {
+    /// Fixed threshold — classical rate coding (Diehl et al. 2015).
+    Rate,
+    /// Oscillating threshold `V_th(t) = Π(t)·v_th`, `Π(t)=2^-(1+t mod k)`
+    /// — weighted spikes (Kim et al. 2018; paper Eqs. 6–7).
+    Phase,
+    /// Adaptive threshold `V_th(t) = g(t)·v_th` with the burst function
+    /// `g(t)=β·g(t−1)` after a spike, else `1` — the paper's proposal
+    /// (Eqs. 8–9).
+    Burst,
+}
+
+impl HiddenCoding {
+    /// All hidden codings, in the paper's presentation order.
+    pub const ALL: [HiddenCoding; 3] = [HiddenCoding::Rate, HiddenCoding::Phase, HiddenCoding::Burst];
+
+    /// Lower-case name as used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            HiddenCoding::Rate => "rate",
+            HiddenCoding::Phase => "phase",
+            HiddenCoding::Burst => "burst",
+        }
+    }
+}
+
+impl fmt::Display for HiddenCoding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A hybrid layer-wise coding scheme: one coding for the input layer and
+/// one for all hidden layers, written `"input-hidden"` (e.g.
+/// `phase-burst`) as in Section 3.2 of the paper.
+///
+/// ```
+/// use bsnn_core::coding::{CodingScheme, HiddenCoding, InputCoding};
+///
+/// let s: CodingScheme = "phase-burst".parse().unwrap();
+/// assert_eq!(s.input, InputCoding::Phase);
+/// assert_eq!(s.hidden, HiddenCoding::Burst);
+/// assert_eq!(s.to_string(), "phase-burst");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CodingScheme {
+    /// Input-layer coding.
+    pub input: InputCoding,
+    /// Hidden-layer coding.
+    pub hidden: HiddenCoding,
+}
+
+impl CodingScheme {
+    /// A scheme from its two components.
+    pub fn new(input: InputCoding, hidden: HiddenCoding) -> Self {
+        CodingScheme { input, hidden }
+    }
+
+    /// All nine combinations evaluated in Table 1 / Fig. 4, in the
+    /// paper's row order (input major).
+    pub fn all() -> Vec<CodingScheme> {
+        let mut out = Vec::with_capacity(9);
+        for input in InputCoding::ALL {
+            for hidden in HiddenCoding::ALL {
+                out.push(CodingScheme { input, hidden });
+            }
+        }
+        out
+    }
+
+    /// The paper's recommended configuration: `phase-burst`.
+    pub fn recommended() -> Self {
+        CodingScheme::new(InputCoding::Phase, HiddenCoding::Burst)
+    }
+}
+
+impl fmt::Display for CodingScheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-{}", self.input, self.hidden)
+    }
+}
+
+/// Error returned when parsing a [`CodingScheme`] fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseCodingError(String);
+
+impl fmt::Display for ParseCodingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid coding scheme `{}` (expected e.g. `phase-burst`)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseCodingError {}
+
+impl FromStr for CodingScheme {
+    type Err = ParseCodingError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (inp, hid) = s
+            .split_once('-')
+            .ok_or_else(|| ParseCodingError(s.to_string()))?;
+        let input = match inp {
+            "real" => InputCoding::Real,
+            "rate" => InputCoding::Rate,
+            "phase" => InputCoding::Phase,
+            "ttfs" => InputCoding::Ttfs,
+            _ => return Err(ParseCodingError(s.to_string())),
+        };
+        let hidden = match hid {
+            "rate" => HiddenCoding::Rate,
+            "phase" => HiddenCoding::Phase,
+            "burst" => HiddenCoding::Burst,
+            _ => return Err(ParseCodingError(s.to_string())),
+        };
+        Ok(CodingScheme { input, hidden })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_schemes_covers_nine() {
+        let all = CodingScheme::all();
+        assert_eq!(all.len(), 9);
+        let mut set = std::collections::HashSet::new();
+        for s in &all {
+            set.insert(s.to_string());
+        }
+        assert_eq!(set.len(), 9);
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        for s in CodingScheme::all() {
+            let parsed: CodingScheme = s.to_string().parse().unwrap();
+            assert_eq!(parsed, s);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("burst-phase2".parse::<CodingScheme>().is_err());
+        assert!("realrate".parse::<CodingScheme>().is_err());
+        assert!("burst-rate".parse::<CodingScheme>().is_err()); // burst is not an input coding
+    }
+
+    #[test]
+    fn ttfs_parses_but_is_not_in_all() {
+        let s: CodingScheme = "ttfs-burst".parse().unwrap();
+        assert_eq!(s.input, InputCoding::Ttfs);
+        assert!(!CodingScheme::all().contains(&s));
+        assert_eq!(s.to_string(), "ttfs-burst");
+    }
+
+    #[test]
+    fn recommended_is_phase_burst() {
+        assert_eq!(CodingScheme::recommended().to_string(), "phase-burst");
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(InputCoding::Real.name(), "real");
+        assert_eq!(HiddenCoding::Burst.name(), "burst");
+    }
+}

@@ -1,0 +1,563 @@
+//! DNN→SNN conversion with data-based weight normalization.
+//!
+//! Implements the conversion pipeline of the paper's Section 2.3:
+//!
+//! * weights are imported from a trained [`Sequential`] DNN,
+//! * activations are recorded on a normalization batch and each stage's
+//!   weights/biases are rescaled by `λ_{l-1}/λ_l` (data-based weight
+//!   normalization, Diehl et al. 2015), where `λ_l` is the maximum — or,
+//!   for outlier-robust normalization (Rueckauer et al. 2016), a high
+//!   percentile — of the stage's ReLU activations,
+//! * biases become per-step constant currents (normalized-bias rule),
+//! * average pooling becomes a spiking stage with uniform fan-in weights,
+//! * the final dense layer becomes a non-spiking accumulator.
+
+use crate::coding::{CodingScheme, HiddenCoding, InputCoding};
+use crate::layer::{ResetMode, SpikingLayer, ThresholdPolicy};
+use crate::network::SpikingNetwork;
+use crate::synapse::{Chw, Synapse};
+use crate::SnnError;
+use bsnn_dnn::{LayerBox, Sequential};
+use bsnn_tensor::Tensor;
+
+/// Data-based normalization method.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Normalization {
+    /// λ = maximum activation (Diehl et al. 2015).
+    Max,
+    /// λ = p-th percentile of the activations — robust to outliers
+    /// (Rueckauer et al. 2016). `99.9` is the customary choice.
+    Percentile(f32),
+}
+
+impl Normalization {
+    fn lambda(&self, values: &Tensor) -> f32 {
+        let v = match self {
+            Normalization::Max => values.max(),
+            Normalization::Percentile(p) => percentile(values.as_slice(), *p),
+        };
+        if v <= f32::EPSILON || !v.is_finite() {
+            1.0
+        } else {
+            v
+        }
+    }
+}
+
+/// The p-th percentile (nearest-rank) of `values`; 0.0 for an empty slice.
+pub fn percentile(values: &[f32], p: f32) -> f32 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f32> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let p = p.clamp(0.0, 100.0);
+    let rank = ((p / 100.0) * sorted.len() as f32).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+/// Conversion parameters: coding scheme, thresholds, and normalization.
+///
+/// The full [`CodingScheme`] matters to conversion (not just the hidden
+/// coding) because the input coding sets the network's **drive rate** ρ —
+/// the fraction of each activation delivered per time step. Real and rate
+/// input deliver `x` per step (ρ = 1); phase input delivers the value
+/// once per period (ρ = 1/k, Kim et al. 2018). Bias currents and the
+/// phase-hidden threshold are scaled by ρ so every hybrid combination is
+/// correctly calibrated.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConversionConfig {
+    /// The hybrid coding scheme the network will be run with.
+    pub scheme: CodingScheme,
+    /// Burst threshold constant `v_th` (the precision knob; paper sweeps
+    /// 0.5 … 0.03125, default 0.125).
+    pub vth: f32,
+    /// Burst constant β (Eq. 8; > 1, default 2.0 — see crate docs).
+    pub beta: f32,
+    /// Phase-coding period `k` (Eq. 6, default 8).
+    pub phase_period: u32,
+    /// Threshold for rate-coded hidden layers (default 1.0 — activations
+    /// are normalized to ≈ 1, the classic Diehl setting).
+    pub rate_vth: f32,
+    /// Base threshold for phase-coded hidden layers. `None` (default)
+    /// selects `k` (the phase period), which calibrates the maximum
+    /// per-step average emission `vth·(1−2^−k)/k` to ≈ 1 — the same
+    /// dynamic range as rate and burst stages (see DESIGN.md §6).
+    pub phase_vth: Option<f32>,
+    /// Data-based normalization method (default robust 99.9 percentile).
+    pub normalization: Normalization,
+    /// Membrane reset rule (default reset-by-subtraction, Eq. 4;
+    /// [`ResetMode::Zero`] reproduces the lossy Eq. 3 baseline).
+    pub reset: ResetMode,
+}
+
+impl ConversionConfig {
+    /// Default configuration for a coding scheme.
+    pub fn new(scheme: CodingScheme) -> Self {
+        ConversionConfig {
+            scheme,
+            vth: 0.125,
+            beta: 2.0,
+            phase_period: 8,
+            rate_vth: 1.0,
+            phase_vth: None,
+            normalization: Normalization::Percentile(99.9),
+            reset: ResetMode::Subtraction,
+        }
+    }
+
+    /// Sets the membrane reset rule.
+    pub fn with_reset_mode(mut self, reset: ResetMode) -> Self {
+        self.reset = reset;
+        self
+    }
+
+    /// Sets the burst threshold constant `v_th`.
+    pub fn with_vth(mut self, vth: f32) -> Self {
+        self.vth = vth;
+        self
+    }
+
+    /// Sets the burst constant β.
+    pub fn with_beta(mut self, beta: f32) -> Self {
+        self.beta = beta;
+        self
+    }
+
+    /// Sets the phase period `k`.
+    pub fn with_phase_period(mut self, k: u32) -> Self {
+        self.phase_period = k;
+        self
+    }
+
+    /// Sets the normalization method.
+    pub fn with_normalization(mut self, normalization: Normalization) -> Self {
+        self.normalization = normalization;
+        self
+    }
+
+    /// The network's drive rate ρ: the fraction of each activation the
+    /// input coding delivers per time step (1 for real/rate input, `1/k`
+    /// for per-period phase input).
+    pub fn drive_rate(&self) -> f32 {
+        match self.scheme.input {
+            InputCoding::Real | InputCoding::Rate => 1.0,
+            // Phase transmits the value once per period; TTFS emits one
+            // value-magnitude spike per window of the same length.
+            InputCoding::Phase | InputCoding::Ttfs => 1.0 / self.phase_period as f32,
+        }
+    }
+
+    /// The threshold policy hidden stages receive under this config.
+    ///
+    /// Phase-hidden stages default to `vth = k·ρ`, which calibrates their
+    /// maximum per-step emission to the network's drive rate: `vth = 1`
+    /// under phase input (Kim et al.'s setting) and `vth = k` under
+    /// real/rate input.
+    pub fn policy(&self) -> ThresholdPolicy {
+        match self.scheme.hidden {
+            HiddenCoding::Rate => ThresholdPolicy::Fixed { vth: self.rate_vth },
+            HiddenCoding::Phase => ThresholdPolicy::Phase {
+                vth: self
+                    .phase_vth
+                    .unwrap_or(self.phase_period as f32 * self.drive_rate()),
+                period: self.phase_period,
+            },
+            HiddenCoding::Burst => ThresholdPolicy::Burst {
+                vth: self.vth,
+                beta: self.beta,
+            },
+        }
+    }
+
+    /// Validates all parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnnError::InvalidConfig`] on out-of-range values.
+    pub fn validate(&self) -> Result<(), SnnError> {
+        self.policy().validate()?;
+        if self.phase_period == 0 || self.phase_period > 24 {
+            return Err(SnnError::InvalidConfig(format!(
+                "phase period {} must be in 1..=24",
+                self.phase_period
+            )));
+        }
+        if let Normalization::Percentile(p) = self.normalization {
+            if !(0.0..=100.0).contains(&p) {
+                return Err(SnnError::InvalidConfig(format!(
+                    "percentile {p} must be in [0, 100]"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// What a DNN layer becomes in the SNN.
+enum StagePlan {
+    Hidden {
+        synapse: Synapse,
+        bias: Option<Vec<f32>>,
+        lambda_idx: usize,
+    },
+    Pool {
+        geom: bsnn_tensor::conv::Conv2dGeometry,
+        in_shape: Chw,
+        out_shape: Chw,
+        lambda_idx: usize,
+    },
+    Output {
+        synapse_weight: Tensor,
+        bias: Vec<f32>,
+    },
+}
+
+/// Converts a trained DNN into a spiking network.
+///
+/// `norm_batch` is an `(n, c, h, w)` batch of *training* images used for
+/// data-based normalization (a few dozen images suffice).
+///
+/// # Errors
+///
+/// * [`SnnError::UnsupportedLayer`] if the model contains a structure the
+///   converter cannot map (e.g. a hidden weighted layer without a ReLU, or
+///   a model not ending in a dense classifier).
+/// * [`SnnError::InvalidConfig`] for bad conversion parameters.
+/// * Tensor/DNN errors from running the normalization forward pass.
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use bsnn_core::convert::{convert, ConversionConfig};
+/// use bsnn_core::coding::{CodingScheme, HiddenCoding, InputCoding};
+/// use bsnn_data::SynthSpec;
+/// use bsnn_dnn::models;
+///
+/// let (train, _) = SynthSpec::digits().with_counts(4, 1).generate();
+/// let mut dnn = models::vgg_tiny(1, 12, 12, 10, 0)?;
+/// let (batch, _) = train.batch(&[0, 1, 2, 3]);
+/// let snn = convert(&mut dnn, &batch, &ConversionConfig::new(CodingScheme::new(InputCoding::Real, HiddenCoding::Burst)))?;
+/// assert_eq!(snn.input_len(), 12 * 12);
+/// assert_eq!(snn.output_len(), 10);
+/// # Ok(())
+/// # }
+/// ```
+pub fn convert(
+    model: &mut Sequential,
+    norm_batch: &Tensor,
+    config: &ConversionConfig,
+) -> Result<SpikingNetwork, SnnError> {
+    config.validate()?;
+    let (_, acts) = model.forward_collect(norm_batch)?;
+    let layers = model.layers();
+
+    // Shape of the data *entering* each layer (batch dim stripped later).
+    let mut shapes: Vec<Vec<usize>> = Vec::with_capacity(layers.len() + 1);
+    shapes.push(norm_batch.shape().to_vec());
+    for a in &acts {
+        shapes.push(a.shape().to_vec());
+    }
+
+    let chw_of = |shape: &[usize]| -> Result<Chw, SnnError> {
+        if shape.len() != 4 {
+            return Err(SnnError::UnsupportedLayer(format!(
+                "expected NCHW shape, got {shape:?}"
+            )));
+        }
+        Ok(Chw::new(shape[1], shape[2], shape[3]))
+    };
+
+    // Plan the stages.
+    let mut plans: Vec<StagePlan> = Vec::new();
+    let mut i = 0usize;
+    while i < layers.len() {
+        match &layers[i] {
+            LayerBox::Conv2d(conv) => {
+                let relu_idx = find_following_relu(layers, i);
+                let in_shape = chw_of(&shapes[i])?;
+                let out_shape = chw_of(&shapes[i + 1])?;
+                let synapse = Synapse::Conv {
+                    weight: conv.weight.value.clone(),
+                    geom: conv.geom,
+                    in_shape,
+                    out_shape,
+                };
+                // Conv biases are per-channel; spiking stages need one
+                // constant current per neuron, so broadcast across the
+                // spatial plane.
+                let plane = out_shape.h * out_shape.w;
+                let bias: Vec<f32> = conv
+                    .bias
+                    .value
+                    .as_slice()
+                    .iter()
+                    .flat_map(|&b| std::iter::repeat_n(b, plane))
+                    .collect();
+                match relu_idx {
+                    Some(r) => plans.push(StagePlan::Hidden {
+                        synapse,
+                        bias: Some(bias),
+                        lambda_idx: r,
+                    }),
+                    None => {
+                        return Err(SnnError::UnsupportedLayer(
+                            "convolution without a following ReLU".into(),
+                        ))
+                    }
+                }
+            }
+            LayerBox::Dense(dense) => {
+                let relu_idx = find_following_relu(layers, i);
+                match relu_idx {
+                    Some(r) => plans.push(StagePlan::Hidden {
+                        synapse: Synapse::Dense {
+                            weight: dense.weight.value.clone(),
+                        },
+                        bias: Some(dense.bias.value.as_slice().to_vec()),
+                        lambda_idx: r,
+                    }),
+                    None => {
+                        // Must be the classifier head: only pass-through
+                        // layers may follow.
+                        if layers[i + 1..].iter().any(is_weighted_or_pool) {
+                            return Err(SnnError::UnsupportedLayer(
+                                "dense layer without ReLU before further weighted layers".into(),
+                            ));
+                        }
+                        plans.push(StagePlan::Output {
+                            synapse_weight: dense.weight.value.clone(),
+                            bias: dense.bias.value.as_slice().to_vec(),
+                        });
+                    }
+                }
+            }
+            LayerBox::AvgPool2d(pool) => {
+                let in_shape = chw_of(&shapes[i])?;
+                let out_shape = chw_of(&shapes[i + 1])?;
+                plans.push(StagePlan::Pool {
+                    geom: pool.geom,
+                    in_shape,
+                    out_shape,
+                    lambda_idx: i,
+                });
+            }
+            LayerBox::MaxPool2d(_) => {
+                return Err(SnnError::UnsupportedLayer(
+                    "max pooling has no spiking equivalent — run \
+                     bsnn_dnn::constrain::constrain_for_conversion first"
+                        .into(),
+                ))
+            }
+            LayerBox::Relu(_) | LayerBox::Flatten(_) | LayerBox::Dropout(_) => {}
+        }
+        i += 1;
+    }
+
+    let Some(StagePlan::Output { .. }) = plans.last() else {
+        return Err(SnnError::UnsupportedLayer(
+            "model must end in a dense classifier without ReLU".into(),
+        ));
+    };
+
+    // Build spiking stages with the λ-chain.
+    let policy = config.policy();
+    let input_len = {
+        let s = norm_batch.shape();
+        s[1..].iter().product()
+    };
+    let mut lambda_prev = 1.0f32; // inputs live in [0, 1]
+    let rho = config.drive_rate();
+    let mut spiking = Vec::new();
+    let mut output = None;
+    for plan in plans {
+        match plan {
+            StagePlan::Hidden {
+                synapse,
+                bias,
+                lambda_idx,
+            } => {
+                let lambda = config.normalization.lambda(&acts[lambda_idx]);
+                let scale = lambda_prev / lambda;
+                let synapse = scale_synapse(synapse, scale);
+                // Bias currents are scaled by the drive rate ρ so that the
+                // bias-to-signal ratio matches the DNN regardless of how
+                // fast the input coding delivers information.
+                let bias = bias.map(|b| b.iter().map(|x| x * rho / lambda).collect());
+                let mut layer = SpikingLayer::new(synapse, bias, policy)?;
+                layer.set_reset_mode(config.reset);
+                spiking.push(layer);
+                lambda_prev = lambda;
+            }
+            StagePlan::Pool {
+                geom,
+                in_shape,
+                out_shape,
+                lambda_idx,
+            } => {
+                let lambda = config.normalization.lambda(&acts[lambda_idx]);
+                let synapse = Synapse::Pool {
+                    geom,
+                    in_shape,
+                    out_shape,
+                    scale: lambda_prev / lambda,
+                };
+                let mut layer = SpikingLayer::new(synapse, None, policy)?;
+                layer.set_reset_mode(config.reset);
+                spiking.push(layer);
+                lambda_prev = lambda;
+            }
+            StagePlan::Output {
+                synapse_weight,
+                bias,
+            } => {
+                // λ_out = 1: scale weights by λ_prev so accumulated
+                // potentials are proportional to the true logits.
+                let weight = synapse_weight.scale(lambda_prev);
+                let bias: Vec<f32> = bias.iter().map(|x| x * rho).collect();
+                output = Some((Synapse::Dense { weight }, bias));
+            }
+        }
+    }
+    let (out_syn, out_bias) = output.expect("validated above");
+    SpikingNetwork::new(input_len, spiking, out_syn, Some(out_bias))
+}
+
+fn find_following_relu(layers: &[LayerBox], i: usize) -> Option<usize> {
+    for (j, l) in layers.iter().enumerate().skip(i + 1) {
+        match l {
+            LayerBox::Relu(_) => return Some(j),
+            LayerBox::Dropout(_) | LayerBox::Flatten(_) => continue,
+            _ => return None,
+        }
+    }
+    None
+}
+
+fn is_weighted_or_pool(l: &LayerBox) -> bool {
+    matches!(
+        l,
+        LayerBox::Dense(_)
+            | LayerBox::Conv2d(_)
+            | LayerBox::AvgPool2d(_)
+            | LayerBox::MaxPool2d(_)
+    )
+}
+
+fn scale_synapse(synapse: Synapse, scale: f32) -> Synapse {
+    match synapse {
+        Synapse::Dense { weight } => Synapse::Dense {
+            weight: weight.scale(scale),
+        },
+        Synapse::Conv {
+            weight,
+            geom,
+            in_shape,
+            out_shape,
+        } => Synapse::Conv {
+            weight: weight.scale(scale),
+            geom,
+            in_shape,
+            out_shape,
+        },
+        Synapse::Pool {
+            geom,
+            in_shape,
+            out_shape,
+            scale: s,
+        } => Synapse::Pool {
+            geom,
+            in_shape,
+            out_shape,
+            scale: s * scale,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsnn_data::SynthSpec;
+    use bsnn_dnn::models;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&v, 100.0), 5.0);
+        assert_eq!(percentile(&v, 50.0), 3.0);
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn normalization_lambda_guards_zero() {
+        let z = Tensor::zeros(&[4]);
+        assert_eq!(Normalization::Max.lambda(&z), 1.0);
+    }
+
+    #[test]
+    fn config_builders_and_validation() {
+        let cfg = ConversionConfig::new(CodingScheme::new(InputCoding::Real, HiddenCoding::Burst))
+            .with_vth(0.0625)
+            .with_beta(4.0)
+            .with_phase_period(6)
+            .with_normalization(Normalization::Max);
+        assert!(cfg.validate().is_ok());
+        assert_eq!(cfg.vth, 0.0625);
+        assert!(matches!(
+            cfg.policy(),
+            ThresholdPolicy::Burst { vth, beta } if vth == 0.0625 && beta == 4.0
+        ));
+        assert!(ConversionConfig::new(CodingScheme::new(InputCoding::Real, HiddenCoding::Burst))
+            .with_vth(-1.0)
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn convert_vgg_tiny_structure() {
+        let (train, _) = SynthSpec::digits().with_counts(4, 1).generate();
+        let mut dnn = models::vgg_tiny(1, 12, 12, 10, 0).unwrap();
+        let (batch, _) = train.batch(&[0, 1, 2, 3]);
+        let snn = convert(&mut dnn, &batch, &ConversionConfig::new(CodingScheme::new(InputCoding::Real, HiddenCoding::Rate))).unwrap();
+        // stages: conv(+relu), pool; output dense
+        assert_eq!(snn.layers().len(), 2);
+        assert_eq!(snn.input_len(), 144);
+        assert_eq!(snn.output_len(), 10);
+        // conv stage has 8×12×12 neurons, pool stage 8×6×6
+        assert_eq!(snn.layers()[0].len(), 8 * 12 * 12);
+        assert_eq!(snn.layers()[1].len(), 8 * 6 * 6);
+    }
+
+    #[test]
+    fn convert_vgg_small_counts_stages() {
+        let (train, _) = SynthSpec::cifar10().with_counts(2, 1).generate();
+        let mut dnn = models::vgg_small(3, 16, 16, 10, 0).unwrap();
+        let (batch, _) = train.batch(&[0, 1]);
+        let snn = convert(&mut dnn, &batch, &ConversionConfig::new(CodingScheme::new(InputCoding::Real, HiddenCoding::Burst))).unwrap();
+        // conv,conv,pool,conv,conv,pool,dense(+relu) = 7 hidden stages
+        assert_eq!(snn.layers().len(), 7);
+    }
+
+    #[test]
+    fn mlp_converts() {
+        let (train, _) = SynthSpec::digits().with_counts(4, 1).generate();
+        let mut dnn = models::mlp(144, &[32, 16], 10, 0).unwrap();
+        let (batch, _) = train.batch(&[0, 1, 2, 3]);
+        let snn = convert(&mut dnn, &batch, &ConversionConfig::new(CodingScheme::new(InputCoding::Real, HiddenCoding::Burst))).unwrap();
+        assert_eq!(snn.layers().len(), 2);
+        assert_eq!(snn.layers()[0].len(), 32);
+    }
+
+    #[test]
+    fn percentile_vs_max_changes_scale() {
+        // With an outlier activation, percentile normalization should give
+        // a smaller λ (larger weights) than max normalization.
+        let mut v: Vec<f32> = (0..1000).map(|i| i as f32 / 1000.0).collect();
+        v.push(100.0); // outlier
+        let t = Tensor::from_vec(v, &[1001]).unwrap();
+        let lmax = Normalization::Max.lambda(&t);
+        let lper = Normalization::Percentile(99.0).lambda(&t);
+        assert_eq!(lmax, 100.0);
+        assert!(lper < 1.1);
+    }
+}

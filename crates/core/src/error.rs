@@ -1,0 +1,89 @@
+//! Error types for SNN conversion and simulation.
+
+use bsnn_dnn::DnnError;
+use bsnn_tensor::TensorError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from SNN conversion and simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SnnError {
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+    /// Running the source DNN failed during conversion.
+    Dnn(DnnError),
+    /// A configuration value is out of range (e.g. `v_th <= 0`).
+    InvalidConfig(String),
+    /// The source DNN contains a layer the converter cannot map to a
+    /// spiking equivalent.
+    UnsupportedLayer(String),
+    /// Input image size does not match the network's input layer.
+    InputSizeMismatch {
+        /// Neurons in the input layer.
+        expected: usize,
+        /// Pixels provided.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for SnnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnnError::Tensor(e) => write!(f, "tensor operation failed: {e}"),
+            SnnError::Dnn(e) => write!(f, "source DNN failed: {e}"),
+            SnnError::InvalidConfig(msg) => write!(f, "invalid SNN configuration: {msg}"),
+            SnnError::UnsupportedLayer(name) => {
+                write!(f, "cannot convert layer `{name}` to a spiking equivalent")
+            }
+            SnnError::InputSizeMismatch { expected, actual } => write!(
+                f,
+                "input has {actual} pixels but the network expects {expected}"
+            ),
+        }
+    }
+}
+
+impl Error for SnnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SnnError::Tensor(e) => Some(e),
+            SnnError::Dnn(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for SnnError {
+    fn from(e: TensorError) -> Self {
+        SnnError::Tensor(e)
+    }
+}
+
+impl From<DnnError> for SnnError {
+    fn from(e: DnnError) -> Self {
+        SnnError::Dnn(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e: SnnError = TensorError::EmptyShape.into();
+        assert!(e.to_string().contains("tensor"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = SnnError::InputSizeMismatch {
+            expected: 10,
+            actual: 5,
+        };
+        assert!(e.to_string().contains("10"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SnnError>();
+    }
+}

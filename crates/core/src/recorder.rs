@@ -1,0 +1,234 @@
+//! Spike recording: per-layer counts and (optionally) sampled per-neuron
+//! spike trains for the analysis crate.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// Identifies a neuron by layer index and flat index within the layer.
+///
+/// Layer 0 is the input layer; hidden spiking stages follow in order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NeuronId {
+    /// Layer index (0 = input layer).
+    pub layer: usize,
+    /// Flat neuron index within the layer.
+    pub index: usize,
+}
+
+/// The recorded spike times of one sampled neuron.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpikeTrainRec {
+    /// Which neuron this train belongs to.
+    pub neuron: NeuronId,
+    /// Time steps at which the neuron fired, in increasing order.
+    pub times: Vec<u32>,
+}
+
+/// How much detail to record during a run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RecordLevel {
+    /// Only per-layer spike counts (cheap; default).
+    Counts,
+    /// Counts plus full spike trains for a random sample of neurons in
+    /// every layer (the paper samples 10% per layer for Fig. 5).
+    Trains {
+        /// Fraction of neurons sampled per layer, in `(0, 1]`.
+        fraction: f64,
+        /// Sampling seed.
+        seed: u64,
+    },
+}
+
+/// Accumulated spike statistics of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SpikeRecord {
+    layer_counts: Vec<u64>,
+    steps: u64,
+    sampled: HashMap<NeuronId, usize>,
+    trains: Vec<SpikeTrainRec>,
+}
+
+impl SpikeRecord {
+    /// Creates a record for a network whose layer sizes (input layer
+    /// first, spiking stages after) are `layer_sizes`.
+    pub fn new(layer_sizes: &[usize], level: RecordLevel) -> Self {
+        let mut sampled = HashMap::new();
+        let mut trains = Vec::new();
+        if let RecordLevel::Trains { fraction, seed } = level {
+            let fraction = fraction.clamp(0.0, 1.0);
+            let mut rng = StdRng::seed_from_u64(seed);
+            for (layer, &size) in layer_sizes.iter().enumerate() {
+                if size == 0 {
+                    continue;
+                }
+                let take = ((size as f64 * fraction).round() as usize).clamp(1, size);
+                let mut idx: Vec<usize> = (0..size).collect();
+                idx.shuffle(&mut rng);
+                idx.truncate(take);
+                for i in idx {
+                    let id = NeuronId { layer, index: i };
+                    sampled.insert(id, trains.len());
+                    trains.push(SpikeTrainRec {
+                        neuron: id,
+                        times: Vec::new(),
+                    });
+                }
+            }
+        }
+        SpikeRecord {
+            layer_counts: vec![0; layer_sizes.len()],
+            steps: 0,
+            sampled,
+            trains,
+        }
+    }
+
+    /// Registers the spikes a layer emitted this step. `magnitudes` is the
+    /// layer's output buffer (0.0 = no spike).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of range.
+    pub fn observe_layer(&mut self, layer: usize, t: u64, magnitudes: &[f32]) {
+        let mut count = 0u64;
+        if self.sampled.is_empty() {
+            count = magnitudes.iter().filter(|&&m| m != 0.0).count() as u64;
+        } else {
+            for (index, &m) in magnitudes.iter().enumerate() {
+                if m != 0.0 {
+                    count += 1;
+                    let id = NeuronId { layer, index };
+                    if let Some(&slot) = self.sampled.get(&id) {
+                        self.trains[slot].times.push(t as u32);
+                    }
+                }
+            }
+        }
+        self.layer_counts[layer] += count;
+    }
+
+    /// Registers a bare spike count for a layer (used for the input layer,
+    /// whose encoder reports counts directly).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of range.
+    pub fn add_count(&mut self, layer: usize, count: u64) {
+        self.layer_counts[layer] += count;
+    }
+
+    /// Marks the end of a simulation step.
+    pub fn end_step(&mut self) {
+        self.steps += 1;
+    }
+
+    /// Per-layer cumulative spike counts (layer 0 = input).
+    pub fn layer_counts(&self) -> &[u64] {
+        &self.layer_counts
+    }
+
+    /// Total spikes across all layers.
+    pub fn total_spikes(&self) -> u64 {
+        self.layer_counts.iter().sum()
+    }
+
+    /// Number of completed simulation steps.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Recorded spike trains (empty unless [`RecordLevel::Trains`]).
+    pub fn trains(&self) -> &[SpikeTrainRec] {
+        &self.trains
+    }
+
+    /// Consumes the record, returning its spike trains.
+    pub fn into_trains(self) -> Vec<SpikeTrainRec> {
+        self.trains
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_only_tallies_layers() {
+        let mut r = SpikeRecord::new(&[3, 2], RecordLevel::Counts);
+        r.observe_layer(0, 0, &[1.0, 0.0, 0.5]);
+        r.observe_layer(1, 0, &[0.0, 0.0]);
+        r.end_step();
+        r.observe_layer(0, 1, &[0.0, 0.0, 1.0]);
+        r.observe_layer(1, 1, &[2.0, 0.0]);
+        r.end_step();
+        assert_eq!(r.layer_counts(), &[3, 1]);
+        assert_eq!(r.total_spikes(), 4);
+        assert_eq!(r.steps(), 2);
+        assert!(r.trains().is_empty());
+    }
+
+    #[test]
+    fn add_count_accumulates() {
+        let mut r = SpikeRecord::new(&[2], RecordLevel::Counts);
+        r.add_count(0, 5);
+        r.add_count(0, 2);
+        assert_eq!(r.layer_counts(), &[7]);
+    }
+
+    #[test]
+    fn trains_record_times_for_sampled_neurons() {
+        let mut r = SpikeRecord::new(
+            &[4],
+            RecordLevel::Trains {
+                fraction: 1.0,
+                seed: 0,
+            },
+        );
+        r.observe_layer(0, 0, &[1.0, 0.0, 0.0, 1.0]);
+        r.end_step();
+        r.observe_layer(0, 1, &[1.0, 0.0, 0.0, 0.0]);
+        r.end_step();
+        assert_eq!(r.trains().len(), 4);
+        let t0 = r
+            .trains()
+            .iter()
+            .find(|tr| tr.neuron.index == 0)
+            .unwrap();
+        assert_eq!(t0.times, vec![0, 1]);
+        let t3 = r
+            .trains()
+            .iter()
+            .find(|tr| tr.neuron.index == 3)
+            .unwrap();
+        assert_eq!(t3.times, vec![0]);
+    }
+
+    #[test]
+    fn fraction_samples_at_least_one_neuron_per_layer() {
+        let r = SpikeRecord::new(
+            &[100, 5],
+            RecordLevel::Trains {
+                fraction: 0.01,
+                seed: 1,
+            },
+        );
+        let layer0 = r.trains().iter().filter(|t| t.neuron.layer == 0).count();
+        let layer1 = r.trains().iter().filter(|t| t.neuron.layer == 1).count();
+        assert_eq!(layer0, 1);
+        assert_eq!(layer1, 1);
+    }
+
+    #[test]
+    fn sampling_is_seeded() {
+        let pick = |seed| {
+            let r = SpikeRecord::new(&[50], RecordLevel::Trains { fraction: 0.2, seed });
+            let mut ids: Vec<usize> = r.trains().iter().map(|t| t.neuron.index).collect();
+            ids.sort_unstable();
+            ids
+        };
+        assert_eq!(pick(7), pick(7));
+        assert_ne!(pick(7), pick(8));
+    }
+}

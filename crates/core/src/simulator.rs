@@ -1,0 +1,572 @@
+//! Clock-driven inference: per-image runs, dataset evaluation with
+//! accuracy-versus-time-step checkpoints, and latency-to-target queries.
+
+use crate::coding::{CodingScheme, InputCoding};
+use crate::encoder::InputEncoder;
+use crate::network::SpikingNetwork;
+use crate::recorder::{RecordLevel, SpikeRecord, SpikeTrainRec};
+use crate::SnnError;
+use bsnn_data::ImageDataset;
+
+/// Parameters of a simulation run.
+#[derive(Debug, Clone)]
+pub struct EvalConfig {
+    /// The hybrid coding scheme (input coding drives the encoder; the
+    /// hidden coding must match what the network was converted with —
+    /// it is carried here for reporting).
+    pub scheme: CodingScheme,
+    /// Simulation horizon in time steps.
+    pub steps: usize,
+    /// Time steps (1-based) at which predictions and cumulative spike
+    /// counts are sampled. Must be increasing; the last entry should be
+    /// `steps`.
+    pub checkpoints: Vec<usize>,
+    /// Phase period `k` for phase input coding.
+    pub phase_period: u32,
+    /// Recording detail.
+    pub record: RecordLevel,
+    /// Evaluate at most this many images of the dataset.
+    pub max_images: Option<usize>,
+}
+
+impl EvalConfig {
+    /// A config sampling only at the final step.
+    pub fn new(scheme: CodingScheme, steps: usize) -> Self {
+        EvalConfig {
+            scheme,
+            steps,
+            checkpoints: vec![steps],
+            phase_period: 8,
+            record: RecordLevel::Counts,
+            max_images: None,
+        }
+    }
+
+    /// Samples every `every` steps (and at the final step).
+    pub fn with_checkpoint_every(mut self, every: usize) -> Self {
+        let every = every.max(1);
+        let mut cps: Vec<usize> = (every..=self.steps).step_by(every).collect();
+        if cps.last() != Some(&self.steps) {
+            cps.push(self.steps);
+        }
+        self.checkpoints = cps;
+        self
+    }
+
+    /// Caps the number of evaluated images.
+    pub fn with_max_images(mut self, n: usize) -> Self {
+        self.max_images = Some(n);
+        self
+    }
+
+    /// Sets the recording level.
+    pub fn with_record(mut self, record: RecordLevel) -> Self {
+        self.record = record;
+        self
+    }
+
+    /// Sets the input phase period.
+    pub fn with_phase_period(mut self, k: u32) -> Self {
+        self.phase_period = k;
+        self
+    }
+
+    fn validate(&self) -> Result<(), SnnError> {
+        if self.steps == 0 {
+            return Err(SnnError::InvalidConfig("steps must be nonzero".into()));
+        }
+        if self.checkpoints.is_empty() {
+            return Err(SnnError::InvalidConfig("no checkpoints".into()));
+        }
+        if self
+            .checkpoints
+            .windows(2)
+            .any(|w| w[0] >= w[1])
+        {
+            return Err(SnnError::InvalidConfig(
+                "checkpoints must be strictly increasing".into(),
+            ));
+        }
+        if *self.checkpoints.last().expect("nonempty") > self.steps {
+            return Err(SnnError::InvalidConfig(
+                "checkpoint beyond simulation horizon".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Result of presenting one image.
+#[derive(Debug, Clone)]
+pub struct ImageResult {
+    /// The sampled time steps (copied from the config).
+    pub checkpoints: Vec<usize>,
+    /// Predicted class at each checkpoint.
+    pub predictions: Vec<usize>,
+    /// Cumulative spike count (all layers) at each checkpoint.
+    pub cum_spikes: Vec<u64>,
+    /// Full spike record of the run.
+    pub record: SpikeRecord,
+}
+
+/// Presents a single image to the network for `cfg.steps` steps.
+///
+/// The network is reset first; afterwards its output potentials reflect
+/// the full run.
+///
+/// # Errors
+///
+/// Returns configuration and size-mismatch errors.
+pub fn infer_image(
+    net: &mut SpikingNetwork,
+    image: &[f32],
+    cfg: &EvalConfig,
+) -> Result<ImageResult, SnnError> {
+    cfg.validate()?;
+    if image.len() != net.input_len() {
+        return Err(SnnError::InputSizeMismatch {
+            expected: net.input_len(),
+            actual: image.len(),
+        });
+    }
+    net.reset();
+    let mut encoder = InputEncoder::new(cfg.scheme.input, image, cfg.phase_period)?;
+    net.set_first_stage_caching(encoder.is_static());
+    let mut record = SpikeRecord::new(&net.spiking_layer_sizes(), cfg.record);
+    let record_input_trains = matches!(cfg.record, RecordLevel::Trains { .. })
+        && cfg.scheme.input != InputCoding::Real;
+
+    let mut buf = vec![0.0f32; net.input_len()];
+    let mut predictions = Vec::with_capacity(cfg.checkpoints.len());
+    let mut cum_spikes = Vec::with_capacity(cfg.checkpoints.len());
+    let mut next_cp = 0usize;
+    for t in 0..cfg.steps as u64 {
+        let n_in = encoder.step(t, &mut buf);
+        if record_input_trains {
+            record.observe_layer(0, t, &buf);
+        } else if cfg.scheme.input != InputCoding::Real {
+            record.add_count(0, n_in as u64);
+        }
+        net.step(&buf, t, &mut record)?;
+        record.end_step();
+        if next_cp < cfg.checkpoints.len() && (t + 1) as usize == cfg.checkpoints[next_cp] {
+            predictions.push(net.prediction());
+            cum_spikes.push(record.total_spikes());
+            next_cp += 1;
+        }
+    }
+    Ok(ImageResult {
+        checkpoints: cfg.checkpoints.clone(),
+        predictions,
+        cum_spikes,
+        record,
+    })
+}
+
+/// Aggregate result of evaluating a dataset.
+#[derive(Debug, Clone)]
+pub struct EvalResult {
+    /// The coding scheme evaluated (for reporting).
+    pub scheme: CodingScheme,
+    /// Sampled time steps.
+    pub checkpoints: Vec<usize>,
+    /// Classification accuracy at each checkpoint.
+    pub accuracy_at: Vec<f64>,
+    /// Mean cumulative spikes per image at each checkpoint.
+    pub mean_spikes_at: Vec<f64>,
+    /// Number of images evaluated.
+    pub num_images: usize,
+    /// Total neurons in the network (input + hidden + output).
+    pub num_neurons: usize,
+    /// Total spikes per layer, summed over all images, full horizon.
+    pub layer_counts: Vec<u64>,
+}
+
+impl EvalResult {
+    /// Accuracy at the final checkpoint.
+    pub fn final_accuracy(&self) -> f64 {
+        *self.accuracy_at.last().unwrap_or(&0.0)
+    }
+
+    /// Mean spikes per image at the final checkpoint.
+    pub fn final_mean_spikes(&self) -> f64 {
+        *self.mean_spikes_at.last().unwrap_or(&0.0)
+    }
+
+    /// The first checkpoint whose accuracy reaches `target`, with the
+    /// mean spikes per image accumulated by then. `None` if never
+    /// reached.
+    pub fn latency_to(&self, target: f64) -> Option<(usize, f64)> {
+        self.accuracy_at
+            .iter()
+            .position(|&a| a >= target)
+            .map(|i| (self.checkpoints[i], self.mean_spikes_at[i]))
+    }
+
+    /// Spiking density at a checkpoint index: mean spikes per image per
+    /// neuron per time step (the paper's Table 2 metric).
+    pub fn spiking_density_at(&self, checkpoint_index: usize) -> f64 {
+        let t = self.checkpoints[checkpoint_index] as f64;
+        self.mean_spikes_at[checkpoint_index] / (self.num_neurons as f64 * t)
+    }
+
+    /// Spiking density at the final checkpoint.
+    pub fn final_spiking_density(&self) -> f64 {
+        self.spiking_density_at(self.checkpoints.len() - 1)
+    }
+}
+
+/// Evaluates the network over (a prefix of) a dataset.
+///
+/// # Errors
+///
+/// Propagates per-image simulation errors.
+pub fn evaluate_dataset(
+    net: &mut SpikingNetwork,
+    dataset: &ImageDataset,
+    cfg: &EvalConfig,
+) -> Result<EvalResult, SnnError> {
+    cfg.validate()?;
+    let n_images = cfg
+        .max_images
+        .map_or(dataset.len(), |m| m.min(dataset.len()));
+    if n_images == 0 {
+        return Err(SnnError::InvalidConfig("no images to evaluate".into()));
+    }
+    let mut correct = vec![0usize; cfg.checkpoints.len()];
+    let mut spikes = vec![0u64; cfg.checkpoints.len()];
+    let mut layer_counts = vec![0u64; net.spiking_layer_sizes().len()];
+    for i in 0..n_images {
+        let result = infer_image(net, dataset.image(i), cfg)?;
+        let label = dataset.label(i);
+        for (c, &p) in result.predictions.iter().enumerate() {
+            if p == label {
+                correct[c] += 1;
+            }
+        }
+        for (s, &cs) in result.cum_spikes.iter().enumerate() {
+            spikes[s] += cs;
+        }
+        for (lc, &c) in layer_counts.iter_mut().zip(result.record.layer_counts()) {
+            *lc += c;
+        }
+    }
+    Ok(EvalResult {
+        scheme: cfg.scheme,
+        checkpoints: cfg.checkpoints.clone(),
+        accuracy_at: correct
+            .iter()
+            .map(|&c| c as f64 / n_images as f64)
+            .collect(),
+        mean_spikes_at: spikes
+            .iter()
+            .map(|&s| s as f64 / n_images as f64)
+            .collect(),
+        num_images: n_images,
+        num_neurons: net.num_neurons(),
+        layer_counts,
+    })
+}
+
+/// Evaluates the network over (a prefix of) a dataset using `threads`
+/// worker threads, each with its own clone of the network. Results are
+/// bit-identical to [`evaluate_dataset`] (per-image simulation is
+/// deterministic and images are independent).
+///
+/// `threads = 0` or `1` falls back to the sequential path.
+///
+/// # Errors
+///
+/// Propagates per-image simulation errors from any worker.
+pub fn evaluate_dataset_parallel(
+    net: &SpikingNetwork,
+    dataset: &ImageDataset,
+    cfg: &EvalConfig,
+    threads: usize,
+) -> Result<EvalResult, SnnError> {
+    cfg.validate()?;
+    let n_images = cfg
+        .max_images
+        .map_or(dataset.len(), |m| m.min(dataset.len()));
+    if n_images == 0 {
+        return Err(SnnError::InvalidConfig("no images to evaluate".into()));
+    }
+    if threads <= 1 {
+        let mut local = net.clone();
+        return evaluate_dataset(&mut local, dataset, cfg);
+    }
+    // Per-worker partial sums: (correct@checkpoint, spikes@checkpoint,
+    // per-layer counts, images processed).
+    type WorkerResult = Result<(Vec<usize>, Vec<u64>, Vec<u64>, usize), SnnError>;
+    let threads = threads.min(n_images);
+    let chunk = n_images.div_ceil(threads);
+    let results: Vec<WorkerResult> =
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for w in 0..threads {
+                let lo = w * chunk;
+                let hi = ((w + 1) * chunk).min(n_images);
+                if lo >= hi {
+                    break;
+                }
+                let mut local = net.clone();
+                let cfg = cfg.clone();
+                handles.push(scope.spawn(move || {
+                    let mut correct = vec![0usize; cfg.checkpoints.len()];
+                    let mut spikes = vec![0u64; cfg.checkpoints.len()];
+                    let mut layer_counts = vec![0u64; local.spiking_layer_sizes().len()];
+                    for i in lo..hi {
+                        let result = infer_image(&mut local, dataset.image(i), &cfg)?;
+                        let label = dataset.label(i);
+                        for (c, &p) in result.predictions.iter().enumerate() {
+                            if p == label {
+                                correct[c] += 1;
+                            }
+                        }
+                        for (s, &cs) in result.cum_spikes.iter().enumerate() {
+                            spikes[s] += cs;
+                        }
+                        for (lc, &c) in
+                            layer_counts.iter_mut().zip(result.record.layer_counts())
+                        {
+                            *lc += c;
+                        }
+                    }
+                    Ok((correct, spikes, layer_counts, hi - lo))
+                }));
+            }
+            handles.into_iter().map(|h| h.join().expect("worker thread panicked")).collect()
+        });
+
+    let mut correct = vec![0usize; cfg.checkpoints.len()];
+    let mut spikes = vec![0u64; cfg.checkpoints.len()];
+    let mut layer_counts = vec![0u64; net.spiking_layer_sizes().len()];
+    let mut counted = 0usize;
+    for r in results {
+        let (c, s, lc, n) = r?;
+        for (a, b) in correct.iter_mut().zip(&c) {
+            *a += b;
+        }
+        for (a, b) in spikes.iter_mut().zip(&s) {
+            *a += b;
+        }
+        for (a, b) in layer_counts.iter_mut().zip(&lc) {
+            *a += b;
+        }
+        counted += n;
+    }
+    debug_assert_eq!(counted, n_images);
+    Ok(EvalResult {
+        scheme: cfg.scheme,
+        checkpoints: cfg.checkpoints.clone(),
+        accuracy_at: correct
+            .iter()
+            .map(|&c| c as f64 / n_images as f64)
+            .collect(),
+        mean_spikes_at: spikes
+            .iter()
+            .map(|&s| s as f64 / n_images as f64)
+            .collect(),
+        num_images: n_images,
+        num_neurons: net.num_neurons(),
+        layer_counts,
+    })
+}
+
+/// Runs one image with full spike-train recording — the data source for
+/// ISI histograms (Fig. 1-C) and the firing rate/regularity analysis
+/// (Fig. 5). Samples `fraction` of the neurons in every layer, as in the
+/// paper's Section 5 protocol (they sample 10%).
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn record_spike_trains(
+    net: &mut SpikingNetwork,
+    image: &[f32],
+    scheme: CodingScheme,
+    steps: usize,
+    fraction: f64,
+    seed: u64,
+) -> Result<Vec<SpikeTrainRec>, SnnError> {
+    let cfg = EvalConfig::new(scheme, steps).with_record(RecordLevel::Trains { fraction, seed });
+    let result = infer_image(net, image, &cfg)?;
+    Ok(result.record.into_trains())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coding::HiddenCoding;
+    use crate::convert::{convert, ConversionConfig};
+    use bsnn_data::SynthSpec;
+    use bsnn_dnn::models;
+    use bsnn_dnn::train::{TrainConfig, Trainer};
+
+    fn trained_setup() -> (bsnn_dnn::Sequential, bsnn_data::ImageDataset, bsnn_data::ImageDataset)
+    {
+        let (train, test) = SynthSpec::digits().with_counts(30, 6).generate();
+        let mut dnn = models::mlp(144, &[32], 10, 5).unwrap();
+        let cfg = TrainConfig {
+            epochs: 8,
+            batch_size: 30,
+            lr: 2e-3,
+            ..TrainConfig::default()
+        };
+        Trainer::new(cfg).fit(&mut dnn, &train, &test).unwrap();
+        (dnn, train, test)
+    }
+
+    fn snn_for(
+        dnn: &mut bsnn_dnn::Sequential,
+        train: &bsnn_data::ImageDataset,
+        scheme: CodingScheme,
+    ) -> crate::SpikingNetwork {
+        let idx: Vec<usize> = (0..20.min(train.len())).collect();
+        let (batch, _) = train.batch(&idx);
+        convert(dnn, &batch, &ConversionConfig::new(scheme)).unwrap()
+    }
+
+    #[test]
+    fn rate_snn_approaches_dnn_accuracy() {
+        let (mut dnn, train, test) = trained_setup();
+        let dnn_acc = bsnn_dnn::train::evaluate(&mut dnn, &test, 32).unwrap();
+        let mut snn = snn_for(&mut dnn, &train, CodingScheme::new(InputCoding::Real, HiddenCoding::Rate));
+        let cfg = EvalConfig::new(
+            CodingScheme::new(InputCoding::Real, HiddenCoding::Rate),
+            300,
+        )
+        .with_max_images(40);
+        let eval = evaluate_dataset(&mut snn, &test, &cfg).unwrap();
+        assert!(
+            eval.final_accuracy() >= dnn_acc - 0.15,
+            "snn {:.3} vs dnn {:.3}",
+            eval.final_accuracy(),
+            dnn_acc
+        );
+    }
+
+    #[test]
+    fn burst_snn_matches_dnn_quickly() {
+        let (mut dnn, train, test) = trained_setup();
+        let dnn_acc = bsnn_dnn::train::evaluate(&mut dnn, &test, 32).unwrap();
+        let mut snn = snn_for(&mut dnn, &train, CodingScheme::recommended());
+        let cfg = EvalConfig::new(CodingScheme::recommended(), 64).with_max_images(40);
+        let eval = evaluate_dataset(&mut snn, &test, &cfg).unwrap();
+        assert!(
+            eval.final_accuracy() >= dnn_acc - 0.15,
+            "snn {:.3} vs dnn {:.3}",
+            eval.final_accuracy(),
+            dnn_acc
+        );
+    }
+
+    #[test]
+    fn checkpoints_accumulate_monotonically() {
+        let (mut dnn, train, test) = trained_setup();
+        let mut snn = snn_for(&mut dnn, &train, CodingScheme::recommended());
+        let cfg = EvalConfig::new(CodingScheme::recommended(), 60)
+            .with_checkpoint_every(15)
+            .with_max_images(5);
+        let eval = evaluate_dataset(&mut snn, &test, &cfg).unwrap();
+        assert_eq!(eval.checkpoints, vec![15, 30, 45, 60]);
+        for w in eval.mean_spikes_at.windows(2) {
+            assert!(w[0] <= w[1], "spike counts must be cumulative");
+        }
+    }
+
+    #[test]
+    fn latency_to_returns_first_checkpoint() {
+        let r = EvalResult {
+            scheme: CodingScheme::recommended(),
+            checkpoints: vec![10, 20, 30],
+            accuracy_at: vec![0.2, 0.8, 0.9],
+            mean_spikes_at: vec![5.0, 9.0, 12.0],
+            num_images: 1,
+            num_neurons: 100,
+            layer_counts: vec![],
+        };
+        assert_eq!(r.latency_to(0.75), Some((20, 9.0)));
+        assert_eq!(r.latency_to(0.95), None);
+        assert!((r.final_spiking_density() - 12.0 / 3000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn record_spike_trains_samples_all_layers() {
+        let (mut dnn, train, test) = trained_setup();
+        let mut snn = snn_for(&mut dnn, &train, CodingScheme::recommended());
+        let trains =
+            record_spike_trains(&mut snn, test.image(0), CodingScheme::recommended(), 50, 1.0, 0)
+                .unwrap();
+        // input layer (144) + hidden (32) all sampled
+        assert_eq!(trains.len(), 144 + 32);
+        assert!(trains.iter().any(|t| !t.times.is_empty()));
+    }
+
+    #[test]
+    fn ttfs_input_reaches_dnn_accuracy() {
+        let (mut dnn, train, test) = trained_setup();
+        let dnn_acc = bsnn_dnn::train::evaluate(&mut dnn, &test, 32).unwrap();
+        let scheme = CodingScheme::new(InputCoding::Ttfs, crate::coding::HiddenCoding::Burst);
+        let mut snn = snn_for(&mut dnn, &train, scheme);
+        let cfg = EvalConfig::new(scheme, 256).with_max_images(40);
+        let eval = evaluate_dataset(&mut snn, &test, &cfg).unwrap();
+        assert!(
+            eval.final_accuracy() >= dnn_acc - 0.15,
+            "ttfs-burst {:.3} vs dnn {:.3}",
+            eval.final_accuracy(),
+            dnn_acc
+        );
+    }
+
+    #[test]
+    fn reset_to_zero_degrades_accuracy() {
+        let (mut dnn, train, test) = trained_setup();
+        let scheme = CodingScheme::recommended();
+        let idx: Vec<usize> = (0..20).collect();
+        let (batch, _) = train.batch(&idx);
+        let mut sub = convert(&mut dnn, &batch, &ConversionConfig::new(scheme)).unwrap();
+        let mut zero = convert(
+            &mut dnn,
+            &batch,
+            &ConversionConfig::new(scheme).with_reset_mode(crate::ResetMode::Zero),
+        )
+        .unwrap();
+        let cfg = EvalConfig::new(scheme, 192).with_max_images(40);
+        let acc_sub = evaluate_dataset(&mut sub, &test, &cfg).unwrap().final_accuracy();
+        let acc_zero = evaluate_dataset(&mut zero, &test, &cfg).unwrap().final_accuracy();
+        assert!(
+            acc_sub > acc_zero,
+            "subtraction {acc_sub:.3} should beat reset-to-zero {acc_zero:.3}"
+        );
+    }
+
+    #[test]
+    fn parallel_matches_sequential_exactly() {
+        let (mut dnn, train, test) = trained_setup();
+        let mut snn = snn_for(&mut dnn, &train, CodingScheme::recommended());
+        let cfg = EvalConfig::new(CodingScheme::recommended(), 48)
+            .with_checkpoint_every(16)
+            .with_max_images(17); // odd count exercises uneven chunks
+        let seq = evaluate_dataset(&mut snn, &test, &cfg).unwrap();
+        let par = super::evaluate_dataset_parallel(&snn, &test, &cfg, 4).unwrap();
+        assert_eq!(seq.accuracy_at, par.accuracy_at);
+        assert_eq!(seq.mean_spikes_at, par.mean_spikes_at);
+        assert_eq!(seq.layer_counts, par.layer_counts);
+        // threads = 1 falls back to the sequential path
+        let one = super::evaluate_dataset_parallel(&snn, &test, &cfg, 1).unwrap();
+        assert_eq!(seq.accuracy_at, one.accuracy_at);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let (mut dnn, train, test) = trained_setup();
+        let mut snn = snn_for(&mut dnn, &train, CodingScheme::new(InputCoding::Real, HiddenCoding::Rate));
+        let mut cfg = EvalConfig::new(CodingScheme::recommended(), 10);
+        cfg.checkpoints = vec![5, 20];
+        assert!(evaluate_dataset(&mut snn, &test, &cfg).is_err());
+        let mut cfg = EvalConfig::new(CodingScheme::recommended(), 0);
+        cfg.steps = 0;
+        assert!(evaluate_dataset(&mut snn, &test, &cfg).is_err());
+    }
+}

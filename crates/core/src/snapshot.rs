@@ -1,0 +1,431 @@
+//! Serialization of converted spiking networks.
+//!
+//! A [`SpikingNetwork`] is expensive to produce (it requires a trained
+//! DNN plus a normalization pass), so deployments want to convert once
+//! and ship the result. [`save_network`] / [`load_network`] implement a
+//! small versioned binary format (magic `BSNN`, format version 1,
+//! little-endian) over any `Write`/`Read` — pass `&mut file` if you need
+//! the file back afterwards.
+//!
+//! Only the *static* structure is serialized (weights, thresholds,
+//! geometry); dynamic state (membrane potentials, burst functions) is
+//! reset on load, matching what a fresh conversion produces.
+
+use crate::layer::{ResetMode, SpikingLayer, ThresholdPolicy};
+use crate::network::SpikingNetwork;
+use crate::synapse::{Chw, Synapse};
+use crate::SnnError;
+use bsnn_tensor::conv::Conv2dGeometry;
+use bsnn_tensor::Tensor;
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 4] = b"BSNN";
+const VERSION: u32 = 1;
+
+/// Errors from reading or writing a network snapshot.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The stream is not a BSNN snapshot or uses an unsupported version.
+    Format(String),
+    /// The decoded structure is internally inconsistent.
+    Invalid(SnnError),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot i/o failed: {e}"),
+            SnapshotError::Format(msg) => write!(f, "invalid snapshot format: {msg}"),
+            SnapshotError::Invalid(e) => write!(f, "snapshot decodes to invalid network: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io(e) => Some(e),
+            SnapshotError::Invalid(e) => Some(e),
+            SnapshotError::Format(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for SnapshotError {
+    fn from(e: io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+impl From<SnnError> for SnapshotError {
+    fn from(e: SnnError) -> Self {
+        SnapshotError::Invalid(e)
+    }
+}
+
+fn write_u32<W: Write>(w: &mut W, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn write_f32<W: Write>(w: &mut W, v: f32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn write_f32_slice<W: Write>(w: &mut W, v: &[f32]) -> io::Result<()> {
+    write_u32(w, v.len() as u32)?;
+    for &x in v {
+        write_f32(w, x)?;
+    }
+    Ok(())
+}
+
+fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_f32<R: Read>(r: &mut R) -> io::Result<f32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(f32::from_le_bytes(b))
+}
+
+fn read_f32_vec<R: Read>(r: &mut R) -> Result<Vec<f32>, SnapshotError> {
+    let len = read_u32(r)? as usize;
+    if len > 1 << 28 {
+        return Err(SnapshotError::Format(format!(
+            "implausible buffer length {len}"
+        )));
+    }
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        out.push(read_f32(r)?);
+    }
+    Ok(out)
+}
+
+fn write_geom<W: Write>(w: &mut W, g: &Conv2dGeometry) -> io::Result<()> {
+    for v in [g.kernel_h, g.kernel_w, g.stride_h, g.stride_w, g.pad_h, g.pad_w] {
+        write_u32(w, v as u32)?;
+    }
+    Ok(())
+}
+
+fn read_geom<R: Read>(r: &mut R) -> io::Result<Conv2dGeometry> {
+    Ok(Conv2dGeometry {
+        kernel_h: read_u32(r)? as usize,
+        kernel_w: read_u32(r)? as usize,
+        stride_h: read_u32(r)? as usize,
+        stride_w: read_u32(r)? as usize,
+        pad_h: read_u32(r)? as usize,
+        pad_w: read_u32(r)? as usize,
+    })
+}
+
+fn write_chw<W: Write>(w: &mut W, c: &Chw) -> io::Result<()> {
+    write_u32(w, c.c as u32)?;
+    write_u32(w, c.h as u32)?;
+    write_u32(w, c.w as u32)
+}
+
+fn read_chw<R: Read>(r: &mut R) -> io::Result<Chw> {
+    Ok(Chw::new(
+        read_u32(r)? as usize,
+        read_u32(r)? as usize,
+        read_u32(r)? as usize,
+    ))
+}
+
+fn write_synapse<W: Write>(w: &mut W, s: &Synapse) -> io::Result<()> {
+    match s {
+        Synapse::Dense { weight } => {
+            write_u32(w, 0)?;
+            write_u32(w, weight.shape()[0] as u32)?;
+            write_u32(w, weight.shape()[1] as u32)?;
+            write_f32_slice(w, weight.as_slice())
+        }
+        Synapse::Conv {
+            weight,
+            geom,
+            in_shape,
+            out_shape,
+        } => {
+            write_u32(w, 1)?;
+            for d in weight.shape() {
+                write_u32(w, *d as u32)?;
+            }
+            write_geom(w, geom)?;
+            write_chw(w, in_shape)?;
+            write_chw(w, out_shape)?;
+            write_f32_slice(w, weight.as_slice())
+        }
+        Synapse::Pool {
+            geom,
+            in_shape,
+            out_shape,
+            scale,
+        } => {
+            write_u32(w, 2)?;
+            write_geom(w, geom)?;
+            write_chw(w, in_shape)?;
+            write_chw(w, out_shape)?;
+            write_f32(w, *scale)
+        }
+    }
+}
+
+fn read_synapse<R: Read>(r: &mut R) -> Result<Synapse, SnapshotError> {
+    match read_u32(r)? {
+        0 => {
+            let rows = read_u32(r)? as usize;
+            let cols = read_u32(r)? as usize;
+            let data = read_f32_vec(r)?;
+            let weight = Tensor::from_vec(data, &[rows, cols])
+                .map_err(|e| SnapshotError::Invalid(e.into()))?;
+            Ok(Synapse::Dense { weight })
+        }
+        1 => {
+            let shape: Vec<usize> = (0..4)
+                .map(|_| read_u32(r).map(|v| v as usize))
+                .collect::<io::Result<_>>()?;
+            let geom = read_geom(r)?;
+            let in_shape = read_chw(r)?;
+            let out_shape = read_chw(r)?;
+            let data = read_f32_vec(r)?;
+            let weight = Tensor::from_vec(data, &shape)
+                .map_err(|e| SnapshotError::Invalid(e.into()))?;
+            Ok(Synapse::Conv {
+                weight,
+                geom,
+                in_shape,
+                out_shape,
+            })
+        }
+        2 => Ok(Synapse::Pool {
+            geom: read_geom(r)?,
+            in_shape: read_chw(r)?,
+            out_shape: read_chw(r)?,
+            scale: read_f32(r)?,
+        }),
+        tag => Err(SnapshotError::Format(format!("unknown synapse tag {tag}"))),
+    }
+}
+
+fn write_policy<W: Write>(w: &mut W, p: &ThresholdPolicy) -> io::Result<()> {
+    match *p {
+        ThresholdPolicy::Fixed { vth } => {
+            write_u32(w, 0)?;
+            write_f32(w, vth)
+        }
+        ThresholdPolicy::Phase { vth, period } => {
+            write_u32(w, 1)?;
+            write_f32(w, vth)?;
+            write_u32(w, period)
+        }
+        ThresholdPolicy::Burst { vth, beta } => {
+            write_u32(w, 2)?;
+            write_f32(w, vth)?;
+            write_f32(w, beta)
+        }
+    }
+}
+
+fn read_policy<R: Read>(r: &mut R) -> Result<ThresholdPolicy, SnapshotError> {
+    match read_u32(r)? {
+        0 => Ok(ThresholdPolicy::Fixed { vth: read_f32(r)? }),
+        1 => Ok(ThresholdPolicy::Phase {
+            vth: read_f32(r)?,
+            period: read_u32(r)?,
+        }),
+        2 => Ok(ThresholdPolicy::Burst {
+            vth: read_f32(r)?,
+            beta: read_f32(r)?,
+        }),
+        tag => Err(SnapshotError::Format(format!("unknown policy tag {tag}"))),
+    }
+}
+
+/// Writes a network snapshot to `writer` (pass `&mut writer` to keep
+/// ownership).
+///
+/// # Errors
+///
+/// Returns I/O errors from the writer.
+pub fn save_network<W: Write>(net: &SpikingNetwork, mut writer: W) -> Result<(), SnapshotError> {
+    writer.write_all(MAGIC)?;
+    write_u32(&mut writer, VERSION)?;
+    write_u32(&mut writer, net.input_len() as u32)?;
+    write_u32(&mut writer, net.layers().len() as u32)?;
+    for layer in net.layers() {
+        write_policy(&mut writer, &layer.policy())?;
+        write_u32(
+            &mut writer,
+            match layer.reset_mode() {
+                ResetMode::Subtraction => 0,
+                ResetMode::Zero => 1,
+            },
+        )?;
+        match layer.bias() {
+            Some(b) => {
+                write_u32(&mut writer, 1)?;
+                write_f32_slice(&mut writer, b)?;
+            }
+            None => write_u32(&mut writer, 0)?,
+        }
+        write_synapse(&mut writer, layer.synapse())?;
+    }
+    write_synapse(&mut writer, net.output_synapse())?;
+    match net.output_bias() {
+        Some(b) => {
+            write_u32(&mut writer, 1)?;
+            write_f32_slice(&mut writer, b)?;
+        }
+        None => write_u32(&mut writer, 0)?,
+    }
+    Ok(())
+}
+
+/// Reads a network snapshot produced by [`save_network`].
+///
+/// # Errors
+///
+/// Returns [`SnapshotError::Format`] for corrupt or foreign streams,
+/// and [`SnapshotError::Invalid`] if the decoded stages are mutually
+/// inconsistent.
+pub fn load_network<R: Read>(mut reader: R) -> Result<SpikingNetwork, SnapshotError> {
+    let mut magic = [0u8; 4];
+    reader.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(SnapshotError::Format("bad magic".into()));
+    }
+    let version = read_u32(&mut reader)?;
+    if version != VERSION {
+        return Err(SnapshotError::Format(format!(
+            "unsupported snapshot version {version}"
+        )));
+    }
+    let input_len = read_u32(&mut reader)? as usize;
+    let n_layers = read_u32(&mut reader)? as usize;
+    if n_layers > 4096 {
+        return Err(SnapshotError::Format(format!(
+            "implausible layer count {n_layers}"
+        )));
+    }
+    let mut layers = Vec::with_capacity(n_layers);
+    for _ in 0..n_layers {
+        let policy = read_policy(&mut reader)?;
+        let reset = match read_u32(&mut reader)? {
+            0 => ResetMode::Subtraction,
+            1 => ResetMode::Zero,
+            tag => return Err(SnapshotError::Format(format!("unknown reset tag {tag}"))),
+        };
+        let bias = match read_u32(&mut reader)? {
+            0 => None,
+            1 => Some(read_f32_vec(&mut reader)?),
+            tag => return Err(SnapshotError::Format(format!("unknown bias tag {tag}"))),
+        };
+        let synapse = read_synapse(&mut reader)?;
+        let mut layer = SpikingLayer::new(synapse, bias, policy)?;
+        layer.set_reset_mode(reset);
+        layers.push(layer);
+    }
+    let output_synapse = read_synapse(&mut reader)?;
+    let output_bias = match read_u32(&mut reader)? {
+        0 => None,
+        1 => Some(read_f32_vec(&mut reader)?),
+        tag => return Err(SnapshotError::Format(format!("unknown bias tag {tag}"))),
+    };
+    Ok(SpikingNetwork::new(
+        input_len,
+        layers,
+        output_synapse,
+        output_bias,
+    )?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coding::{CodingScheme, HiddenCoding, InputCoding};
+    use crate::convert::{convert, ConversionConfig};
+    use crate::simulator::{infer_image, EvalConfig};
+    use bsnn_data::SynthSpec;
+    use bsnn_dnn::models;
+
+    fn sample_network(hidden: HiddenCoding) -> (SpikingNetwork, Vec<f32>, CodingScheme) {
+        let (train, test) = SynthSpec::digits().with_counts(6, 2).generate();
+        let mut dnn = models::vgg_tiny(1, 12, 12, 10, 0).expect("model");
+        let (batch, _) = train.batch(&[0, 1, 2, 3]);
+        let scheme = CodingScheme::new(InputCoding::Phase, hidden);
+        let net = convert(&mut dnn, &batch, &ConversionConfig::new(scheme)).expect("conversion");
+        (net, test.image(0).to_vec(), scheme)
+    }
+
+    #[test]
+    fn round_trip_preserves_behaviour() {
+        for hidden in [HiddenCoding::Rate, HiddenCoding::Phase, HiddenCoding::Burst] {
+            let (mut original, image, scheme) = sample_network(hidden);
+            let mut buf = Vec::new();
+            save_network(&original, &mut buf).expect("save");
+            let mut restored = load_network(buf.as_slice()).expect("load");
+
+            let cfg = EvalConfig::new(scheme, 48);
+            let a = infer_image(&mut original, &image, &cfg).expect("run original");
+            let b = infer_image(&mut restored, &image, &cfg).expect("run restored");
+            assert_eq!(a.predictions, b.predictions, "{hidden:?}");
+            assert_eq!(a.cum_spikes, b.cum_spikes, "{hidden:?}");
+            assert_eq!(
+                original.output_potentials(),
+                restored.output_potentials(),
+                "{hidden:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let (net, _, _) = sample_network(HiddenCoding::Burst);
+        let mut buf = Vec::new();
+        save_network(&net, &mut buf).expect("save");
+        let restored = load_network(buf.as_slice()).expect("load");
+        assert_eq!(net.input_len(), restored.input_len());
+        assert_eq!(net.output_len(), restored.output_len());
+        assert_eq!(net.num_neurons(), restored.num_neurons());
+        assert_eq!(net.layers().len(), restored.layers().len());
+        for (a, b) in net.layers().iter().zip(restored.layers()) {
+            assert_eq!(a.policy(), b.policy());
+            assert_eq!(a.reset_mode(), b.reset_mode());
+            assert_eq!(a.bias(), b.bias());
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = load_network(&b"NOPE00000000"[..]).unwrap_err();
+        assert!(matches!(err, SnapshotError::Format(_)));
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&99u32.to_le_bytes());
+        buf.extend_from_slice(&[0u8; 8]);
+        assert!(matches!(
+            load_network(buf.as_slice()).unwrap_err(),
+            SnapshotError::Format(_)
+        ));
+    }
+
+    #[test]
+    fn rejects_truncated_stream() {
+        let (net, _, _) = sample_network(HiddenCoding::Rate);
+        let mut buf = Vec::new();
+        save_network(&net, &mut buf).expect("save");
+        buf.truncate(buf.len() / 2);
+        assert!(load_network(buf.as_slice()).is_err());
+    }
+}

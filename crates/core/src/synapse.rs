@@ -1,0 +1,363 @@
+//! Synaptic weight stages connecting spiking layers.
+//!
+//! A [`Synapse`] turns the presynaptic layer's spike-magnitude vector into
+//! per-neuron post-synaptic potentials (PSPs). Propagation exploits spike
+//! sparsity: only nonzero input entries contribute, so the cost per time
+//! step scales with the number of spikes rather than the layer size —
+//! exactly the event-driven advantage the paper's energy argument rests
+//! on.
+
+use crate::SnnError;
+use bsnn_tensor::conv::Conv2dGeometry;
+use bsnn_tensor::Tensor;
+
+/// Spatial shape of a conv/pool stage in CHW order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Chw {
+    /// Channels.
+    pub c: usize,
+    /// Height.
+    pub h: usize,
+    /// Width.
+    pub w: usize,
+}
+
+impl Chw {
+    /// A shape from its components.
+    pub fn new(c: usize, h: usize, w: usize) -> Self {
+        Chw { c, h, w }
+    }
+
+    /// Flat neuron count.
+    pub fn volume(&self) -> usize {
+        self.c * self.h * self.w
+    }
+}
+
+/// A weighted connection pattern from one layer's spikes to the next
+/// layer's PSPs.
+#[derive(Debug, Clone)]
+pub enum Synapse {
+    /// Fully connected: `weight` is `(in, out)` row-major.
+    Dense {
+        /// Weight matrix `(in, out)`.
+        weight: Tensor,
+    },
+    /// 2-D convolution with weights `(c_out, c_in, kh, kw)`.
+    Conv {
+        /// Kernel tensor.
+        weight: Tensor,
+        /// Window geometry.
+        geom: Conv2dGeometry,
+        /// Input shape.
+        in_shape: Chw,
+        /// Output shape.
+        out_shape: Chw,
+    },
+    /// Average pooling: depthwise uniform kernel `scale / (kh·kw)`.
+    Pool {
+        /// Window geometry.
+        geom: Conv2dGeometry,
+        /// Input shape.
+        in_shape: Chw,
+        /// Output shape.
+        out_shape: Chw,
+        /// Normalization rescale folded into the pool weights
+        /// (`λ_prev / λ_this`).
+        scale: f32,
+    },
+}
+
+impl Synapse {
+    /// Number of presynaptic neurons this synapse reads.
+    pub fn input_len(&self) -> usize {
+        match self {
+            Synapse::Dense { weight } => weight.shape()[0],
+            Synapse::Conv { in_shape, .. } => in_shape.volume(),
+            Synapse::Pool { in_shape, .. } => in_shape.volume(),
+        }
+    }
+
+    /// Number of postsynaptic neurons this synapse drives.
+    pub fn output_len(&self) -> usize {
+        match self {
+            Synapse::Dense { weight } => weight.shape()[1],
+            Synapse::Conv { out_shape, .. } => out_shape.volume(),
+            Synapse::Pool { out_shape, .. } => out_shape.volume(),
+        }
+    }
+
+    /// Accumulates `input`'s contribution into `psp` (`psp += W·input`).
+    ///
+    /// `psp` must have length [`Self::output_len`]; `input` length
+    /// [`Self::input_len`]. Zero entries of `input` are skipped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnnError::InputSizeMismatch`] on length mismatches.
+    pub fn accumulate(&self, input: &[f32], psp: &mut [f32]) -> Result<(), SnnError> {
+        if input.len() != self.input_len() {
+            return Err(SnnError::InputSizeMismatch {
+                expected: self.input_len(),
+                actual: input.len(),
+            });
+        }
+        if psp.len() != self.output_len() {
+            return Err(SnnError::InputSizeMismatch {
+                expected: self.output_len(),
+                actual: psp.len(),
+            });
+        }
+        match self {
+            Synapse::Dense { weight } => {
+                let out = weight.shape()[1];
+                let w = weight.as_slice();
+                for (i, &s) in input.iter().enumerate() {
+                    if s == 0.0 {
+                        continue;
+                    }
+                    let row = &w[i * out..(i + 1) * out];
+                    for (p, &wij) in psp.iter_mut().zip(row) {
+                        *p += s * wij;
+                    }
+                }
+            }
+            Synapse::Conv {
+                weight,
+                geom,
+                in_shape,
+                out_shape,
+            } => {
+                let (c_out, c_in) = (weight.shape()[0], weight.shape()[1]);
+                debug_assert_eq!(c_in, in_shape.c);
+                let (kh, kw) = (geom.kernel_h, geom.kernel_w);
+                let w = weight.as_slice();
+                let (ih, iw) = (in_shape.h, in_shape.w);
+                let (oh, ow) = (out_shape.h, out_shape.w);
+                for ci in 0..c_in {
+                    for iy in 0..ih {
+                        for ix in 0..iw {
+                            let s = input[(ci * ih + iy) * iw + ix];
+                            if s == 0.0 {
+                                continue;
+                            }
+                            // Output rows touched by this input pixel:
+                            // oy·stride + ky − pad = iy.
+                            for ky in 0..kh {
+                                let num_y = iy + geom.pad_h;
+                                if num_y < ky {
+                                    continue;
+                                }
+                                let dy = num_y - ky;
+                                if dy % geom.stride_h != 0 {
+                                    continue;
+                                }
+                                let oy = dy / geom.stride_h;
+                                if oy >= oh {
+                                    continue;
+                                }
+                                for kx in 0..kw {
+                                    let num_x = ix + geom.pad_w;
+                                    if num_x < kx {
+                                        continue;
+                                    }
+                                    let dx = num_x - kx;
+                                    if dx % geom.stride_w != 0 {
+                                        continue;
+                                    }
+                                    let ox = dx / geom.stride_w;
+                                    if ox >= ow {
+                                        continue;
+                                    }
+                                    for co in 0..c_out {
+                                        let wv =
+                                            w[((co * c_in + ci) * kh + ky) * kw + kx];
+                                        psp[(co * oh + oy) * ow + ox] += s * wv;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            Synapse::Pool {
+                geom,
+                in_shape,
+                out_shape,
+                scale,
+            } => {
+                let (kh, kw) = (geom.kernel_h, geom.kernel_w);
+                let unit = *scale / (kh * kw) as f32;
+                let (ih, iw) = (in_shape.h, in_shape.w);
+                let (oh, ow) = (out_shape.h, out_shape.w);
+                for ci in 0..in_shape.c {
+                    for iy in 0..ih {
+                        for ix in 0..iw {
+                            let s = input[(ci * ih + iy) * iw + ix];
+                            if s == 0.0 {
+                                continue;
+                            }
+                            for ky in 0..kh {
+                                let num_y = iy + geom.pad_h;
+                                if num_y < ky {
+                                    continue;
+                                }
+                                let dy = num_y - ky;
+                                if dy % geom.stride_h != 0 {
+                                    continue;
+                                }
+                                let oy = dy / geom.stride_h;
+                                if oy >= oh {
+                                    continue;
+                                }
+                                for kx in 0..kw {
+                                    let num_x = ix + geom.pad_w;
+                                    if num_x < kx {
+                                        continue;
+                                    }
+                                    let dx = num_x - kx;
+                                    if dx % geom.stride_w != 0 {
+                                        continue;
+                                    }
+                                    let ox = dx / geom.stride_w;
+                                    if ox >= ow {
+                                        continue;
+                                    }
+                                    psp[(ci * oh + oy) * ow + ox] += s * unit;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsnn_tensor::conv::conv2d;
+    use bsnn_tensor::init::uniform;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn dense_matches_matvec() {
+        let weight = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let syn = Synapse::Dense { weight };
+        let mut psp = vec![0.0; 3];
+        syn.accumulate(&[1.0, 0.5], &mut psp).unwrap();
+        // x^T W = [1*1+0.5*4, 1*2+0.5*5, 1*3+0.5*6]
+        assert_eq!(psp, vec![3.0, 4.5, 6.0]);
+    }
+
+    #[test]
+    fn dense_skips_zero_inputs() {
+        let weight = Tensor::from_vec(vec![f32::NAN, 1.0], &[2, 1]).unwrap();
+        let syn = Synapse::Dense { weight };
+        let mut psp = vec![0.0; 1];
+        // zero magnitude on the NaN row must not pollute the PSP
+        syn.accumulate(&[0.0, 2.0], &mut psp).unwrap();
+        assert_eq!(psp, vec![2.0]);
+    }
+
+    #[test]
+    fn conv_scatter_matches_dense_conv2d() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let geom = Conv2dGeometry::square(3, 1, 1);
+        let weight = uniform(&mut rng, &[4, 2, 3, 3], -1.0, 1.0);
+        let input = uniform(&mut rng, &[1, 2, 5, 5], 0.0, 1.0);
+        let reference = conv2d(&input, &weight, None, &geom).unwrap();
+
+        let syn = Synapse::Conv {
+            weight,
+            geom,
+            in_shape: Chw::new(2, 5, 5),
+            out_shape: Chw::new(4, 5, 5),
+        };
+        let mut psp = vec![0.0f32; 4 * 5 * 5];
+        syn.accumulate(input.as_slice(), &mut psp).unwrap();
+        for (a, b) in psp.iter().zip(reference.as_slice()) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn conv_scatter_matches_dense_conv2d_stride2() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let geom = Conv2dGeometry::square(2, 2, 0);
+        let weight = uniform(&mut rng, &[3, 1, 2, 2], -1.0, 1.0);
+        let input = uniform(&mut rng, &[1, 1, 6, 6], 0.0, 1.0);
+        let reference = conv2d(&input, &weight, None, &geom).unwrap();
+
+        let syn = Synapse::Conv {
+            weight,
+            geom,
+            in_shape: Chw::new(1, 6, 6),
+            out_shape: Chw::new(3, 3, 3),
+        };
+        let mut psp = vec![0.0f32; 3 * 3 * 3];
+        syn.accumulate(input.as_slice(), &mut psp).unwrap();
+        for (a, b) in psp.iter().zip(reference.as_slice()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn pool_averages_windows() {
+        let geom = Conv2dGeometry::square(2, 2, 0);
+        let syn = Synapse::Pool {
+            geom,
+            in_shape: Chw::new(1, 2, 2),
+            out_shape: Chw::new(1, 1, 1),
+            scale: 1.0,
+        };
+        let mut psp = vec![0.0f32; 1];
+        syn.accumulate(&[1.0, 2.0, 3.0, 4.0], &mut psp).unwrap();
+        assert!((psp[0] - 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pool_scale_multiplies() {
+        let geom = Conv2dGeometry::square(2, 2, 0);
+        let syn = Synapse::Pool {
+            geom,
+            in_shape: Chw::new(1, 2, 2),
+            out_shape: Chw::new(1, 1, 1),
+            scale: 2.0,
+        };
+        let mut psp = vec![0.0f32; 1];
+        syn.accumulate(&[1.0, 1.0, 1.0, 1.0], &mut psp).unwrap();
+        assert!((psp[0] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn accumulate_is_additive() {
+        let weight = Tensor::from_vec(vec![1.0, 1.0], &[2, 1]).unwrap();
+        let syn = Synapse::Dense { weight };
+        let mut psp = vec![5.0f32];
+        syn.accumulate(&[1.0, 1.0], &mut psp).unwrap();
+        assert_eq!(psp, vec![7.0]);
+    }
+
+    #[test]
+    fn rejects_wrong_lengths() {
+        let weight = Tensor::zeros(&[2, 3]);
+        let syn = Synapse::Dense { weight };
+        let mut psp = vec![0.0f32; 3];
+        assert!(syn.accumulate(&[0.0; 3], &mut psp).is_err());
+        let mut short = vec![0.0f32; 2];
+        assert!(syn.accumulate(&[0.0; 2], &mut short).is_err());
+    }
+
+    #[test]
+    fn lens_report_shapes() {
+        let syn = Synapse::Dense {
+            weight: Tensor::zeros(&[4, 7]),
+        };
+        assert_eq!(syn.input_len(), 4);
+        assert_eq!(syn.output_len(), 7);
+    }
+}

@@ -1,0 +1,240 @@
+//! Training-time data augmentation.
+//!
+//! The paper's VGG-16 baselines are trained with the standard CIFAR
+//! recipe (random shifts and horizontal flips). This module provides the
+//! same transforms for the synthetic stand-ins; the `bsnn-dnn` trainer
+//! applies them per batch when configured.
+
+use rand::Rng;
+
+/// Augmentation configuration: each transform is applied independently
+/// per sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Augmentation {
+    /// Maximum absolute shift in pixels along each axis (0 disables).
+    pub max_shift: usize,
+    /// Probability of a horizontal flip.
+    pub flip_probability: f32,
+    /// Std-dev of additive pixel noise (0 disables). Outputs are clamped
+    /// back to `[0, 1]`.
+    pub noise_std: f32,
+}
+
+impl Augmentation {
+    /// The standard recipe: ±2 px shifts, 50% flips, no extra noise.
+    pub fn standard() -> Self {
+        Augmentation {
+            max_shift: 2,
+            flip_probability: 0.5,
+            noise_std: 0.0,
+        }
+    }
+
+    /// No-op augmentation.
+    pub fn none() -> Self {
+        Augmentation {
+            max_shift: 0,
+            flip_probability: 0.0,
+            noise_std: 0.0,
+        }
+    }
+
+    /// Whether this configuration changes anything.
+    pub fn is_noop(&self) -> bool {
+        self.max_shift == 0 && self.flip_probability <= 0.0 && self.noise_std <= 0.0
+    }
+
+    /// Augments one CHW sample in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pixels.len() != c·h·w`.
+    pub fn apply_sample<R: Rng>(
+        &self,
+        pixels: &mut [f32],
+        c: usize,
+        h: usize,
+        w: usize,
+        rng: &mut R,
+    ) {
+        assert_eq!(pixels.len(), c * h * w, "sample volume mismatch");
+        if self.is_noop() {
+            return;
+        }
+        let (dy, dx) = if self.max_shift > 0 {
+            let m = self.max_shift as isize;
+            (rng.gen_range(-m..=m), rng.gen_range(-m..=m))
+        } else {
+            (0, 0)
+        };
+        let flip = self.flip_probability > 0.0 && rng.gen::<f32>() < self.flip_probability;
+        if dy != 0 || dx != 0 || flip {
+            let src = pixels.to_vec();
+            for ci in 0..c {
+                let plane = ci * h * w;
+                for y in 0..h {
+                    for x in 0..w {
+                        let sy = y as isize - dy;
+                        let sx_pre = x as isize - dx;
+                        let sx = if flip {
+                            (w as isize - 1) - sx_pre
+                        } else {
+                            sx_pre
+                        };
+                        pixels[plane + y * w + x] = if sy >= 0
+                            && sy < h as isize
+                            && sx >= 0
+                            && sx < w as isize
+                        {
+                            src[plane + sy as usize * w + sx as usize]
+                        } else {
+                            0.0
+                        };
+                    }
+                }
+            }
+        }
+        if self.noise_std > 0.0 {
+            for p in pixels.iter_mut() {
+                *p = (*p + bsnn_tensor::init::normal_sample(rng, 0.0, self.noise_std))
+                    .clamp(0.0, 1.0);
+            }
+        }
+    }
+
+    /// Augments every sample of an `(n, c, h, w)` batch buffer in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` is not a multiple of `c·h·w`.
+    pub fn apply_batch<R: Rng>(
+        &self,
+        data: &mut [f32],
+        c: usize,
+        h: usize,
+        w: usize,
+        rng: &mut R,
+    ) {
+        let volume = c * h * w;
+        assert_eq!(data.len() % volume, 0, "batch volume mismatch");
+        if self.is_noop() {
+            return;
+        }
+        for sample in data.chunks_mut(volume) {
+            self.apply_sample(sample, c, h, w, rng);
+        }
+    }
+}
+
+impl Default for Augmentation {
+    fn default() -> Self {
+        Augmentation::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ramp(c: usize, h: usize, w: usize) -> Vec<f32> {
+        (0..c * h * w).map(|i| (i % 7) as f32 / 10.0).collect()
+    }
+
+    #[test]
+    fn noop_leaves_sample_unchanged() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut px = ramp(1, 4, 4);
+        let orig = px.clone();
+        Augmentation::none().apply_sample(&mut px, 1, 4, 4, &mut rng);
+        assert_eq!(px, orig);
+        assert!(Augmentation::none().is_noop());
+    }
+
+    #[test]
+    fn flip_reverses_rows() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let aug = Augmentation {
+            max_shift: 0,
+            flip_probability: 1.0,
+            noise_std: 0.0,
+        };
+        let mut px = vec![1.0, 2.0, 3.0, 4.0];
+        aug.apply_sample(&mut px, 1, 2, 2, &mut rng);
+        assert_eq!(px, vec![2.0, 1.0, 4.0, 3.0]);
+    }
+
+    #[test]
+    fn double_flip_is_identity() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let aug = Augmentation {
+            max_shift: 0,
+            flip_probability: 1.0,
+            noise_std: 0.0,
+        };
+        let orig = ramp(2, 3, 3);
+        let mut px = orig.clone();
+        aug.apply_sample(&mut px, 2, 3, 3, &mut rng);
+        aug.apply_sample(&mut px, 2, 3, 3, &mut rng);
+        assert_eq!(px, orig);
+    }
+
+    #[test]
+    fn shift_zero_fills_border() {
+        // With max_shift large relative to the image, some run must
+        // introduce zero padding at a border.
+        let aug = Augmentation {
+            max_shift: 2,
+            flip_probability: 0.0,
+            noise_std: 0.0,
+        };
+        let mut saw_zero_border = false;
+        for seed in 0..20 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut px = vec![1.0; 9];
+            aug.apply_sample(&mut px, 1, 3, 3, &mut rng);
+            if px.contains(&0.0) {
+                saw_zero_border = true;
+            }
+            // values are only ever moved or zeroed, never invented
+            assert!(px.iter().all(|&p| p == 0.0 || p == 1.0));
+        }
+        assert!(saw_zero_border);
+    }
+
+    #[test]
+    fn noise_stays_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let aug = Augmentation {
+            max_shift: 0,
+            flip_probability: 0.0,
+            noise_std: 0.5,
+        };
+        let mut px = vec![0.5; 256];
+        aug.apply_sample(&mut px, 1, 16, 16, &mut rng);
+        assert!(px.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        assert!(px.iter().any(|&p| p != 0.5));
+    }
+
+    #[test]
+    fn apply_batch_covers_all_samples() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let aug = Augmentation {
+            max_shift: 0,
+            flip_probability: 1.0,
+            noise_std: 0.0,
+        };
+        let mut data = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        aug.apply_batch(&mut data, 1, 2, 2, &mut rng);
+        assert_eq!(data, vec![2.0, 1.0, 4.0, 3.0, 6.0, 5.0, 8.0, 7.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sample volume mismatch")]
+    fn wrong_volume_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut px = vec![0.0; 5];
+        Augmentation::standard().apply_sample(&mut px, 1, 2, 2, &mut rng);
+    }
+}

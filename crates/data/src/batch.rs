@@ -1,0 +1,149 @@
+//! Shuffled mini-batch iteration for training loops.
+
+use crate::ImageDataset;
+use bsnn_tensor::Tensor;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Iterator over shuffled mini-batches of a dataset.
+///
+/// Yields `(images, labels)` pairs where `images` is `(n, c, h, w)`. The
+/// final batch may be smaller than `batch_size`. Shuffling order is drawn
+/// from the RNG passed at construction, keeping epochs reproducible.
+///
+/// ```
+/// use bsnn_data::{BatchIter, SynthSpec};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let (train, _) = SynthSpec::digits().with_counts(4, 1).generate();
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let batches: Vec<_> = BatchIter::new(&train, 16, &mut rng).collect();
+/// assert_eq!(batches.iter().map(|(b, _)| b.shape()[0]).sum::<usize>(), 40);
+/// ```
+#[derive(Debug)]
+pub struct BatchIter<'a> {
+    dataset: &'a ImageDataset,
+    order: Vec<usize>,
+    batch_size: usize,
+    cursor: usize,
+}
+
+impl<'a> BatchIter<'a> {
+    /// Creates a shuffled batch iterator for one epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` is zero.
+    pub fn new<R: Rng>(dataset: &'a ImageDataset, batch_size: usize, rng: &mut R) -> Self {
+        assert!(batch_size > 0, "batch size must be nonzero");
+        let mut order: Vec<usize> = (0..dataset.len()).collect();
+        order.shuffle(rng);
+        BatchIter {
+            dataset,
+            order,
+            batch_size,
+            cursor: 0,
+        }
+    }
+
+    /// Creates an unshuffled (sequential) iterator, e.g. for evaluation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` is zero.
+    pub fn sequential(dataset: &'a ImageDataset, batch_size: usize) -> Self {
+        assert!(batch_size > 0, "batch size must be nonzero");
+        BatchIter {
+            dataset,
+            order: (0..dataset.len()).collect(),
+            batch_size,
+            cursor: 0,
+        }
+    }
+
+    /// Number of batches this iterator will yield in total.
+    pub fn num_batches(&self) -> usize {
+        self.order.len().div_ceil(self.batch_size)
+    }
+}
+
+impl Iterator for BatchIter<'_> {
+    type Item = (Tensor, Vec<usize>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.cursor >= self.order.len() {
+            return None;
+        }
+        let end = (self.cursor + self.batch_size).min(self.order.len());
+        let idx = &self.order[self.cursor..end];
+        self.cursor = end;
+        Some(self.dataset.batch(idx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SynthSpec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn data() -> ImageDataset {
+        SynthSpec::digits().with_counts(3, 1).generate().0
+    }
+
+    #[test]
+    fn covers_all_samples_once() {
+        let d = data();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut seen = 0usize;
+        for (b, l) in BatchIter::new(&d, 7, &mut rng) {
+            assert_eq!(b.shape()[0], l.len());
+            seen += l.len();
+        }
+        assert_eq!(seen, d.len());
+    }
+
+    #[test]
+    fn last_batch_may_be_short() {
+        let d = data(); // 30 samples
+        let it = BatchIter::sequential(&d, 8);
+        let sizes: Vec<usize> = it.map(|(b, _)| b.shape()[0]).collect();
+        assert_eq!(sizes, vec![8, 8, 8, 6]);
+    }
+
+    #[test]
+    fn num_batches_matches_iteration() {
+        let d = data();
+        let it = BatchIter::sequential(&d, 8);
+        let n = it.num_batches();
+        assert_eq!(n, BatchIter::sequential(&d, 8).count());
+    }
+
+    #[test]
+    fn sequential_preserves_order() {
+        let d = data();
+        let (first, labels) = BatchIter::sequential(&d, 4).next().unwrap();
+        assert_eq!(&first.as_slice()[0..d.sample_volume()], d.image(0));
+        assert_eq!(labels[0], d.label(0));
+    }
+
+    #[test]
+    fn shuffle_is_seeded() {
+        let d = data();
+        let a: Vec<usize> = BatchIter::new(&d, 4, &mut StdRng::seed_from_u64(1))
+            .flat_map(|(_, l)| l)
+            .collect();
+        let b: Vec<usize> = BatchIter::new(&d, 4, &mut StdRng::seed_from_u64(1))
+            .flat_map(|(_, l)| l)
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be nonzero")]
+    fn rejects_zero_batch() {
+        let d = data();
+        let _ = BatchIter::sequential(&d, 0);
+    }
+}

@@ -1,0 +1,245 @@
+use bsnn_tensor::Tensor;
+
+/// An in-memory labeled image dataset (NCHW sample layout).
+///
+/// Images are stored as flat `f32` rows of length `channels·height·width`
+/// with intensities in `[0, 1]`. Construction validates consistency; all
+/// accessors are infallible afterwards.
+#[derive(Debug, Clone)]
+pub struct ImageDataset {
+    name: String,
+    images: Vec<f32>,
+    labels: Vec<usize>,
+    channels: usize,
+    height: usize,
+    width: usize,
+    num_classes: usize,
+}
+
+impl ImageDataset {
+    /// Creates a dataset from flat image rows and labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `images.len()` is not a multiple of the sample volume, if
+    /// the label count disagrees with the image count, or if any label is
+    /// `>= num_classes`. These are programming errors in generators, not
+    /// runtime conditions, hence panics rather than `Result`.
+    pub fn new(
+        name: impl Into<String>,
+        images: Vec<f32>,
+        labels: Vec<usize>,
+        channels: usize,
+        height: usize,
+        width: usize,
+        num_classes: usize,
+    ) -> Self {
+        let volume = channels * height * width;
+        assert!(volume > 0, "sample volume must be nonzero");
+        assert_eq!(
+            images.len() % volume,
+            0,
+            "image buffer not a multiple of sample volume"
+        );
+        assert_eq!(
+            images.len() / volume,
+            labels.len(),
+            "image count and label count disagree"
+        );
+        assert!(
+            labels.iter().all(|&l| l < num_classes),
+            "label out of range"
+        );
+        ImageDataset {
+            name: name.into(),
+            images,
+            labels,
+            channels,
+            height,
+            width,
+            num_classes,
+        }
+    }
+
+    /// Human-readable dataset name (e.g. `"synth-cifar10"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of channels per sample.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Sample height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Sample width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Flat length of one sample (`channels · height · width`).
+    pub fn sample_volume(&self) -> usize {
+        self.channels * self.height * self.width
+    }
+
+    /// Borrow of the `i`-th image as a flat slice (CHW order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn image(&self, i: usize) -> &[f32] {
+        let v = self.sample_volume();
+        &self.images[i * v..(i + 1) * v]
+    }
+
+    /// Label of the `i`-th sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn label(&self, i: usize) -> usize {
+        self.labels[i]
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Assembles the given sample indices into an `(n, c, h, w)` batch
+    /// tensor plus the matching label vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn batch(&self, indices: &[usize]) -> (Tensor, Vec<usize>) {
+        let v = self.sample_volume();
+        let mut data = Vec::with_capacity(indices.len() * v);
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            data.extend_from_slice(self.image(i));
+            labels.push(self.labels[i]);
+        }
+        let t = Tensor::from_vec(
+            data,
+            &[indices.len(), self.channels, self.height, self.width],
+        )
+        .expect("batch volume consistent by construction");
+        (t, labels)
+    }
+
+    /// The whole dataset as one `(n, c, h, w)` batch.
+    pub fn full_batch(&self) -> (Tensor, Vec<usize>) {
+        let idx: Vec<usize> = (0..self.len()).collect();
+        self.batch(&idx)
+    }
+
+    /// A new dataset containing only the first `n` samples *per class*
+    /// (useful for fast evaluation subsets).
+    pub fn take_per_class(&self, n: usize) -> ImageDataset {
+        let v = self.sample_volume();
+        let mut counts = vec![0usize; self.num_classes];
+        let mut images = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..self.len() {
+            let l = self.labels[i];
+            if counts[l] < n {
+                counts[l] += 1;
+                images.extend_from_slice(&self.images[i * v..(i + 1) * v]);
+                labels.push(l);
+            }
+        }
+        ImageDataset {
+            name: self.name.clone(),
+            images,
+            labels,
+            channels: self.channels,
+            height: self.height,
+            width: self.width,
+            num_classes: self.num_classes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ImageDataset {
+        // 4 samples, 1x2x2, 2 classes
+        let images = vec![
+            0.0, 0.1, 0.2, 0.3, // s0
+            0.4, 0.5, 0.6, 0.7, // s1
+            0.8, 0.9, 1.0, 0.0, // s2
+            0.1, 0.2, 0.3, 0.4, // s3
+        ];
+        ImageDataset::new("tiny", images, vec![0, 1, 0, 1], 1, 2, 2, 2)
+    }
+
+    #[test]
+    fn accessors() {
+        let d = tiny();
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.sample_volume(), 4);
+        assert_eq!(d.image(1), &[0.4, 0.5, 0.6, 0.7]);
+        assert_eq!(d.label(2), 0);
+        assert_eq!(d.name(), "tiny");
+    }
+
+    #[test]
+    fn batch_assembles_nchw() {
+        let d = tiny();
+        let (b, l) = d.batch(&[2, 0]);
+        assert_eq!(b.shape(), &[2, 1, 2, 2]);
+        assert_eq!(&b.as_slice()[0..4], d.image(2));
+        assert_eq!(l, vec![0, 0]);
+    }
+
+    #[test]
+    fn full_batch_covers_everything() {
+        let d = tiny();
+        let (b, l) = d.full_batch();
+        assert_eq!(b.shape(), &[4, 1, 2, 2]);
+        assert_eq!(l.len(), 4);
+    }
+
+    #[test]
+    fn take_per_class_limits() {
+        let d = tiny();
+        let s = d.take_per_class(1);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.label(0), 0);
+        assert_eq!(s.label(1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn rejects_bad_labels() {
+        ImageDataset::new("bad", vec![0.0; 4], vec![5], 1, 2, 2, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "image count and label count disagree")]
+    fn rejects_count_mismatch() {
+        ImageDataset::new("bad", vec![0.0; 8], vec![0], 1, 2, 2, 2);
+    }
+}

@@ -1,0 +1,49 @@
+#![warn(missing_docs)]
+//! # bsnn-data
+//!
+//! Seeded synthetic image-classification datasets for the `burst-snn`
+//! workspace.
+//!
+//! The paper evaluates on MNIST, CIFAR-10 and CIFAR-100. Those archives
+//! are not available in this offline environment, so this crate provides
+//! procedurally generated stand-ins with the properties the experiments
+//! actually rely on:
+//!
+//! * static, bounded inputs in `[0, 1]` (required by the input neural
+//!   codings — real, rate, and phase coding all assume bounded intensity),
+//! * a non-trivial multi-class structure so that accuracy-versus-time-step
+//!   curves have shape and coding schemes can be ranked,
+//! * deterministic generation from a seed, so every experiment is
+//!   reproducible bit for bit.
+//!
+//! Each class is defined by a *prototype field* — a sum of seeded Gaussian
+//! blobs per channel. A sample is its class prototype with per-sample blob
+//! jitter, amplitude perturbation and pixel noise, clamped to `[0, 1]`.
+//! A difficulty knob (noise/jitter) controls achievable accuracy.
+//!
+//! ## Example
+//!
+//! ```
+//! use bsnn_data::SynthSpec;
+//!
+//! let spec = SynthSpec::digits().with_counts(32, 8);
+//! let (train, test) = spec.generate();
+//! assert_eq!(train.len(), 32 * 10);
+//! assert_eq!(test.num_classes(), 10);
+//! let (batch, labels) = train.batch(&[0, 1, 2]);
+//! assert_eq!(batch.shape(), &[3, 1, 12, 12]);
+//! assert_eq!(labels.len(), 3);
+//! ```
+
+mod batch;
+mod dataset;
+mod stats;
+mod synthetic;
+
+pub mod augment;
+
+pub use augment::Augmentation;
+pub use batch::BatchIter;
+pub use dataset::ImageDataset;
+pub use stats::{accuracy, ChannelStats};
+pub use synthetic::{SynthSpec, SyntheticTask};

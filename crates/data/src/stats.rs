@@ -1,0 +1,107 @@
+//! Dataset statistics and evaluation helpers.
+
+use crate::ImageDataset;
+
+/// Per-channel intensity statistics of a dataset.
+///
+/// Useful for sanity-checking generators and for data-based normalization
+/// diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChannelStats {
+    /// Mean intensity per channel.
+    pub mean: Vec<f32>,
+    /// Standard deviation per channel.
+    pub std: Vec<f32>,
+    /// Minimum intensity per channel.
+    pub min: Vec<f32>,
+    /// Maximum intensity per channel.
+    pub max: Vec<f32>,
+}
+
+impl ChannelStats {
+    /// Computes statistics over every pixel of every sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty.
+    pub fn compute(dataset: &ImageDataset) -> ChannelStats {
+        assert!(!dataset.is_empty(), "cannot compute stats of empty dataset");
+        let c = dataset.channels();
+        let plane = dataset.height() * dataset.width();
+        let mut sum = vec![0.0f64; c];
+        let mut sumsq = vec![0.0f64; c];
+        let mut min = vec![f32::INFINITY; c];
+        let mut max = vec![f32::NEG_INFINITY; c];
+        for i in 0..dataset.len() {
+            let img = dataset.image(i);
+            for ci in 0..c {
+                for &p in &img[ci * plane..(ci + 1) * plane] {
+                    sum[ci] += p as f64;
+                    sumsq[ci] += (p as f64) * (p as f64);
+                    min[ci] = min[ci].min(p);
+                    max[ci] = max[ci].max(p);
+                }
+            }
+        }
+        let count = (dataset.len() * plane) as f64;
+        let mean: Vec<f32> = sum.iter().map(|&s| (s / count) as f32).collect();
+        let std: Vec<f32> = sumsq
+            .iter()
+            .zip(&mean)
+            .map(|(&sq, &m)| (((sq / count) - (m as f64) * (m as f64)).max(0.0)).sqrt() as f32)
+            .collect();
+        ChannelStats {
+            mean,
+            std,
+            min,
+            max,
+        }
+    }
+}
+
+/// Fraction of predictions equal to the labels.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+pub fn accuracy(predictions: &[usize], labels: &[usize]) -> f64 {
+    assert_eq!(predictions.len(), labels.len(), "length mismatch");
+    assert!(!labels.is_empty(), "empty evaluation set");
+    let correct = predictions
+        .iter()
+        .zip(labels)
+        .filter(|(p, l)| p == l)
+        .count();
+    correct as f64 / labels.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SynthSpec;
+
+    #[test]
+    fn stats_within_unit_interval() {
+        let (train, _) = SynthSpec::cifar10().with_counts(4, 1).generate();
+        let s = ChannelStats::compute(&train);
+        assert_eq!(s.mean.len(), 3);
+        for ci in 0..3 {
+            assert!(s.min[ci] >= 0.0);
+            assert!(s.max[ci] <= 1.0);
+            assert!(s.mean[ci] > 0.0 && s.mean[ci] < 1.0);
+            assert!(s.std[ci] > 0.0);
+        }
+    }
+
+    #[test]
+    fn accuracy_counts_matches() {
+        assert_eq!(accuracy(&[1, 2, 3], &[1, 2, 0]), 2.0 / 3.0);
+        assert_eq!(accuracy(&[0], &[0]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn accuracy_rejects_mismatch() {
+        accuracy(&[1], &[1, 2]);
+    }
+}

@@ -1,0 +1,349 @@
+//! Procedural dataset generators.
+//!
+//! Every class is a *prototype field*: `blobs_per_class` Gaussian bumps
+//! with seeded centers, widths, and per-channel amplitudes. A sample
+//! perturbs the bump centers (spatial jitter), amplitudes (contrast
+//! jitter), adds pixel noise, and clamps to `[0, 1]`.
+
+use crate::ImageDataset;
+use bsnn_tensor::init::normal_sample;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The three synthetic tasks standing in for the paper's datasets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SyntheticTask {
+    /// MNIST stand-in: 12×12 grayscale, 10 classes.
+    Digits,
+    /// CIFAR-10 stand-in: 16×16 RGB, 10 classes.
+    Cifar10,
+    /// CIFAR-100 stand-in: 16×16 RGB, 20 classes (superclass granularity).
+    Cifar100,
+}
+
+impl SyntheticTask {
+    /// Canonical dataset name used in experiment reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            SyntheticTask::Digits => "synth-digits",
+            SyntheticTask::Cifar10 => "synth-cifar10",
+            SyntheticTask::Cifar100 => "synth-cifar100",
+        }
+    }
+}
+
+/// Specification of a synthetic dataset: geometry, class count, per-class
+/// sample counts, difficulty knobs, and the master seed.
+///
+/// Use the [`SynthSpec::digits`], [`SynthSpec::cifar10`],
+/// [`SynthSpec::cifar100`] presets and adjust with the `with_*` builders.
+///
+/// ```
+/// use bsnn_data::SynthSpec;
+///
+/// let (train, test) = SynthSpec::cifar10().with_counts(16, 4).generate();
+/// assert_eq!(train.len(), 160);
+/// assert_eq!(test.len(), 40);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthSpec {
+    /// Which preset task this spec derives from.
+    pub task: SyntheticTask,
+    /// Channels per image (1 = grayscale, 3 = RGB).
+    pub channels: usize,
+    /// Image height.
+    pub height: usize,
+    /// Image width.
+    pub width: usize,
+    /// Number of classes.
+    pub num_classes: usize,
+    /// Training samples generated per class.
+    pub train_per_class: usize,
+    /// Test samples generated per class.
+    pub test_per_class: usize,
+    /// Gaussian bumps per class prototype.
+    pub blobs_per_class: usize,
+    /// Std-dev of additive pixel noise.
+    pub noise_std: f32,
+    /// Std-dev of per-sample blob center jitter (pixels).
+    pub jitter: f32,
+    /// Master seed; train and test streams derive distinct sub-seeds.
+    pub seed: u64,
+}
+
+impl SynthSpec {
+    /// MNIST stand-in preset.
+    pub fn digits() -> Self {
+        SynthSpec {
+            task: SyntheticTask::Digits,
+            channels: 1,
+            height: 12,
+            width: 12,
+            num_classes: 10,
+            train_per_class: 200,
+            test_per_class: 50,
+            blobs_per_class: 3,
+            noise_std: 0.10,
+            jitter: 1.0,
+            seed: 0x5eed_0001,
+        }
+    }
+
+    /// CIFAR-10 stand-in preset (harder: more noise/jitter, RGB).
+    pub fn cifar10() -> Self {
+        SynthSpec {
+            task: SyntheticTask::Cifar10,
+            channels: 3,
+            height: 16,
+            width: 16,
+            num_classes: 10,
+            train_per_class: 200,
+            test_per_class: 50,
+            blobs_per_class: 4,
+            noise_std: 0.22,
+            jitter: 2.2,
+            seed: 0x5eed_0010,
+        }
+    }
+
+    /// CIFAR-100 stand-in preset (20 superclasses).
+    pub fn cifar100() -> Self {
+        SynthSpec {
+            task: SyntheticTask::Cifar100,
+            channels: 3,
+            height: 16,
+            width: 16,
+            num_classes: 20,
+            train_per_class: 100,
+            test_per_class: 25,
+            blobs_per_class: 4,
+            noise_std: 0.22,
+            jitter: 2.2,
+            seed: 0x5eed_0100,
+        }
+    }
+
+    /// Preset for a task enum value.
+    pub fn for_task(task: SyntheticTask) -> Self {
+        match task {
+            SyntheticTask::Digits => SynthSpec::digits(),
+            SyntheticTask::Cifar10 => SynthSpec::cifar10(),
+            SyntheticTask::Cifar100 => SynthSpec::cifar100(),
+        }
+    }
+
+    /// Overrides per-class train/test sample counts.
+    pub fn with_counts(mut self, train_per_class: usize, test_per_class: usize) -> Self {
+        self.train_per_class = train_per_class;
+        self.test_per_class = test_per_class;
+        self
+    }
+
+    /// Overrides the difficulty knobs.
+    pub fn with_difficulty(mut self, noise_std: f32, jitter: f32) -> Self {
+        self.noise_std = noise_std;
+        self.jitter = jitter;
+        self
+    }
+
+    /// Overrides the master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Generates `(train, test)` datasets. Deterministic in the spec.
+    pub fn generate(&self) -> (ImageDataset, ImageDataset) {
+        let prototypes = self.class_prototypes();
+        let train = self.generate_split(&prototypes, self.train_per_class, self.seed ^ 0xA11CE);
+        let test = self.generate_split(&prototypes, self.test_per_class, self.seed ^ 0xB0B);
+        (train, test)
+    }
+
+    /// The deterministic per-class blob parameters:
+    /// `(cy, cx, sigma, amplitudes[channel])` per blob per class.
+    fn class_prototypes(&self) -> Vec<Vec<Blob>> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        (0..self.num_classes)
+            .map(|_| {
+                (0..self.blobs_per_class)
+                    .map(|_| Blob {
+                        cy: rng.gen_range(0.15..0.85) * self.height as f32,
+                        cx: rng.gen_range(0.15..0.85) * self.width as f32,
+                        sigma: rng.gen_range(0.08..0.22) * self.height.max(self.width) as f32,
+                        amps: (0..self.channels)
+                            .map(|_| rng.gen_range(0.35..1.0))
+                            .collect(),
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn generate_split(
+        &self,
+        prototypes: &[Vec<Blob>],
+        per_class: usize,
+        seed: u64,
+    ) -> ImageDataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let volume = self.channels * self.height * self.width;
+        let total = per_class * self.num_classes;
+        let mut images = Vec::with_capacity(total * volume);
+        let mut labels = Vec::with_capacity(total);
+        // Interleave classes so prefix subsets stay balanced.
+        for _ in 0..per_class {
+            for (class, blobs) in prototypes.iter().enumerate() {
+                self.render_sample(blobs, &mut rng, &mut images);
+                labels.push(class);
+            }
+        }
+        ImageDataset::new(
+            self.task.name(),
+            images,
+            labels,
+            self.channels,
+            self.height,
+            self.width,
+            self.num_classes,
+        )
+    }
+
+    fn render_sample(&self, blobs: &[Blob], rng: &mut StdRng, out: &mut Vec<f32>) {
+        // Perturb blobs once per sample.
+        let perturbed: Vec<Blob> = blobs
+            .iter()
+            .map(|b| Blob {
+                cy: b.cy + normal_sample(rng, 0.0, self.jitter),
+                cx: b.cx + normal_sample(rng, 0.0, self.jitter),
+                sigma: (b.sigma * (1.0 + normal_sample(rng, 0.0, 0.08))).max(0.5),
+                amps: b
+                    .amps
+                    .iter()
+                    .map(|&a| (a * (1.0 + normal_sample(rng, 0.0, 0.10))).clamp(0.0, 1.5))
+                    .collect(),
+            })
+            .collect();
+        for c in 0..self.channels {
+            for y in 0..self.height {
+                for x in 0..self.width {
+                    let mut v = 0.0f32;
+                    for b in &perturbed {
+                        let dy = y as f32 - b.cy;
+                        let dx = x as f32 - b.cx;
+                        let r2 = (dy * dy + dx * dx) / (2.0 * b.sigma * b.sigma);
+                        v += b.amps[c] * (-r2).exp();
+                    }
+                    v += normal_sample(rng, 0.0, self.noise_std);
+                    out.push(v.clamp(0.0, 1.0));
+                }
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Blob {
+    cy: f32,
+    cx: f32,
+    sigma: f32,
+    amps: Vec<f32>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_expected_geometry() {
+        let d = SynthSpec::digits();
+        assert_eq!((d.channels, d.height, d.width, d.num_classes), (1, 12, 12, 10));
+        let c = SynthSpec::cifar10();
+        assert_eq!((c.channels, c.height, c.width, c.num_classes), (3, 16, 16, 10));
+        let h = SynthSpec::cifar100();
+        assert_eq!(h.num_classes, 20);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = SynthSpec::digits().with_counts(4, 2);
+        let (tr1, te1) = spec.generate();
+        let (tr2, te2) = spec.generate();
+        assert_eq!(tr1.image(7), tr2.image(7));
+        assert_eq!(te1.image(3), te2.image(3));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let (a, _) = SynthSpec::digits().with_counts(2, 1).generate();
+        let (b, _) = SynthSpec::digits().with_counts(2, 1).with_seed(99).generate();
+        assert_ne!(a.image(0), b.image(0));
+    }
+
+    #[test]
+    fn pixels_bounded_unit_interval() {
+        let (train, test) = SynthSpec::cifar10().with_counts(4, 2).generate();
+        for ds in [&train, &test] {
+            for i in 0..ds.len() {
+                for &p in ds.image(i) {
+                    assert!((0.0..=1.0).contains(&p), "pixel {p} out of range");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn splits_are_class_balanced_prefixes() {
+        let (train, _) = SynthSpec::digits().with_counts(3, 1).generate();
+        // interleaved: first 10 samples cover all 10 classes
+        let first: Vec<usize> = (0..10).map(|i| train.label(i)).collect();
+        let mut sorted = first.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn classes_are_separable_by_prototype_distance() {
+        // mean intra-class L2 distance should be well below inter-class.
+        let (train, _) = SynthSpec::digits().with_counts(6, 1).generate();
+        let dist = |a: &[f32], b: &[f32]| -> f32 {
+            a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum::<f32>()
+        };
+        let mut intra = (0.0f32, 0usize);
+        let mut inter = (0.0f32, 0usize);
+        for i in 0..train.len() {
+            for j in (i + 1)..train.len() {
+                let d = dist(train.image(i), train.image(j));
+                if train.label(i) == train.label(j) {
+                    intra = (intra.0 + d, intra.1 + 1);
+                } else {
+                    inter = (inter.0 + d, inter.1 + 1);
+                }
+            }
+        }
+        let intra_mean = intra.0 / intra.1 as f32;
+        let inter_mean = inter.0 / inter.1 as f32;
+        assert!(
+            inter_mean > 1.5 * intra_mean,
+            "classes not separable: intra {intra_mean}, inter {inter_mean}"
+        );
+    }
+
+    #[test]
+    fn task_names() {
+        assert_eq!(SyntheticTask::Digits.name(), "synth-digits");
+        assert_eq!(SyntheticTask::Cifar10.name(), "synth-cifar10");
+        assert_eq!(SyntheticTask::Cifar100.name(), "synth-cifar100");
+    }
+
+    #[test]
+    fn for_task_round_trip() {
+        for t in [
+            SyntheticTask::Digits,
+            SyntheticTask::Cifar10,
+            SyntheticTask::Cifar100,
+        ] {
+            assert_eq!(SynthSpec::for_task(t).task, t);
+        }
+    }
+}

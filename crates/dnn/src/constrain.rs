@@ -1,0 +1,124 @@
+//! Model constraining for DNN→SNN conversion — the Cao et al. 2015
+//! pipeline (reference \[10] of the paper).
+//!
+//! Cao et al. convert CNNs by first *constraining* the architecture:
+//! max pooling is replaced by average pooling and biases are removed,
+//! after which the constrained model is retrained and its weights
+//! imported into the SNN. [`constrain_for_conversion`] performs the
+//! architectural transform; retraining is the caller's job (it is just
+//! another [`crate::train::Trainer`] run).
+
+use crate::{AvgPool2d, LayerBox, Sequential};
+
+/// Report of what [`constrain_for_conversion`] changed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ConstrainReport {
+    /// Max-pooling layers replaced with average pooling.
+    pub maxpools_replaced: usize,
+    /// Bias vectors zeroed.
+    pub biases_zeroed: usize,
+}
+
+/// Applies Cao et al.'s model constraints in place:
+///
+/// 1. every [`crate::MaxPool2d`] becomes an [`AvgPool2d`] with the same
+///    geometry (spiking neurons can average but not max), and
+/// 2. every dense/conv bias is zeroed (the original constrained model has
+///    no biases; the SNN then needs no constant bias currents).
+///
+/// Returns what was changed. Retrain the model afterwards to recover
+/// accuracy, as Cao et al. do.
+///
+/// ```
+/// use bsnn_dnn::{constrain::constrain_for_conversion, models};
+///
+/// let mut model = models::cnn_digits_maxpool(1, 12, 12, 10, 0).unwrap();
+/// let report = constrain_for_conversion(&mut model);
+/// assert_eq!(report.maxpools_replaced, 2);
+/// assert!(model.summary().contains("avg_pool2d"));
+/// assert!(!model.summary().contains("max_pool2d"));
+/// ```
+pub fn constrain_for_conversion(model: &mut Sequential) -> ConstrainReport {
+    let mut report = ConstrainReport::default();
+    for layer in model.layers_mut() {
+        match layer {
+            LayerBox::MaxPool2d(mp) => {
+                let geom = mp.geom;
+                *layer = LayerBox::AvgPool2d(AvgPool2d::new(geom));
+                report.maxpools_replaced += 1;
+            }
+            LayerBox::Dense(d) => {
+                if d.bias.value.as_slice().iter().any(|&b| b != 0.0) {
+                    d.bias.value.fill(0.0);
+                    report.biases_zeroed += 1;
+                } else {
+                    d.bias.value.fill(0.0);
+                }
+            }
+            LayerBox::Conv2d(c) => {
+                if c.bias.value.as_slice().iter().any(|&b| b != 0.0) {
+                    c.bias.value.fill(0.0);
+                    report.biases_zeroed += 1;
+                } else {
+                    c.bias.value.fill(0.0);
+                }
+            }
+            _ => {}
+        }
+    }
+    report
+}
+
+/// Whether a model satisfies the conversion constraints (no max pooling;
+/// all nonlinearities are ReLU — which the layer set guarantees — and,
+/// for the strict Cao pipeline, zero biases).
+pub fn is_constrained(model: &Sequential, require_zero_bias: bool) -> bool {
+    model.layers().iter().all(|l| match l {
+        LayerBox::MaxPool2d(_) => false,
+        LayerBox::Dense(d) if require_zero_bias => {
+            d.bias.value.as_slice().iter().all(|&b| b == 0.0)
+        }
+        LayerBox::Conv2d(c) if require_zero_bias => {
+            c.bias.value.as_slice().iter().all(|&b| b == 0.0)
+        }
+        _ => true,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models;
+    use bsnn_tensor::Tensor;
+
+    #[test]
+    fn constrain_replaces_maxpool_and_zeroes_biases() {
+        let mut m = models::cnn_digits_maxpool(1, 12, 12, 10, 0).unwrap();
+        // give a bias a nonzero value so zeroing is observable
+        for layer in m.layers_mut() {
+            if let LayerBox::Dense(d) = layer {
+                d.bias.value.fill(0.5);
+            }
+        }
+        assert!(!is_constrained(&m, false));
+        let report = constrain_for_conversion(&mut m);
+        assert_eq!(report.maxpools_replaced, 2);
+        assert!(report.biases_zeroed >= 1);
+        assert!(is_constrained(&m, true));
+    }
+
+    #[test]
+    fn constrained_model_still_runs() {
+        let mut m = models::cnn_digits_maxpool(1, 12, 12, 10, 0).unwrap();
+        let before = m.forward(&Tensor::ones(&[1, 1, 12, 12]), false).unwrap();
+        constrain_for_conversion(&mut m);
+        let after = m.forward(&Tensor::ones(&[1, 1, 12, 12]), false).unwrap();
+        assert_eq!(before.shape(), after.shape());
+    }
+
+    #[test]
+    fn avg_pool_model_already_constrained() {
+        let m = models::cnn_digits(1, 12, 12, 10, 0).unwrap();
+        assert!(is_constrained(&m, false));
+    }
+}

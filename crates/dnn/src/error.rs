@@ -1,0 +1,79 @@
+use bsnn_tensor::TensorError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building, training, or running a DNN.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DnnError {
+    /// An underlying tensor operation failed (shape/geometry problems).
+    Tensor(TensorError),
+    /// A model was configured inconsistently (e.g. no layers, zero
+    /// classes, dropout probability out of range).
+    InvalidConfig(String),
+    /// `backward` was called before `forward` populated the caches.
+    BackwardBeforeForward,
+    /// Label out of range for the classifier output width.
+    LabelOutOfRange {
+        /// The offending label.
+        label: usize,
+        /// Number of classes the model predicts.
+        classes: usize,
+    },
+}
+
+impl fmt::Display for DnnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DnnError::Tensor(e) => write!(f, "tensor operation failed: {e}"),
+            DnnError::InvalidConfig(msg) => write!(f, "invalid model configuration: {msg}"),
+            DnnError::BackwardBeforeForward => {
+                write!(f, "backward called before forward cached activations")
+            }
+            DnnError::LabelOutOfRange { label, classes } => {
+                write!(f, "label {label} out of range for {classes} classes")
+            }
+        }
+    }
+}
+
+impl Error for DnnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DnnError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for DnnError {
+    fn from(e: TensorError) -> Self {
+        DnnError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = DnnError::LabelOutOfRange {
+            label: 12,
+            classes: 10,
+        };
+        assert!(e.to_string().contains("12"));
+        assert!(DnnError::BackwardBeforeForward.to_string().contains("backward"));
+    }
+
+    #[test]
+    fn from_tensor_error_preserves_source() {
+        let e: DnnError = TensorError::EmptyShape.into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DnnError>();
+    }
+}

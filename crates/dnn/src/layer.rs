@@ -1,0 +1,809 @@
+//! Trainable layers and the closed [`LayerBox`] dispatch enum.
+
+use crate::DnnError;
+use bsnn_tensor::conv::{avg_pool2d, avg_pool2d_backward, col2im, im2col, Conv2dGeometry};
+use bsnn_tensor::ops::matmul;
+use bsnn_tensor::{init, Tensor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A trainable parameter: a value tensor and its accumulated gradient.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Current parameter values.
+    pub value: Tensor,
+    /// Accumulated gradient (same shape as `value`).
+    pub grad: Tensor,
+}
+
+impl Param {
+    /// Wraps a value tensor with a zeroed gradient buffer.
+    pub fn new(value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.shape());
+        Param { value, grad }
+    }
+
+    /// Clears the accumulated gradient.
+    pub fn zero_grad(&mut self) {
+        self.grad.fill(0.0);
+    }
+}
+
+/// Common interface of all layers.
+///
+/// `forward` caches whatever `backward` needs; calling `backward` before
+/// `forward` returns [`DnnError::BackwardBeforeForward`]. Gradients
+/// *accumulate* into [`Param::grad`]; the trainer zeroes them per batch.
+pub trait Layer {
+    /// Runs the layer on `input`. `train` enables training-only behaviour
+    /// (dropout masking).
+    ///
+    /// # Errors
+    ///
+    /// Returns shape/geometry errors from the underlying tensor ops.
+    fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor, DnnError>;
+
+    /// Backpropagates `grad_out`, accumulating parameter gradients and
+    /// returning the gradient with respect to the layer input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::BackwardBeforeForward`] when no forward cache
+    /// exists, or tensor shape errors.
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, DnnError>;
+
+    /// Mutable references to this layer's parameters (empty by default).
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    /// Short layer name for summaries.
+    fn name(&self) -> &'static str;
+}
+
+// ---------------------------------------------------------------------------
+// Dense
+// ---------------------------------------------------------------------------
+
+/// Fully-connected layer: `y = x·W + b` with `x: (n, in)`, `W: (in, out)`.
+#[derive(Debug, Clone)]
+pub struct Dense {
+    /// Weight matrix `(in_features, out_features)`.
+    pub weight: Param,
+    /// Bias vector `(out_features)`.
+    pub bias: Param,
+    in_features: usize,
+    out_features: usize,
+    cache_input: Option<Tensor>,
+}
+
+impl Dense {
+    /// He-initialized dense layer.
+    pub fn new<R: Rng>(in_features: usize, out_features: usize, rng: &mut R) -> Self {
+        let weight = init::he_normal(rng, &[in_features, out_features], in_features);
+        Dense {
+            weight: Param::new(weight),
+            bias: Param::new(Tensor::zeros(&[out_features])),
+            in_features,
+            out_features,
+            cache_input: None,
+        }
+    }
+
+    /// Input width.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output width.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+}
+
+impl Layer for Dense {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor, DnnError> {
+        let x = if input.rank() == 2 {
+            input.clone()
+        } else {
+            // Accept higher-rank inputs by flattening trailing dims.
+            let n = input.shape()[0];
+            input.reshape(&[n, input.len() / n])?
+        };
+        let mut out = matmul(&x, &self.weight.value)?;
+        out.add_row_inplace(&self.bias.value)?;
+        self.cache_input = Some(x);
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, DnnError> {
+        let x = self
+            .cache_input
+            .as_ref()
+            .ok_or(DnnError::BackwardBeforeForward)?;
+        let xt = x.transpose2()?;
+        let gw = matmul(&xt, grad_out)?;
+        self.weight.grad.add_inplace(&gw)?;
+        let gb = grad_out.sum_rows()?;
+        self.bias.grad.add_inplace(&gb)?;
+        let wt = self.weight.value.transpose2()?;
+        Ok(matmul(grad_out, &wt)?)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn name(&self) -> &'static str {
+        "dense"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Conv2d
+// ---------------------------------------------------------------------------
+
+/// 2-D convolution (NCHW) with weight `(c_out, c_in, kh, kw)`.
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    /// Convolution kernels `(c_out, c_in, kh, kw)`.
+    pub weight: Param,
+    /// Per-output-channel bias `(c_out)`.
+    pub bias: Param,
+    /// Window geometry.
+    pub geom: Conv2dGeometry,
+    in_channels: usize,
+    out_channels: usize,
+    cache: Option<ConvCache>,
+}
+
+#[derive(Debug, Clone)]
+struct ConvCache {
+    cols: Tensor,
+    n: usize,
+    h: usize,
+    w: usize,
+    oh: usize,
+    ow: usize,
+}
+
+impl Conv2d {
+    /// He-initialized convolution.
+    pub fn new<R: Rng>(
+        in_channels: usize,
+        out_channels: usize,
+        geom: Conv2dGeometry,
+        rng: &mut R,
+    ) -> Self {
+        let fan_in = in_channels * geom.kernel_h * geom.kernel_w;
+        let weight = init::he_normal(
+            rng,
+            &[out_channels, in_channels, geom.kernel_h, geom.kernel_w],
+            fan_in,
+        );
+        Conv2d {
+            weight: Param::new(weight),
+            bias: Param::new(Tensor::zeros(&[out_channels])),
+            geom,
+            in_channels,
+            out_channels,
+            cache: None,
+        }
+    }
+
+    /// Number of input channels.
+    pub fn in_channels(&self) -> usize {
+        self.in_channels
+    }
+
+    /// Number of output channels.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+}
+
+/// Scatters a `(n·oh·ow, c_out)` matmul product into NCHW layout.
+fn rows_to_nchw(prod: &Tensor, n: usize, c_out: usize, oh: usize, ow: usize) -> Tensor {
+    let pv = prod.as_slice();
+    let mut out = vec![0.0f32; n * c_out * oh * ow];
+    for ni in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = ((ni * oh + oy) * ow + ox) * c_out;
+                for co in 0..c_out {
+                    out[((ni * c_out + co) * oh + oy) * ow + ox] = pv[row + co];
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[n, c_out, oh, ow]).expect("volume consistent")
+}
+
+/// Gathers NCHW gradients into `(n·oh·ow, c_out)` row layout.
+fn nchw_to_rows(g: &Tensor, n: usize, c_out: usize, oh: usize, ow: usize) -> Tensor {
+    let gv = g.as_slice();
+    let mut out = vec![0.0f32; n * oh * ow * c_out];
+    for ni in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = ((ni * oh + oy) * ow + ox) * c_out;
+                for co in 0..c_out {
+                    out[row + co] = gv[((ni * c_out + co) * oh + oy) * ow + ox];
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[n * oh * ow, c_out]).expect("volume consistent")
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor, DnnError> {
+        if input.rank() != 4 {
+            return Err(DnnError::Tensor(bsnn_tensor::TensorError::RankMismatch {
+                expected: 4,
+                actual: input.rank(),
+            }));
+        }
+        let (n, _c, h, w) = (
+            input.shape()[0],
+            input.shape()[1],
+            input.shape()[2],
+            input.shape()[3],
+        );
+        let (oh, ow) = self.geom.output_hw(h, w)?;
+        let cols = im2col(input, &self.geom)?;
+        let patch = self.in_channels * self.geom.kernel_h * self.geom.kernel_w;
+        let wmat = self.weight.value.reshape(&[self.out_channels, patch])?;
+        let wt = wmat.transpose2()?;
+        let mut prod = matmul(&cols, &wt)?;
+        prod.add_row_inplace(&self.bias.value)?;
+        let out = rows_to_nchw(&prod, n, self.out_channels, oh, ow);
+        self.cache = Some(ConvCache {
+            cols,
+            n,
+            h,
+            w,
+            oh,
+            ow,
+        });
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, DnnError> {
+        let cache = self.cache.as_ref().ok_or(DnnError::BackwardBeforeForward)?;
+        let patch = self.in_channels * self.geom.kernel_h * self.geom.kernel_w;
+        let gmat = nchw_to_rows(grad_out, cache.n, self.out_channels, cache.oh, cache.ow);
+        // dW = gmat^T · cols  →  (c_out, patch)
+        let gt = gmat.transpose2()?;
+        let gw_mat = matmul(&gt, &cache.cols)?;
+        let gw = gw_mat.reshape(&[
+            self.out_channels,
+            self.in_channels,
+            self.geom.kernel_h,
+            self.geom.kernel_w,
+        ])?;
+        self.weight.grad.add_inplace(&gw)?;
+        let gb = gmat.sum_rows()?;
+        self.bias.grad.add_inplace(&gb)?;
+        // dX = col2im(gmat · Wmat)
+        let wmat = self.weight.value.reshape(&[self.out_channels, patch])?;
+        let gcols = matmul(&gmat, &wmat)?;
+        let gx = col2im(
+            &gcols,
+            cache.n,
+            self.in_channels,
+            cache.h,
+            cache.w,
+            &self.geom,
+        )?;
+        Ok(gx)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn name(&self) -> &'static str {
+        "conv2d"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AvgPool2d
+// ---------------------------------------------------------------------------
+
+/// Average pooling (NCHW). The conversion literature requires average
+/// pooling — a spiking layer can implement it as a fixed fan-in average,
+/// unlike max pooling.
+#[derive(Debug, Clone)]
+pub struct AvgPool2d {
+    /// Window geometry.
+    pub geom: Conv2dGeometry,
+    cache_shape: Option<[usize; 4]>,
+}
+
+impl AvgPool2d {
+    /// A pooling layer with the given geometry.
+    pub fn new(geom: Conv2dGeometry) -> Self {
+        AvgPool2d {
+            geom,
+            cache_shape: None,
+        }
+    }
+
+    /// Convenience: square non-overlapping pooling of size `k`.
+    pub fn square(k: usize) -> Self {
+        AvgPool2d::new(Conv2dGeometry::square(k, k, 0))
+    }
+}
+
+impl Layer for AvgPool2d {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor, DnnError> {
+        let s = input.shape();
+        if input.rank() != 4 {
+            return Err(DnnError::Tensor(bsnn_tensor::TensorError::RankMismatch {
+                expected: 4,
+                actual: input.rank(),
+            }));
+        }
+        self.cache_shape = Some([s[0], s[1], s[2], s[3]]);
+        Ok(avg_pool2d(input, &self.geom)?)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, DnnError> {
+        let [n, c, h, w] = self.cache_shape.ok_or(DnnError::BackwardBeforeForward)?;
+        Ok(avg_pool2d_backward(grad_out, n, c, h, w, &self.geom)?)
+    }
+
+    fn name(&self) -> &'static str {
+        "avg_pool2d"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Relu
+// ---------------------------------------------------------------------------
+
+/// Rectified linear unit. The only nonlinearity allowed by DNN→SNN
+/// conversion (IF firing rates approximate ReLU).
+#[derive(Debug, Clone, Default)]
+pub struct Relu {
+    mask: Option<Vec<bool>>,
+}
+
+impl Relu {
+    /// A new ReLU layer.
+    pub fn new() -> Self {
+        Relu::default()
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor, DnnError> {
+        self.mask = Some(input.as_slice().iter().map(|&x| x > 0.0).collect());
+        Ok(input.relu())
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, DnnError> {
+        let mask = self.mask.as_ref().ok_or(DnnError::BackwardBeforeForward)?;
+        if mask.len() != grad_out.len() {
+            return Err(DnnError::Tensor(bsnn_tensor::TensorError::ShapeMismatch {
+                lhs: vec![mask.len()],
+                rhs: grad_out.shape().to_vec(),
+            }));
+        }
+        let data = grad_out
+            .as_slice()
+            .iter()
+            .zip(mask)
+            .map(|(&g, &m)| if m { g } else { 0.0 })
+            .collect();
+        Ok(Tensor::from_vec(data, grad_out.shape())?)
+    }
+
+    fn name(&self) -> &'static str {
+        "relu"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Flatten
+// ---------------------------------------------------------------------------
+
+/// Collapses `(n, c, h, w)` (or any rank ≥ 2) to `(n, rest)`.
+#[derive(Debug, Clone, Default)]
+pub struct Flatten {
+    cache_shape: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// A new flatten layer.
+    pub fn new() -> Self {
+        Flatten::default()
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor, DnnError> {
+        self.cache_shape = Some(input.shape().to_vec());
+        let n = input.shape()[0];
+        Ok(input.reshape(&[n, input.len() / n.max(1)])?)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, DnnError> {
+        let shape = self
+            .cache_shape
+            .as_ref()
+            .ok_or(DnnError::BackwardBeforeForward)?;
+        Ok(grad_out.reshape(shape)?)
+    }
+
+    fn name(&self) -> &'static str {
+        "flatten"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dropout
+// ---------------------------------------------------------------------------
+
+/// Inverted dropout: at train time zeroes activations with probability `p`
+/// and scales survivors by `1/(1-p)`; identity at evaluation time.
+#[derive(Debug, Clone)]
+pub struct Dropout {
+    p: f32,
+    rng: StdRng,
+    mask: Option<Vec<f32>>,
+}
+
+impl Dropout {
+    /// A dropout layer with keep-scale correction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::InvalidConfig`] unless `0 <= p < 1`.
+    pub fn new(p: f32, seed: u64) -> Result<Self, DnnError> {
+        if !(0.0..1.0).contains(&p) {
+            return Err(DnnError::InvalidConfig(format!(
+                "dropout probability {p} must be in [0, 1)"
+            )));
+        }
+        Ok(Dropout {
+            p,
+            rng: StdRng::seed_from_u64(seed),
+            mask: None,
+        })
+    }
+
+    /// Drop probability.
+    pub fn probability(&self) -> f32 {
+        self.p
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor, DnnError> {
+        if !train || self.p == 0.0 {
+            self.mask = None;
+            return Ok(input.clone());
+        }
+        let keep = 1.0 - self.p;
+        let mask: Vec<f32> = (0..input.len())
+            .map(|_| {
+                if self.rng.gen::<f32>() < keep {
+                    1.0 / keep
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let data = input
+            .as_slice()
+            .iter()
+            .zip(&mask)
+            .map(|(&x, &m)| x * m)
+            .collect();
+        self.mask = Some(mask);
+        Ok(Tensor::from_vec(data, input.shape())?)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, DnnError> {
+        match &self.mask {
+            None => Ok(grad_out.clone()),
+            Some(mask) => {
+                let data = grad_out
+                    .as_slice()
+                    .iter()
+                    .zip(mask)
+                    .map(|(&g, &m)| g * m)
+                    .collect();
+                Ok(Tensor::from_vec(data, grad_out.shape())?)
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "dropout"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// LayerBox
+// ---------------------------------------------------------------------------
+
+/// Closed set of layer types.
+///
+/// Using an enum (instead of `Box<dyn Layer>`) lets the DNN→SNN converter
+/// pattern-match layer internals without downcasting.
+#[derive(Debug, Clone)]
+pub enum LayerBox {
+    /// Fully-connected layer.
+    Dense(Dense),
+    /// 2-D convolution.
+    Conv2d(Conv2d),
+    /// Average pooling.
+    AvgPool2d(AvgPool2d),
+    /// ReLU activation.
+    Relu(Relu),
+    /// Shape flattening.
+    Flatten(Flatten),
+    /// Dropout regularization (train-time only).
+    Dropout(Dropout),
+    /// Max pooling (must be constrained away before conversion; see
+    /// [`crate::constrain`]).
+    MaxPool2d(crate::MaxPool2d),
+}
+
+impl Layer for LayerBox {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor, DnnError> {
+        match self {
+            LayerBox::Dense(l) => l.forward(input, train),
+            LayerBox::Conv2d(l) => l.forward(input, train),
+            LayerBox::AvgPool2d(l) => l.forward(input, train),
+            LayerBox::Relu(l) => l.forward(input, train),
+            LayerBox::Flatten(l) => l.forward(input, train),
+            LayerBox::Dropout(l) => l.forward(input, train),
+            LayerBox::MaxPool2d(l) => l.forward(input, train),
+        }
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, DnnError> {
+        match self {
+            LayerBox::Dense(l) => l.backward(grad_out),
+            LayerBox::Conv2d(l) => l.backward(grad_out),
+            LayerBox::AvgPool2d(l) => l.backward(grad_out),
+            LayerBox::Relu(l) => l.backward(grad_out),
+            LayerBox::Flatten(l) => l.backward(grad_out),
+            LayerBox::Dropout(l) => l.backward(grad_out),
+            LayerBox::MaxPool2d(l) => l.backward(grad_out),
+        }
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        match self {
+            LayerBox::Dense(l) => l.params_mut(),
+            LayerBox::Conv2d(l) => l.params_mut(),
+            LayerBox::AvgPool2d(l) => l.params_mut(),
+            LayerBox::Relu(l) => l.params_mut(),
+            LayerBox::Flatten(l) => l.params_mut(),
+            LayerBox::Dropout(l) => l.params_mut(),
+            LayerBox::MaxPool2d(l) => l.params_mut(),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            LayerBox::Dense(l) => l.name(),
+            LayerBox::Conv2d(l) => l.name(),
+            LayerBox::AvgPool2d(l) => l.name(),
+            LayerBox::Relu(l) => l.name(),
+            LayerBox::Flatten(l) => l.name(),
+            LayerBox::Dropout(l) => l.name(),
+            LayerBox::MaxPool2d(l) => l.name(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn dense_forward_known_values() {
+        let mut d = Dense::new(2, 2, &mut rng());
+        d.weight.value = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        d.bias.value = Tensor::from_slice(&[0.5, -0.5]);
+        let x = Tensor::from_vec(vec![1.0, 1.0], &[1, 2]).unwrap();
+        let y = d.forward(&x, false).unwrap();
+        assert_eq!(y.as_slice(), &[4.5, 5.5]);
+    }
+
+    #[test]
+    fn dense_backward_gradients() {
+        let mut d = Dense::new(2, 1, &mut rng());
+        d.weight.value = Tensor::from_vec(vec![2.0, 3.0], &[2, 1]).unwrap();
+        d.bias.value = Tensor::from_slice(&[0.0]);
+        let x = Tensor::from_vec(vec![1.0, 2.0], &[1, 2]).unwrap();
+        let _ = d.forward(&x, true).unwrap();
+        let g = Tensor::from_vec(vec![1.0], &[1, 1]).unwrap();
+        let gx = d.backward(&g).unwrap();
+        // dW = x^T g = [1, 2]; db = 1; dx = g W^T = [2, 3]
+        assert_eq!(d.weight.grad.as_slice(), &[1.0, 2.0]);
+        assert_eq!(d.bias.grad.as_slice(), &[1.0]);
+        assert_eq!(gx.as_slice(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn dense_backward_before_forward_errors() {
+        let mut d = Dense::new(2, 1, &mut rng());
+        let g = Tensor::zeros(&[1, 1]);
+        assert!(matches!(
+            d.backward(&g),
+            Err(DnnError::BackwardBeforeForward)
+        ));
+    }
+
+    #[test]
+    fn dense_numeric_gradient_check() {
+        // Finite-difference check on a random weight entry.
+        let mut rng = rng();
+        let mut d = Dense::new(3, 2, &mut rng);
+        let x = Tensor::from_vec(vec![0.3, -0.2, 0.8], &[1, 3]).unwrap();
+        // loss = sum(forward(x)); dL/dy = ones
+        let eps = 1e-3f32;
+        let y0 = d.forward(&x, true).unwrap();
+        let _ = y0;
+        let g = Tensor::ones(&[1, 2]);
+        d.weight.zero_grad();
+        let _ = d.backward(&g).unwrap();
+        let analytic = d.weight.grad.get(&[1, 0]).unwrap();
+        let orig = d.weight.value.get(&[1, 0]).unwrap();
+        d.weight.value.set(&[1, 0], orig + eps).unwrap();
+        let lp = d.forward(&x, true).unwrap().sum();
+        d.weight.value.set(&[1, 0], orig - eps).unwrap();
+        let lm = d.forward(&x, true).unwrap().sum();
+        let numeric = (lp - lm) / (2.0 * eps);
+        assert!(
+            (analytic - numeric).abs() < 1e-2,
+            "analytic {analytic} vs numeric {numeric}"
+        );
+    }
+
+    #[test]
+    fn conv_forward_matches_tensor_conv2d() {
+        let mut r = rng();
+        let geom = Conv2dGeometry::square(3, 1, 1);
+        let mut layer = Conv2d::new(2, 3, geom, &mut r);
+        let input = bsnn_tensor::init::uniform(&mut r, &[2, 2, 5, 5], 0.0, 1.0);
+        let out = layer.forward(&input, false).unwrap();
+        let reference = bsnn_tensor::conv::conv2d(
+            &input,
+            &layer.weight.value,
+            Some(&layer.bias.value),
+            &geom,
+        )
+        .unwrap();
+        assert_eq!(out.shape(), reference.shape());
+        for (a, b) in out.as_slice().iter().zip(reference.as_slice()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn conv_numeric_gradient_check() {
+        let mut r = rng();
+        let geom = Conv2dGeometry::square(2, 1, 0);
+        let mut layer = Conv2d::new(1, 1, geom, &mut r);
+        let input = bsnn_tensor::init::uniform(&mut r, &[1, 1, 3, 3], -1.0, 1.0);
+        let _ = layer.forward(&input, true).unwrap();
+        let gones = Tensor::ones(&[1, 1, 2, 2]);
+        layer.weight.zero_grad();
+        let gx = layer.backward(&gones).unwrap();
+
+        // check dL/dw[0,0,0,1]
+        let eps = 1e-3f32;
+        let analytic_w = layer.weight.grad.get(&[0, 0, 0, 1]).unwrap();
+        let orig = layer.weight.value.get(&[0, 0, 0, 1]).unwrap();
+        layer.weight.value.set(&[0, 0, 0, 1], orig + eps).unwrap();
+        let lp = layer.forward(&input, true).unwrap().sum();
+        layer.weight.value.set(&[0, 0, 0, 1], orig - eps).unwrap();
+        let lm = layer.forward(&input, true).unwrap().sum();
+        layer.weight.value.set(&[0, 0, 0, 1], orig).unwrap();
+        let numeric_w = (lp - lm) / (2.0 * eps);
+        assert!(
+            (analytic_w - numeric_w).abs() < 1e-2,
+            "w-grad analytic {analytic_w} vs numeric {numeric_w}"
+        );
+
+        // check dL/dx[0,0,1,1] — covered by all four windows
+        let mut inp2 = input.clone();
+        let analytic_x = gx.get(&[0, 0, 1, 1]).unwrap();
+        let ox = input.get(&[0, 0, 1, 1]).unwrap();
+        inp2.set(&[0, 0, 1, 1], ox + eps).unwrap();
+        let lp = layer.forward(&inp2, true).unwrap().sum();
+        inp2.set(&[0, 0, 1, 1], ox - eps).unwrap();
+        let lm = layer.forward(&inp2, true).unwrap().sum();
+        let numeric_x = (lp - lm) / (2.0 * eps);
+        assert!(
+            (analytic_x - numeric_x).abs() < 1e-2,
+            "x-grad analytic {analytic_x} vs numeric {numeric_x}"
+        );
+    }
+
+    #[test]
+    fn relu_masks_gradient() {
+        let mut l = Relu::new();
+        let x = Tensor::from_vec(vec![-1.0, 2.0], &[1, 2]).unwrap();
+        let y = l.forward(&x, true).unwrap();
+        assert_eq!(y.as_slice(), &[0.0, 2.0]);
+        let g = Tensor::from_vec(vec![5.0, 5.0], &[1, 2]).unwrap();
+        let gx = l.backward(&g).unwrap();
+        assert_eq!(gx.as_slice(), &[0.0, 5.0]);
+    }
+
+    #[test]
+    fn flatten_round_trip() {
+        let mut l = Flatten::new();
+        let x = Tensor::ones(&[2, 3, 4, 4]);
+        let y = l.forward(&x, true).unwrap();
+        assert_eq!(y.shape(), &[2, 48]);
+        let gx = l.backward(&y).unwrap();
+        assert_eq!(gx.shape(), &[2, 3, 4, 4]);
+    }
+
+    #[test]
+    fn avgpool_backward_shape() {
+        let mut l = AvgPool2d::square(2);
+        let x = Tensor::ones(&[1, 2, 4, 4]);
+        let y = l.forward(&x, true).unwrap();
+        assert_eq!(y.shape(), &[1, 2, 2, 2]);
+        let gx = l.backward(&Tensor::ones(&[1, 2, 2, 2])).unwrap();
+        assert_eq!(gx.shape(), &[1, 2, 4, 4]);
+        // each input cell receives 1/4 of one window gradient
+        assert!(gx.as_slice().iter().all(|&v| (v - 0.25).abs() < 1e-6));
+    }
+
+    #[test]
+    fn dropout_eval_is_identity() {
+        let mut l = Dropout::new(0.5, 1).unwrap();
+        let x = Tensor::from_slice(&[1.0, 2.0, 3.0]);
+        let y = l.forward(&x, false).unwrap();
+        assert_eq!(y.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn dropout_train_preserves_expectation() {
+        let mut l = Dropout::new(0.3, 7).unwrap();
+        let x = Tensor::ones(&[10_000]);
+        let y = l.forward(&x, true).unwrap();
+        // E[y] = 1 with inverted dropout
+        assert!((y.mean() - 1.0).abs() < 0.05, "mean {}", y.mean());
+        // surviving entries scaled by 1/keep
+        for &v in y.as_slice() {
+            assert!(v == 0.0 || (v - 1.0 / 0.7).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn dropout_rejects_bad_probability() {
+        assert!(Dropout::new(1.0, 0).is_err());
+        assert!(Dropout::new(-0.1, 0).is_err());
+        assert!(Dropout::new(0.0, 0).is_ok());
+    }
+
+    #[test]
+    fn layerbox_dispatch_names() {
+        let mut r = rng();
+        let boxes = [LayerBox::Dense(Dense::new(2, 2, &mut r)),
+            LayerBox::Relu(Relu::new()),
+            LayerBox::Flatten(Flatten::new())];
+        let names: Vec<&str> = boxes.iter().map(|b| b.name()).collect();
+        assert_eq!(names, vec!["dense", "relu", "flatten"]);
+    }
+}

@@ -1,0 +1,54 @@
+#![warn(missing_docs)]
+//! # bsnn-dnn
+//!
+//! A from-scratch trainable deep neural network library. It exists to
+//! produce the *source* ANN that DNN→SNN conversion (crate `bsnn-core`)
+//! imports weights from, exactly as the paper trains VGG-16 in TensorFlow
+//! before converting it.
+//!
+//! Constraints inherited from the conversion literature (\[10]–\[13] in the
+//! paper) are designed in:
+//!
+//! * ReLU activations only (SNN firing rates approximate ReLU outputs),
+//! * average pooling instead of max pooling,
+//! * plain feed-forward topology (no batch norm; biases are supported and
+//!   handled by the conversion's normalized-bias rule).
+//!
+//! The layer set is a closed enum ([`LayerBox`]) rather than trait
+//! objects, so the converter can pattern-match layers without downcasts.
+//!
+//! ## Example
+//!
+//! ```
+//! # fn main() -> Result<(), bsnn_dnn::DnnError> {
+//! use bsnn_dnn::{models, train::{TrainConfig, Trainer}};
+//! use bsnn_data::SynthSpec;
+//!
+//! let (train, test) = SynthSpec::digits().with_counts(8, 4).generate();
+//! let mut model = models::mlp(12 * 12, &[32], 10, 1)?;
+//! let cfg = TrainConfig { epochs: 1, ..TrainConfig::default() };
+//! let report = Trainer::new(cfg).fit(&mut model, &train, &test)?;
+//! assert!(report.test_accuracy >= 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+mod error;
+mod layer;
+mod loss;
+mod maxpool;
+mod model;
+mod optimizer;
+
+pub mod constrain;
+pub mod models;
+pub mod train;
+
+pub use error::DnnError;
+pub use layer::{
+    AvgPool2d, Conv2d, Dense, Dropout, Flatten, Layer, LayerBox, Param, Relu,
+};
+pub use maxpool::MaxPool2d;
+pub use loss::softmax_cross_entropy;
+pub use model::Sequential;
+pub use optimizer::Optimizer;

@@ -1,0 +1,144 @@
+//! Softmax cross-entropy loss.
+
+use crate::DnnError;
+use bsnn_tensor::Tensor;
+
+/// Computes mean softmax cross-entropy over a batch and the gradient with
+/// respect to the logits.
+///
+/// * `logits`: `(n, classes)`
+/// * `labels`: `n` class indices
+///
+/// Returns `(mean_loss, grad)` where `grad = (softmax(logits) − onehot) / n`.
+///
+/// # Errors
+///
+/// Returns [`DnnError::InvalidConfig`] on rank/batch mismatches and
+/// [`DnnError::LabelOutOfRange`] for labels `≥ classes`.
+///
+/// ```
+/// # fn main() -> Result<(), bsnn_dnn::DnnError> {
+/// use bsnn_dnn::softmax_cross_entropy;
+/// use bsnn_tensor::Tensor;
+///
+/// let logits = Tensor::from_vec(vec![10.0, 0.0, 0.0, 10.0], &[2, 2])?;
+/// let (loss, _grad) = softmax_cross_entropy(&logits, &[0, 1])?;
+/// assert!(loss < 0.01); // confident and correct
+/// # Ok(())
+/// # }
+/// ```
+pub fn softmax_cross_entropy(
+    logits: &Tensor,
+    labels: &[usize],
+) -> Result<(f32, Tensor), DnnError> {
+    if logits.rank() != 2 {
+        return Err(DnnError::InvalidConfig(format!(
+            "logits must be rank-2, got rank {}",
+            logits.rank()
+        )));
+    }
+    let (n, classes) = (logits.shape()[0], logits.shape()[1]);
+    if labels.len() != n {
+        return Err(DnnError::InvalidConfig(format!(
+            "batch size {n} but {} labels",
+            labels.len()
+        )));
+    }
+    if n == 0 {
+        return Err(DnnError::InvalidConfig("empty batch".into()));
+    }
+    for &l in labels {
+        if l >= classes {
+            return Err(DnnError::LabelOutOfRange { label: l, classes });
+        }
+    }
+
+    let src = logits.as_slice();
+    let mut grad = vec![0.0f32; n * classes];
+    let mut loss = 0.0f32;
+    for (i, &label) in labels.iter().enumerate() {
+        let row = &src[i * classes..(i + 1) * classes];
+        let maxv = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = row.iter().map(|&x| (x - maxv).exp()).collect();
+        let denom: f32 = exps.iter().sum();
+        let log_denom = denom.ln();
+        loss += -(row[label] - maxv - log_denom);
+        for c in 0..classes {
+            let p = exps[c] / denom;
+            grad[i * classes + c] = (p - if c == label { 1.0 } else { 0.0 }) / n as f32;
+        }
+    }
+    let grad = Tensor::from_vec(grad, &[n, classes])?;
+    Ok((loss / n as f32, grad))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_loss_is_log_classes() {
+        let logits = Tensor::zeros(&[1, 4]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[2]).unwrap();
+        assert!((loss - 4.0f32.ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_sums_to_zero_per_row() {
+        let logits = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]).unwrap();
+        let (_, grad) = softmax_cross_entropy(&logits, &[0]).unwrap();
+        assert!(grad.sum().abs() < 1e-6);
+    }
+
+    #[test]
+    fn gradient_negative_at_label() {
+        let logits = Tensor::from_vec(vec![1.0, 1.0], &[1, 2]).unwrap();
+        let (_, grad) = softmax_cross_entropy(&logits, &[1]).unwrap();
+        assert!(grad.get(&[0, 1]).unwrap() < 0.0);
+        assert!(grad.get(&[0, 0]).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn numerically_stable_for_large_logits() {
+        let logits = Tensor::from_vec(vec![1000.0, 0.0], &[1, 2]).unwrap();
+        let (loss, grad) = softmax_cross_entropy(&logits, &[0]).unwrap();
+        assert!(loss.is_finite());
+        assert!(grad.as_slice().iter().all(|g| g.is_finite()));
+    }
+
+    #[test]
+    fn numeric_gradient_check() {
+        let logits = Tensor::from_vec(vec![0.2, -0.4, 0.7], &[1, 3]).unwrap();
+        let (_, grad) = softmax_cross_entropy(&logits, &[1]).unwrap();
+        let eps = 1e-3f32;
+        for c in 0..3 {
+            let mut lp = logits.clone();
+            lp.set(&[0, c], logits.get(&[0, c]).unwrap() + eps).unwrap();
+            let (loss_p, _) = softmax_cross_entropy(&lp, &[1]).unwrap();
+            let mut lm = logits.clone();
+            lm.set(&[0, c], logits.get(&[0, c]).unwrap() - eps).unwrap();
+            let (loss_m, _) = softmax_cross_entropy(&lm, &[1]).unwrap();
+            let numeric = (loss_p - loss_m) / (2.0 * eps);
+            let analytic = grad.get(&[0, c]).unwrap();
+            assert!(
+                (numeric - analytic).abs() < 1e-3,
+                "c={c} numeric {numeric} analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_label_out_of_range() {
+        let logits = Tensor::zeros(&[1, 2]);
+        assert!(matches!(
+            softmax_cross_entropy(&logits, &[2]),
+            Err(DnnError::LabelOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_batch_mismatch() {
+        let logits = Tensor::zeros(&[2, 2]);
+        assert!(softmax_cross_entropy(&logits, &[0]).is_err());
+    }
+}

@@ -1,0 +1,170 @@
+//! Max pooling — used by unconstrained CNNs. DNN→SNN conversion cannot
+//! map max pooling onto IF neurons (a spiking max is ill-defined for
+//! rate-coded magnitudes), which is why Cao et al. 2015 *constrain*
+//! models by replacing max pooling with average pooling before
+//! conversion; see [`crate::constrain::constrain_for_conversion`].
+
+use crate::{DnnError, Layer, Param};
+use bsnn_tensor::conv::Conv2dGeometry;
+use bsnn_tensor::Tensor;
+
+/// Max pooling over NCHW windows.
+#[derive(Debug, Clone)]
+pub struct MaxPool2d {
+    /// Window geometry.
+    pub geom: Conv2dGeometry,
+    cache: Option<MaxPoolCache>,
+}
+
+#[derive(Debug, Clone)]
+struct MaxPoolCache {
+    in_shape: [usize; 4],
+    /// Flat input index of the maximal element for every output cell.
+    argmax: Vec<usize>,
+}
+
+impl MaxPool2d {
+    /// A pooling layer with the given geometry.
+    pub fn new(geom: Conv2dGeometry) -> Self {
+        MaxPool2d { geom, cache: None }
+    }
+
+    /// Convenience: square non-overlapping pooling of size `k`.
+    pub fn square(k: usize) -> Self {
+        MaxPool2d::new(Conv2dGeometry::square(k, k, 0))
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor, DnnError> {
+        if input.rank() != 4 {
+            return Err(DnnError::Tensor(bsnn_tensor::TensorError::RankMismatch {
+                expected: 4,
+                actual: input.rank(),
+            }));
+        }
+        let s = input.shape();
+        let (n, c, h, w) = (s[0], s[1], s[2], s[3]);
+        let (oh, ow) = self.geom.output_hw(h, w)?;
+        let src = input.as_slice();
+        let mut out = vec![f32::NEG_INFINITY; n * c * oh * ow];
+        let mut argmax = vec![0usize; n * c * oh * ow];
+        for ni in 0..n {
+            for ci in 0..c {
+                let base = (ni * c + ci) * h * w;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let oidx = ((ni * c + ci) * oh + oy) * ow + ox;
+                        for ky in 0..self.geom.kernel_h {
+                            let iy = (oy * self.geom.stride_h + ky) as isize
+                                - self.geom.pad_h as isize;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for kx in 0..self.geom.kernel_w {
+                                let ix = (ox * self.geom.stride_w + kx) as isize
+                                    - self.geom.pad_w as isize;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                let idx = base + iy as usize * w + ix as usize;
+                                if src[idx] > out[oidx] {
+                                    out[oidx] = src[idx];
+                                    argmax[oidx] = idx;
+                                }
+                            }
+                        }
+                        // Fully-padded windows (possible only with large
+                        // padding) max over zeros.
+                        if out[oidx] == f32::NEG_INFINITY {
+                            out[oidx] = 0.0;
+                        }
+                    }
+                }
+            }
+        }
+        self.cache = Some(MaxPoolCache {
+            in_shape: [n, c, h, w],
+            argmax,
+        });
+        Ok(Tensor::from_vec(out, &[n, c, oh, ow])?)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, DnnError> {
+        let cache = self.cache.as_ref().ok_or(DnnError::BackwardBeforeForward)?;
+        let [n, c, h, w] = cache.in_shape;
+        if grad_out.len() != cache.argmax.len() {
+            return Err(DnnError::Tensor(bsnn_tensor::TensorError::ShapeMismatch {
+                lhs: grad_out.shape().to_vec(),
+                rhs: vec![cache.argmax.len()],
+            }));
+        }
+        let mut gin = vec![0.0f32; n * c * h * w];
+        for (g, &idx) in grad_out.as_slice().iter().zip(&cache.argmax) {
+            gin[idx] += g;
+        }
+        Ok(Tensor::from_vec(gin, &[n, c, h, w])?)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    fn name(&self) -> &'static str {
+        "max_pool2d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_takes_window_max() {
+        let mut l = MaxPool2d::square(2);
+        let x = Tensor::from_vec(
+            vec![1.0, 5.0, 3.0, 2.0, 8.0, 1.0, 0.0, 4.0, 2.0, 2.0, 2.0, 2.0, 9.0, 1.0, 1.0, 1.0],
+            &[1, 1, 4, 4],
+        )
+        .unwrap();
+        let y = l.forward(&x, false).unwrap();
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        assert_eq!(y.as_slice(), &[8.0, 4.0, 9.0, 2.0]);
+    }
+
+    #[test]
+    fn backward_routes_to_argmax() {
+        let mut l = MaxPool2d::square(2);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]).unwrap();
+        let _ = l.forward(&x, true).unwrap();
+        let g = Tensor::from_vec(vec![7.0], &[1, 1, 1, 1]).unwrap();
+        let gin = l.backward(&g).unwrap();
+        assert_eq!(gin.as_slice(), &[0.0, 0.0, 0.0, 7.0]);
+    }
+
+    #[test]
+    fn backward_before_forward_errors() {
+        let mut l = MaxPool2d::square(2);
+        assert!(matches!(
+            l.backward(&Tensor::zeros(&[1, 1, 1, 1])),
+            Err(DnnError::BackwardBeforeForward)
+        ));
+    }
+
+    #[test]
+    fn max_ge_avg_pointwise() {
+        use bsnn_tensor::conv::avg_pool2d;
+        let mut l = MaxPool2d::square(2);
+        let x = bsnn_tensor::init::uniform(
+            &mut <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(1),
+            &[1, 2, 4, 4],
+            0.0,
+            1.0,
+        );
+        let mx = l.forward(&x, false).unwrap();
+        let av = avg_pool2d(&x, &Conv2dGeometry::square(2, 2, 0)).unwrap();
+        for (m, a) in mx.as_slice().iter().zip(av.as_slice()) {
+            assert!(m >= a);
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! The [`Sequential`] feed-forward model container.
+
+use crate::{DnnError, Layer, LayerBox, Param};
+use bsnn_tensor::Tensor;
+
+/// A feed-forward stack of layers.
+///
+/// `Sequential` is the unit that training operates on and that DNN→SNN
+/// conversion consumes. Layers are stored as the closed [`LayerBox`] enum
+/// so converters can inspect weights without downcasting.
+#[derive(Debug, Clone)]
+pub struct Sequential {
+    layers: Vec<LayerBox>,
+}
+
+impl Sequential {
+    /// Builds a model from layers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::InvalidConfig`] for an empty layer list.
+    pub fn new(layers: Vec<LayerBox>) -> Result<Self, DnnError> {
+        if layers.is_empty() {
+            return Err(DnnError::InvalidConfig("model has no layers".into()));
+        }
+        Ok(Sequential { layers })
+    }
+
+    /// Immutable access to the layer stack.
+    pub fn layers(&self) -> &[LayerBox] {
+        &self.layers
+    }
+
+    /// Mutable access to the layer stack (used by converters that fold or
+    /// rescale weights).
+    pub fn layers_mut(&mut self) -> &mut [LayerBox] {
+        &mut self.layers
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the model has no layers (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Forward pass through every layer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer errors (shape mismatches etc.).
+    pub fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor, DnnError> {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x, train)?;
+        }
+        Ok(x)
+    }
+
+    /// Forward pass that additionally returns every layer's output, in
+    /// order. Used by data-based weight normalization, which needs the
+    /// activation distribution after each layer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer errors.
+    pub fn forward_collect(
+        &mut self,
+        input: &Tensor,
+    ) -> Result<(Tensor, Vec<Tensor>), DnnError> {
+        let mut x = input.clone();
+        let mut acts = Vec::with_capacity(self.layers.len());
+        for layer in &mut self.layers {
+            x = layer.forward(&x, false)?;
+            acts.push(x.clone());
+        }
+        Ok((x, acts))
+    }
+
+    /// Backward pass; `grad` is the loss gradient with respect to the
+    /// model output. Returns the gradient with respect to the input.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer errors, including
+    /// [`DnnError::BackwardBeforeForward`].
+    pub fn backward(&mut self, grad: &Tensor) -> Result<Tensor, DnnError> {
+        let mut g = grad.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g)?;
+        }
+        Ok(g)
+    }
+
+    /// All trainable parameters, in layer order.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
+    }
+
+    /// Clears every accumulated gradient.
+    pub fn zero_grad(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+    }
+
+    /// Total number of trainable scalar parameters.
+    pub fn num_parameters(&mut self) -> usize {
+        self.params_mut().iter().map(|p| p.value.len()).sum()
+    }
+
+    /// Class predictions (argmax over the last dimension) for a batch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates forward errors.
+    pub fn predict(&mut self, input: &Tensor) -> Result<Vec<usize>, DnnError> {
+        let out = self.forward(input, false)?;
+        let (n, c) = (out.shape()[0], out.shape()[1]);
+        let src = out.as_slice();
+        Ok((0..n)
+            .map(|i| {
+                let row = &src[i * c..(i + 1) * c];
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                    .map(|(idx, _)| idx)
+                    .unwrap_or(0)
+            })
+            .collect())
+    }
+
+    /// One-line summary of the architecture, e.g.
+    /// `"conv2d→relu→avg_pool2d→flatten→dense"`.
+    pub fn summary(&self) -> String {
+        self.layers
+            .iter()
+            .map(|l| l.name())
+            .collect::<Vec<_>>()
+            .join("→")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Dense, Relu};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn two_layer() -> Sequential {
+        let mut rng = StdRng::seed_from_u64(0);
+        Sequential::new(vec![
+            LayerBox::Dense(Dense::new(4, 8, &mut rng)),
+            LayerBox::Relu(Relu::new()),
+            LayerBox::Dense(Dense::new(8, 3, &mut rng)),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_empty_model() {
+        assert!(Sequential::new(vec![]).is_err());
+    }
+
+    #[test]
+    fn forward_shape() {
+        let mut m = two_layer();
+        let y = m.forward(&Tensor::ones(&[2, 4]), false).unwrap();
+        assert_eq!(y.shape(), &[2, 3]);
+    }
+
+    #[test]
+    fn forward_collect_returns_all_layer_outputs() {
+        let mut m = two_layer();
+        let (_, acts) = m.forward_collect(&Tensor::ones(&[1, 4])).unwrap();
+        assert_eq!(acts.len(), 3);
+        assert_eq!(acts[0].shape(), &[1, 8]);
+        assert_eq!(acts[2].shape(), &[1, 3]);
+    }
+
+    #[test]
+    fn params_counted() {
+        let mut m = two_layer();
+        assert_eq!(m.num_parameters(), 4 * 8 + 8 + 8 * 3 + 3);
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut m = two_layer();
+        let y = m.forward(&Tensor::ones(&[1, 4]), true).unwrap();
+        m.backward(&Tensor::ones(y.shape())).unwrap();
+        assert!(m.params_mut().iter().any(|p| p.grad.as_slice().iter().any(|&g| g != 0.0)));
+        m.zero_grad();
+        assert!(m
+            .params_mut()
+            .iter()
+            .all(|p| p.grad.as_slice().iter().all(|&g| g == 0.0)));
+    }
+
+    #[test]
+    fn predict_returns_argmax() {
+        let mut m = two_layer();
+        let preds = m.predict(&Tensor::ones(&[5, 4])).unwrap();
+        assert_eq!(preds.len(), 5);
+        assert!(preds.iter().all(|&p| p < 3));
+    }
+
+    #[test]
+    fn summary_names_layers() {
+        let m = two_layer();
+        assert_eq!(m.summary(), "dense→relu→dense");
+    }
+
+    #[test]
+    fn end_to_end_gradient_descends_loss() {
+        use crate::softmax_cross_entropy;
+        let mut m = two_layer();
+        let x = Tensor::ones(&[4, 4]);
+        let labels = [0usize, 1, 2, 0];
+        let (l0, g) = {
+            let y = m.forward(&x, true).unwrap();
+            softmax_cross_entropy(&y, &labels).unwrap()
+        };
+        m.zero_grad();
+        m.backward(&g).unwrap();
+        // manual SGD step
+        for p in m.params_mut() {
+            let g = p.grad.clone();
+            p.value.axpy_inplace(-0.05, &g).unwrap();
+        }
+        let y1 = m.forward(&x, true).unwrap();
+        let (l1, _) = softmax_cross_entropy(&y1, &labels).unwrap();
+        assert!(l1 < l0, "loss did not decrease: {l0} -> {l1}");
+    }
+}

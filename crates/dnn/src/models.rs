@@ -1,0 +1,257 @@
+//! Model constructors: MLPs and VGG-style CNNs scaled to the synthetic
+//! datasets.
+//!
+//! The paper uses VGG-16 on CIFAR-scale inputs. We provide the same
+//! *family* (3×3 convolutions, doubling channel widths, average-pool
+//! downsampling, dense head) scaled so CPU training finishes in seconds
+//! to minutes; DESIGN.md documents this substitution.
+
+use crate::{AvgPool2d, Conv2d, Dense, DnnError, Dropout, Flatten, LayerBox, Relu, Sequential};
+use bsnn_tensor::conv::Conv2dGeometry;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A multilayer perceptron: `input → [hidden, relu]* → classes`.
+///
+/// # Errors
+///
+/// Returns [`DnnError::InvalidConfig`] for a zero input size or zero
+/// classes.
+pub fn mlp(
+    input_dim: usize,
+    hidden: &[usize],
+    classes: usize,
+    seed: u64,
+) -> Result<Sequential, DnnError> {
+    if input_dim == 0 || classes == 0 {
+        return Err(DnnError::InvalidConfig(
+            "input_dim and classes must be nonzero".into(),
+        ));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut layers = vec![LayerBox::Flatten(Flatten::new())];
+    let mut prev = input_dim;
+    for &h in hidden {
+        layers.push(LayerBox::Dense(Dense::new(prev, h, &mut rng)));
+        layers.push(LayerBox::Relu(Relu::new()));
+        prev = h;
+    }
+    layers.push(LayerBox::Dense(Dense::new(prev, classes, &mut rng)));
+    Sequential::new(layers)
+}
+
+fn conv3(c_in: usize, c_out: usize, rng: &mut StdRng) -> LayerBox {
+    LayerBox::Conv2d(Conv2d::new(
+        c_in,
+        c_out,
+        Conv2dGeometry::square(3, 1, 1),
+        rng,
+    ))
+}
+
+/// A small VGG-style CNN for the `synth-digits` (MNIST stand-in) task.
+///
+/// `conv3(16) relu pool2 conv3(32) relu pool2 flatten dense(64) relu
+/// dense(classes)`.
+///
+/// # Errors
+///
+/// Returns [`DnnError::InvalidConfig`] if the spatial size is not
+/// divisible by 4.
+pub fn cnn_digits(
+    channels: usize,
+    height: usize,
+    width: usize,
+    classes: usize,
+    seed: u64,
+) -> Result<Sequential, DnnError> {
+    if !height.is_multiple_of(4) || !width.is_multiple_of(4) {
+        return Err(DnnError::InvalidConfig(format!(
+            "spatial size {height}x{width} must be divisible by 4"
+        )));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let flat = 32 * (height / 4) * (width / 4);
+    Sequential::new(vec![
+        conv3(channels, 16, &mut rng),
+        LayerBox::Relu(Relu::new()),
+        LayerBox::AvgPool2d(AvgPool2d::square(2)),
+        conv3(16, 32, &mut rng),
+        LayerBox::Relu(Relu::new()),
+        LayerBox::AvgPool2d(AvgPool2d::square(2)),
+        LayerBox::Flatten(Flatten::new()),
+        LayerBox::Dense(Dense::new(flat, 64, &mut rng)),
+        LayerBox::Relu(Relu::new()),
+        LayerBox::Dense(Dense::new(64, classes, &mut rng)),
+    ])
+}
+
+/// A scaled VGG-style CNN (the workspace's "VGG-16 stand-in"):
+///
+/// `conv3(32) relu conv3(32) relu pool2 conv3(64) relu conv3(64) relu
+/// pool2 flatten dense(128) relu dropout dense(classes)`.
+///
+/// Six weight layers with doubling widths and pool-separated stages —
+/// the same architectural family as VGG-16, scaled to 16×16 inputs.
+///
+/// # Errors
+///
+/// Returns [`DnnError::InvalidConfig`] if the spatial size is not
+/// divisible by 4.
+pub fn vgg_small(
+    channels: usize,
+    height: usize,
+    width: usize,
+    classes: usize,
+    seed: u64,
+) -> Result<Sequential, DnnError> {
+    if !height.is_multiple_of(4) || !width.is_multiple_of(4) {
+        return Err(DnnError::InvalidConfig(format!(
+            "spatial size {height}x{width} must be divisible by 4"
+        )));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let flat = 64 * (height / 4) * (width / 4);
+    Sequential::new(vec![
+        conv3(channels, 32, &mut rng),
+        LayerBox::Relu(Relu::new()),
+        conv3(32, 32, &mut rng),
+        LayerBox::Relu(Relu::new()),
+        LayerBox::AvgPool2d(AvgPool2d::square(2)),
+        conv3(32, 64, &mut rng),
+        LayerBox::Relu(Relu::new()),
+        conv3(64, 64, &mut rng),
+        LayerBox::Relu(Relu::new()),
+        LayerBox::AvgPool2d(AvgPool2d::square(2)),
+        LayerBox::Flatten(Flatten::new()),
+        LayerBox::Dense(Dense::new(flat, 128, &mut rng)),
+        LayerBox::Relu(Relu::new()),
+        LayerBox::Dropout(Dropout::new(0.2, seed ^ 0xD20)?),
+        LayerBox::Dense(Dense::new(128, classes, &mut rng)),
+    ])
+}
+
+/// The unconstrained variant of [`cnn_digits`] with **max** pooling —
+/// the starting point of the Cao et al. 2015 pipeline, which must be
+/// passed through [`crate::constrain::constrain_for_conversion`] (and
+/// retrained) before DNN→SNN conversion.
+///
+/// # Errors
+///
+/// Returns [`DnnError::InvalidConfig`] if the spatial size is not
+/// divisible by 4.
+pub fn cnn_digits_maxpool(
+    channels: usize,
+    height: usize,
+    width: usize,
+    classes: usize,
+    seed: u64,
+) -> Result<Sequential, DnnError> {
+    if !height.is_multiple_of(4) || !width.is_multiple_of(4) {
+        return Err(DnnError::InvalidConfig(format!(
+            "spatial size {height}x{width} must be divisible by 4"
+        )));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let flat = 32 * (height / 4) * (width / 4);
+    Sequential::new(vec![
+        conv3(channels, 16, &mut rng),
+        LayerBox::Relu(Relu::new()),
+        LayerBox::MaxPool2d(crate::MaxPool2d::square(2)),
+        conv3(16, 32, &mut rng),
+        LayerBox::Relu(Relu::new()),
+        LayerBox::MaxPool2d(crate::MaxPool2d::square(2)),
+        LayerBox::Flatten(Flatten::new()),
+        LayerBox::Dense(Dense::new(flat, 64, &mut rng)),
+        LayerBox::Relu(Relu::new()),
+        LayerBox::Dense(Dense::new(64, classes, &mut rng)),
+    ])
+}
+
+/// The smallest convolutional model; handy for fast tests.
+///
+/// `conv3(8) relu pool2 flatten dense(classes)`.
+///
+/// # Errors
+///
+/// Returns [`DnnError::InvalidConfig`] if the spatial size is odd.
+pub fn vgg_tiny(
+    channels: usize,
+    height: usize,
+    width: usize,
+    classes: usize,
+    seed: u64,
+) -> Result<Sequential, DnnError> {
+    if !height.is_multiple_of(2) || !width.is_multiple_of(2) {
+        return Err(DnnError::InvalidConfig(format!(
+            "spatial size {height}x{width} must be even"
+        )));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let flat = 8 * (height / 2) * (width / 2);
+    Sequential::new(vec![
+        conv3(channels, 8, &mut rng),
+        LayerBox::Relu(Relu::new()),
+        LayerBox::AvgPool2d(AvgPool2d::square(2)),
+        LayerBox::Flatten(Flatten::new()),
+        LayerBox::Dense(Dense::new(flat, classes, &mut rng)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsnn_tensor::Tensor;
+
+    #[test]
+    fn mlp_shapes() {
+        let mut m = mlp(16, &[8, 8], 4, 0).unwrap();
+        let y = m.forward(&Tensor::ones(&[2, 16]), false).unwrap();
+        assert_eq!(y.shape(), &[2, 4]);
+    }
+
+    #[test]
+    fn mlp_rejects_zero_config() {
+        assert!(mlp(0, &[], 2, 0).is_err());
+        assert!(mlp(4, &[], 0, 0).is_err());
+    }
+
+    #[test]
+    fn cnn_digits_shapes() {
+        let mut m = cnn_digits(1, 12, 12, 10, 0).unwrap();
+        let y = m.forward(&Tensor::ones(&[2, 1, 12, 12]), false).unwrap();
+        assert_eq!(y.shape(), &[2, 10]);
+    }
+
+    #[test]
+    fn vgg_small_shapes() {
+        let mut m = vgg_small(3, 16, 16, 10, 0).unwrap();
+        let y = m.forward(&Tensor::ones(&[1, 3, 16, 16]), false).unwrap();
+        assert_eq!(y.shape(), &[1, 10]);
+    }
+
+    #[test]
+    fn vgg_tiny_shapes() {
+        let mut m = vgg_tiny(3, 16, 16, 10, 0).unwrap();
+        let y = m.forward(&Tensor::ones(&[1, 3, 16, 16]), false).unwrap();
+        assert_eq!(y.shape(), &[1, 10]);
+    }
+
+    #[test]
+    fn geometry_validation() {
+        assert!(cnn_digits(1, 13, 12, 10, 0).is_err());
+        assert!(vgg_small(3, 18, 16, 10, 0).is_err());
+        assert!(vgg_tiny(3, 15, 16, 10, 0).is_err());
+    }
+
+    #[test]
+    fn models_are_seed_deterministic() {
+        let mut a = vgg_tiny(1, 12, 12, 10, 7).unwrap();
+        let mut b = vgg_tiny(1, 12, 12, 10, 7).unwrap();
+        let x = Tensor::ones(&[1, 1, 12, 12]);
+        assert_eq!(
+            a.forward(&x, false).unwrap().as_slice(),
+            b.forward(&x, false).unwrap().as_slice()
+        );
+    }
+}

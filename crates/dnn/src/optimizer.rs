@@ -1,0 +1,207 @@
+//! First-order optimizers: SGD with momentum, and Adam.
+//!
+//! Optimizer state (velocity / moment estimates) is keyed by parameter
+//! position in the flattened parameter list, which is stable because model
+//! structure never changes during training.
+
+use crate::{DnnError, Param};
+use bsnn_tensor::Tensor;
+
+/// A gradient-descent optimizer.
+#[derive(Debug, Clone)]
+pub enum Optimizer {
+    /// Stochastic gradient descent with classical momentum.
+    Sgd {
+        /// Learning rate.
+        lr: f32,
+        /// Momentum coefficient (0 disables momentum).
+        momentum: f32,
+        /// Per-parameter velocity buffers (lazily initialized).
+        velocity: Vec<Tensor>,
+    },
+    /// Adam (Kingma & Ba, 2015).
+    Adam {
+        /// Learning rate.
+        lr: f32,
+        /// First-moment decay.
+        beta1: f32,
+        /// Second-moment decay.
+        beta2: f32,
+        /// Numerical-stability epsilon.
+        eps: f32,
+        /// Step counter for bias correction.
+        t: u64,
+        /// First-moment buffers.
+        m: Vec<Tensor>,
+        /// Second-moment buffers.
+        v: Vec<Tensor>,
+    },
+}
+
+impl Optimizer {
+    /// SGD with momentum 0.9.
+    pub fn sgd(lr: f32) -> Self {
+        Optimizer::Sgd {
+            lr,
+            momentum: 0.9,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// Plain SGD (no momentum).
+    pub fn sgd_plain(lr: f32) -> Self {
+        Optimizer::Sgd {
+            lr,
+            momentum: 0.0,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// Adam with the canonical defaults (β₁ = 0.9, β₂ = 0.999, ε = 1e-8).
+    pub fn adam(lr: f32) -> Self {
+        Optimizer::Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// Current learning rate.
+    pub fn learning_rate(&self) -> f32 {
+        match self {
+            Optimizer::Sgd { lr, .. } | Optimizer::Adam { lr, .. } => *lr,
+        }
+    }
+
+    /// Sets the learning rate (for schedules).
+    pub fn set_learning_rate(&mut self, new_lr: f32) {
+        match self {
+            Optimizer::Sgd { lr, .. } | Optimizer::Adam { lr, .. } => *lr = new_lr,
+        }
+    }
+
+    /// Applies one update step to `params` using their accumulated
+    /// gradients. Gradients are *not* cleared — call [`Param::zero_grad`]
+    /// (typically through the trainer) before the next accumulation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a tensor shape error if a parameter changes shape between
+    /// steps (a programming error upstream).
+    pub fn step(&mut self, params: &mut [&mut Param]) -> Result<(), DnnError> {
+        match self {
+            Optimizer::Sgd {
+                lr,
+                momentum,
+                velocity,
+            } => {
+                if velocity.len() != params.len() {
+                    *velocity = params.iter().map(|p| Tensor::zeros(p.value.shape())).collect();
+                }
+                for (p, vel) in params.iter_mut().zip(velocity.iter_mut()) {
+                    if *momentum > 0.0 {
+                        vel.scale_inplace(*momentum);
+                        vel.add_inplace(&p.grad)?;
+                        p.value.axpy_inplace(-*lr, vel)?;
+                    } else {
+                        p.value.axpy_inplace(-*lr, &p.grad)?;
+                    }
+                }
+            }
+            Optimizer::Adam {
+                lr,
+                beta1,
+                beta2,
+                eps,
+                t,
+                m,
+                v,
+            } => {
+                if m.len() != params.len() {
+                    *m = params.iter().map(|p| Tensor::zeros(p.value.shape())).collect();
+                    *v = params.iter().map(|p| Tensor::zeros(p.value.shape())).collect();
+                }
+                *t += 1;
+                let bc1 = 1.0 - beta1.powi(*t as i32);
+                let bc2 = 1.0 - beta2.powi(*t as i32);
+                for ((p, mi), vi) in params.iter_mut().zip(m.iter_mut()).zip(v.iter_mut()) {
+                    let g = p.grad.as_slice();
+                    let mv = mi.as_mut_slice();
+                    let vv = vi.as_mut_slice();
+                    let pv = p.value.as_mut_slice();
+                    for i in 0..g.len() {
+                        mv[i] = *beta1 * mv[i] + (1.0 - *beta1) * g[i];
+                        vv[i] = *beta2 * vv[i] + (1.0 - *beta2) * g[i] * g[i];
+                        let mhat = mv[i] / bc1;
+                        let vhat = vv[i] / bc2;
+                        pv[i] -= *lr * mhat / (vhat.sqrt() + *eps);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_param(x0: f32) -> Param {
+        Param::new(Tensor::from_slice(&[x0]))
+    }
+
+    /// Minimise f(x) = x² with gradient 2x.
+    fn run_steps(opt: &mut Optimizer, x0: f32, steps: usize) -> f32 {
+        let mut p = quadratic_param(x0);
+        for _ in 0..steps {
+            p.zero_grad();
+            let x = p.value.as_slice()[0];
+            p.grad.as_mut_slice()[0] = 2.0 * x;
+            opt.step(&mut [&mut p]).unwrap();
+        }
+        p.value.as_slice()[0]
+    }
+
+    #[test]
+    fn sgd_plain_converges_on_quadratic() {
+        let mut opt = Optimizer::sgd_plain(0.1);
+        let x = run_steps(&mut opt, 5.0, 100);
+        assert!(x.abs() < 1e-3, "x = {x}");
+    }
+
+    #[test]
+    fn sgd_momentum_converges_on_quadratic() {
+        let mut opt = Optimizer::sgd(0.05);
+        let x = run_steps(&mut opt, 5.0, 200);
+        assert!(x.abs() < 1e-2, "x = {x}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Optimizer::adam(0.1);
+        let x = run_steps(&mut opt, 5.0, 300);
+        assert!(x.abs() < 1e-2, "x = {x}");
+    }
+
+    #[test]
+    fn learning_rate_accessors() {
+        let mut opt = Optimizer::adam(0.01);
+        assert_eq!(opt.learning_rate(), 0.01);
+        opt.set_learning_rate(0.001);
+        assert_eq!(opt.learning_rate(), 0.001);
+    }
+
+    #[test]
+    fn step_with_zero_grad_is_noop_for_sgd_plain() {
+        let mut opt = Optimizer::sgd_plain(0.1);
+        let mut p = quadratic_param(3.0);
+        p.zero_grad();
+        opt.step(&mut [&mut p]).unwrap();
+        assert_eq!(p.value.as_slice()[0], 3.0);
+    }
+}

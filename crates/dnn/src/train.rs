@@ -1,0 +1,231 @@
+//! Training loop and evaluation.
+
+use crate::{softmax_cross_entropy, DnnError, Optimizer, Sequential};
+use bsnn_data::{accuracy, Augmentation, BatchIter, ImageDataset};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Which optimizer the trainer constructs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OptimizerKind {
+    /// SGD with momentum 0.9.
+    SgdMomentum,
+    /// Adam.
+    Adam,
+}
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// Multiplicative learning-rate decay applied after each epoch.
+    pub lr_decay: f32,
+    /// Optimizer family.
+    pub optimizer: OptimizerKind,
+    /// Shuffling seed.
+    pub seed: u64,
+    /// Print per-epoch progress to stdout.
+    pub verbose: bool,
+    /// Optional per-batch data augmentation (shifts/flips/noise).
+    pub augment: Option<Augmentation>,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 10,
+            batch_size: 32,
+            lr: 1e-3,
+            lr_decay: 0.95,
+            optimizer: OptimizerKind::Adam,
+            seed: 0,
+            verbose: false,
+            augment: None,
+        }
+    }
+}
+
+/// Outcome of a training run.
+#[derive(Debug, Clone)]
+pub struct TrainReport {
+    /// Mean training loss per epoch.
+    pub epoch_losses: Vec<f32>,
+    /// Training-set accuracy after the final epoch.
+    pub train_accuracy: f64,
+    /// Test-set accuracy after the final epoch.
+    pub test_accuracy: f64,
+}
+
+/// Trains [`Sequential`] models with softmax cross-entropy.
+#[derive(Debug, Clone)]
+pub struct Trainer {
+    config: TrainConfig,
+}
+
+impl Trainer {
+    /// A trainer with the given configuration.
+    pub fn new(config: TrainConfig) -> Self {
+        Trainer { config }
+    }
+
+    /// Borrow of the configuration.
+    pub fn config(&self) -> &TrainConfig {
+        &self.config
+    }
+
+    /// Trains `model` on `train`, reporting final accuracy on both splits.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model and loss errors (shape mismatches, label range).
+    pub fn fit(
+        &self,
+        model: &mut Sequential,
+        train: &ImageDataset,
+        test: &ImageDataset,
+    ) -> Result<TrainReport, DnnError> {
+        let mut optimizer = match self.config.optimizer {
+            OptimizerKind::SgdMomentum => Optimizer::sgd(self.config.lr),
+            OptimizerKind::Adam => Optimizer::adam(self.config.lr),
+        };
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut epoch_losses = Vec::with_capacity(self.config.epochs);
+        for epoch in 0..self.config.epochs {
+            let mut loss_sum = 0.0f64;
+            let mut batches = 0usize;
+            for (mut images, labels) in BatchIter::new(train, self.config.batch_size, &mut rng) {
+                if let Some(aug) = &self.config.augment {
+                    aug.apply_batch(
+                        images.as_mut_slice(),
+                        train.channels(),
+                        train.height(),
+                        train.width(),
+                        &mut rng,
+                    );
+                }
+                let logits = model.forward(&images, true)?;
+                let (loss, grad) = softmax_cross_entropy(&logits, &labels)?;
+                model.zero_grad();
+                model.backward(&grad)?;
+                let mut params = model.params_mut();
+                optimizer.step(&mut params)?;
+                loss_sum += loss as f64;
+                batches += 1;
+            }
+            let mean_loss = (loss_sum / batches.max(1) as f64) as f32;
+            epoch_losses.push(mean_loss);
+            optimizer.set_learning_rate(optimizer.learning_rate() * self.config.lr_decay);
+            if self.config.verbose {
+                println!("epoch {:>3}: loss {mean_loss:.4}", epoch + 1);
+            }
+        }
+        let train_accuracy = evaluate(model, train, self.config.batch_size)?;
+        let test_accuracy = evaluate(model, test, self.config.batch_size)?;
+        Ok(TrainReport {
+            epoch_losses,
+            train_accuracy,
+            test_accuracy,
+        })
+    }
+}
+
+/// Accuracy of `model` on `dataset`, evaluated in mini-batches.
+///
+/// # Errors
+///
+/// Propagates forward-pass errors.
+pub fn evaluate(
+    model: &mut Sequential,
+    dataset: &ImageDataset,
+    batch_size: usize,
+) -> Result<f64, DnnError> {
+    let mut preds = Vec::with_capacity(dataset.len());
+    let mut labels = Vec::with_capacity(dataset.len());
+    for (images, batch_labels) in BatchIter::sequential(dataset, batch_size) {
+        preds.extend(model.predict(&images)?);
+        labels.extend(batch_labels);
+    }
+    Ok(accuracy(&preds, &labels))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models;
+    use bsnn_data::SynthSpec;
+
+    #[test]
+    fn training_reduces_loss_and_beats_chance() {
+        let (train, test) = SynthSpec::digits().with_counts(20, 10).generate();
+        let mut model = models::mlp(12 * 12, &[32], 10, 3).unwrap();
+        let cfg = TrainConfig {
+            epochs: 8,
+            batch_size: 20,
+            lr: 2e-3,
+            ..TrainConfig::default()
+        };
+        let report = Trainer::new(cfg).fit(&mut model, &train, &test).unwrap();
+        assert!(
+            report.epoch_losses.last().unwrap() < report.epoch_losses.first().unwrap(),
+            "loss should decrease: {:?}",
+            report.epoch_losses
+        );
+        assert!(
+            report.test_accuracy > 0.3,
+            "test accuracy {} should beat 10-class chance",
+            report.test_accuracy
+        );
+    }
+
+    #[test]
+    fn sgd_also_trains() {
+        let (train, test) = SynthSpec::digits().with_counts(10, 5).generate();
+        let mut model = models::mlp(12 * 12, &[16], 10, 3).unwrap();
+        let cfg = TrainConfig {
+            epochs: 6,
+            batch_size: 10,
+            lr: 5e-2,
+            optimizer: OptimizerKind::SgdMomentum,
+            ..TrainConfig::default()
+        };
+        let report = Trainer::new(cfg).fit(&mut model, &train, &test).unwrap();
+        assert!(report.epoch_losses.last().unwrap() < report.epoch_losses.first().unwrap());
+    }
+
+    #[test]
+    fn augmented_training_still_learns() {
+        let (train, test) = SynthSpec::digits().with_counts(20, 10).generate();
+        let mut model = models::mlp(12 * 12, &[32], 10, 3).unwrap();
+        let cfg = TrainConfig {
+            epochs: 8,
+            batch_size: 20,
+            lr: 2e-3,
+            augment: Some(Augmentation {
+                max_shift: 1,
+                flip_probability: 0.5,
+                noise_std: 0.02,
+            }),
+            ..TrainConfig::default()
+        };
+        let report = Trainer::new(cfg).fit(&mut model, &train, &test).unwrap();
+        assert!(
+            report.test_accuracy > 0.3,
+            "augmented accuracy {}",
+            report.test_accuracy
+        );
+    }
+
+    #[test]
+    fn evaluate_is_deterministic() {
+        let (train, _) = SynthSpec::digits().with_counts(5, 2).generate();
+        let mut model = models::mlp(12 * 12, &[8], 10, 1).unwrap();
+        let a = evaluate(&mut model, &train, 16).unwrap();
+        let b = evaluate(&mut model, &train, 16).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,112 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by tensor construction and tensor operations.
+///
+/// All fallible public functions in this crate return
+/// `Result<_, TensorError>`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The number of elements implied by a shape does not match the
+    /// provided buffer length.
+    LengthMismatch {
+        /// Elements implied by the shape.
+        expected: usize,
+        /// Elements actually provided.
+        actual: usize,
+    },
+    /// Two tensors that must share a shape do not.
+    ShapeMismatch {
+        /// Shape of the left-hand operand.
+        lhs: Vec<usize>,
+        /// Shape of the right-hand operand.
+        rhs: Vec<usize>,
+    },
+    /// The inner dimensions of a matrix product disagree.
+    MatmulDimMismatch {
+        /// Columns of the left matrix.
+        lhs_cols: usize,
+        /// Rows of the right matrix.
+        rhs_rows: usize,
+    },
+    /// An operation required a tensor of a particular rank.
+    RankMismatch {
+        /// Required rank.
+        expected: usize,
+        /// Actual rank.
+        actual: usize,
+    },
+    /// An axis index was out of range for the tensor's rank.
+    AxisOutOfRange {
+        /// The offending axis.
+        axis: usize,
+        /// The tensor's rank.
+        rank: usize,
+    },
+    /// A convolution/pooling geometry is invalid (e.g. kernel larger than
+    /// the padded input).
+    InvalidGeometry(String),
+    /// A shape contained a zero dimension where that is not allowed.
+    EmptyShape,
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { expected, actual } => write!(
+                f,
+                "buffer length {actual} does not match shape volume {expected}"
+            ),
+            TensorError::ShapeMismatch { lhs, rhs } => {
+                write!(f, "shape mismatch: {lhs:?} vs {rhs:?}")
+            }
+            TensorError::MatmulDimMismatch { lhs_cols, rhs_rows } => write!(
+                f,
+                "matmul inner dimension mismatch: lhs has {lhs_cols} cols, rhs has {rhs_rows} rows"
+            ),
+            TensorError::RankMismatch { expected, actual } => {
+                write!(f, "expected tensor of rank {expected}, got rank {actual}")
+            }
+            TensorError::AxisOutOfRange { axis, rank } => {
+                write!(f, "axis {axis} out of range for rank {rank}")
+            }
+            TensorError::InvalidGeometry(msg) => write!(f, "invalid geometry: {msg}"),
+            TensorError::EmptyShape => write!(f, "shape has zero volume"),
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_length_mismatch() {
+        let e = TensorError::LengthMismatch {
+            expected: 4,
+            actual: 3,
+        };
+        assert_eq!(
+            e.to_string(),
+            "buffer length 3 does not match shape volume 4"
+        );
+    }
+
+    #[test]
+    fn display_shape_mismatch() {
+        let e = TensorError::ShapeMismatch {
+            lhs: vec![2, 2],
+            rhs: vec![3],
+        };
+        assert!(e.to_string().contains("[2, 2]"));
+        assert!(e.to_string().contains("[3]"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

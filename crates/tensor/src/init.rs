@@ -1,0 +1,101 @@
+//! Seeded random weight initializers.
+//!
+//! All initializers take an explicit [`rand::Rng`] so experiments are
+//! reproducible end to end.
+
+use crate::Tensor;
+use rand::Rng;
+
+/// Samples from a normal distribution via the Box–Muller transform.
+///
+/// Avoids a dependency on `rand_distr`; precision is ample for weight
+/// initialization.
+pub fn normal_sample<R: Rng>(rng: &mut R, mean: f32, std: f32) -> f32 {
+    // Box–Muller needs u1 in (0, 1].
+    let u1: f32 = 1.0 - rng.gen::<f32>();
+    let u2: f32 = rng.gen();
+    let mag = (-2.0 * u1.ln()).sqrt();
+    mean + std * mag * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+/// He (Kaiming) normal initialization: `N(0, sqrt(2 / fan_in))`.
+///
+/// The standard choice for ReLU networks, which is what DNN→SNN conversion
+/// requires (activations must be non-negative).
+pub fn he_normal<R: Rng>(rng: &mut R, shape: &[usize], fan_in: usize) -> Tensor {
+    let std = (2.0 / fan_in.max(1) as f32).sqrt();
+    let volume: usize = shape.iter().product();
+    let data = (0..volume).map(|_| normal_sample(rng, 0.0, std)).collect();
+    Tensor::from_vec(data, shape).expect("volume computed from shape")
+}
+
+/// Xavier/Glorot uniform initialization: `U(-a, a)`, `a = sqrt(6/(fan_in+fan_out))`.
+pub fn xavier_uniform<R: Rng>(
+    rng: &mut R,
+    shape: &[usize],
+    fan_in: usize,
+    fan_out: usize,
+) -> Tensor {
+    let a = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
+    let volume: usize = shape.iter().product();
+    let data = (0..volume).map(|_| rng.gen_range(-a..=a)).collect();
+    Tensor::from_vec(data, shape).expect("volume computed from shape")
+}
+
+/// Uniform initialization in `[lo, hi)`.
+pub fn uniform<R: Rng>(rng: &mut R, shape: &[usize], lo: f32, hi: f32) -> Tensor {
+    let volume: usize = shape.iter().product();
+    let data = (0..volume).map(|_| rng.gen_range(lo..hi)).collect();
+    Tensor::from_vec(data, shape).expect("volume computed from shape")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn he_normal_statistics() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = he_normal(&mut rng, &[10_000], 50);
+        let mean = t.mean();
+        let var = t.as_slice().iter().map(|x| (x - mean).powi(2)).sum::<f32>() / 10_000.0;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        let expected = 2.0 / 50.0;
+        assert!(
+            (var - expected).abs() < expected * 0.15,
+            "var {var} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn xavier_uniform_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = (6.0f32 / 100.0).sqrt();
+        let t = xavier_uniform(&mut rng, &[1000], 50, 50);
+        assert!(t.max() <= a && t.min() >= -a);
+    }
+
+    #[test]
+    fn uniform_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = uniform(&mut rng, &[100], 1.0, 2.0);
+        assert!(t.min() >= 1.0 && t.max() < 2.0);
+    }
+
+    #[test]
+    fn seeded_init_is_deterministic() {
+        let a = he_normal(&mut StdRng::seed_from_u64(42), &[16], 4);
+        let b = he_normal(&mut StdRng::seed_from_u64(42), &[16], 4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn normal_sample_finite() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            assert!(normal_sample(&mut rng, 0.0, 1.0).is_finite());
+        }
+    }
+}

@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+//! # bsnn-tensor
+//!
+//! A minimal, dependency-light dense tensor library used by every other
+//! crate in the `burst-snn` workspace. It provides exactly what a
+//! from-scratch DNN/SNN stack needs and nothing more:
+//!
+//! * [`Tensor`] — contiguous row-major `f32` storage with a dynamic shape,
+//! * elementwise arithmetic and reductions ([`ops`]),
+//! * dense matrix multiplication ([`ops::matmul`]),
+//! * im2col-based 2-D convolution and average pooling ([`conv`]),
+//! * seeded random initializers ([`init`]).
+//!
+//! The library deliberately avoids views/strides: every tensor owns its
+//! buffer. For the network sizes used in the paper reproduction (VGG-style
+//! CNNs on small images) this is fast enough and keeps the code auditable.
+//!
+//! ## Example
+//!
+//! ```
+//! # fn main() -> Result<(), bsnn_tensor::TensorError> {
+//! use bsnn_tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+//! let b = Tensor::ones(&[2, 2]);
+//! let c = a.add(&b)?;
+//! assert_eq!(c.as_slice(), &[2.0, 3.0, 4.0, 5.0]);
+//! # Ok(())
+//! # }
+//! ```
+
+mod error;
+mod shape;
+mod tensor;
+
+pub mod conv;
+pub mod init;
+pub mod ops;
+
+pub use error::TensorError;
+pub use shape::Shape;
+pub use tensor::Tensor;

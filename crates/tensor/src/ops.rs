@@ -1,0 +1,441 @@
+//! Elementwise arithmetic, reductions, and matrix multiplication.
+//!
+//! Binary elementwise operations require exactly matching shapes (no
+//! broadcasting) except for the `*_row` variants which broadcast a rank-1
+//! tensor across the rows of a rank-2 tensor — the one broadcast pattern a
+//! dense/conv network actually needs (bias addition).
+
+use crate::{Tensor, TensorError};
+
+impl Tensor {
+    /// Elementwise sum. Shapes must match.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn add(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        self.zip_with(other, |a, b| a + b)
+    }
+
+    /// Elementwise difference. Shapes must match.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn sub(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        self.zip_with(other, |a, b| a - b)
+    }
+
+    /// Elementwise (Hadamard) product. Shapes must match.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn mul(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        self.zip_with(other, |a, b| a * b)
+    }
+
+    /// Adds `other` into `self` in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn add_inplace(&mut self, other: &Tensor) -> Result<(), TensorError> {
+        self.check_same_shape(other)?;
+        for (a, b) in self.as_mut_slice().iter_mut().zip(other.as_slice()) {
+            *a += b;
+        }
+        Ok(())
+    }
+
+    /// `self += alpha * other` (axpy), in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn axpy_inplace(&mut self, alpha: f32, other: &Tensor) -> Result<(), TensorError> {
+        self.check_same_shape(other)?;
+        for (a, b) in self.as_mut_slice().iter_mut().zip(other.as_slice()) {
+            *a += alpha * b;
+        }
+        Ok(())
+    }
+
+    /// Multiplies every element by `s`, returning a new tensor.
+    pub fn scale(&self, s: f32) -> Tensor {
+        self.map(|x| x * s)
+    }
+
+    /// Multiplies every element by `s` in place.
+    pub fn scale_inplace(&mut self, s: f32) {
+        self.map_inplace(|x| x * s);
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.as_slice().iter().sum()
+    }
+
+    /// Arithmetic mean of all elements (0.0 for an empty tensor).
+    pub fn mean(&self) -> f32 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.len() as f32
+        }
+    }
+
+    /// Maximum element (−∞ for an empty tensor).
+    pub fn max(&self) -> f32 {
+        self.as_slice()
+            .iter()
+            .copied()
+            .fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element (+∞ for an empty tensor).
+    pub fn min(&self) -> f32 {
+        self.as_slice()
+            .iter()
+            .copied()
+            .fold(f32::INFINITY, f32::min)
+    }
+
+    /// Index of the maximum element (first occurrence); `None` if empty.
+    pub fn argmax(&self) -> Option<usize> {
+        let mut best: Option<(usize, f32)> = None;
+        for (i, &v) in self.as_slice().iter().enumerate() {
+            match best {
+                Some((_, bv)) if v <= bv => {}
+                _ => best = Some((i, v)),
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
+    /// Rectified linear unit applied elementwise.
+    pub fn relu(&self) -> Tensor {
+        self.map(|x| x.max(0.0))
+    }
+
+    /// Dot product of two tensors viewed as flat vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when lengths differ.
+    pub fn dot(&self, other: &Tensor) -> Result<f32, TensorError> {
+        if self.len() != other.len() {
+            return Err(TensorError::ShapeMismatch {
+                lhs: self.shape().to_vec(),
+                rhs: other.shape().to_vec(),
+            });
+        }
+        Ok(self
+            .as_slice()
+            .iter()
+            .zip(other.as_slice())
+            .map(|(a, b)| a * b)
+            .sum())
+    }
+
+    /// Broadcast-adds a rank-1 `bias` (length = columns) to every row of a
+    /// rank-2 tensor, in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] if `self` is not rank-2 and
+    /// [`TensorError::ShapeMismatch`] if `bias.len()` differs from the
+    /// column count.
+    pub fn add_row_inplace(&mut self, bias: &Tensor) -> Result<(), TensorError> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: self.rank(),
+            });
+        }
+        let cols = self.shape()[1];
+        if bias.len() != cols {
+            return Err(TensorError::ShapeMismatch {
+                lhs: self.shape().to_vec(),
+                rhs: bias.shape().to_vec(),
+            });
+        }
+        let b = bias.as_slice().to_vec();
+        for row in self.as_mut_slice().chunks_mut(cols) {
+            for (x, bb) in row.iter_mut().zip(&b) {
+                *x += bb;
+            }
+        }
+        Ok(())
+    }
+
+    /// Column-wise sums of a rank-2 tensor (returns rank-1 of length cols).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] if `self` is not rank-2.
+    pub fn sum_rows(&self) -> Result<Tensor, TensorError> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: self.rank(),
+            });
+        }
+        let (rows, cols) = (self.shape()[0], self.shape()[1]);
+        let mut out = vec![0.0f32; cols];
+        for r in 0..rows {
+            let row = &self.as_slice()[r * cols..(r + 1) * cols];
+            for (o, x) in out.iter_mut().zip(row) {
+                *o += x;
+            }
+        }
+        Tensor::from_vec(out, &[cols])
+    }
+
+    /// Transpose of a rank-2 tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] if `self` is not rank-2.
+    pub fn transpose2(&self) -> Result<Tensor, TensorError> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: self.rank(),
+            });
+        }
+        let (rows, cols) = (self.shape()[0], self.shape()[1]);
+        let src = self.as_slice();
+        let mut out = vec![0.0f32; rows * cols];
+        for r in 0..rows {
+            for c in 0..cols {
+                out[c * rows + r] = src[r * cols + c];
+            }
+        }
+        Tensor::from_vec(out, &[cols, rows])
+    }
+
+    fn zip_with(
+        &self,
+        other: &Tensor,
+        f: impl Fn(f32, f32) -> f32,
+    ) -> Result<Tensor, TensorError> {
+        self.check_same_shape(other)?;
+        let data = self
+            .as_slice()
+            .iter()
+            .zip(other.as_slice())
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Tensor::from_vec(data, self.shape())
+    }
+
+    fn check_same_shape(&self, other: &Tensor) -> Result<(), TensorError> {
+        if self.shape() != other.shape() {
+            return Err(TensorError::ShapeMismatch {
+                lhs: self.shape().to_vec(),
+                rhs: other.shape().to_vec(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Dense matrix multiplication `(m×k)·(k×n) → (m×n)`.
+///
+/// Uses a cache-friendly ikj loop ordering; adequate for the model sizes in
+/// this workspace.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for non-rank-2 inputs and
+/// [`TensorError::MatmulDimMismatch`] when the inner dimensions differ.
+///
+/// ```
+/// # fn main() -> Result<(), bsnn_tensor::TensorError> {
+/// use bsnn_tensor::{ops::matmul, Tensor};
+///
+/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+/// let i = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2])?;
+/// assert_eq!(matmul(&a, &i)?, a);
+/// # Ok(())
+/// # }
+/// ```
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    if a.rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: a.rank(),
+        });
+    }
+    if b.rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: b.rank(),
+        });
+    }
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let (k2, n) = (b.shape()[0], b.shape()[1]);
+    if k != k2 {
+        return Err(TensorError::MatmulDimMismatch {
+            lhs_cols: k,
+            rhs_rows: k2,
+        });
+    }
+    let mut out = vec![0.0f32; m * n];
+    let av = a.as_slice();
+    let bv = b.as_slice();
+    for i in 0..m {
+        for p in 0..k {
+            let aip = av[i * k + p];
+            if aip == 0.0 {
+                continue;
+            }
+            let brow = &bv[p * n..(p + 1) * n];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (o, &bb) in orow.iter_mut().zip(brow) {
+                *o += aip * bb;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Matrix–vector product `(m×k)·(k) → (m)`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`]/[`TensorError::MatmulDimMismatch`]
+/// on geometry errors.
+pub fn matvec(a: &Tensor, x: &Tensor) -> Result<Tensor, TensorError> {
+    if a.rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: a.rank(),
+        });
+    }
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    if x.len() != k {
+        return Err(TensorError::MatmulDimMismatch {
+            lhs_cols: k,
+            rhs_rows: x.len(),
+        });
+    }
+    let av = a.as_slice();
+    let xv = x.as_slice();
+    let mut out = vec![0.0f32; m];
+    for i in 0..m {
+        let row = &av[i * k..(i + 1) * k];
+        out[i] = row.iter().zip(xv).map(|(w, v)| w * v).sum();
+    }
+    Tensor::from_vec(out, &[m])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(data: &[f32], shape: &[usize]) -> Tensor {
+        Tensor::from_vec(data.to_vec(), shape).unwrap()
+    }
+
+    #[test]
+    fn add_sub_mul_elementwise() {
+        let a = t(&[1.0, 2.0], &[2]);
+        let b = t(&[3.0, 4.0], &[2]);
+        assert_eq!(a.add(&b).unwrap().as_slice(), &[4.0, 6.0]);
+        assert_eq!(a.sub(&b).unwrap().as_slice(), &[-2.0, -2.0]);
+        assert_eq!(a.mul(&b).unwrap().as_slice(), &[3.0, 8.0]);
+    }
+
+    #[test]
+    fn binary_ops_reject_shape_mismatch() {
+        let a = t(&[1.0, 2.0], &[2]);
+        let b = t(&[1.0, 2.0], &[2, 1]);
+        assert!(a.add(&b).is_err());
+        assert!(a.mul(&b).is_err());
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = t(&[1.0, 1.0], &[2]);
+        a.axpy_inplace(0.5, &t(&[2.0, 4.0], &[2])).unwrap();
+        assert_eq!(a.as_slice(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn reductions() {
+        let a = t(&[1.0, -3.0, 2.0], &[3]);
+        assert_eq!(a.sum(), 0.0);
+        assert_eq!(a.mean(), 0.0);
+        assert_eq!(a.max(), 2.0);
+        assert_eq!(a.min(), -3.0);
+        assert_eq!(a.argmax(), Some(2));
+    }
+
+    #[test]
+    fn argmax_first_occurrence_and_empty() {
+        assert_eq!(t(&[5.0, 5.0, 1.0], &[3]).argmax(), Some(0));
+        assert_eq!(Tensor::zeros(&[0]).argmax(), None);
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        assert_eq!(t(&[-1.0, 0.5], &[2]).relu().as_slice(), &[0.0, 0.5]);
+    }
+
+    #[test]
+    fn dot_product() {
+        let a = t(&[1.0, 2.0, 3.0], &[3]);
+        let b = t(&[4.0, 5.0, 6.0], &[3]);
+        assert_eq!(a.dot(&b).unwrap(), 32.0);
+    }
+
+    #[test]
+    fn add_row_broadcasts_bias() {
+        let mut a = t(&[0.0, 0.0, 1.0, 1.0], &[2, 2]);
+        a.add_row_inplace(&t(&[10.0, 20.0], &[2])).unwrap();
+        assert_eq!(a.as_slice(), &[10.0, 20.0, 11.0, 21.0]);
+    }
+
+    #[test]
+    fn sum_rows_collapses() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        assert_eq!(a.sum_rows().unwrap().as_slice(), &[4.0, 6.0]);
+    }
+
+    #[test]
+    fn transpose2_swaps() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let at = a.transpose2().unwrap();
+        assert_eq!(at.shape(), &[3, 2]);
+        assert_eq!(at.as_slice(), &[1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn matmul_identity_and_known_product() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let eye = t(&[1.0, 0.0, 0.0, 1.0], &[2, 2]);
+        assert_eq!(matmul(&a, &eye).unwrap(), a);
+
+        let b = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.shape(), &[2, 3]);
+        assert_eq!(c.as_slice(), &[9.0, 12.0, 15.0, 19.0, 26.0, 33.0]);
+    }
+
+    #[test]
+    fn matmul_rejects_bad_dims() {
+        let a = t(&[1.0; 6], &[2, 3]);
+        let b = t(&[1.0; 4], &[2, 2]);
+        assert!(matmul(&a, &b).is_err());
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let x = t(&[1.0, -1.0], &[2]);
+        let y = matvec(&a, &x).unwrap();
+        assert_eq!(y.as_slice(), &[-1.0, -1.0]);
+    }
+}

@@ -1,0 +1,143 @@
+use crate::TensorError;
+
+/// A dynamically-sized tensor shape (row-major).
+///
+/// `Shape` is a thin wrapper over `Vec<usize>` providing volume and
+/// stride computations used throughout the crate.
+///
+/// ```
+/// use bsnn_tensor::Shape;
+///
+/// let s = Shape::new(&[2, 3, 4]);
+/// assert_eq!(s.volume(), 24);
+/// assert_eq!(s.strides(), vec![12, 4, 1]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from a slice of dimensions.
+    pub fn new(dims: &[usize]) -> Self {
+        Shape {
+            dims: dims.to_vec(),
+        }
+    }
+
+    /// The dimensions as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements.
+    pub fn volume(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Row-major strides (in elements).
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1; self.dims.len()];
+        for i in (0..self.dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.dims[i + 1];
+        }
+        strides
+    }
+
+    /// Converts a multi-dimensional index to a flat offset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] if `index.len() != rank`, and
+    /// [`TensorError::AxisOutOfRange`] if any coordinate exceeds its
+    /// dimension.
+    pub fn offset(&self, index: &[usize]) -> Result<usize, TensorError> {
+        if index.len() != self.dims.len() {
+            return Err(TensorError::RankMismatch {
+                expected: self.dims.len(),
+                actual: index.len(),
+            });
+        }
+        for (axis, (&i, &d)) in index.iter().zip(&self.dims).enumerate() {
+            if i >= d {
+                return Err(TensorError::AxisOutOfRange {
+                    axis,
+                    rank: self.dims.len(),
+                });
+            }
+        }
+        let strides = self.strides();
+        Ok(index.iter().zip(strides).map(|(&i, s)| i * s).sum())
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape { dims }
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volume_of_scalar_shape_is_one() {
+        assert_eq!(Shape::new(&[]).volume(), 1);
+    }
+
+    #[test]
+    fn volume_multiplies_dims() {
+        assert_eq!(Shape::new(&[2, 3, 4]).volume(), 24);
+    }
+
+    #[test]
+    fn strides_row_major() {
+        assert_eq!(Shape::new(&[2, 3, 4]).strides(), vec![12, 4, 1]);
+        assert_eq!(Shape::new(&[5]).strides(), vec![1]);
+    }
+
+    #[test]
+    fn offset_round_trip() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.offset(&[0, 0, 0]).unwrap(), 0);
+        assert_eq!(s.offset(&[1, 2, 3]).unwrap(), 23);
+        assert_eq!(s.offset(&[1, 0, 2]).unwrap(), 14);
+    }
+
+    #[test]
+    fn offset_rejects_wrong_rank() {
+        let s = Shape::new(&[2, 3]);
+        assert!(matches!(
+            s.offset(&[1]),
+            Err(TensorError::RankMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn offset_rejects_out_of_range() {
+        let s = Shape::new(&[2, 3]);
+        assert!(matches!(
+            s.offset(&[2, 0]),
+            Err(TensorError::AxisOutOfRange { axis: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn from_vec_and_slice() {
+        let a: Shape = vec![1, 2].into();
+        let b: Shape = [1usize, 2].as_slice().into();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,248 @@
+use crate::{Shape, TensorError};
+
+/// A dense, contiguous, row-major `f32` tensor.
+///
+/// All tensors own their storage; there are no views. Operations that
+/// produce new data return new tensors, while a small set of `_inplace`
+/// methods mutate the receiver for hot loops.
+///
+/// ```
+/// # fn main() -> Result<(), bsnn_tensor::TensorError> {
+/// use bsnn_tensor::Tensor;
+///
+/// let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3])?;
+/// assert_eq!(t.shape(), &[2, 3]);
+/// assert_eq!(t.get(&[1, 2])?, 6.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    data: Vec<f32>,
+    shape: Shape,
+}
+
+impl Tensor {
+    /// Creates a tensor from a flat buffer and a shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] when `data.len()` does not
+    /// equal the shape volume.
+    pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Result<Self, TensorError> {
+        let shape = Shape::new(shape);
+        if data.len() != shape.volume() {
+            return Err(TensorError::LengthMismatch {
+                expected: shape.volume(),
+                actual: data.len(),
+            });
+        }
+        Ok(Tensor { data, shape })
+    }
+
+    /// A tensor filled with zeros.
+    pub fn zeros(shape: &[usize]) -> Self {
+        let shape = Shape::new(shape);
+        Tensor {
+            data: vec![0.0; shape.volume()],
+            shape,
+        }
+    }
+
+    /// A tensor filled with ones.
+    pub fn ones(shape: &[usize]) -> Self {
+        Self::full(shape, 1.0)
+    }
+
+    /// A tensor filled with `value`.
+    pub fn full(shape: &[usize], value: f32) -> Self {
+        let shape = Shape::new(shape);
+        Tensor {
+            data: vec![value; shape.volume()],
+            shape,
+        }
+    }
+
+    /// A rank-1 tensor holding `data`.
+    pub fn from_slice(data: &[f32]) -> Self {
+        Tensor {
+            data: data.to_vec(),
+            shape: Shape::new(&[data.len()]),
+        }
+    }
+
+    /// The shape as a slice of dimensions.
+    pub fn shape(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// The number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.shape.rank()
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the flat buffer (row-major).
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the flat buffer (row-major).
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its flat buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Reads the element at a multi-dimensional index.
+    ///
+    /// # Errors
+    ///
+    /// Propagates index validation errors from [`Shape::offset`].
+    pub fn get(&self, index: &[usize]) -> Result<f32, TensorError> {
+        Ok(self.data[self.shape.offset(index)?])
+    }
+
+    /// Writes the element at a multi-dimensional index.
+    ///
+    /// # Errors
+    ///
+    /// Propagates index validation errors from [`Shape::offset`].
+    pub fn set(&mut self, index: &[usize], value: f32) -> Result<(), TensorError> {
+        let off = self.shape.offset(index)?;
+        self.data[off] = value;
+        Ok(())
+    }
+
+    /// Returns a tensor with the same data and a new shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if the volumes differ.
+    pub fn reshape(&self, shape: &[usize]) -> Result<Tensor, TensorError> {
+        let new_shape = Shape::new(shape);
+        if new_shape.volume() != self.data.len() {
+            return Err(TensorError::LengthMismatch {
+                expected: new_shape.volume(),
+                actual: self.data.len(),
+            });
+        }
+        Ok(Tensor {
+            data: self.data.clone(),
+            shape: new_shape,
+        })
+    }
+
+    /// In-place reshape (no data movement).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if the volumes differ.
+    pub fn reshape_inplace(&mut self, shape: &[usize]) -> Result<(), TensorError> {
+        let new_shape = Shape::new(shape);
+        if new_shape.volume() != self.data.len() {
+            return Err(TensorError::LengthMismatch {
+                expected: new_shape.volume(),
+                actual: self.data.len(),
+            });
+        }
+        self.shape = new_shape;
+        Ok(())
+    }
+
+    /// Applies `f` to every element, returning a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            data: self.data.iter().map(|&x| f(x)).collect(),
+            shape: self.shape.clone(),
+        }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Fills the tensor with `value`.
+    pub fn fill(&mut self, value: f32) {
+        self.data.iter_mut().for_each(|x| *x = value);
+    }
+}
+
+impl Default for Tensor {
+    fn default() -> Self {
+        Tensor::zeros(&[0])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Tensor::from_vec(vec![1.0; 5], &[2, 3]).is_err());
+        assert!(Tensor::from_vec(vec![1.0; 6], &[2, 3]).is_ok());
+    }
+
+    #[test]
+    fn zeros_ones_full() {
+        assert!(Tensor::zeros(&[3]).as_slice().iter().all(|&x| x == 0.0));
+        assert!(Tensor::ones(&[3]).as_slice().iter().all(|&x| x == 1.0));
+        assert!(Tensor::full(&[3], 7.5)
+            .as_slice()
+            .iter()
+            .all(|&x| x == 7.5));
+    }
+
+    #[test]
+    fn get_set_round_trip() {
+        let mut t = Tensor::zeros(&[2, 2]);
+        t.set(&[1, 0], 3.5).unwrap();
+        assert_eq!(t.get(&[1, 0]).unwrap(), 3.5);
+        assert_eq!(t.get(&[0, 1]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[4]).unwrap();
+        let r = t.reshape(&[2, 2]).unwrap();
+        assert_eq!(r.shape(), &[2, 2]);
+        assert_eq!(r.as_slice(), t.as_slice());
+        assert!(t.reshape(&[3]).is_err());
+    }
+
+    #[test]
+    fn map_applies_elementwise() {
+        let t = Tensor::from_slice(&[1.0, -2.0]);
+        let m = t.map(|x| x.abs());
+        assert_eq!(m.as_slice(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn map_inplace_mutates() {
+        let mut t = Tensor::from_slice(&[1.0, 2.0]);
+        t.map_inplace(|x| x * 2.0);
+        assert_eq!(t.as_slice(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn tensor_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Tensor>();
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests of the convolution/pooling primitives.
+
+use bsnn_tensor::conv::{avg_pool2d, col2im, conv2d, im2col, Conv2dGeometry};
+use bsnn_tensor::Tensor;
+use proptest::prelude::*;
+
+fn tensor_strategy(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-2.0f32..2.0, len)
+}
+
+proptest! {
+    /// col2im is the adjoint of im2col:
+    /// ⟨im2col(x), y⟩ == ⟨x, col2im(y)⟩ for all x, y.
+    /// This is exactly the identity conv-backward relies on.
+    #[test]
+    fn col2im_is_adjoint_of_im2col(
+        x_vals in tensor_strategy(2 * 5 * 5),
+        seed in 0u64..1000,
+        kernel in 1usize..4,
+        pad in 0usize..2,
+    ) {
+        let geom = Conv2dGeometry::square(kernel, 1, pad);
+        let x = Tensor::from_vec(x_vals, &[1, 2, 5, 5]).expect("shape");
+        let cols = im2col(&x, &geom).expect("im2col");
+        // pseudo-random y of the matching shape
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let y_vals: Vec<f32> = (0..cols.len())
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 33) as f32 / (1u64 << 31) as f32) - 1.0
+            })
+            .collect();
+        let y = Tensor::from_vec(y_vals, cols.shape()).expect("shape");
+        let lhs: f64 = cols
+            .as_slice()
+            .iter()
+            .zip(y.as_slice())
+            .map(|(a, b)| (*a as f64) * (*b as f64))
+            .sum();
+        let back = col2im(&y, 1, 2, 5, 5, &geom).expect("col2im");
+        let rhs: f64 = x
+            .as_slice()
+            .iter()
+            .zip(back.as_slice())
+            .map(|(a, b)| (*a as f64) * (*b as f64))
+            .sum();
+        prop_assert!(
+            (lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()),
+            "adjoint mismatch: {lhs} vs {rhs}"
+        );
+    }
+
+    /// Convolution is linear in its input:
+    /// conv(αx + y) == α·conv(x) + conv(y).
+    #[test]
+    fn conv2d_is_linear(
+        x_vals in tensor_strategy(3 * 4 * 4),
+        y_vals in tensor_strategy(3 * 4 * 4),
+        w_vals in tensor_strategy(2 * 3 * 3 * 3),
+        alpha in -2.0f32..2.0,
+    ) {
+        let geom = Conv2dGeometry::square(3, 1, 1);
+        let x = Tensor::from_vec(x_vals, &[1, 3, 4, 4]).expect("shape");
+        let y = Tensor::from_vec(y_vals, &[1, 3, 4, 4]).expect("shape");
+        let w = Tensor::from_vec(w_vals, &[2, 3, 3, 3]).expect("shape");
+        let combo = x.scale(alpha).add(&y).expect("add");
+        let lhs = conv2d(&combo, &w, None, &geom).expect("conv");
+        let rhs = conv2d(&x, &w, None, &geom)
+            .expect("conv")
+            .scale(alpha)
+            .add(&conv2d(&y, &w, None, &geom).expect("conv"))
+            .expect("add");
+        for (l, r) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((l - r).abs() < 1e-2, "{l} vs {r}");
+        }
+    }
+
+    /// Average pooling preserves the global mean for non-overlapping
+    /// windows that tile the input exactly.
+    #[test]
+    fn avg_pool_preserves_mean(x_vals in tensor_strategy(2 * 4 * 4)) {
+        let x = Tensor::from_vec(x_vals, &[1, 2, 4, 4]).expect("shape");
+        let pooled = avg_pool2d(&x, &Conv2dGeometry::square(2, 2, 0)).expect("pool");
+        prop_assert!((pooled.mean() - x.mean()).abs() < 1e-4);
+    }
+
+    /// conv2d with a 1×1 all-ones kernel sums across channels.
+    #[test]
+    fn conv2d_one_by_one_sums_channels(x_vals in tensor_strategy(3 * 3 * 3)) {
+        let x = Tensor::from_vec(x_vals, &[1, 3, 3, 3]).expect("shape");
+        let w = Tensor::ones(&[1, 3, 1, 1]);
+        let out = conv2d(&x, &w, None, &Conv2dGeometry::square(1, 1, 0)).expect("conv");
+        let plane = 9usize;
+        for i in 0..plane {
+            let expect: f32 = (0..3).map(|c| x.as_slice()[c * plane + i]).sum();
+            prop_assert!((out.as_slice()[i] - expect).abs() < 1e-4);
+        }
+    }
+}

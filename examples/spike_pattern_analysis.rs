@@ -1,0 +1,71 @@
+//! Spike-pattern analysis: record spike trains from a running SNN and
+//! compute the paper's Section 5 statistics — ISI histogram, burst
+//! composition, and firing rate/regularity — for burst versus rate
+//! hidden coding.
+//!
+//! Run with: `cargo run --release --example spike_pattern_analysis`
+
+use burst_snn::analysis::{burst_composition, population_firing, IsiHistogram};
+use burst_snn::core::coding::{CodingScheme, HiddenCoding, InputCoding};
+use burst_snn::core::convert::{convert, ConversionConfig};
+use burst_snn::core::simulator::record_spike_trains;
+use burst_snn::data::SynthSpec;
+use burst_snn::dnn::models;
+use burst_snn::dnn::train::{TrainConfig, Trainer};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (train, test) = SynthSpec::digits().with_counts(40, 8).generate();
+    let mut dnn = models::cnn_digits(1, 12, 12, 10, 7)?;
+    Trainer::new(TrainConfig {
+        epochs: 5,
+        batch_size: 32,
+        lr: 1.5e-3,
+        ..TrainConfig::default()
+    })
+    .fit(&mut dnn, &train, &test)?;
+    let norm_batch = train.batch(&(0..32).collect::<Vec<_>>()).0;
+    let steps = 512;
+
+    for hidden in [HiddenCoding::Rate, HiddenCoding::Burst] {
+        let scheme = CodingScheme::new(InputCoding::Real, hidden);
+        let cfg = ConversionConfig::new(scheme).with_vth(0.125);
+        let mut snn = convert(&mut dnn, &norm_batch, &cfg)?;
+        let trains =
+            record_spike_trains(&mut snn, test.image(0), scheme, steps, 0.10, 42)?;
+        let hidden_trains: Vec<_> = trains
+            .into_iter()
+            .filter(|t| t.neuron.layer > 0)
+            .collect();
+
+        let hist = IsiHistogram::from_trains(&hidden_trains, 10);
+        let bursts = burst_composition(&hidden_trains);
+        let pop = population_firing(&hidden_trains);
+
+        println!("\n=== {scheme} ({steps} steps, 10% of neurons sampled) ===");
+        print!("ISI histogram (1..=10): ");
+        for isi in 1..=10 {
+            print!("{} ", hist.count(isi));
+        }
+        println!("(overflow: {})", hist.overflow());
+        println!(
+            "short-ISI fraction (≤2): {:.1}%",
+            100.0 * hist.short_isi_fraction(2)
+        );
+        println!(
+            "burst spikes: {:.1}% of {} total (len=2: {:.1}%, len>5: {:.1}%)",
+            100.0 * bursts.burst_fraction(),
+            bursts.total_spikes,
+            100.0 * bursts.fraction_of_length(2),
+            100.0 * bursts.fraction_longer()
+        );
+        println!(
+            "population: <log λ> = {:.3}, <κ> = {:.3} over {} neurons",
+            pop.mean_log_rate, pop.mean_regularity, pop.neurons
+        );
+    }
+    println!(
+        "\n(burst coding concentrates ISIs at 1–2 steps and raises κ — \
+         the Fig. 1-C3 / Fig. 5 signature)"
+    );
+    Ok(())
+}

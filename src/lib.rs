@@ -1,0 +1,28 @@
+//! # burst-snn
+//!
+//! A production-quality Rust reproduction of **"Fast and Efficient
+//! Information Transmission with Burst Spikes in Deep Spiking Neural
+//! Networks"** (Park, Kim, Choe, Yoon — DAC 2019).
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`tensor`] — dense `f32` tensors, matmul, im2col convolution.
+//! * [`data`] — seeded synthetic datasets standing in for MNIST/CIFAR.
+//! * [`dnn`] — trainable DNN layers, optimizers, and VGG-style models.
+//! * [`core`] — the paper's contribution: an IF-neuron SNN simulator with
+//!   burst coding, phase coding, rate coding, and hybrid layer-wise
+//!   coding schemes, plus DNN→SNN conversion.
+//! * [`analysis`] — ISI histograms, burst statistics, firing
+//!   rate/regularity, spiking density, and neuromorphic energy models.
+//!
+//! ## Quickstart
+//!
+//! See `examples/quickstart.rs`, which trains a small DNN, converts it to
+//! an SNN with the paper's best *phase-burst* hybrid coding, and compares
+//! accuracy/latency/spike counts against rate coding.
+
+pub use bsnn_analysis as analysis;
+pub use bsnn_core as core;
+pub use bsnn_data as data;
+pub use bsnn_dnn as dnn;
+pub use bsnn_tensor as tensor;

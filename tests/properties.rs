@@ -1,0 +1,192 @@
+//! Property-based tests of the workspace's core invariants, spanning the
+//! tensor, core, and analysis crates.
+
+use burst_snn::analysis::burst::{burst_composition, run_lengths};
+use burst_snn::analysis::firing::{firing_rate, firing_regularity};
+use burst_snn::analysis::isi::intervals;
+use burst_snn::core::coding::InputCoding;
+use burst_snn::core::convert::percentile;
+use burst_snn::core::encoder::InputEncoder;
+use burst_snn::core::layer::{SpikingLayer, ThresholdPolicy};
+use burst_snn::core::synapse::Synapse;
+use burst_snn::core::{NeuronId, SpikeTrainRec};
+use burst_snn::tensor::{ops::matmul, Tensor};
+use proptest::prelude::*;
+
+fn identity_layer(policy: ThresholdPolicy) -> SpikingLayer {
+    SpikingLayer::new(
+        Synapse::Dense {
+            weight: Tensor::from_vec(vec![1.0], &[1, 1]).expect("shape"),
+        },
+        None,
+        policy,
+    )
+    .expect("valid layer")
+}
+
+proptest! {
+    /// Reset-by-subtraction conserves charge for every threshold policy:
+    /// total emitted magnitude + residual membrane == total injected.
+    #[test]
+    fn charge_conservation(
+        drives in prop::collection::vec(0.0f32..2.0, 1..200),
+        policy_idx in 0usize..3,
+    ) {
+        let policy = match policy_idx {
+            0 => ThresholdPolicy::Fixed { vth: 1.0 },
+            1 => ThresholdPolicy::Phase { vth: 8.0, period: 8 },
+            _ => ThresholdPolicy::Burst { vth: 0.125, beta: 2.0 },
+        };
+        let mut layer = identity_layer(policy);
+        let mut emitted = 0.0f64;
+        let mut injected = 0.0f64;
+        for (t, &d) in drives.iter().enumerate() {
+            injected += d as f64;
+            let out = layer.step(&[d], t as u64).expect("step");
+            emitted += out[0] as f64;
+        }
+        let residual = layer.potentials()[0] as f64;
+        prop_assert!(
+            (emitted + residual - injected).abs() < 1e-2 * injected.max(1.0),
+            "emitted {emitted} + residual {residual} != injected {injected}"
+        );
+    }
+
+    /// Spike magnitudes are never negative and match the firing
+    /// threshold at the time of the spike.
+    #[test]
+    fn burst_spike_magnitudes_follow_geometric_ladder(
+        drives in prop::collection::vec(0.0f32..4.0, 1..100),
+    ) {
+        let vth = 0.25f32;
+        let beta = 2.0f32;
+        let mut layer = identity_layer(ThresholdPolicy::Burst { vth, beta });
+        let mut consecutive = 0u32;
+        for (t, &d) in drives.iter().enumerate() {
+            let out = layer.step(&[d], t as u64).expect("step")[0];
+            if out > 0.0 {
+                let expected = vth * beta.powi(consecutive as i32);
+                prop_assert!(
+                    (out - expected).abs() < 1e-4,
+                    "spike magnitude {out} != g-ladder value {expected}"
+                );
+                consecutive += 1;
+            } else {
+                consecutive = 0;
+            }
+        }
+    }
+
+    /// The rate encoder's spike count over T steps approximates x·T.
+    #[test]
+    fn rate_encoder_counts_track_intensity(x in 0.0f32..1.0) {
+        let steps = 256u64;
+        let mut enc = InputEncoder::new(InputCoding::Rate, &[x], 8).expect("encoder");
+        let mut buf = [0.0f32];
+        let mut count = 0u64;
+        for t in 0..steps {
+            count += enc.step(t, &mut buf) as u64;
+        }
+        let expected = (x * steps as f32) as i64;
+        prop_assert!(
+            (count as i64 - expected).abs() <= 1,
+            "count {count} vs expected {expected}"
+        );
+    }
+
+    /// One phase period transmits the k-bit quantization of the pixel.
+    #[test]
+    fn phase_encoder_period_reconstructs(x in 0.0f32..1.0, k in 2u32..12) {
+        let mut enc = InputEncoder::new(InputCoding::Phase, &[x], k).expect("encoder");
+        let mut buf = [0.0f32];
+        let mut sum = 0.0f32;
+        for t in 0..k as u64 {
+            enc.step(t, &mut buf);
+            sum += buf[0];
+        }
+        let quantum = 1.0 / (1u64 << k) as f32;
+        prop_assert!((sum - x).abs() <= 2.0 * quantum + 1e-5, "sum {sum} vs {x}");
+    }
+
+    /// ISIs are consistent: they are positive for strictly increasing
+    /// trains and sum to the span.
+    #[test]
+    fn intervals_sum_to_span(times in prop::collection::btree_set(0u32..10_000, 2..100)) {
+        let times: Vec<u32> = times.iter().copied().collect();
+        let isis = intervals(&times);
+        prop_assert!(isis.iter().all(|&i| i > 0));
+        let span: u32 = isis.iter().sum();
+        prop_assert_eq!(span, times.last().unwrap() - times.first().unwrap());
+    }
+
+    /// Burst run lengths partition the spike count, and the burst
+    /// fraction is a valid probability.
+    #[test]
+    fn burst_stats_are_consistent(times in prop::collection::btree_set(0u32..2_000, 0..200)) {
+        let times: Vec<u32> = times.iter().copied().collect();
+        let runs = run_lengths(&times);
+        prop_assert_eq!(runs.iter().sum::<usize>(), times.len());
+        let rec = SpikeTrainRec {
+            neuron: NeuronId { layer: 0, index: 0 },
+            times,
+        };
+        let stats = burst_composition(&[rec]);
+        let f = stats.burst_fraction();
+        prop_assert!((0.0..=1.0).contains(&f));
+        prop_assert!(stats.burst_spikes() <= stats.total_spikes);
+    }
+
+    /// Firing rate is in (0, 1] and regularity is non-negative.
+    #[test]
+    fn firing_stats_ranges(times in prop::collection::btree_set(0u32..5_000, 3..100)) {
+        let times: Vec<u32> = times.iter().copied().collect();
+        let rate = firing_rate(&times).expect("≥2 spikes");
+        prop_assert!(rate > 0.0 && rate <= 1.0, "rate {rate}");
+        let kappa = firing_regularity(&times).expect("≥2 ISIs");
+        prop_assert!(kappa >= 0.0);
+    }
+
+    /// Percentile is bounded by min/max and monotone in p.
+    #[test]
+    fn percentile_properties(
+        values in prop::collection::vec(-100.0f32..100.0, 1..200),
+        p1 in 0.0f32..100.0,
+        p2 in 0.0f32..100.0,
+    ) {
+        let lo = values.iter().copied().fold(f32::INFINITY, f32::min);
+        let hi = values.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let v1 = percentile(&values, p1);
+        prop_assert!(v1 >= lo && v1 <= hi);
+        let (small, big) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        prop_assert!(percentile(&values, small) <= percentile(&values, big));
+    }
+
+    /// Matrix multiplication distributes over addition:
+    /// A·(x + y) == A·x + A·y (within float tolerance).
+    #[test]
+    fn matmul_distributes(
+        a_vals in prop::collection::vec(-2.0f32..2.0, 12),
+        x_vals in prop::collection::vec(-2.0f32..2.0, 4),
+        y_vals in prop::collection::vec(-2.0f32..2.0, 4),
+    ) {
+        let a = Tensor::from_vec(a_vals, &[3, 4]).expect("shape");
+        let x = Tensor::from_vec(x_vals, &[4, 1]).expect("shape");
+        let y = Tensor::from_vec(y_vals, &[4, 1]).expect("shape");
+        let lhs = matmul(&a, &x.add(&y).expect("add")).expect("matmul");
+        let rhs = matmul(&a, &x)
+            .expect("matmul")
+            .add(&matmul(&a, &y).expect("matmul"))
+            .expect("add");
+        for (l, r) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((l - r).abs() < 1e-3, "{l} vs {r}");
+        }
+    }
+
+    /// Transposition is an involution.
+    #[test]
+    fn transpose_involution(vals in prop::collection::vec(-5.0f32..5.0, 6)) {
+        let t = Tensor::from_vec(vals, &[2, 3]).expect("shape");
+        let tt = t.transpose2().expect("t").transpose2().expect("tt");
+        prop_assert_eq!(t, tt);
+    }
+}
