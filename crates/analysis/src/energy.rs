@@ -106,8 +106,7 @@ impl EnergyModel {
         EnergyBreakdown {
             computation: self.comp_weight
                 * ratio(workload.spikes_per_image, reference.spikes_per_image),
-            routing: self.route_weight
-                * ratio(workload.spiking_density, reference.spiking_density),
+            routing: self.route_weight * ratio(workload.spiking_density, reference.spiking_density),
             static_part: self.static_weight
                 * ratio(workload.latency as f64, reference.latency as f64),
         }
@@ -150,8 +149,12 @@ mod tests {
         let reference = wl(1e6, 0.02, 1000);
         // Same spikes/density, double latency.
         let slow = wl(1e6, 0.02, 2000);
-        let tn = EnergyModel::truenorth().normalized(&slow, &reference).total();
-        let sp = EnergyModel::spinnaker().normalized(&slow, &reference).total();
+        let tn = EnergyModel::truenorth()
+            .normalized(&slow, &reference)
+            .total();
+        let sp = EnergyModel::spinnaker()
+            .normalized(&slow, &reference)
+            .total();
         assert!(sp > tn, "spinnaker {sp} vs truenorth {tn}");
     }
 
@@ -159,8 +162,12 @@ mod tests {
     fn truenorth_punishes_spikes_more_than_spinnaker() {
         let reference = wl(1e6, 0.02, 1000);
         let spiky = wl(4e6, 0.08, 1000);
-        let tn = EnergyModel::truenorth().normalized(&spiky, &reference).total();
-        let sp = EnergyModel::spinnaker().normalized(&spiky, &reference).total();
+        let tn = EnergyModel::truenorth()
+            .normalized(&spiky, &reference)
+            .total();
+        let sp = EnergyModel::spinnaker()
+            .normalized(&spiky, &reference)
+            .total();
         assert!(tn > sp);
     }
 

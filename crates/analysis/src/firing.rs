@@ -46,11 +46,7 @@ pub fn firing_regularity(times: &[u32]) -> Option<f64> {
     if mean == 0.0 {
         return None;
     }
-    let var = isis
-        .iter()
-        .map(|&i| (i as f64 - mean).powi(2))
-        .sum::<f64>()
-        / n;
+    let var = isis.iter().map(|&i| (i as f64 - mean).powi(2)).sum::<f64>() / n;
     Some(var.sqrt() / mean)
 }
 
@@ -74,8 +70,7 @@ pub fn population_firing(trains: &[SpikeTrainRec]) -> PopulationFiring {
     let mut sum_kappa = 0.0f64;
     let mut n = 0usize;
     for t in trains {
-        let (Some(rate), Some(kappa)) = (firing_rate(&t.times), firing_regularity(&t.times))
-        else {
+        let (Some(rate), Some(kappa)) = (firing_rate(&t.times), firing_regularity(&t.times)) else {
             continue;
         };
         if rate <= 0.0 {

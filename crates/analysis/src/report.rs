@@ -80,7 +80,11 @@ impl ActivityReport {
                     layer,
                     neurons,
                     spikes,
-                    density: if denom > 0.0 { spikes as f64 / denom } else { 0.0 },
+                    density: if denom > 0.0 {
+                        spikes as f64 / denom
+                    } else {
+                        0.0
+                    },
                     mean_rate: mean(&rates),
                     mean_regularity: mean(&kappas),
                 }
@@ -97,17 +101,16 @@ impl ActivityReport {
     /// The layer with the highest spiking density (usually where the
     /// coding scheme spends its budget), if any layer spiked.
     pub fn hottest_layer(&self) -> Option<&LayerActivity> {
-        self.layers
-            .iter()
-            .filter(|l| l.spikes > 0)
-            .max_by(|a, b| a.density.partial_cmp(&b.density).unwrap_or(std::cmp::Ordering::Equal))
+        self.layers.iter().filter(|l| l.spikes > 0).max_by(|a, b| {
+            a.density
+                .partial_cmp(&b.density)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
     }
 
     /// Renders a fixed-width text table.
     pub fn to_table(&self) -> String {
-        let mut out = String::from(
-            "layer  neurons    spikes   density  <rate>  <kappa>\n",
-        );
+        let mut out = String::from("layer  neurons    spikes   density  <rate>  <kappa>\n");
         for l in &self.layers {
             let fmt_opt = |o: Option<f64>| match o {
                 Some(v) => format!("{v:.4}"),

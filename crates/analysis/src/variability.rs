@@ -144,8 +144,6 @@ mod tests {
             .flat_map(|b| [b, b + 1, b + 2])
             .collect();
         assert!(cv2(&bursty).unwrap() > cv2(&regular).unwrap());
-        assert!(
-            fano_factor(&bursty, 96, 8).unwrap() > fano_factor(&regular, 96, 8).unwrap()
-        );
+        assert!(fano_factor(&bursty, 96, 8).unwrap() > fano_factor(&regular, 96, 8).unwrap());
     }
 }

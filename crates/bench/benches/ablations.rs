@@ -45,7 +45,9 @@ fn bench_beta(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_beta_infer_32steps");
     group.sample_size(20);
     for beta in [1.0f32, 2.0, 4.0] {
-        let cfg = ConversionConfig::new(scheme).with_vth(0.125).with_beta(beta);
+        let cfg = ConversionConfig::new(scheme)
+            .with_vth(0.125)
+            .with_beta(beta);
         let mut snn = convert(&mut dnn, &norm, &cfg).expect("conversion");
         let eval_cfg = EvalConfig::new(scheme, 32);
         group.bench_function(format!("beta_{beta}"), |b| {
@@ -64,12 +66,20 @@ fn bench_beta(c: &mut Criterion) {
 fn bench_layer_step(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(9);
     let weight = uniform(&mut rng, &[256, 256], -0.1, 0.1);
-    let input: Vec<f32> = (0..256).map(|i| if i % 4 == 0 { 0.5 } else { 0.0 }).collect();
+    let input: Vec<f32> = (0..256)
+        .map(|i| if i % 4 == 0 { 0.5 } else { 0.0 })
+        .collect();
 
     let mut group = c.benchmark_group("ablation_layer_step_256x256");
     for (label, policy) in [
         ("rate", ThresholdPolicy::Fixed { vth: 1.0 }),
-        ("phase", ThresholdPolicy::Phase { vth: 8.0, period: 8 }),
+        (
+            "phase",
+            ThresholdPolicy::Phase {
+                vth: 8.0,
+                period: 8,
+            },
+        ),
         (
             "burst",
             ThresholdPolicy::Burst {

@@ -25,9 +25,8 @@ fn bench_vth_sweep(c: &mut Criterion) {
         let mut snn = convert(&mut dnn, &norm, &cfg).expect("conversion");
         group.bench_function(format!("vth_{vth}"), |b| {
             b.iter(|| {
-                let trains =
-                    record_spike_trains(&mut snn, black_box(&image), scheme, 64, 0.1, 0)
-                        .expect("recording");
+                let trains = record_spike_trains(&mut snn, black_box(&image), scheme, 64, 0.1, 0)
+                    .expect("recording");
                 black_box(burst_composition(&trains).burst_fraction())
             })
         });
@@ -38,7 +37,9 @@ fn bench_vth_sweep(c: &mut Criterion) {
         let trains: Vec<SpikeTrainRec> = (0..1000)
             .map(|i| SpikeTrainRec {
                 neuron: NeuronId { layer: 1, index: i },
-                times: (0..64).filter(|t| !(t + i as u32).is_multiple_of(3)).collect(),
+                times: (0..64)
+                    .filter(|t| !(t + i as u32).is_multiple_of(3))
+                    .collect(),
             })
             .collect();
         b.iter(|| black_box(burst_composition(black_box(&trains)).burst_fraction()))

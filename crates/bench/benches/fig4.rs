@@ -22,7 +22,10 @@ fn bench_curves(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("fig4_accuracy_curve_5imgs_64steps");
     group.sample_size(10);
-    for (label, every) in [("checkpoint_every_4", 4usize), ("checkpoint_final_only", 64)] {
+    for (label, every) in [
+        ("checkpoint_every_4", 4usize),
+        ("checkpoint_final_only", 64),
+    ] {
         let eval_cfg = EvalConfig::new(scheme, 64)
             .with_checkpoint_every(every)
             .with_max_images(5);

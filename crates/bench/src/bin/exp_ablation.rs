@@ -56,7 +56,9 @@ fn main() {
     println!("\n[A] Burst constant β (phase-burst, v_th = 0.125):");
     let mut rows = Vec::new();
     for beta in [1.0f32, 1.5, 2.0, 4.0] {
-        let cfg = ConversionConfig::new(scheme).with_vth(0.125).with_beta(beta);
+        let cfg = ConversionConfig::new(scheme)
+            .with_vth(0.125)
+            .with_beta(beta);
         let eval = run(&mut setup, &cfg, scheme);
         rows.push(fmt_row(format!("beta={beta}"), &eval));
     }
@@ -97,7 +99,9 @@ fn main() {
         rows.push(fmt_row(label.to_string(), &eval));
     }
     print_table(&headers, &rows);
-    println!("(reset-to-zero discards supra-threshold residuals — the information loss Eq. 4 fixes)");
+    println!(
+        "(reset-to-zero discards supra-threshold residuals — the information loss Eq. 4 fixes)"
+    );
 
     println!("\n[E] Extension input codings (burst hidden):");
     let mut rows = Vec::new();
@@ -108,5 +112,7 @@ fn main() {
         rows.push(fmt_row(s.to_string(), &eval));
     }
     print_table(&headers, &rows);
-    println!("(ttfs = time-to-first-spike input, one value-magnitude spike per window — Thorpe [22])");
+    println!(
+        "(ttfs = time-to-first-spike input, one value-magnitude spike per window — Thorpe [22])"
+    );
 }

@@ -7,12 +7,12 @@
 //! slots). We reproduce the histograms from hidden-layer spike trains of
 //! the converted network on the CIFAR-10 stand-in.
 
+use bsnn_analysis::IsiHistogram;
 use bsnn_bench::{prepare_task, print_table, Profile};
 use bsnn_core::coding::{CodingScheme, HiddenCoding, InputCoding};
 use bsnn_core::convert::{convert, ConversionConfig};
 use bsnn_core::simulator::record_spike_trains;
 use bsnn_data::SyntheticTask;
-use bsnn_analysis::IsiHistogram;
 
 fn main() {
     let profile = Profile::from_env();
@@ -55,7 +55,10 @@ fn main() {
                 100.0 * hist.count(isi) as f64 / total as f64
             ));
         }
-        row.push(format!("{:.1}", 100.0 * hist.overflow() as f64 / total as f64));
+        row.push(format!(
+            "{:.1}",
+            100.0 * hist.overflow() as f64 / total as f64
+        ));
         row.push(format!("{:.1}%", 100.0 * hist.short_isi_fraction(2)));
         rows.push(row);
     }

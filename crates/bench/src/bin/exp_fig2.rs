@@ -5,12 +5,12 @@
 //! Paper shape criteria: as `v_th` decreases, (a) the total burst-spike
 //! fraction grows, and (b) longer bursts (length > 5) appear more often.
 
+use bsnn_analysis::burst_composition;
 use bsnn_bench::{prepare_task, print_table, Profile};
 use bsnn_core::coding::CodingScheme;
 use bsnn_core::convert::{convert, ConversionConfig};
 use bsnn_core::simulator::record_spike_trains;
 use bsnn_data::SyntheticTask;
-use bsnn_analysis::burst_composition;
 
 fn main() {
     let profile = Profile::from_env();
@@ -40,10 +40,7 @@ fn main() {
                 7 + i as u64,
             )
             .expect("recording");
-            let hidden: Vec<_> = trains
-                .into_iter()
-                .filter(|t| t.neuron.layer > 0)
-                .collect();
+            let hidden: Vec<_> = trains.into_iter().filter(|t| t.neuron.layer > 0).collect();
             stats.merge(&burst_composition(&hidden));
         }
         rows.push(vec![

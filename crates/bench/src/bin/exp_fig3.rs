@@ -41,7 +41,8 @@ fn main() {
         let eval_cfg = EvalConfig::new(scheme, profile.steps)
             .with_checkpoint_every((profile.steps / 32).max(1))
             .with_max_images(profile.eval_images);
-        let eval = evaluate_dataset_parallel(&snn, &setup.test, &eval_cfg, threads()).expect("evaluation");
+        let eval =
+            evaluate_dataset_parallel(&snn, &setup.test, &eval_cfg, threads()).expect("evaluation");
         let mut row = vec![scheme.to_string()];
         for (_, target) in &targets {
             match eval.latency_to(*target) {

@@ -34,7 +34,8 @@ fn main() {
         let eval_cfg = EvalConfig::new(scheme, profile.steps)
             .with_checkpoint_every(every)
             .with_max_images(profile.eval_images);
-        let eval = evaluate_dataset_parallel(&snn, &setup.test, &eval_cfg, threads()).expect("evaluation");
+        let eval =
+            evaluate_dataset_parallel(&snn, &setup.test, &eval_cfg, threads()).expect("evaluation");
         if headers.len() == 1 {
             headers.extend(eval.checkpoints.iter().map(|c| format!("t={c}")));
         }

@@ -8,12 +8,12 @@
 //! spread across input codings (high flexibility / adaptability); rate
 //! hidden coding sits at low firing rates.
 
+use bsnn_analysis::population_firing;
 use bsnn_bench::{prepare_task, print_table, Profile};
 use bsnn_core::coding::{CodingScheme, HiddenCoding};
 use bsnn_core::convert::{convert, ConversionConfig};
 use bsnn_core::simulator::record_spike_trains;
 use bsnn_data::SyntheticTask;
-use bsnn_analysis::population_firing;
 
 fn main() {
     let profile = Profile::from_env();

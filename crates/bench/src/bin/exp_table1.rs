@@ -40,7 +40,8 @@ fn main() {
         let eval_cfg = EvalConfig::new(scheme, profile.steps)
             .with_checkpoint_every((profile.steps / 16).max(1))
             .with_max_images(profile.eval_images);
-        let eval = evaluate_dataset_parallel(&snn, &setup.test, &eval_cfg, threads()).expect("evaluation");
+        let eval =
+            evaluate_dataset_parallel(&snn, &setup.test, &eval_cfg, threads()).expect("evaluation");
         let (latency, spikes_at) = match eval.latency_to(target) {
             Some((t, s)) => (format!("{t}"), s),
             None => (format!(">{}", profile.steps), eval.final_mean_spikes()),
@@ -55,14 +56,7 @@ fn main() {
         ]);
     }
     print_table(
-        &[
-            "Input",
-            "Hidden",
-            "Acc(%)",
-            "Latency",
-            "Spk@lat",
-            "Spk@end",
-        ],
+        &["Input", "Hidden", "Acc(%)", "Latency", "Spk@lat", "Spk@end"],
         &rows,
     );
     println!("\n(Spk = mean spikes per image; Latency = first checkpoint reaching DNN-0.5%)");

@@ -15,12 +15,12 @@
 //! the lowest energy at comparable accuracy; phase-phase has the highest
 //! spike counts; smaller v_th converges faster but spikes more.
 
+use bsnn_analysis::{EnergyModel, WorkloadMetrics};
 use bsnn_bench::{prepare_task, print_table, Profile};
 use bsnn_core::coding::{CodingScheme, HiddenCoding, InputCoding};
 use bsnn_core::convert::{convert, ConversionConfig};
 use bsnn_core::simulator::{evaluate_dataset_parallel, EvalConfig};
 use bsnn_data::SyntheticTask;
-use bsnn_analysis::{EnergyModel, WorkloadMetrics};
 
 struct MethodSpec {
     label: &'static str,
@@ -98,7 +98,8 @@ fn main() {
             let eval_cfg = EvalConfig::new(m.scheme, profile.steps)
                 .with_checkpoint_every((profile.steps / 16).max(1))
                 .with_max_images(profile.eval_images);
-            let eval = evaluate_dataset_parallel(&snn, &setup.test, &eval_cfg, threads()).expect("evaluation");
+            let eval = evaluate_dataset_parallel(&snn, &setup.test, &eval_cfg, threads())
+                .expect("evaluation");
             let (latency, spikes) = match eval.latency_to(target) {
                 Some((t, s)) => (t, s),
                 None => (profile.steps, eval.final_mean_spikes()),
@@ -110,7 +111,14 @@ fn main() {
                 spiking_density: density,
                 latency,
             });
-            rows.push((m.label, eval.final_accuracy(), latency, reached, spikes, density));
+            rows.push((
+                m.label,
+                eval.final_accuracy(),
+                latency,
+                reached,
+                spikes,
+                density,
+            ));
         }
 
         // Energy is normalized against the real-rate (Rueckauer) row, the

@@ -106,8 +106,7 @@ impl TaskSetup {
 }
 
 fn cache_dir() -> PathBuf {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("../../target/bsnn_cache");
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/bsnn_cache");
     let _ = fs::create_dir_all(&dir);
     dir
 }
@@ -191,22 +190,14 @@ pub fn load_params(model: &mut Sequential, path: &std::path::Path) -> std::io::R
 /// Panics only on inconsistent internal geometry (programming error).
 pub fn build_model(task: SyntheticTask, spec: &SynthSpec) -> Sequential {
     match task {
-        SyntheticTask::Digits => models::cnn_digits(
-            spec.channels,
-            spec.height,
-            spec.width,
-            spec.num_classes,
-            11,
-        )
-        .expect("digits geometry divisible by 4"),
-        SyntheticTask::Cifar10 | SyntheticTask::Cifar100 => models::vgg_small(
-            spec.channels,
-            spec.height,
-            spec.width,
-            spec.num_classes,
-            11,
-        )
-        .expect("cifar geometry divisible by 4"),
+        SyntheticTask::Digits => {
+            models::cnn_digits(spec.channels, spec.height, spec.width, spec.num_classes, 11)
+                .expect("digits geometry divisible by 4")
+        }
+        SyntheticTask::Cifar10 | SyntheticTask::Cifar100 => {
+            models::vgg_small(spec.channels, spec.height, spec.width, spec.num_classes, 11)
+                .expect("cifar geometry divisible by 4")
+        }
     }
 }
 
@@ -219,8 +210,8 @@ pub fn build_model(task: SyntheticTask, spec: &SynthSpec) -> Sequential {
 /// Panics if training fails (tensor shape errors — programming bugs, not
 /// runtime conditions).
 pub fn prepare_task(task: SyntheticTask, profile: &Profile) -> TaskSetup {
-    let spec = SynthSpec::for_task(task)
-        .with_counts(profile.train_per_class, profile.test_per_class);
+    let spec =
+        SynthSpec::for_task(task).with_counts(profile.train_per_class, profile.test_per_class);
     let (train, test) = spec.generate();
     let mut dnn = build_model(task, &spec);
     let cache = cache_dir().join(format!("{}-{}.bin", task.name(), profile.name));
@@ -270,7 +261,10 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
         println!("{}", joined.join("  "));
     };
     line(headers.iter().map(|h| h.to_string()).collect());
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
+    );
     for row in rows {
         line(row.clone());
     }

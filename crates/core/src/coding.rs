@@ -62,7 +62,8 @@ pub enum HiddenCoding {
 
 impl HiddenCoding {
     /// All hidden codings, in the paper's presentation order.
-    pub const ALL: [HiddenCoding; 3] = [HiddenCoding::Rate, HiddenCoding::Phase, HiddenCoding::Burst];
+    pub const ALL: [HiddenCoding; 3] =
+        [HiddenCoding::Rate, HiddenCoding::Phase, HiddenCoding::Burst];
 
     /// Lower-case name as used in the paper's tables.
     pub fn name(self) -> &'static str {

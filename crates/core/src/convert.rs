@@ -436,10 +436,7 @@ fn find_following_relu(layers: &[LayerBox], i: usize) -> Option<usize> {
 fn is_weighted_or_pool(l: &LayerBox) -> bool {
     matches!(
         l,
-        LayerBox::Dense(_)
-            | LayerBox::Conv2d(_)
-            | LayerBox::AvgPool2d(_)
-            | LayerBox::MaxPool2d(_)
+        LayerBox::Dense(_) | LayerBox::Conv2d(_) | LayerBox::AvgPool2d(_) | LayerBox::MaxPool2d(_)
     )
 }
 
@@ -507,10 +504,12 @@ mod tests {
             cfg.policy(),
             ThresholdPolicy::Burst { vth, beta } if vth == 0.0625 && beta == 4.0
         ));
-        assert!(ConversionConfig::new(CodingScheme::new(InputCoding::Real, HiddenCoding::Burst))
-            .with_vth(-1.0)
-            .validate()
-            .is_err());
+        assert!(
+            ConversionConfig::new(CodingScheme::new(InputCoding::Real, HiddenCoding::Burst))
+                .with_vth(-1.0)
+                .validate()
+                .is_err()
+        );
     }
 
     #[test]
@@ -518,7 +517,12 @@ mod tests {
         let (train, _) = SynthSpec::digits().with_counts(4, 1).generate();
         let mut dnn = models::vgg_tiny(1, 12, 12, 10, 0).unwrap();
         let (batch, _) = train.batch(&[0, 1, 2, 3]);
-        let snn = convert(&mut dnn, &batch, &ConversionConfig::new(CodingScheme::new(InputCoding::Real, HiddenCoding::Rate))).unwrap();
+        let snn = convert(
+            &mut dnn,
+            &batch,
+            &ConversionConfig::new(CodingScheme::new(InputCoding::Real, HiddenCoding::Rate)),
+        )
+        .unwrap();
         // stages: conv(+relu), pool; output dense
         assert_eq!(snn.layers().len(), 2);
         assert_eq!(snn.input_len(), 144);
@@ -533,7 +537,12 @@ mod tests {
         let (train, _) = SynthSpec::cifar10().with_counts(2, 1).generate();
         let mut dnn = models::vgg_small(3, 16, 16, 10, 0).unwrap();
         let (batch, _) = train.batch(&[0, 1]);
-        let snn = convert(&mut dnn, &batch, &ConversionConfig::new(CodingScheme::new(InputCoding::Real, HiddenCoding::Burst))).unwrap();
+        let snn = convert(
+            &mut dnn,
+            &batch,
+            &ConversionConfig::new(CodingScheme::new(InputCoding::Real, HiddenCoding::Burst)),
+        )
+        .unwrap();
         // conv,conv,pool,conv,conv,pool,dense(+relu) = 7 hidden stages
         assert_eq!(snn.layers().len(), 7);
     }
@@ -543,7 +552,12 @@ mod tests {
         let (train, _) = SynthSpec::digits().with_counts(4, 1).generate();
         let mut dnn = models::mlp(144, &[32, 16], 10, 0).unwrap();
         let (batch, _) = train.batch(&[0, 1, 2, 3]);
-        let snn = convert(&mut dnn, &batch, &ConversionConfig::new(CodingScheme::new(InputCoding::Real, HiddenCoding::Burst))).unwrap();
+        let snn = convert(
+            &mut dnn,
+            &batch,
+            &ConversionConfig::new(CodingScheme::new(InputCoding::Real, HiddenCoding::Burst)),
+        )
+        .unwrap();
         assert_eq!(snn.layers().len(), 2);
         assert_eq!(snn.layers()[0].len(), 32);
     }

@@ -266,7 +266,10 @@ mod tests {
         let (frames, _) = collect_steps(&mut enc, k as u64);
         let sum: f32 = frames.iter().map(|f| f[0]).sum();
         // quantization error ≤ 2 quanta
-        assert!((sum - x).abs() < 2.0 / (1u32 << k) as f32, "sum {sum} vs {x}");
+        assert!(
+            (sum - x).abs() < 2.0 / (1u32 << k) as f32,
+            "sum {sum} vs {x}"
+        );
     }
 
     #[test]
@@ -294,8 +297,8 @@ mod tests {
         let mut enc = InputEncoder::new(InputCoding::Ttfs, &[1.0, 0.5, 0.1], 8).unwrap();
         let (frames, total) = collect_steps(&mut enc, 8);
         assert_eq!(total, 3); // one spike per pixel per window
-        // x = 1.0 fires at phase 0, x = 0.5 at round(0.5·7) = 4,
-        // x = 0.1 at round(0.9·7) = 6.
+                              // x = 1.0 fires at phase 0, x = 0.5 at round(0.5·7) = 4,
+                              // x = 0.1 at round(0.9·7) = 6.
         assert_eq!(frames[0], vec![1.0, 0.0, 0.0]);
         assert_eq!(frames[4][1], 0.5);
         assert!((frames[6][2] - 0.1).abs() < 1e-6);

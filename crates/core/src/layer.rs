@@ -67,9 +67,9 @@ impl ThresholdPolicy {
     /// phase period, or β ≤ 0.
     pub fn validate(&self) -> Result<(), SnnError> {
         match *self {
-            ThresholdPolicy::Fixed { vth } if vth <= 0.0 => Err(SnnError::InvalidConfig(
-                format!("fixed threshold {vth} must be positive"),
-            )),
+            ThresholdPolicy::Fixed { vth } if vth <= 0.0 => Err(SnnError::InvalidConfig(format!(
+                "fixed threshold {vth} must be positive"
+            ))),
             ThresholdPolicy::Phase { vth, period } if vth <= 0.0 || period == 0 => Err(
                 SnnError::InvalidConfig(format!("phase policy vth={vth} period={period} invalid")),
             ),
@@ -365,7 +365,13 @@ mod tests {
 
     #[test]
     fn phase_policy_thresholds_oscillate() {
-        let l = identity_layer(1, ThresholdPolicy::Phase { vth: 1.0, period: 4 });
+        let l = identity_layer(
+            1,
+            ThresholdPolicy::Phase {
+                vth: 1.0,
+                period: 4,
+            },
+        );
         assert_eq!(l.threshold(0, 0), 0.5);
         assert_eq!(l.threshold(0, 1), 0.25);
         assert_eq!(l.threshold(0, 3), 0.0625);
@@ -374,7 +380,13 @@ mod tests {
 
     #[test]
     fn phase_spikes_carry_phase_weights() {
-        let mut l = identity_layer(1, ThresholdPolicy::Phase { vth: 1.0, period: 4 });
+        let mut l = identity_layer(
+            1,
+            ThresholdPolicy::Phase {
+                vth: 1.0,
+                period: 4,
+            },
+        );
         // Large initial drive: fires at every phase, magnitudes 1/2, 1/4…
         let out0 = l.step(&[2.0], 0).unwrap().to_vec();
         assert_eq!(out0[0], 0.5);
@@ -554,12 +566,24 @@ mod tests {
     #[test]
     fn rejects_invalid_configs() {
         assert!(ThresholdPolicy::Fixed { vth: 0.0 }.validate().is_err());
-        assert!(ThresholdPolicy::Phase { vth: 1.0, period: 0 }.validate().is_err());
-        assert!(ThresholdPolicy::Burst { vth: 1.0, beta: 0.0 }.validate().is_err());
+        assert!(ThresholdPolicy::Phase {
+            vth: 1.0,
+            period: 0
+        }
+        .validate()
+        .is_err());
+        assert!(ThresholdPolicy::Burst {
+            vth: 1.0,
+            beta: 0.0
+        }
+        .validate()
+        .is_err());
         let syn = Synapse::Dense {
             weight: Tensor::zeros(&[1, 2]),
         };
-        assert!(SpikingLayer::new(syn, Some(vec![0.0]), ThresholdPolicy::Fixed { vth: 1.0 }).is_err());
+        assert!(
+            SpikingLayer::new(syn, Some(vec![0.0]), ThresholdPolicy::Fixed { vth: 1.0 }).is_err()
+        );
     }
 
     #[test]

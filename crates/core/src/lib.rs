@@ -79,7 +79,7 @@ pub use error::SnnError;
 pub use layer::{ResetMode, SpikingLayer, ThresholdPolicy};
 pub use network::SpikingNetwork;
 pub use recorder::{NeuronId, RecordLevel, SpikeRecord, SpikeTrainRec};
-pub use snapshot::{load_network, save_network, SnapshotError};
 pub use simulator::{
     evaluate_dataset, evaluate_dataset_parallel, infer_image, EvalConfig, EvalResult, ImageResult,
 };
+pub use snapshot::{load_network, save_network, SnapshotError};

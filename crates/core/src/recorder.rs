@@ -191,17 +191,9 @@ mod tests {
         r.observe_layer(0, 1, &[1.0, 0.0, 0.0, 0.0]);
         r.end_step();
         assert_eq!(r.trains().len(), 4);
-        let t0 = r
-            .trains()
-            .iter()
-            .find(|tr| tr.neuron.index == 0)
-            .unwrap();
+        let t0 = r.trains().iter().find(|tr| tr.neuron.index == 0).unwrap();
         assert_eq!(t0.times, vec![0, 1]);
-        let t3 = r
-            .trains()
-            .iter()
-            .find(|tr| tr.neuron.index == 3)
-            .unwrap();
+        let t3 = r.trains().iter().find(|tr| tr.neuron.index == 3).unwrap();
         assert_eq!(t3.times, vec![0]);
     }
 
@@ -223,7 +215,13 @@ mod tests {
     #[test]
     fn sampling_is_seeded() {
         let pick = |seed| {
-            let r = SpikeRecord::new(&[50], RecordLevel::Trains { fraction: 0.2, seed });
+            let r = SpikeRecord::new(
+                &[50],
+                RecordLevel::Trains {
+                    fraction: 0.2,
+                    seed,
+                },
+            );
             let mut ids: Vec<usize> = r.trains().iter().map(|t| t.neuron.index).collect();
             ids.sort_unstable();
             ids

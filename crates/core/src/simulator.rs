@@ -78,11 +78,7 @@ impl EvalConfig {
         if self.checkpoints.is_empty() {
             return Err(SnnError::InvalidConfig("no checkpoints".into()));
         }
-        if self
-            .checkpoints
-            .windows(2)
-            .any(|w| w[0] >= w[1])
-        {
+        if self.checkpoints.windows(2).any(|w| w[0] >= w[1]) {
             return Err(SnnError::InvalidConfig(
                 "checkpoints must be strictly increasing".into(),
             ));
@@ -133,8 +129,8 @@ pub fn infer_image(
     let mut encoder = InputEncoder::new(cfg.scheme.input, image, cfg.phase_period)?;
     net.set_first_stage_caching(encoder.is_static());
     let mut record = SpikeRecord::new(&net.spiking_layer_sizes(), cfg.record);
-    let record_input_trains = matches!(cfg.record, RecordLevel::Trains { .. })
-        && cfg.scheme.input != InputCoding::Real;
+    let record_input_trains =
+        matches!(cfg.record, RecordLevel::Trains { .. }) && cfg.scheme.input != InputCoding::Real;
 
     let mut buf = vec![0.0f32; net.input_len()];
     let mut predictions = Vec::with_capacity(cfg.checkpoints.len());
@@ -258,10 +254,7 @@ pub fn evaluate_dataset(
             .iter()
             .map(|&c| c as f64 / n_images as f64)
             .collect(),
-        mean_spikes_at: spikes
-            .iter()
-            .map(|&s| s as f64 / n_images as f64)
-            .collect(),
+        mean_spikes_at: spikes.iter().map(|&s| s as f64 / n_images as f64).collect(),
         num_images: n_images,
         num_neurons: net.num_neurons(),
         layer_counts,
@@ -300,43 +293,43 @@ pub fn evaluate_dataset_parallel(
     type WorkerResult = Result<(Vec<usize>, Vec<u64>, Vec<u64>, usize), SnnError>;
     let threads = threads.min(n_images);
     let chunk = n_images.div_ceil(threads);
-    let results: Vec<WorkerResult> =
-        std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for w in 0..threads {
-                let lo = w * chunk;
-                let hi = ((w + 1) * chunk).min(n_images);
-                if lo >= hi {
-                    break;
-                }
-                let mut local = net.clone();
-                let cfg = cfg.clone();
-                handles.push(scope.spawn(move || {
-                    let mut correct = vec![0usize; cfg.checkpoints.len()];
-                    let mut spikes = vec![0u64; cfg.checkpoints.len()];
-                    let mut layer_counts = vec![0u64; local.spiking_layer_sizes().len()];
-                    for i in lo..hi {
-                        let result = infer_image(&mut local, dataset.image(i), &cfg)?;
-                        let label = dataset.label(i);
-                        for (c, &p) in result.predictions.iter().enumerate() {
-                            if p == label {
-                                correct[c] += 1;
-                            }
-                        }
-                        for (s, &cs) in result.cum_spikes.iter().enumerate() {
-                            spikes[s] += cs;
-                        }
-                        for (lc, &c) in
-                            layer_counts.iter_mut().zip(result.record.layer_counts())
-                        {
-                            *lc += c;
+    let results: Vec<WorkerResult> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for w in 0..threads {
+            let lo = w * chunk;
+            let hi = ((w + 1) * chunk).min(n_images);
+            if lo >= hi {
+                break;
+            }
+            let mut local = net.clone();
+            let cfg = cfg.clone();
+            handles.push(scope.spawn(move || {
+                let mut correct = vec![0usize; cfg.checkpoints.len()];
+                let mut spikes = vec![0u64; cfg.checkpoints.len()];
+                let mut layer_counts = vec![0u64; local.spiking_layer_sizes().len()];
+                for i in lo..hi {
+                    let result = infer_image(&mut local, dataset.image(i), &cfg)?;
+                    let label = dataset.label(i);
+                    for (c, &p) in result.predictions.iter().enumerate() {
+                        if p == label {
+                            correct[c] += 1;
                         }
                     }
-                    Ok((correct, spikes, layer_counts, hi - lo))
-                }));
-            }
-            handles.into_iter().map(|h| h.join().expect("worker thread panicked")).collect()
-        });
+                    for (s, &cs) in result.cum_spikes.iter().enumerate() {
+                        spikes[s] += cs;
+                    }
+                    for (lc, &c) in layer_counts.iter_mut().zip(result.record.layer_counts()) {
+                        *lc += c;
+                    }
+                }
+                Ok((correct, spikes, layer_counts, hi - lo))
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    });
 
     let mut correct = vec![0usize; cfg.checkpoints.len()];
     let mut spikes = vec![0u64; cfg.checkpoints.len()];
@@ -363,10 +356,7 @@ pub fn evaluate_dataset_parallel(
             .iter()
             .map(|&c| c as f64 / n_images as f64)
             .collect(),
-        mean_spikes_at: spikes
-            .iter()
-            .map(|&s| s as f64 / n_images as f64)
-            .collect(),
+        mean_spikes_at: spikes.iter().map(|&s| s as f64 / n_images as f64).collect(),
         num_images: n_images,
         num_neurons: net.num_neurons(),
         layer_counts,
@@ -403,8 +393,11 @@ mod tests {
     use bsnn_dnn::models;
     use bsnn_dnn::train::{TrainConfig, Trainer};
 
-    fn trained_setup() -> (bsnn_dnn::Sequential, bsnn_data::ImageDataset, bsnn_data::ImageDataset)
-    {
+    fn trained_setup() -> (
+        bsnn_dnn::Sequential,
+        bsnn_data::ImageDataset,
+        bsnn_data::ImageDataset,
+    ) {
         let (train, test) = SynthSpec::digits().with_counts(30, 6).generate();
         let mut dnn = models::mlp(144, &[32], 10, 5).unwrap();
         let cfg = TrainConfig {
@@ -431,7 +424,11 @@ mod tests {
     fn rate_snn_approaches_dnn_accuracy() {
         let (mut dnn, train, test) = trained_setup();
         let dnn_acc = bsnn_dnn::train::evaluate(&mut dnn, &test, 32).unwrap();
-        let mut snn = snn_for(&mut dnn, &train, CodingScheme::new(InputCoding::Real, HiddenCoding::Rate));
+        let mut snn = snn_for(
+            &mut dnn,
+            &train,
+            CodingScheme::new(InputCoding::Real, HiddenCoding::Rate),
+        );
         let cfg = EvalConfig::new(
             CodingScheme::new(InputCoding::Real, HiddenCoding::Rate),
             300,
@@ -495,9 +492,15 @@ mod tests {
     fn record_spike_trains_samples_all_layers() {
         let (mut dnn, train, test) = trained_setup();
         let mut snn = snn_for(&mut dnn, &train, CodingScheme::recommended());
-        let trains =
-            record_spike_trains(&mut snn, test.image(0), CodingScheme::recommended(), 50, 1.0, 0)
-                .unwrap();
+        let trains = record_spike_trains(
+            &mut snn,
+            test.image(0),
+            CodingScheme::recommended(),
+            50,
+            1.0,
+            0,
+        )
+        .unwrap();
         // input layer (144) + hidden (32) all sampled
         assert_eq!(trains.len(), 144 + 32);
         assert!(trains.iter().any(|t| !t.times.is_empty()));
@@ -533,8 +536,12 @@ mod tests {
         )
         .unwrap();
         let cfg = EvalConfig::new(scheme, 192).with_max_images(40);
-        let acc_sub = evaluate_dataset(&mut sub, &test, &cfg).unwrap().final_accuracy();
-        let acc_zero = evaluate_dataset(&mut zero, &test, &cfg).unwrap().final_accuracy();
+        let acc_sub = evaluate_dataset(&mut sub, &test, &cfg)
+            .unwrap()
+            .final_accuracy();
+        let acc_zero = evaluate_dataset(&mut zero, &test, &cfg)
+            .unwrap()
+            .final_accuracy();
         assert!(
             acc_sub > acc_zero,
             "subtraction {acc_sub:.3} should beat reset-to-zero {acc_zero:.3}"
@@ -561,7 +568,11 @@ mod tests {
     #[test]
     fn invalid_configs_rejected() {
         let (mut dnn, train, test) = trained_setup();
-        let mut snn = snn_for(&mut dnn, &train, CodingScheme::new(InputCoding::Real, HiddenCoding::Rate));
+        let mut snn = snn_for(
+            &mut dnn,
+            &train,
+            CodingScheme::new(InputCoding::Real, HiddenCoding::Rate),
+        );
         let mut cfg = EvalConfig::new(CodingScheme::recommended(), 10);
         cfg.checkpoints = vec![5, 20];
         assert!(evaluate_dataset(&mut snn, &test, &cfg).is_err());

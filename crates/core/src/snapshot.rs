@@ -108,7 +108,9 @@ fn read_f32_vec<R: Read>(r: &mut R) -> Result<Vec<f32>, SnapshotError> {
 }
 
 fn write_geom<W: Write>(w: &mut W, g: &Conv2dGeometry) -> io::Result<()> {
-    for v in [g.kernel_h, g.kernel_w, g.stride_h, g.stride_w, g.pad_h, g.pad_w] {
+    for v in [
+        g.kernel_h, g.kernel_w, g.stride_h, g.stride_w, g.pad_h, g.pad_w,
+    ] {
         write_u32(w, v as u32)?;
     }
     Ok(())
@@ -195,8 +197,8 @@ fn read_synapse<R: Read>(r: &mut R) -> Result<Synapse, SnapshotError> {
             let in_shape = read_chw(r)?;
             let out_shape = read_chw(r)?;
             let data = read_f32_vec(r)?;
-            let weight = Tensor::from_vec(data, &shape)
-                .map_err(|e| SnapshotError::Invalid(e.into()))?;
+            let weight =
+                Tensor::from_vec(data, &shape).map_err(|e| SnapshotError::Invalid(e.into()))?;
             Ok(Synapse::Conv {
                 weight,
                 geom,

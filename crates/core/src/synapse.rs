@@ -170,8 +170,7 @@ impl Synapse {
                                         continue;
                                     }
                                     for co in 0..c_out {
-                                        let wv =
-                                            w[((co * c_in + ci) * kh + ky) * kw + kx];
+                                        let wv = w[((co * c_in + ci) * kh + ky) * kw + kx];
                                         psp[(co * oh + oy) * ow + ox] += s * wv;
                                     }
                                 }

@@ -1,0 +1,168 @@
+//! Step-by-step traces of the three threshold policies against values
+//! computed by hand from the paper's equations:
+//!
+//! * Eq. 4 — reset by subtraction: `V ← V − V_th` on fire,
+//! * Eqs. 6–7 — phase threshold `V_th(t) = 2^-(1+(t mod k)) · vth`,
+//! * Eqs. 8–9 — burst function `g(t) = β·g(t−1)` after a spike else `1`,
+//!   with `V_th(t) = g(t)·vth`.
+//!
+//! Every assertion below is an exact `f32` expectation (all values are
+//! dyadic rationals or small products, so the arithmetic is exact).
+
+use bsnn_core::layer::{ResetMode, SpikingLayer, ThresholdPolicy};
+use bsnn_core::synapse::Synapse;
+use bsnn_tensor::Tensor;
+
+/// One-neuron layer whose synapse is the 1×1 identity, so the input drive
+/// is injected into the membrane unchanged.
+fn neuron(policy: ThresholdPolicy) -> SpikingLayer {
+    SpikingLayer::new(
+        Synapse::Dense {
+            weight: Tensor::from_vec(vec![1.0], &[1, 1]).expect("1x1"),
+        },
+        None,
+        policy,
+    )
+    .expect("valid layer")
+}
+
+/// Runs `drives` through the layer, returning (spike magnitudes, membrane
+/// after each step).
+fn trace(layer: &mut SpikingLayer, drives: &[f32]) -> (Vec<f32>, Vec<f32>) {
+    let mut outs = Vec::with_capacity(drives.len());
+    let mut vmems = Vec::with_capacity(drives.len());
+    for (t, &d) in drives.iter().enumerate() {
+        let out = layer.step(&[d], t as u64).expect("step");
+        outs.push(out[0]);
+        vmems.push(layer.potentials()[0]);
+    }
+    (outs, vmems)
+}
+
+#[test]
+fn fixed_policy_trace_eq4() {
+    // vth = 1.0, constant drive 0.4. Membrane walk with subtraction:
+    // t : 0    1    2           3    4
+    // V : 0.4  0.8  1.2→fire→0.2  0.6  1.0→fire→0.0   (then repeats)
+    let mut l = neuron(ThresholdPolicy::Fixed { vth: 1.0 });
+    let (outs, vmems) = trace(&mut l, &[0.4; 10]);
+    assert_eq!(outs, vec![0.0, 0.0, 1.0, 0.0, 1.0, 0.0, 0.0, 1.0, 0.0, 1.0]);
+    // 0.4 is not exact in f32, so compare the residual walk with an epsilon.
+    let expected_vmem = [0.4, 0.8, 0.2, 0.6, 0.0, 0.4, 0.8, 0.2, 0.6, 0.0];
+    for (t, (&v, &e)) in vmems.iter().zip(&expected_vmem).enumerate() {
+        assert!((v - e).abs() < 1e-6, "t={t}: vmem {v} != {e}");
+    }
+}
+
+#[test]
+fn fixed_policy_reset_to_zero_trace_eq3() {
+    // Same drive under the Eq. 3 ablation: the over-threshold residual is
+    // discarded at every fire, so the walk never carries remainder charge.
+    // t : 0    1    2           3    4
+    // V : 0.4  0.8  1.2→fire→0    0.4  0.8  1.2→fire→0 …
+    let mut l = neuron(ThresholdPolicy::Fixed { vth: 1.0 });
+    l.set_reset_mode(ResetMode::Zero);
+    let (outs, vmems) = trace(&mut l, &[0.4; 9]);
+    assert_eq!(outs, vec![0.0, 0.0, 1.0, 0.0, 0.0, 1.0, 0.0, 0.0, 1.0]);
+    let expected_vmem = [0.4, 0.8, 0.0, 0.4, 0.8, 0.0, 0.4, 0.8, 0.0];
+    for (t, (&v, &e)) in vmems.iter().zip(&expected_vmem).enumerate() {
+        assert!((v - e).abs() < 1e-6, "t={t}: vmem {v} != {e}");
+    }
+}
+
+#[test]
+fn phase_policy_threshold_schedule_eq6() {
+    // vth = 8, k = 3: thresholds cycle 8/2, 8/4, 8/8 = 4, 2, 1.
+    let l = neuron(ThresholdPolicy::Phase {
+        vth: 8.0,
+        period: 3,
+    });
+    let expected = [4.0, 2.0, 1.0, 4.0, 2.0, 1.0];
+    for (t, &e) in expected.iter().enumerate() {
+        assert_eq!(l.threshold(0, t as u64), e, "t={t}");
+    }
+}
+
+#[test]
+fn phase_policy_packet_trace_eq7() {
+    // vth = 8, k = 3. Inject 5.0 at t=0, then silence. The phase ladder
+    // transmits the binary expansion 5 = 4 + 1:
+    // t=0: th=4, V=5 ≥ 4 → spike 4, V=1
+    // t=1: th=2, V=1 < 2 → silent
+    // t=2: th=1, V=1 ≥ 1 → spike 1, V=0
+    // t=3..5: V=0, silent at every phase.
+    let mut l = neuron(ThresholdPolicy::Phase {
+        vth: 8.0,
+        period: 3,
+    });
+    let (outs, vmems) = trace(&mut l, &[5.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
+    assert_eq!(outs, vec![4.0, 0.0, 1.0, 0.0, 0.0, 0.0]);
+    assert_eq!(vmems, vec![1.0, 1.0, 0.0, 0.0, 0.0, 0.0]);
+}
+
+#[test]
+fn burst_policy_g_ladder_trace_eq8_eq9() {
+    // vth = 1, β = 3. Inject 10.0 at t=0, then silence. Hand trace
+    // (threshold is g·vth computed *before* the post-fire g update):
+    // t=0: g=1, th=1, V=10 ≥ 1 → spike 1, V=9, g←3
+    // t=1: g=3, th=3, V=9 ≥ 3  → spike 3, V=6, g←9
+    // t=2: g=9, th=9, V=6 < 9  → silent,          g←1
+    // t=3: g=1, th=1, V=6      → spike 1, V=5, g←3
+    // t=4: g=3, th=3, V=5      → spike 3, V=2, g←9
+    // t=5: g=9, th=9, V=2 < 9  → silent,          g←1
+    // t=6: g=1, th=1, V=2      → spike 1, V=1, g←3
+    // t=7: g=3, th=3, V=1 < 3  → silent,          g←1
+    // t=8: g=1, th=1, V=1      → spike 1, V=0, g←3
+    // t=9: g=3, th=3, V=0      → silent,          g←1
+    let mut l = neuron(ThresholdPolicy::Burst {
+        vth: 1.0,
+        beta: 3.0,
+    });
+    let mut drives = [0.0f32; 10];
+    drives[0] = 10.0;
+    let mut gs = Vec::new();
+    let mut outs = Vec::new();
+    let mut vmems = Vec::new();
+    for (t, &d) in drives.iter().enumerate() {
+        let out = l.step(&[d], t as u64).expect("step");
+        outs.push(out[0]);
+        vmems.push(l.potentials()[0]);
+        gs.push(l.burst_state()[0]);
+    }
+    assert_eq!(outs, vec![1.0, 3.0, 0.0, 1.0, 3.0, 0.0, 1.0, 0.0, 1.0, 0.0]);
+    assert_eq!(
+        vmems,
+        vec![9.0, 6.0, 6.0, 5.0, 2.0, 2.0, 1.0, 1.0, 0.0, 0.0]
+    );
+    // g as observed *after* each step's update:
+    assert_eq!(gs, vec![3.0, 9.0, 1.0, 3.0, 9.0, 1.0, 3.0, 1.0, 3.0, 1.0]);
+    // Charge conservation across the whole packet (Eq. 4).
+    let emitted: f32 = outs.iter().sum();
+    assert_eq!(emitted + l.potentials()[0], 10.0);
+}
+
+#[test]
+fn burst_spike_magnitude_is_threshold_at_fire_time() {
+    // Eq. 5: the transmitted magnitude equals V_th at fire time, so during
+    // an uninterrupted burst the payload ladder is vth·β^i.
+    let vth = 0.5f32;
+    let beta = 2.0f32;
+    let mut l = neuron(ThresholdPolicy::Burst { vth, beta });
+    // Keep the membrane saturated so the neuron fires every step.
+    let (outs, _) = trace(&mut l, &[100.0, 0.0, 0.0, 0.0, 0.0]);
+    assert_eq!(outs, vec![0.5, 1.0, 2.0, 4.0, 8.0]);
+}
+
+#[test]
+fn phase_and_burst_policies_reset_state_with_layer() {
+    let mut l = neuron(ThresholdPolicy::Burst {
+        vth: 1.0,
+        beta: 2.0,
+    });
+    let _ = l.step(&[5.0], 0).expect("step");
+    assert_ne!(l.burst_state()[0], 1.0);
+    assert_ne!(l.potentials()[0], 0.0);
+    l.reset();
+    assert_eq!(l.burst_state()[0], 1.0);
+    assert_eq!(l.potentials()[0], 0.0);
+}

@@ -81,15 +81,12 @@ impl Augmentation {
                         } else {
                             sx_pre
                         };
-                        pixels[plane + y * w + x] = if sy >= 0
-                            && sy < h as isize
-                            && sx >= 0
-                            && sx < w as isize
-                        {
-                            src[plane + sy as usize * w + sx as usize]
-                        } else {
-                            0.0
-                        };
+                        pixels[plane + y * w + x] =
+                            if sy >= 0 && sy < h as isize && sx >= 0 && sx < w as isize {
+                                src[plane + sy as usize * w + sx as usize]
+                            } else {
+                                0.0
+                            };
                     }
                 }
             }
@@ -107,14 +104,7 @@ impl Augmentation {
     /// # Panics
     ///
     /// Panics if `data.len()` is not a multiple of `c·h·w`.
-    pub fn apply_batch<R: Rng>(
-        &self,
-        data: &mut [f32],
-        c: usize,
-        h: usize,
-        w: usize,
-        rng: &mut R,
-    ) {
+    pub fn apply_batch<R: Rng>(&self, data: &mut [f32], c: usize, h: usize, w: usize, rng: &mut R) {
         let volume = c * h * w;
         assert_eq!(data.len() % volume, 0, "batch volume mismatch");
         if self.is_noop() {

@@ -257,9 +257,15 @@ mod tests {
     #[test]
     fn presets_have_expected_geometry() {
         let d = SynthSpec::digits();
-        assert_eq!((d.channels, d.height, d.width, d.num_classes), (1, 12, 12, 10));
+        assert_eq!(
+            (d.channels, d.height, d.width, d.num_classes),
+            (1, 12, 12, 10)
+        );
         let c = SynthSpec::cifar10();
-        assert_eq!((c.channels, c.height, c.width, c.num_classes), (3, 16, 16, 10));
+        assert_eq!(
+            (c.channels, c.height, c.width, c.num_classes),
+            (3, 16, 16, 10)
+        );
         let h = SynthSpec::cifar100();
         assert_eq!(h.num_classes, 20);
     }
@@ -276,7 +282,10 @@ mod tests {
     #[test]
     fn different_seeds_differ() {
         let (a, _) = SynthSpec::digits().with_counts(2, 1).generate();
-        let (b, _) = SynthSpec::digits().with_counts(2, 1).with_seed(99).generate();
+        let (b, _) = SynthSpec::digits()
+            .with_counts(2, 1)
+            .with_seed(99)
+            .generate();
         assert_ne!(a.image(0), b.image(0));
     }
 

@@ -62,7 +62,9 @@ mod tests {
             classes: 10,
         };
         assert!(e.to_string().contains("12"));
-        assert!(DnnError::BackwardBeforeForward.to_string().contains("backward"));
+        assert!(DnnError::BackwardBeforeForward
+            .to_string()
+            .contains("backward"));
     }
 
     #[test]

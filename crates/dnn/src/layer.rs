@@ -682,13 +682,9 @@ mod tests {
         let mut layer = Conv2d::new(2, 3, geom, &mut r);
         let input = bsnn_tensor::init::uniform(&mut r, &[2, 2, 5, 5], 0.0, 1.0);
         let out = layer.forward(&input, false).unwrap();
-        let reference = bsnn_tensor::conv::conv2d(
-            &input,
-            &layer.weight.value,
-            Some(&layer.bias.value),
-            &geom,
-        )
-        .unwrap();
+        let reference =
+            bsnn_tensor::conv::conv2d(&input, &layer.weight.value, Some(&layer.bias.value), &geom)
+                .unwrap();
         assert_eq!(out.shape(), reference.shape());
         for (a, b) in out.as_slice().iter().zip(reference.as_slice()) {
             assert!((a - b).abs() < 1e-5);
@@ -800,9 +796,11 @@ mod tests {
     #[test]
     fn layerbox_dispatch_names() {
         let mut r = rng();
-        let boxes = [LayerBox::Dense(Dense::new(2, 2, &mut r)),
+        let boxes = [
+            LayerBox::Dense(Dense::new(2, 2, &mut r)),
             LayerBox::Relu(Relu::new()),
-            LayerBox::Flatten(Flatten::new())];
+            LayerBox::Flatten(Flatten::new()),
+        ];
         let names: Vec<&str> = boxes.iter().map(|b| b.name()).collect();
         assert_eq!(names, vec!["dense", "relu", "flatten"]);
     }

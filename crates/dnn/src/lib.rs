@@ -45,10 +45,8 @@ pub mod models;
 pub mod train;
 
 pub use error::DnnError;
-pub use layer::{
-    AvgPool2d, Conv2d, Dense, Dropout, Flatten, Layer, LayerBox, Param, Relu,
-};
-pub use maxpool::MaxPool2d;
+pub use layer::{AvgPool2d, Conv2d, Dense, Dropout, Flatten, Layer, LayerBox, Param, Relu};
 pub use loss::softmax_cross_entropy;
+pub use maxpool::MaxPool2d;
 pub use model::Sequential;
 pub use optimizer::Optimizer;

@@ -27,10 +27,7 @@ use bsnn_tensor::Tensor;
 /// # Ok(())
 /// # }
 /// ```
-pub fn softmax_cross_entropy(
-    logits: &Tensor,
-    labels: &[usize],
-) -> Result<(f32, Tensor), DnnError> {
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> Result<(f32, Tensor), DnnError> {
     if logits.rank() != 2 {
         return Err(DnnError::InvalidConfig(format!(
             "logits must be rank-2, got rank {}",

@@ -56,8 +56,8 @@ impl Layer for MaxPool2d {
                     for ox in 0..ow {
                         let oidx = ((ni * c + ci) * oh + oy) * ow + ox;
                         for ky in 0..self.geom.kernel_h {
-                            let iy = (oy * self.geom.stride_h + ky) as isize
-                                - self.geom.pad_h as isize;
+                            let iy =
+                                (oy * self.geom.stride_h + ky) as isize - self.geom.pad_h as isize;
                             if iy < 0 || iy >= h as isize {
                                 continue;
                             }
@@ -123,7 +123,9 @@ mod tests {
     fn forward_takes_window_max() {
         let mut l = MaxPool2d::square(2);
         let x = Tensor::from_vec(
-            vec![1.0, 5.0, 3.0, 2.0, 8.0, 1.0, 0.0, 4.0, 2.0, 2.0, 2.0, 2.0, 9.0, 1.0, 1.0, 1.0],
+            vec![
+                1.0, 5.0, 3.0, 2.0, 8.0, 1.0, 0.0, 4.0, 2.0, 2.0, 2.0, 2.0, 9.0, 1.0, 1.0, 1.0,
+            ],
             &[1, 1, 4, 4],
         )
         .unwrap();

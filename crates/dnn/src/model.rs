@@ -67,10 +67,7 @@ impl Sequential {
     /// # Errors
     ///
     /// Propagates layer errors.
-    pub fn forward_collect(
-        &mut self,
-        input: &Tensor,
-    ) -> Result<(Tensor, Vec<Tensor>), DnnError> {
+    pub fn forward_collect(&mut self, input: &Tensor) -> Result<(Tensor, Vec<Tensor>), DnnError> {
         let mut x = input.clone();
         let mut acts = Vec::with_capacity(self.layers.len());
         for layer in &mut self.layers {
@@ -196,7 +193,10 @@ mod tests {
         let mut m = two_layer();
         let y = m.forward(&Tensor::ones(&[1, 4]), true).unwrap();
         m.backward(&Tensor::ones(y.shape())).unwrap();
-        assert!(m.params_mut().iter().any(|p| p.grad.as_slice().iter().any(|&g| g != 0.0)));
+        assert!(m
+            .params_mut()
+            .iter()
+            .any(|p| p.grad.as_slice().iter().any(|&g| g != 0.0)));
         m.zero_grad();
         assert!(m
             .params_mut()

@@ -100,7 +100,10 @@ impl Optimizer {
                 velocity,
             } => {
                 if velocity.len() != params.len() {
-                    *velocity = params.iter().map(|p| Tensor::zeros(p.value.shape())).collect();
+                    *velocity = params
+                        .iter()
+                        .map(|p| Tensor::zeros(p.value.shape()))
+                        .collect();
                 }
                 for (p, vel) in params.iter_mut().zip(velocity.iter_mut()) {
                     if *momentum > 0.0 {
@@ -122,8 +125,14 @@ impl Optimizer {
                 v,
             } => {
                 if m.len() != params.len() {
-                    *m = params.iter().map(|p| Tensor::zeros(p.value.shape())).collect();
-                    *v = params.iter().map(|p| Tensor::zeros(p.value.shape())).collect();
+                    *m = params
+                        .iter()
+                        .map(|p| Tensor::zeros(p.value.shape()))
+                        .collect();
+                    *v = params
+                        .iter()
+                        .map(|p| Tensor::zeros(p.value.shape()))
+                        .collect();
                 }
                 *t += 1;
                 let bc1 = 1.0 - beta1.powi(*t as i32);

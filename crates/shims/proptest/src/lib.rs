@@ -1,0 +1,270 @@
+#![warn(missing_docs)]
+//! # proptest (offline shim)
+//!
+//! A drop-in subset of the `proptest` crate for environments without a
+//! crates.io mirror. It supports what the `burst-snn` property suites use:
+//!
+//! * the [`proptest!`] macro over functions with `arg in strategy` inputs,
+//! * [`Strategy`](strategy::Strategy) implementations for numeric ranges,
+//! * [`collection::vec`] and [`collection::btree_set`] with exact or
+//!   ranged sizes,
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`] and
+//!   [`prop_assume!`].
+//!
+//! Differences from upstream: failing cases are **not shrunk** — the
+//! failure report instead includes the deterministic case seed, and cases
+//! are reproducible because the sequence of seeds is fixed per test. The
+//! number of cases per property defaults to 256 and can be overridden with
+//! the `PROPTEST_CASES` environment variable.
+//!
+//! ```
+//! use proptest::prelude::*;
+//!
+//! proptest! {
+//!     // In a real test module this would carry `#[test]`.
+//!     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+//!         prop_assert_eq!(a + b, b + a);
+//!     }
+//! }
+//! # addition_commutes();
+//! ```
+
+pub mod collection;
+pub mod strategy;
+
+/// Items meant to be glob-imported by property tests.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Namespaced access to strategy modules, mirroring
+    /// `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// A failed or rejected test case, carrying the reason.
+#[derive(Debug)]
+pub struct TestCaseError {
+    /// Human-readable failure description.
+    pub message: String,
+    /// `true` when the case was rejected by [`prop_assume!`] rather than
+    /// failed by an assertion.
+    pub rejected: bool,
+}
+
+impl TestCaseError {
+    /// An assertion failure.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+            rejected: false,
+        }
+    }
+
+    /// A rejected (assumption-violating) case; it is retried, not failed.
+    pub fn reject(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+            rejected: true,
+        }
+    }
+}
+
+/// Number of cases to run per property (`PROPTEST_CASES`, default 256).
+pub fn cases() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(256)
+}
+
+/// The deterministic RNG for one case of one property. `salt` is derived
+/// from the property name so distinct properties explore distinct streams.
+pub fn case_rng(salt: u64, case: u64) -> rand::rngs::StdRng {
+    use rand::SeedableRng;
+    rand::rngs::StdRng::seed_from_u64(
+        salt.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ case.wrapping_mul(0xD134_2543_DE82_EF95),
+    )
+}
+
+/// FNV-1a hash of a property name, used as the per-property seed salt.
+pub fn name_salt(name: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Defines property-based tests.
+///
+/// Each function inside the block becomes a `#[test]` that runs
+/// [`cases()`] random cases. Inputs are declared as `name in strategy`.
+/// See the crate docs for an example.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let salt = $crate::name_salt(concat!(module_path!(), "::", stringify!($name)));
+            let cases = $crate::cases();
+            let mut rejected: u64 = 0;
+            let mut case: u64 = 0;
+            while case < cases {
+                let mut prop_rng = $crate::case_rng(salt, case.wrapping_add(rejected));
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut prop_rng);)+
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                match outcome {
+                    Ok(()) => case += 1,
+                    Err(e) if e.rejected => {
+                        rejected += 1;
+                        assert!(
+                            rejected < 65_536,
+                            "proptest: too many rejected cases in {} ({})",
+                            stringify!($name),
+                            e.message,
+                        );
+                    }
+                    Err(e) => panic!(
+                        "proptest case {case} of {} failed (seed salt {salt:#x}):\n{}",
+                        stringify!($name),
+                        e.message,
+                    ),
+                }
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a [`proptest!`] body; on failure the current
+/// case fails with the formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts two expressions are equal (`PartialEq` + `Debug`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(left == right, $($fmt)+);
+    }};
+}
+
+/// Asserts two expressions are unequal (`PartialEq` + `Debug`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `(left != right)`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(left != right, $($fmt)+);
+    }};
+}
+
+/// Rejects the current case (retried with a fresh seed) when the
+/// assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(format!(
+                "assumption failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 0.0f32..1.0, n in 1usize..10) {
+            prop_assert!((0.0..1.0).contains(&x));
+            prop_assert!((1..10).contains(&n));
+        }
+
+        #[test]
+        fn vec_sizes(v in prop::collection::vec(-1.0f32..1.0, 3..7), w in prop::collection::vec(0u32..9, 5)) {
+            prop_assert!(v.len() >= 3 && v.len() < 7);
+            prop_assert_eq!(w.len(), 5);
+            prop_assert!(v.iter().all(|x| (-1.0..1.0).contains(x)));
+        }
+
+        #[test]
+        fn btree_set_sizes(s in prop::collection::btree_set(0u32..10_000, 2..50)) {
+            prop_assert!(s.len() >= 2 && s.len() < 50);
+        }
+
+        #[test]
+        fn assume_retries(n in 0u32..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+
+        #[test]
+        fn just_yields_value(v in Just(41)) {
+            prop_assert_eq!(v + 1, 42);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        use crate::strategy::Strategy;
+        let s = crate::collection::vec(0.0f32..1.0, 4..9);
+        let a = s.sample(&mut crate::case_rng(7, 3));
+        let b = s.sample(&mut crate::case_rng(7, 3));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failing_property_panics() {
+        proptest! {
+            #[allow(dead_code)]
+            fn always_fails(x in 0u32..10) {
+                prop_assert!(x > 100, "x is {x}");
+            }
+        }
+        always_fails();
+    }
+}

@@ -1,0 +1,271 @@
+#![warn(missing_docs)]
+//! # rand (offline shim)
+//!
+//! This workspace builds in an environment without a crates.io mirror, so
+//! this crate provides a drop-in, API-compatible subset of `rand` 0.8:
+//! [`Rng`], [`SeedableRng`], [`rngs::StdRng`], and
+//! [`seq::SliceRandom::shuffle`]. The generator is **xoshiro256++** seeded
+//! through SplitMix64 — statistically solid for simulation workloads and
+//! fully deterministic, which is all the workspace requires (every consumer
+//! seeds explicitly via `seed_from_u64`).
+//!
+//! The stream differs from upstream `rand`'s ChaCha-based `StdRng`; seeds
+//! reproduce results *within* this workspace, not across implementations.
+//!
+//! ```
+//! use rand::rngs::StdRng;
+//! use rand::{Rng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let x: f32 = rng.gen();
+//! assert!((0.0..1.0).contains(&x));
+//! assert_eq!(rng.gen_range(3..4), 3);
+//! let mut again = StdRng::seed_from_u64(7);
+//! let y: f32 = again.gen();
+//! assert_eq!(x, y);
+//! ```
+
+pub mod distributions;
+pub mod rngs;
+pub mod seq;
+
+use distributions::{Distribution, Standard};
+
+/// A low-level source of uniformly distributed random bits.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// High-level user-facing random value generation, blanket-implemented for
+/// every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` from its standard distribution
+    /// (uniform in `[0, 1)` for floats, uniform over all values for
+    /// integers and `bool`).
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+        Self: Sized,
+    {
+        Standard.sample(self)
+    }
+
+    /// Samples uniformly from `range` (half-open `a..b` or inclusive
+    /// `a..=b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of range: {p}");
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Trait for sampling a seedable generator from a small seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator deterministically from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from a range by [`Rng::gen_range`].
+pub trait SampleUniform: PartialOrd + Copy {
+    /// Uniform sample from `[lo, hi)` (`inclusive == false`) or
+    /// `[lo, hi]` (`inclusive == true`).
+    fn sample_uniform<R: RngCore + ?Sized>(
+        lo: Self,
+        hi: Self,
+        inclusive: bool,
+        rng: &mut R,
+    ) -> Self;
+}
+
+/// Range types accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one sample from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        T::sample_uniform(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "gen_range: empty range");
+        T::sample_uniform(lo, hi, true, rng)
+    }
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore + ?Sized>(
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+                rng: &mut R,
+            ) -> Self {
+                // Span as u128 to survive full-width signed ranges.
+                let lo_w = lo as i128;
+                let hi_w = hi as i128;
+                let span = (hi_w - lo_w) as u128 + u128::from(inclusive);
+                if span == 0 {
+                    // Empty only when `inclusive` wrapped a full domain; the
+                    // callers' asserts exclude truly empty ranges.
+                    return lo;
+                }
+                // Rejection sampling over 64-bit draws keeps the result
+                // unbiased for every span the workspace uses.
+                let zone = (u128::from(u64::MAX) + 1) - ((u128::from(u64::MAX) + 1) % span);
+                loop {
+                    let draw = u128::from(rng.next_u64());
+                    if draw < zone {
+                        return (lo_w + (draw % span) as i128) as $t;
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore + ?Sized>(
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+                rng: &mut R,
+            ) -> Self {
+                let unit: $t = <Standard as Distribution<$t>>::sample(&Standard, rng);
+                let v = lo + (hi - lo) * unit;
+                // Rounding can land exactly on an excluded endpoint
+                // (measure-zero); fold it back to the start.
+                if !inclusive && v >= hi {
+                    lo
+                } else {
+                    v
+                }
+            }
+        }
+    )*};
+}
+
+impl_uniform_float!(f32, f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::seq::SliceRandom;
+
+    #[test]
+    fn determinism() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x: f32 = rng.gen();
+            assert!((0.0..1.0).contains(&x), "{x}");
+            let y: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&y), "{y}");
+        }
+    }
+
+    #[test]
+    fn gen_range_half_open_and_inclusive() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-3i32..5);
+            assert!((-3..5).contains(&v));
+            let w = rng.gen_range(-2isize..=2);
+            assert!((-2..=2).contains(&w));
+            let f = rng.gen_range(0.25f32..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_small_domain() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut seen = [false; 4];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn uniform_mean_is_centered() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| rng.gen::<f64>()).sum();
+        assert!((sum / n as f64 - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn shuffle_is_permutation_and_seeded() {
+        let orig: Vec<usize> = (0..50).collect();
+        let mut a = orig.clone();
+        let mut b = orig.clone();
+        a.shuffle(&mut StdRng::seed_from_u64(9));
+        b.shuffle(&mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+        assert_ne!(a, orig, "50 elements should not shuffle to identity");
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, orig);
+    }
+}

@@ -1,0 +1,35 @@
+//! Sequence helpers: in-place Fisher–Yates [`SliceRandom::shuffle`].
+
+use crate::Rng;
+
+/// Randomization extensions for slices.
+pub trait SliceRandom {
+    /// The element type.
+    type Item;
+
+    /// Shuffles the slice in place (Fisher–Yates, unbiased).
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+    /// Returns a uniformly chosen element, or `None` if empty.
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = crate::SampleUniform::sample_uniform(0usize, i, true, rng);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            let i = crate::SampleUniform::sample_uniform(0usize, self.len(), false, rng);
+            self.get(i)
+        }
+    }
+}

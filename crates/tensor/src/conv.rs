@@ -368,7 +368,10 @@ mod tests {
         let g = Conv2dGeometry::square(1, 1, 0);
         let out = conv2d(&input, &weight, Some(&bias), &g).unwrap();
         assert_eq!(out.shape(), &[1, 2, 2, 2]);
-        assert_eq!(out.as_slice(), &[11.0, 11.0, 11.0, 11.0, 21.0, 21.0, 21.0, 21.0]);
+        assert_eq!(
+            out.as_slice(),
+            &[11.0, 11.0, 11.0, 11.0, 21.0, 21.0, 21.0, 21.0]
+        );
     }
 
     #[test]

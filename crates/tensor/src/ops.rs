@@ -215,11 +215,7 @@ impl Tensor {
         Tensor::from_vec(out, &[cols, rows])
     }
 
-    fn zip_with(
-        &self,
-        other: &Tensor,
-        f: impl Fn(f32, f32) -> f32,
-    ) -> Result<Tensor, TensorError> {
+    fn zip_with(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Result<Tensor, TensorError> {
         self.check_same_shape(other)?;
         let data = self
             .as_slice()

@@ -203,10 +203,7 @@ mod tests {
     fn zeros_ones_full() {
         assert!(Tensor::zeros(&[3]).as_slice().iter().all(|&x| x == 0.0));
         assert!(Tensor::ones(&[3]).as_slice().iter().all(|&x| x == 1.0));
-        assert!(Tensor::full(&[3], 7.5)
-            .as_slice()
-            .iter()
-            .all(|&x| x == 7.5));
+        assert!(Tensor::full(&[3], 7.5).as_slice().iter().all(|&x| x == 7.5));
     }
 
     #[test]

@@ -28,7 +28,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Convert once with the paper's recommended scheme...
     let scheme = CodingScheme::recommended();
     let norm = train.batch(&(0..40).collect::<Vec<_>>()).0;
-    let mut snn = convert(&mut dnn, &norm, &ConversionConfig::new(scheme).with_vth(0.125))?;
+    let mut snn = convert(
+        &mut dnn,
+        &norm,
+        &ConversionConfig::new(scheme).with_vth(0.125),
+    )?;
 
     // ...snapshot to disk...
     let path = std::env::temp_dir().join("burst-snn-quickstart.bsnn");
@@ -58,7 +62,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         128,
         &trains,
     );
-    println!("\nper-layer activity (layer 0 = input):\n{}", report.to_table());
+    println!(
+        "\nper-layer activity (layer 0 = input):\n{}",
+        report.to_table()
+    );
     if let Some(hot) = report.hottest_layer() {
         println!(
             "hottest layer: {} (density {:.4} spikes/neuron/step)",

@@ -29,9 +29,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Measure workload (spikes, density, latency-to-target) per method.
     let methods = [
-        ("real-rate (reference)", CodingScheme::new(InputCoding::Real, HiddenCoding::Rate)),
-        ("phase-phase (Kim'18)", CodingScheme::new(InputCoding::Phase, HiddenCoding::Phase)),
-        ("phase-burst (ours)", CodingScheme::new(InputCoding::Phase, HiddenCoding::Burst)),
+        (
+            "real-rate (reference)",
+            CodingScheme::new(InputCoding::Real, HiddenCoding::Rate),
+        ),
+        (
+            "phase-phase (Kim'18)",
+            CodingScheme::new(InputCoding::Phase, HiddenCoding::Phase),
+        ),
+        (
+            "phase-burst (ours)",
+            CodingScheme::new(InputCoding::Phase, HiddenCoding::Burst),
+        ),
     ];
     let mut workloads = Vec::new();
     for (label, scheme) in methods {

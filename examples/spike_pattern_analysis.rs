@@ -30,12 +30,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let scheme = CodingScheme::new(InputCoding::Real, hidden);
         let cfg = ConversionConfig::new(scheme).with_vth(0.125);
         let mut snn = convert(&mut dnn, &norm_batch, &cfg)?;
-        let trains =
-            record_spike_trains(&mut snn, test.image(0), scheme, steps, 0.10, 42)?;
-        let hidden_trains: Vec<_> = trains
-            .into_iter()
-            .filter(|t| t.neuron.layer > 0)
-            .collect();
+        let trains = record_spike_trains(&mut snn, test.image(0), scheme, steps, 0.10, 42)?;
+        let hidden_trains: Vec<_> = trains.into_iter().filter(|t| t.neuron.layer > 0).collect();
 
         let hist = IsiHistogram::from_trains(&hidden_trains, 10);
         let bursts = burst_composition(&hidden_trains);

@@ -38,8 +38,12 @@ fn trained_pipeline() -> Pipeline {
 
 fn convert_with(p: &mut Pipeline, scheme: CodingScheme) -> burst_snn::core::SpikingNetwork {
     let (norm, _) = p.train.batch(&(0..40).collect::<Vec<_>>());
-    convert(&mut p.dnn, &norm, &ConversionConfig::new(scheme).with_vth(0.125))
-        .expect("conversion")
+    convert(
+        &mut p.dnn,
+        &norm,
+        &ConversionConfig::new(scheme).with_vth(0.125),
+    )
+    .expect("conversion")
 }
 
 #[test]
@@ -144,12 +148,9 @@ fn burst_coding_produces_burst_spikes_rate_does_not() {
     for hidden in [HiddenCoding::Rate, HiddenCoding::Burst] {
         let scheme = CodingScheme::new(InputCoding::Phase, hidden);
         let mut snn = convert_with(&mut p, scheme);
-        let trains = record_spike_trains(&mut snn, p.test.image(0), scheme, 256, 0.5, 9)
-            .expect("recording");
-        let hidden_trains: Vec<_> = trains
-            .into_iter()
-            .filter(|t| t.neuron.layer > 0)
-            .collect();
+        let trains =
+            record_spike_trains(&mut snn, p.test.image(0), scheme, 256, 0.5, 9).expect("recording");
+        let hidden_trains: Vec<_> = trains.into_iter().filter(|t| t.neuron.layer > 0).collect();
         fractions.push(burst_composition(&hidden_trains).burst_fraction());
     }
     // Burst coding must produce a clearly higher consecutive-spike
@@ -172,12 +173,9 @@ fn smaller_vth_means_more_spikes_and_more_bursts() {
     for vth in [0.5f32, 0.125, 0.03125] {
         let cfg = ConversionConfig::new(scheme).with_vth(vth);
         let mut snn = convert(&mut p.dnn, &norm, &cfg).expect("conversion");
-        let trains = record_spike_trains(&mut snn, p.test.image(0), scheme, 256, 1.0, 5)
-            .expect("recording");
-        let hidden_trains: Vec<_> = trains
-            .into_iter()
-            .filter(|t| t.neuron.layer > 0)
-            .collect();
+        let trains =
+            record_spike_trains(&mut snn, p.test.image(0), scheme, 256, 1.0, 5).expect("recording");
+        let hidden_trains: Vec<_> = trains.into_iter().filter(|t| t.neuron.layer > 0).collect();
         let stats = burst_composition(&hidden_trains);
         assert!(
             stats.total_spikes > prev_spikes,
@@ -199,12 +197,9 @@ fn isi_histogram_of_burst_is_short_isi_heavy() {
     let mut p = trained_pipeline();
     let scheme = CodingScheme::new(InputCoding::Real, HiddenCoding::Burst);
     let mut snn = convert_with(&mut p, scheme);
-    let trains = record_spike_trains(&mut snn, p.test.image(1), scheme, 256, 0.5, 3)
-        .expect("recording");
-    let hidden_trains: Vec<_> = trains
-        .into_iter()
-        .filter(|t| t.neuron.layer > 0)
-        .collect();
+    let trains =
+        record_spike_trains(&mut snn, p.test.image(1), scheme, 256, 0.5, 3).expect("recording");
+    let hidden_trains: Vec<_> = trains.into_iter().filter(|t| t.neuron.layer > 0).collect();
     let hist = IsiHistogram::from_trains(&hidden_trains, 16);
     assert!(
         hist.short_isi_fraction(2) > 0.5,
@@ -221,12 +216,9 @@ fn phase_hidden_fires_faster_than_rate_hidden() {
     for hidden in [HiddenCoding::Rate, HiddenCoding::Phase] {
         let scheme = CodingScheme::new(InputCoding::Real, hidden);
         let mut snn = convert_with(&mut p, scheme);
-        let trains = record_spike_trains(&mut snn, p.test.image(2), scheme, 512, 0.3, 1)
-            .expect("recording");
-        let hidden_trains: Vec<_> = trains
-            .into_iter()
-            .filter(|t| t.neuron.layer > 0)
-            .collect();
+        let trains =
+            record_spike_trains(&mut snn, p.test.image(2), scheme, 512, 0.3, 1).expect("recording");
+        let hidden_trains: Vec<_> = trains.into_iter().filter(|t| t.neuron.layer > 0).collect();
         rates.push(population_firing(&hidden_trains).mean_log_rate);
     }
     assert!(
@@ -267,4 +259,35 @@ fn dnn_evaluation_is_stable_after_conversion() {
     let _ = convert_with(&mut p, CodingScheme::recommended());
     let after = evaluate(&mut p.dnn, &p.test, 32).expect("eval");
     assert_eq!(before, after);
+}
+
+#[test]
+fn parallel_evaluation_matches_sequential_for_all_thread_counts() {
+    // The parallel evaluator must be bit-identical to the sequential one
+    // regardless of how the image range is partitioned.
+    let mut p = trained_pipeline();
+    let scheme = CodingScheme::recommended();
+    let snn = convert_with(&mut p, scheme);
+    let cfg = EvalConfig::new(scheme, 96)
+        .with_checkpoint_every(32)
+        .with_max_images(24);
+    let mut seq = snn.clone();
+    let sequential = evaluate_dataset(&mut seq, &p.test, &cfg).expect("sequential");
+    for threads in [1, 2, 3, 8] {
+        let parallel =
+            burst_snn::core::simulator::evaluate_dataset_parallel(&snn, &p.test, &cfg, threads)
+                .expect("parallel");
+        assert_eq!(
+            sequential.accuracy_at, parallel.accuracy_at,
+            "accuracy curve diverged at {threads} threads"
+        );
+        assert_eq!(
+            sequential.mean_spikes_at, parallel.mean_spikes_at,
+            "spike curve diverged at {threads} threads"
+        );
+        assert_eq!(
+            sequential.layer_counts, parallel.layer_counts,
+            "layer counts diverged at {threads} threads"
+        );
+    }
 }

@@ -189,4 +189,66 @@ proptest! {
         let tt = t.transpose2().expect("t").transpose2().expect("tt");
         prop_assert_eq!(t, tt);
     }
+
+    /// Eq. 8 invariant: after every step, the burst function equals
+    /// β^(length of the current consecutive-spike run), i.e. it grows
+    /// geometrically through a burst and resets to 1 on any silent step.
+    #[test]
+    fn burst_g_tracks_consecutive_spike_run(
+        drives in prop::collection::vec(0.0f32..3.0, 1..150),
+    ) {
+        let beta = 1.5f32;
+        let mut layer = identity_layer(ThresholdPolicy::Burst { vth: 0.25, beta });
+        let mut run = 0i32;
+        for (t, &d) in drives.iter().enumerate() {
+            let fired = layer.step(&[d], t as u64).expect("step")[0] > 0.0;
+            run = if fired { run + 1 } else { 0 };
+            let expected = beta.powi(run);
+            let g = layer.burst_state()[0];
+            prop_assert!(
+                (g - expected).abs() < 1e-4 * expected,
+                "t={t}: g={g} but run length {run} implies {expected}"
+            );
+        }
+    }
+
+    /// β = 1 makes burst coding degenerate exactly into rate coding: the
+    /// spike trains and membrane walks coincide step by step.
+    #[test]
+    fn beta_one_burst_degenerates_to_rate(
+        drives in prop::collection::vec(0.0f32..2.0, 1..150),
+        vth in 0.05f32..2.0,
+    ) {
+        let mut rate = identity_layer(ThresholdPolicy::Fixed { vth });
+        let mut burst = identity_layer(ThresholdPolicy::Burst { vth, beta: 1.0 });
+        for (t, &d) in drives.iter().enumerate() {
+            let a = rate.step(&[d], t as u64).expect("step").to_vec();
+            let b = burst.step(&[d], t as u64).expect("step").to_vec();
+            prop_assert_eq!(a, b, "outputs diverged at t={}", t);
+            prop_assert_eq!(
+                rate.potentials()[0],
+                burst.potentials()[0],
+                "membranes diverged at t={}",
+                t
+            );
+        }
+    }
+
+    /// Percentile normalization is scale-equivariant: scaling every
+    /// activation by α > 0 scales the normalization factor by α, so
+    /// normalized weights are invariant to a uniform activation rescale.
+    #[test]
+    fn percentile_is_scale_equivariant(
+        values in prop::collection::vec(0.0f32..100.0, 1..200),
+        p in 50.0f32..100.0,
+        alpha in 0.1f32..10.0,
+    ) {
+        let scaled: Vec<f32> = values.iter().map(|v| v * alpha).collect();
+        let direct = percentile(&scaled, p);
+        let derived = alpha * percentile(&values, p);
+        prop_assert!(
+            (direct - derived).abs() <= 1e-3 * derived.abs().max(1.0),
+            "percentile(αv, {p}) = {direct} but α·percentile(v, {p}) = {derived}"
+        );
+    }
 }
