@@ -1,0 +1,77 @@
+//! Criterion bench of the `burst-serve` runtime: closed-loop throughput
+//! across micro-batch sizes {1, 4, 16} × worker counts {1, 4, 8}.
+//!
+//! Each sample pushes a fixed closed-loop wave of early-exit requests
+//! through a long-lived runtime; the printed per-iteration time is the
+//! wall clock of the whole wave (divide the wave size by it for req/s).
+//! Batching matters most when workers outnumber clients' instantaneous
+//! arrivals — occupancy amortizes queue synchronization per request.
+
+use bsnn_core::coding::CodingScheme;
+use bsnn_core::convert::{convert, ConversionConfig};
+use bsnn_data::SynthSpec;
+use bsnn_dnn::models;
+use bsnn_dnn::train::{TrainConfig, Trainer};
+use bsnn_serve::{run_closed_loop, ExitPolicy, LoadSpec, ModelRegistry, ServeConfig, ServeRuntime};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Requests per measured wave.
+const WAVE: usize = 64;
+
+fn bench_serve_throughput(c: &mut Criterion) {
+    // One trained model shared by every configuration.
+    let (train, test) = SynthSpec::digits().with_counts(60, 8).generate();
+    let mut dnn = models::mlp(144, &[32], 10, 5).expect("model");
+    Trainer::new(TrainConfig {
+        epochs: 6,
+        batch_size: 30,
+        lr: 2e-3,
+        ..TrainConfig::default()
+    })
+    .fit(&mut dnn, &train, &test)
+    .expect("training");
+    let scheme = CodingScheme::recommended();
+    let norm = train.batch(&(0..40).collect::<Vec<_>>()).0;
+    let snn = convert(&mut dnn, &norm, &ConversionConfig::new(scheme)).expect("conversion");
+    let images: Vec<Vec<f32>> = (0..test.len()).map(|i| test.image(i).to_vec()).collect();
+
+    let mut group = c.benchmark_group("serve_throughput_64req");
+    group.sample_size(10);
+    for &workers in &[1usize, 4, 8] {
+        for &batch in &[1usize, 4, 16] {
+            let registry = Arc::new(ModelRegistry::new());
+            registry.install("digits", snn.clone(), scheme, 8);
+            let runtime = ServeRuntime::start(
+                ServeConfig {
+                    workers,
+                    queue_capacity: 256,
+                    max_batch: batch,
+                    batch_linger: Duration::from_micros(100),
+                },
+                registry,
+            )
+            .expect("runtime");
+            let spec = LoadSpec {
+                total_requests: WAVE,
+                concurrency: (workers * 2).max(4),
+                policy: ExitPolicy::recommended(96),
+                model: "digits".into(),
+            };
+            group.bench_function(format!("workers{workers}/batch{batch}"), |b| {
+                b.iter(|| {
+                    let report = run_closed_loop(&runtime, &images, &spec);
+                    assert_eq!(report.errors, 0, "bench wave must be error-free");
+                    black_box(report.completed)
+                })
+            });
+            runtime.shutdown();
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve_throughput);
+criterion_main!(benches);

@@ -81,5 +81,6 @@ pub use network::SpikingNetwork;
 pub use recorder::{NeuronId, RecordLevel, SpikeRecord, SpikeTrainRec};
 pub use simulator::{
     evaluate_dataset, evaluate_dataset_parallel, infer_image, EvalConfig, EvalResult, ImageResult,
+    StepwiseInference,
 };
 pub use snapshot::{load_network, save_network, SnapshotError};

@@ -117,12 +117,24 @@ impl SpikingNetwork {
         sizes
     }
 
-    /// Clears all dynamic state for a new image presentation.
-    pub fn reset(&mut self) {
+    /// Clears all dynamic state in place for a new image presentation:
+    /// membrane potentials, burst functions `g`, PSP caches, and the
+    /// output accumulator. No layer buffer is reallocated — the network
+    /// can be reused across an unbounded stream of requests without
+    /// per-request allocation, which is what the serving runtime's worker
+    /// pool relies on. After `reset_state()` the network behaves exactly
+    /// like a fresh clone of its pristine self.
+    pub fn reset_state(&mut self) {
         for l in &mut self.layers {
             l.reset();
         }
         self.output_vmem.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// Alias of [`reset_state`](Self::reset_state), kept for the original
+    /// API.
+    pub fn reset(&mut self) {
+        self.reset_state();
     }
 
     /// Enables PSP caching on the first hidden stage (profitable when the

@@ -105,10 +105,182 @@ pub struct ImageResult {
     pub record: SpikeRecord,
 }
 
+/// Incremental single-image inference: the inner loop of [`infer_image`]
+/// exposed one time step at a time.
+///
+/// Constructing a `StepwiseInference` resets the network and prepares the
+/// input encoder; each [`advance`](StepwiseInference::advance) call then
+/// presents one time step. Between steps the caller can inspect the
+/// running prediction, the output confidence margin, and the cumulative
+/// spike count — the hooks an *anytime* consumer (e.g. the `burst-serve`
+/// runtime) needs to stop a run as soon as its answer is good enough,
+/// which is exactly the latency/accuracy trade-off the paper's
+/// accuracy-versus-time-step curves quantify.
+///
+/// Driving `advance` until it returns `Ok(false)` reproduces
+/// [`infer_image`] step for step; `infer_image` itself is implemented on
+/// top of this type.
+///
+/// ```no_run
+/// # use bsnn_core::coding::CodingScheme;
+/// # use bsnn_core::simulator::{EvalConfig, StepwiseInference};
+/// # fn demo(net: &mut bsnn_core::SpikingNetwork, image: &[f32]) -> Result<(), bsnn_core::SnnError> {
+/// let cfg = EvalConfig::new(CodingScheme::recommended(), 256);
+/// let mut run = StepwiseInference::new(net, image, &cfg)?;
+/// while run.advance()? {
+///     if run.confidence_margin() > 4.0 {
+///         break; // anytime early exit
+///     }
+/// }
+/// let answer = run.prediction();
+/// # let _ = answer;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct StepwiseInference<'net> {
+    net: &'net mut SpikingNetwork,
+    encoder: InputEncoder,
+    record: SpikeRecord,
+    buf: Vec<f32>,
+    steps: usize,
+    t: u64,
+    record_input_trains: bool,
+    input_is_spiking: bool,
+}
+
+impl<'net> StepwiseInference<'net> {
+    /// Starts an incremental run: validates `cfg`, resets the network's
+    /// dynamic state in place, and builds the per-image input encoder.
+    ///
+    /// # Errors
+    ///
+    /// Returns configuration and size-mismatch errors.
+    pub fn new(
+        net: &'net mut SpikingNetwork,
+        image: &[f32],
+        cfg: &EvalConfig,
+    ) -> Result<Self, SnnError> {
+        cfg.validate()?;
+        if image.len() != net.input_len() {
+            return Err(SnnError::InputSizeMismatch {
+                expected: net.input_len(),
+                actual: image.len(),
+            });
+        }
+        net.reset_state();
+        let encoder = InputEncoder::new(cfg.scheme.input, image, cfg.phase_period)?;
+        net.set_first_stage_caching(encoder.is_static());
+        let record = SpikeRecord::new(&net.spiking_layer_sizes(), cfg.record);
+        let record_input_trains = matches!(cfg.record, RecordLevel::Trains { .. })
+            && cfg.scheme.input != InputCoding::Real;
+        let input_is_spiking = cfg.scheme.input != InputCoding::Real;
+        let buf = vec![0.0f32; net.input_len()];
+        Ok(StepwiseInference {
+            net,
+            encoder,
+            record,
+            buf,
+            steps: cfg.steps,
+            t: 0,
+            record_input_trains,
+            input_is_spiking,
+        })
+    }
+
+    /// Presents one time step. Returns `Ok(false)` once the configured
+    /// horizon has been reached (the network state is left as of the last
+    /// executed step).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation errors.
+    pub fn advance(&mut self) -> Result<bool, SnnError> {
+        if self.t as usize >= self.steps {
+            return Ok(false);
+        }
+        let t = self.t;
+        let n_in = self.encoder.step(t, &mut self.buf);
+        if self.record_input_trains {
+            self.record.observe_layer(0, t, &self.buf);
+        } else if self.input_is_spiking {
+            self.record.add_count(0, n_in as u64);
+        }
+        self.net.step(&self.buf, t, &mut self.record)?;
+        self.record.end_step();
+        self.t += 1;
+        Ok(true)
+    }
+
+    /// Number of time steps executed so far.
+    pub fn steps_taken(&self) -> usize {
+        self.t as usize
+    }
+
+    /// The configured simulation horizon.
+    pub fn horizon(&self) -> usize {
+        self.steps
+    }
+
+    /// Whether the horizon has been reached.
+    pub fn is_done(&self) -> bool {
+        self.t as usize >= self.steps
+    }
+
+    /// The running argmax prediction over the output potentials.
+    pub fn prediction(&self) -> usize {
+        self.net.prediction()
+    }
+
+    /// The output accumulator's membrane potentials (class scores).
+    pub fn output_potentials(&self) -> &[f32] {
+        self.net.output_potentials()
+    }
+
+    /// Cumulative spikes across all layers so far.
+    pub fn total_spikes(&self) -> u64 {
+        self.record.total_spikes()
+    }
+
+    /// Raw confidence margin: the gap between the top and runner-up
+    /// output potentials. Grows roughly linearly with elapsed steps on a
+    /// confidently classified input, so anytime consumers typically
+    /// normalize it by [`steps_taken`](Self::steps_taken). Returns
+    /// `f32::INFINITY` for single-class networks.
+    pub fn confidence_margin(&self) -> f32 {
+        let mut top = f32::NEG_INFINITY;
+        let mut second = f32::NEG_INFINITY;
+        for &v in self.net.output_potentials() {
+            if v > top {
+                second = top;
+                top = v;
+            } else if v > second {
+                second = v;
+            }
+        }
+        if second == f32::NEG_INFINITY {
+            f32::INFINITY
+        } else {
+            top - second
+        }
+    }
+
+    /// Read-only view of the spike record accumulated so far.
+    pub fn record(&self) -> &SpikeRecord {
+        &self.record
+    }
+
+    /// Finishes the run, returning the accumulated spike record.
+    pub fn into_record(self) -> SpikeRecord {
+        self.record
+    }
+}
+
 /// Presents a single image to the network for `cfg.steps` steps.
 ///
 /// The network is reset first; afterwards its output potentials reflect
-/// the full run.
+/// the full run. Implemented on [`StepwiseInference`]; the results are
+/// step-for-step identical to driving that API manually.
 ///
 /// # Errors
 ///
@@ -118,36 +290,14 @@ pub fn infer_image(
     image: &[f32],
     cfg: &EvalConfig,
 ) -> Result<ImageResult, SnnError> {
-    cfg.validate()?;
-    if image.len() != net.input_len() {
-        return Err(SnnError::InputSizeMismatch {
-            expected: net.input_len(),
-            actual: image.len(),
-        });
-    }
-    net.reset();
-    let mut encoder = InputEncoder::new(cfg.scheme.input, image, cfg.phase_period)?;
-    net.set_first_stage_caching(encoder.is_static());
-    let mut record = SpikeRecord::new(&net.spiking_layer_sizes(), cfg.record);
-    let record_input_trains =
-        matches!(cfg.record, RecordLevel::Trains { .. }) && cfg.scheme.input != InputCoding::Real;
-
-    let mut buf = vec![0.0f32; net.input_len()];
+    let mut run = StepwiseInference::new(net, image, cfg)?;
     let mut predictions = Vec::with_capacity(cfg.checkpoints.len());
     let mut cum_spikes = Vec::with_capacity(cfg.checkpoints.len());
     let mut next_cp = 0usize;
-    for t in 0..cfg.steps as u64 {
-        let n_in = encoder.step(t, &mut buf);
-        if record_input_trains {
-            record.observe_layer(0, t, &buf);
-        } else if cfg.scheme.input != InputCoding::Real {
-            record.add_count(0, n_in as u64);
-        }
-        net.step(&buf, t, &mut record)?;
-        record.end_step();
-        if next_cp < cfg.checkpoints.len() && (t + 1) as usize == cfg.checkpoints[next_cp] {
-            predictions.push(net.prediction());
-            cum_spikes.push(record.total_spikes());
+    while run.advance()? {
+        if next_cp < cfg.checkpoints.len() && run.steps_taken() == cfg.checkpoints[next_cp] {
+            predictions.push(run.prediction());
+            cum_spikes.push(run.total_spikes());
             next_cp += 1;
         }
     }
@@ -155,7 +305,7 @@ pub fn infer_image(
         checkpoints: cfg.checkpoints.clone(),
         predictions,
         cum_spikes,
-        record,
+        record: run.into_record(),
     })
 }
 
@@ -486,6 +636,142 @@ mod tests {
         assert_eq!(r.latency_to(0.75), Some((20, 9.0)));
         assert_eq!(r.latency_to(0.95), None);
         assert!((r.final_spiking_density() - 12.0 / 3000.0).abs() < 1e-12);
+    }
+
+    /// The seed implementation of `infer_image`, verbatim, before its
+    /// inner loop was extracted into `StepwiseInference`. Kept as the
+    /// reference for the step-for-step equivalence test below.
+    fn infer_image_seed(
+        net: &mut SpikingNetwork,
+        image: &[f32],
+        cfg: &EvalConfig,
+    ) -> Result<ImageResult, SnnError> {
+        cfg.validate()?;
+        if image.len() != net.input_len() {
+            return Err(SnnError::InputSizeMismatch {
+                expected: net.input_len(),
+                actual: image.len(),
+            });
+        }
+        net.reset();
+        let mut encoder = InputEncoder::new(cfg.scheme.input, image, cfg.phase_period)?;
+        net.set_first_stage_caching(encoder.is_static());
+        let mut record = SpikeRecord::new(&net.spiking_layer_sizes(), cfg.record);
+        let record_input_trains = matches!(cfg.record, RecordLevel::Trains { .. })
+            && cfg.scheme.input != InputCoding::Real;
+
+        let mut buf = vec![0.0f32; net.input_len()];
+        let mut predictions = Vec::with_capacity(cfg.checkpoints.len());
+        let mut cum_spikes = Vec::with_capacity(cfg.checkpoints.len());
+        let mut next_cp = 0usize;
+        for t in 0..cfg.steps as u64 {
+            let n_in = encoder.step(t, &mut buf);
+            if record_input_trains {
+                record.observe_layer(0, t, &buf);
+            } else if cfg.scheme.input != InputCoding::Real {
+                record.add_count(0, n_in as u64);
+            }
+            net.step(&buf, t, &mut record)?;
+            record.end_step();
+            if next_cp < cfg.checkpoints.len() && (t + 1) as usize == cfg.checkpoints[next_cp] {
+                predictions.push(net.prediction());
+                cum_spikes.push(record.total_spikes());
+                next_cp += 1;
+            }
+        }
+        Ok(ImageResult {
+            checkpoints: cfg.checkpoints.clone(),
+            predictions,
+            cum_spikes,
+            record,
+        })
+    }
+
+    #[test]
+    fn stepwise_rebuild_matches_seed_path_exactly() {
+        let (mut dnn, train, test) = trained_setup();
+        for scheme in [
+            CodingScheme::recommended(),
+            CodingScheme::new(InputCoding::Real, HiddenCoding::Rate),
+            CodingScheme::new(InputCoding::Rate, HiddenCoding::Phase),
+        ] {
+            let mut snn = snn_for(&mut dnn, &train, scheme);
+            for record in [
+                RecordLevel::Counts,
+                RecordLevel::Trains {
+                    fraction: 0.5,
+                    seed: 3,
+                },
+            ] {
+                let cfg = EvalConfig::new(scheme, 40)
+                    .with_checkpoint_every(7)
+                    .with_record(record);
+                for i in 0..3 {
+                    let a = infer_image_seed(&mut snn, test.image(i), &cfg).unwrap();
+                    let pot_seed = snn.output_potentials().to_vec();
+                    let b = infer_image(&mut snn, test.image(i), &cfg).unwrap();
+                    assert_eq!(a.checkpoints, b.checkpoints, "{scheme}");
+                    assert_eq!(a.predictions, b.predictions, "{scheme}");
+                    assert_eq!(a.cum_spikes, b.cum_spikes, "{scheme}");
+                    assert_eq!(a.record.layer_counts(), b.record.layer_counts(), "{scheme}");
+                    assert_eq!(a.record.steps(), b.record.steps(), "{scheme}");
+                    assert_eq!(a.record.trains(), b.record.trains(), "{scheme}");
+                    assert_eq!(pot_seed, snn.output_potentials(), "{scheme}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stepwise_exposes_anytime_signals() {
+        let (mut dnn, train, test) = trained_setup();
+        let scheme = CodingScheme::recommended();
+        let mut snn = snn_for(&mut dnn, &train, scheme);
+        let cfg = EvalConfig::new(scheme, 32);
+        let mut run = StepwiseInference::new(&mut snn, test.image(0), &cfg).unwrap();
+        assert_eq!(run.steps_taken(), 0);
+        assert_eq!(run.horizon(), 32);
+        assert!(!run.is_done());
+        let mut spikes_last = 0u64;
+        while run.advance().unwrap() {
+            assert!(run.total_spikes() >= spikes_last, "spikes are cumulative");
+            spikes_last = run.total_spikes();
+            let m = run.confidence_margin();
+            assert!(m >= 0.0, "margin is a nonnegative gap, got {m}");
+        }
+        assert!(run.is_done());
+        assert_eq!(run.steps_taken(), 32);
+        assert!(!run.advance().unwrap(), "advance past horizon is a no-op");
+        assert_eq!(run.record().steps(), 32);
+        let pred = run.prediction();
+        assert!(pred < 10);
+    }
+
+    #[test]
+    fn latency_to_edge_cases() {
+        let base = EvalResult {
+            scheme: CodingScheme::recommended(),
+            checkpoints: vec![10, 20, 30],
+            accuracy_at: vec![0.2, 0.5, 0.9],
+            mean_spikes_at: vec![5.0, 9.0, 12.0],
+            num_images: 1,
+            num_neurons: 100,
+            layer_counts: vec![],
+        };
+        // Target above the final accuracy: never reached.
+        assert_eq!(base.latency_to(0.91), None);
+        // Target hit exactly at the last checkpoint (>= comparison).
+        assert_eq!(base.latency_to(0.9), Some((30, 12.0)));
+        // Empty checkpoint list: no checkpoint can satisfy any target.
+        let empty = EvalResult {
+            checkpoints: vec![],
+            accuracy_at: vec![],
+            mean_spikes_at: vec![],
+            ..base
+        };
+        assert_eq!(empty.latency_to(0.0), None);
+        assert_eq!(empty.final_accuracy(), 0.0);
+        assert_eq!(empty.final_mean_spikes(), 0.0);
     }
 
     #[test]

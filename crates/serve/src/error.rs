@@ -1,0 +1,61 @@
+//! Error type of the serving runtime.
+
+use bsnn_core::SnnError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced to clients of the serving runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The bounded request queue is at capacity — backpressure. The
+    /// request was *not* enqueued; the client may retry later.
+    QueueFull,
+    /// The runtime is shutting down and no longer accepts requests.
+    ShuttingDown,
+    /// The request names a model that is not installed in the registry.
+    UnknownModel(String),
+    /// The request's exit policy is malformed (zero steps, zero
+    /// patience, non-finite margin, ...).
+    InvalidPolicy(String),
+    /// The runtime configuration is malformed (zero workers, zero queue
+    /// capacity, ...).
+    InvalidConfig(String),
+    /// The underlying simulation failed.
+    Simulation(SnnError),
+    /// Loading a model snapshot failed.
+    Snapshot(String),
+    /// A runtime-internal failure that is not the caller's fault: a
+    /// worker thread could not be spawned, or a request was dropped
+    /// without a response (e.g. a worker panicked). Often retryable.
+    Internal(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::QueueFull => write!(f, "request queue is full (backpressure)"),
+            ServeError::ShuttingDown => write!(f, "runtime is shutting down"),
+            ServeError::UnknownModel(name) => write!(f, "no model named `{name}` is installed"),
+            ServeError::InvalidPolicy(msg) => write!(f, "invalid exit policy: {msg}"),
+            ServeError::InvalidConfig(msg) => write!(f, "invalid serve configuration: {msg}"),
+            ServeError::Simulation(e) => write!(f, "simulation failed: {e}"),
+            ServeError::Snapshot(msg) => write!(f, "model snapshot failed to load: {msg}"),
+            ServeError::Internal(msg) => write!(f, "internal runtime failure: {msg}"),
+        }
+    }
+}
+
+impl Error for ServeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServeError::Simulation(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SnnError> for ServeError {
+    fn from(e: SnnError) -> Self {
+        ServeError::Simulation(e)
+    }
+}

@@ -1,0 +1,222 @@
+//! The anytime early-exit engine: drives [`StepwiseInference`] under an
+//! [`ExitPolicy`].
+//!
+//! The paper's accuracy-versus-time-step curves show most images are
+//! classified correctly long before the simulation horizon; the margin
+//! policy exploits this per request by watching the gap between the top
+//! two output potentials. Potentials accumulate roughly linearly in time,
+//! so the gap is normalized by the elapsed steps to make one threshold
+//! meaningful at every checkpoint.
+
+use crate::error::ServeError;
+use crate::registry::ModelEntry;
+use crate::request::{ExitPolicy, ExitReason};
+use bsnn_core::simulator::{EvalConfig, StepwiseInference};
+use bsnn_core::SpikingNetwork;
+
+/// What the engine observed when a run stopped.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExitOutcome {
+    /// Predicted class at exit.
+    pub prediction: usize,
+    /// Time steps simulated.
+    pub steps: usize,
+    /// Spikes emitted across all layers.
+    pub spikes: u64,
+    /// Per-step normalized confidence margin at exit.
+    pub margin: f32,
+    /// Why the run stopped.
+    pub reason: ExitReason,
+}
+
+/// Runs one image on `net` (which must be a clone of `entry`'s template)
+/// until `policy` says stop.
+///
+/// # Errors
+///
+/// Returns [`ServeError::InvalidPolicy`] for malformed policies and
+/// propagates simulation errors.
+pub fn run_with_policy(
+    net: &mut SpikingNetwork,
+    image: &[f32],
+    entry: &ModelEntry,
+    policy: &ExitPolicy,
+) -> Result<ExitOutcome, ServeError> {
+    policy.validate()?;
+    let cfg =
+        EvalConfig::new(entry.scheme(), policy.max_steps()).with_phase_period(entry.phase_period());
+    let mut run = StepwiseInference::new(net, image, &cfg)?;
+    let mut reason = ExitReason::HorizonReached;
+    match *policy {
+        ExitPolicy::Fixed { .. } => while run.advance()? {},
+        ExitPolicy::ConfidenceMargin {
+            margin,
+            patience,
+            check_every,
+            ..
+        } => {
+            let mut stable = 0usize;
+            let mut last_pred = usize::MAX;
+            while run.advance()? {
+                let t = run.steps_taken();
+                if t % check_every != 0 {
+                    continue;
+                }
+                let pred = run.prediction();
+                let normalized = run.confidence_margin() / t as f32;
+                if pred == last_pred && normalized >= margin {
+                    stable += 1;
+                    if stable >= patience {
+                        reason = ExitReason::Converged;
+                        break;
+                    }
+                } else {
+                    stable = 0;
+                }
+                last_pred = pred;
+            }
+        }
+        ExitPolicy::SpikeBudget { max_spikes, .. } => {
+            while run.advance()? {
+                if run.total_spikes() >= max_spikes {
+                    reason = ExitReason::BudgetExhausted;
+                    break;
+                }
+            }
+        }
+    }
+    let steps = run.steps_taken();
+    Ok(ExitOutcome {
+        prediction: run.prediction(),
+        steps,
+        spikes: run.total_spikes(),
+        margin: run.confidence_margin() / steps.max(1) as f32,
+        reason,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::ModelRegistry;
+    use bsnn_core::coding::CodingScheme;
+    use bsnn_core::layer::{SpikingLayer, ThresholdPolicy};
+    use bsnn_core::synapse::Synapse;
+    use bsnn_tensor::Tensor;
+
+    /// A 2-input, 2-class toy whose class-0 potential runs away — an
+    /// easy early-exit target with deterministic spike counts.
+    fn toy_entry() -> std::sync::Arc<ModelEntry> {
+        let diag = |a: f32, b: f32| Synapse::Dense {
+            weight: Tensor::from_vec(vec![a, 0.0, 0.0, b], &[2, 2]).unwrap(),
+        };
+        let hidden =
+            SpikingLayer::new(diag(1.0, 1.0), None, ThresholdPolicy::Fixed { vth: 0.25 }).unwrap();
+        let net = SpikingNetwork::new(2, vec![hidden], diag(1.0, 1.0), None).unwrap();
+        let reg = ModelRegistry::new();
+        reg.install(
+            "toy",
+            net,
+            CodingScheme::new(
+                bsnn_core::coding::InputCoding::Real,
+                bsnn_core::coding::HiddenCoding::Rate,
+            ),
+            8,
+        );
+        reg.get("toy").unwrap()
+    }
+
+    #[test]
+    fn fixed_policy_runs_to_horizon() {
+        let entry = toy_entry();
+        let mut net = entry.network().clone();
+        let out = run_with_policy(
+            &mut net,
+            &[0.9, 0.1],
+            &entry,
+            &ExitPolicy::Fixed { steps: 40 },
+        )
+        .unwrap();
+        assert_eq!(out.steps, 40);
+        assert_eq!(out.reason, ExitReason::HorizonReached);
+        assert_eq!(out.prediction, 0);
+        assert!(out.spikes > 0);
+        assert!(out.margin > 0.0);
+    }
+
+    #[test]
+    fn margin_policy_exits_early_on_confident_input() {
+        let entry = toy_entry();
+        let mut net = entry.network().clone();
+        let policy = ExitPolicy::ConfidenceMargin {
+            margin: 0.1,
+            patience: 2,
+            check_every: 4,
+            max_steps: 400,
+        };
+        let out = run_with_policy(&mut net, &[0.9, 0.1], &entry, &policy).unwrap();
+        assert_eq!(out.reason, ExitReason::Converged);
+        assert!(
+            out.steps < 400,
+            "confident input must exit early, took {}",
+            out.steps
+        );
+        // check_every 4, patience 2: the checkpoint at t=4 only
+        // establishes last_pred, t=8 is the first stable check, t=12 the
+        // second ⇒ the earliest possible exit is step 12.
+        assert!(out.steps >= 12);
+        assert_eq!(out.prediction, 0);
+    }
+
+    #[test]
+    fn margin_policy_falls_back_to_horizon_on_ambiguous_input() {
+        let entry = toy_entry();
+        let mut net = entry.network().clone();
+        // Symmetric drive: the top-2 gap stays ~0, margin never clears.
+        let policy = ExitPolicy::ConfidenceMargin {
+            margin: 0.1,
+            patience: 2,
+            check_every: 4,
+            max_steps: 32,
+        };
+        let out = run_with_policy(&mut net, &[0.5, 0.5], &entry, &policy).unwrap();
+        assert_eq!(out.reason, ExitReason::HorizonReached);
+        assert_eq!(out.steps, 32);
+    }
+
+    #[test]
+    fn spike_budget_policy_stops_at_budget() {
+        let entry = toy_entry();
+        let mut net = entry.network().clone();
+        let budget = 10u64;
+        let out = run_with_policy(
+            &mut net,
+            &[0.9, 0.9],
+            &entry,
+            &ExitPolicy::SpikeBudget {
+                max_spikes: budget,
+                max_steps: 400,
+            },
+        )
+        .unwrap();
+        assert_eq!(out.reason, ExitReason::BudgetExhausted);
+        assert!(out.spikes >= budget);
+        // Both toy neurons spike nearly every step, so the budget is hit
+        // within budget steps.
+        assert!(out.steps <= budget as usize + 1);
+    }
+
+    #[test]
+    fn invalid_policy_is_rejected_before_simulation() {
+        let entry = toy_entry();
+        let mut net = entry.network().clone();
+        let err = run_with_policy(
+            &mut net,
+            &[0.5, 0.5],
+            &entry,
+            &ExitPolicy::Fixed { steps: 0 },
+        )
+        .unwrap_err();
+        assert!(matches!(err, ServeError::InvalidPolicy(_)));
+    }
+}

@@ -1,0 +1,60 @@
+#![warn(missing_docs)]
+//! # burst-serve
+//!
+//! A production-style inference runtime over the burst-coded SNN
+//! simulator of Park et al. (DAC 2019). The paper's headline result is
+//! that burst coding reaches DNN-comparable accuracy in far fewer time
+//! steps and spikes than rate coding — i.e. inference latency and energy
+//! are *tunable at request time*. This crate turns that property into a
+//! request-serving engine:
+//!
+//! * **Worker pool** ([`runtime::ServeRuntime`]) — persistent threads,
+//!   each holding a reusable [`bsnn_core::SpikingNetwork`] clone whose
+//!   membrane state is reset in place between requests (no per-request
+//!   allocation of layer state).
+//! * **Adaptive micro-batching** ([`queue::BatchQueue`]) — a bounded
+//!   MPMC queue; workers collect up to `max_batch` requests or wait
+//!   `batch_linger`, whichever comes first, and submission returns
+//!   [`ServeError::QueueFull`] instead of blocking forever
+//!   (backpressure).
+//! * **Anytime early-exit inference** ([`exit::run_with_policy`]) — each
+//!   request carries an [`request::ExitPolicy`]: fixed steps, confidence
+//!   margin with patience (stop once the output margin has been stable
+//!   for `patience` checkpoints), or a spike budget. Built on the
+//!   incremental [`bsnn_core::StepwiseInference`] API.
+//! * **Model registry** ([`registry::ModelRegistry`]) — snapshot-backed,
+//!   hot-swappable by name with epoch-counted `Arc` swap: in-flight
+//!   requests finish on the model they started with.
+//! * **Metrics** ([`metrics::ServeMetrics`]) — request counts,
+//!   p50/p95/p99 latency, time steps and spikes per request, batch
+//!   occupancy, and queue depth.
+//!
+//! The `serve_demo` binary wires all of this together behind a CLI, and
+//! [`loadgen`] provides the closed-loop load generator used by the demo,
+//! the integration tests, and the `serve` criterion bench.
+//!
+//! ```text
+//! clients ──submit()──▶ BatchQueue ──pop_batch()──▶ worker threads ──▶ ResponseHandle
+//!   ▲  QueueFull            │ bounded, linger          │ cached net clone
+//!   └──────────────────────┘                           ▼ epoch check
+//!                                                 ModelRegistry (Arc swap)
+//! ```
+
+pub mod error;
+pub mod exit;
+pub mod loadgen;
+pub mod metrics;
+pub mod queue;
+pub mod registry;
+pub mod request;
+pub mod runtime;
+mod worker;
+
+pub use error::ServeError;
+pub use exit::{run_with_policy, ExitOutcome};
+pub use loadgen::{run_closed_loop, LoadReport, LoadSpec};
+pub use metrics::{Histogram, MetricsSnapshot, ServeMetrics};
+pub use queue::{BatchQueue, PushError};
+pub use registry::{ModelEntry, ModelRegistry};
+pub use request::{ExitPolicy, ExitReason, InferRequest, InferResponse, ResponseHandle};
+pub use runtime::{ServeConfig, ServeRuntime};

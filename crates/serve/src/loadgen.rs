@@ -1,0 +1,134 @@
+//! Closed-loop load generator: N client threads, each keeping exactly one
+//! request in flight (submit → wait → repeat), cycling over a shared
+//! image set until the target request count is reached.
+//!
+//! Used by the `serve_demo` binary, the integration tests, and the
+//! `serve` criterion bench. Closed-loop clients are the honest way to
+//! measure a backpressured runtime: offered load adapts to service rate,
+//! and `QueueFull` rejections show up as retries instead of dropped
+//! samples.
+
+use crate::request::{ExitPolicy, ExitReason, InferRequest};
+use crate::runtime::ServeRuntime;
+use crate::ServeError;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// What to offer the runtime.
+#[derive(Debug, Clone)]
+pub struct LoadSpec {
+    /// Total requests to issue across all clients.
+    pub total_requests: usize,
+    /// Concurrent closed-loop clients.
+    pub concurrency: usize,
+    /// Exit policy attached to every request.
+    pub policy: ExitPolicy,
+    /// Registry model name to target.
+    pub model: String,
+}
+
+/// Aggregate result of one load run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadReport {
+    /// Requests answered successfully.
+    pub completed: usize,
+    /// Requests answered with an error.
+    pub errors: usize,
+    /// `QueueFull` rejections that were retried.
+    pub queue_full_retries: u64,
+    /// Completed requests that exited before their hard horizon.
+    pub early_exits: usize,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// Completed requests per second of wall clock.
+    pub throughput_rps: f64,
+    /// Mean simulated time steps per completed request.
+    pub mean_steps: f64,
+    /// Mean spikes per completed request.
+    pub mean_spikes: f64,
+}
+
+/// Drives `runtime` with `spec.concurrency` closed-loop clients cycling
+/// over `images` until `spec.total_requests` requests have been answered.
+///
+/// `QueueFull` is retried after a yield (and counted); any other error is
+/// counted as a failure and the client moves on.
+pub fn run_closed_loop(runtime: &ServeRuntime, images: &[Vec<f32>], spec: &LoadSpec) -> LoadReport {
+    assert!(
+        !images.is_empty(),
+        "load generator needs at least one image"
+    );
+    let clients = spec.concurrency.max(1);
+    let next = AtomicUsize::new(0);
+    let started = Instant::now();
+    // Per-client tallies: (completed, errors, retries, early, steps, spikes).
+    let mut tallies: Vec<(usize, usize, u64, usize, u64, u64)> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(clients);
+        for _ in 0..clients {
+            let next = &next;
+            handles.push(scope.spawn(move || {
+                let mut completed = 0usize;
+                let mut errors = 0usize;
+                let mut retries = 0u64;
+                let mut early = 0usize;
+                let mut steps = 0u64;
+                let mut spikes = 0u64;
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= spec.total_requests {
+                        break;
+                    }
+                    // Closed loop with retry-on-backpressure. The request
+                    // is built per attempt (submit consumes it), so the
+                    // common no-retry path pays exactly one image clone.
+                    let handle = loop {
+                        let request = InferRequest::new(
+                            images[i % images.len()].clone(),
+                            spec.model.clone(),
+                            spec.policy.clone(),
+                        );
+                        match runtime.submit(request) {
+                            Ok(h) => break Some(h),
+                            Err(ServeError::QueueFull) => {
+                                retries += 1;
+                                std::thread::yield_now();
+                            }
+                            Err(_) => break None,
+                        }
+                    };
+                    match handle.map(|h| h.wait()) {
+                        Some(Ok(resp)) => {
+                            completed += 1;
+                            steps += resp.steps as u64;
+                            spikes += resp.spikes;
+                            if resp.exit != ExitReason::HorizonReached {
+                                early += 1;
+                            }
+                        }
+                        Some(Err(_)) | None => errors += 1,
+                    }
+                }
+                (completed, errors, retries, early, steps, spikes)
+            }));
+        }
+        tallies = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    });
+    let elapsed = started.elapsed();
+    let completed: usize = tallies.iter().map(|t| t.0).sum();
+    let errors: usize = tallies.iter().map(|t| t.1).sum();
+    let queue_full_retries: u64 = tallies.iter().map(|t| t.2).sum();
+    let early_exits: usize = tallies.iter().map(|t| t.3).sum();
+    let steps: u64 = tallies.iter().map(|t| t.4).sum();
+    let spikes: u64 = tallies.iter().map(|t| t.5).sum();
+    LoadReport {
+        completed,
+        errors,
+        queue_full_retries,
+        early_exits,
+        elapsed,
+        throughput_rps: completed as f64 / elapsed.as_secs_f64().max(1e-9),
+        mean_steps: steps as f64 / completed.max(1) as f64,
+        mean_spikes: spikes as f64 / completed.max(1) as f64,
+    }
+}

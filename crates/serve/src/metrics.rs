@@ -1,0 +1,340 @@
+//! Lock-free serving metrics: counters plus log-bucketed histograms with
+//! approximate quantiles.
+
+use crate::request::{ExitReason, InferResult};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A fixed-bucket histogram with exponentially growing bucket bounds.
+///
+/// Recording is a single atomic increment; quantiles are approximate (the
+/// reported value is the upper bound of the bucket containing the
+/// requested rank, so they over-estimate by at most one bucket width —
+/// under 2× with the default doubling layout).
+#[derive(Debug)]
+pub struct Histogram {
+    /// Strictly increasing inclusive upper bounds; values above the last
+    /// bound land in the overflow bucket.
+    bounds: Vec<u64>,
+    /// One counter per bound plus the overflow bucket.
+    counts: Vec<AtomicU64>,
+    total: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    /// A histogram whose bucket bounds double from `first` for `buckets`
+    /// buckets (plus an overflow bucket).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `first` is zero or `buckets` is zero.
+    pub fn exponential(first: u64, buckets: usize) -> Self {
+        assert!(first > 0 && buckets > 0, "degenerate histogram layout");
+        let mut bounds = Vec::with_capacity(buckets);
+        let mut b = first;
+        for _ in 0..buckets {
+            bounds.push(b);
+            b = b.saturating_mul(2);
+        }
+        let counts = (0..buckets + 1).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            bounds,
+            counts,
+            total: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&self, value: u64) {
+        let idx = self.bounds.partition_point(|&b| b < value);
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum.load(Ordering::Relaxed) as f64 / n as f64
+        }
+    }
+
+    /// Approximate `q`-quantile (`0 < q <= 1`): the upper bound of the
+    /// bucket holding the rank-`ceil(q·n)` observation. Returns 0 when
+    /// empty; overflow observations report the last finite bound.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c.load(Ordering::Relaxed);
+            if seen >= rank {
+                return *self.bounds.get(i).unwrap_or_else(|| {
+                    self.bounds
+                        .last()
+                        .expect("histogram has at least one bound")
+                });
+            }
+        }
+        *self
+            .bounds
+            .last()
+            .expect("histogram has at least one bound")
+    }
+}
+
+/// Shared counters and histograms of one [`crate::ServeRuntime`].
+#[derive(Debug)]
+pub struct ServeMetrics {
+    /// Requests accepted into the queue.
+    submitted: AtomicU64,
+    /// Requests refused with `QueueFull`.
+    rejected: AtomicU64,
+    /// Requests answered successfully.
+    completed: AtomicU64,
+    /// Requests answered with an error.
+    failed: AtomicU64,
+    /// Completed requests that exited before their hard horizon.
+    early_exits: AtomicU64,
+    /// End-to-end latency (queue + service), µs.
+    latency_us: Histogram,
+    /// Queue wait, µs.
+    queue_us: Histogram,
+    /// Simulated time steps per request.
+    steps: Histogram,
+    /// Spikes per request.
+    spikes: Histogram,
+    /// Micro-batch occupancy seen by workers.
+    batch: Histogram,
+}
+
+impl Default for ServeMetrics {
+    fn default() -> Self {
+        ServeMetrics {
+            submitted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            early_exits: AtomicU64::new(0),
+            // bounds 1, 2, ..., 2^25 µs (~33.5 s); beyond that, overflow
+            latency_us: Histogram::exponential(1, 26),
+            queue_us: Histogram::exponential(1, 26),
+            // bounds up to 2^15 = 32768 steps
+            steps: Histogram::exponential(1, 16),
+            // bounds up to 2^26 ≈ 67M spikes
+            spikes: Histogram::exponential(1, 27),
+            // bounds up to 2^9 = 512 batch occupancy
+            batch: Histogram::exponential(1, 10),
+        }
+    }
+}
+
+impl ServeMetrics {
+    /// Fresh, zeroed metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counts an accepted submission.
+    pub fn observe_submit(&self) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a `QueueFull` rejection.
+    pub fn observe_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts the occupancy of one popped micro-batch.
+    pub fn observe_batch(&self, occupancy: usize) {
+        self.batch.record(occupancy as u64);
+    }
+
+    /// Records the outcome of one served request.
+    pub fn observe_result(&self, result: &InferResult) {
+        match result {
+            Ok(resp) => {
+                self.completed.fetch_add(1, Ordering::Relaxed);
+                if resp.exit != ExitReason::HorizonReached {
+                    self.early_exits.fetch_add(1, Ordering::Relaxed);
+                }
+                self.latency_us
+                    .record(resp.queue_micros + resp.service_micros);
+                self.queue_us.record(resp.queue_micros);
+                self.steps.record(resp.steps as u64);
+                self.spikes.record(resp.spikes);
+            }
+            Err(_) => {
+                self.failed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// A point-in-time copy of every metric. `queue_depth` is supplied by
+    /// the caller (the runtime knows its queue).
+    pub fn snapshot(&self, queue_depth: usize) -> MetricsSnapshot {
+        MetricsSnapshot {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            early_exits: self.early_exits.load(Ordering::Relaxed),
+            queue_depth,
+            latency_us_p50: self.latency_us.quantile(0.50),
+            latency_us_p95: self.latency_us.quantile(0.95),
+            latency_us_p99: self.latency_us.quantile(0.99),
+            latency_us_mean: self.latency_us.mean(),
+            queue_us_mean: self.queue_us.mean(),
+            steps_mean: self.steps.mean(),
+            steps_p95: self.steps.quantile(0.95),
+            spikes_mean: self.spikes.mean(),
+            spikes_p95: self.spikes.quantile(0.95),
+            batch_mean: self.batch.mean(),
+        }
+    }
+}
+
+/// Point-in-time metrics of a runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Requests accepted into the queue.
+    pub submitted: u64,
+    /// Requests refused with `QueueFull`.
+    pub rejected: u64,
+    /// Requests answered successfully.
+    pub completed: u64,
+    /// Requests answered with an error.
+    pub failed: u64,
+    /// Completed requests that exited before their hard horizon.
+    pub early_exits: u64,
+    /// Queue depth at snapshot time.
+    pub queue_depth: usize,
+    /// Median end-to-end latency, µs (approximate).
+    pub latency_us_p50: u64,
+    /// 95th-percentile end-to-end latency, µs (approximate).
+    pub latency_us_p95: u64,
+    /// 99th-percentile end-to-end latency, µs (approximate).
+    pub latency_us_p99: u64,
+    /// Mean end-to-end latency, µs.
+    pub latency_us_mean: f64,
+    /// Mean queue wait, µs.
+    pub queue_us_mean: f64,
+    /// Mean simulated time steps per request.
+    pub steps_mean: f64,
+    /// 95th-percentile time steps per request (approximate).
+    pub steps_p95: u64,
+    /// Mean spikes per request.
+    pub spikes_mean: f64,
+    /// 95th-percentile spikes per request (approximate).
+    pub spikes_p95: u64,
+    /// Mean micro-batch occupancy.
+    pub batch_mean: f64,
+}
+
+impl fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "requests   submitted {}  completed {}  failed {}  rejected {}  early-exit {}",
+            self.submitted, self.completed, self.failed, self.rejected, self.early_exits
+        )?;
+        writeln!(
+            f,
+            "latency µs p50 {}  p95 {}  p99 {}  mean {:.0}  (queue wait mean {:.0})",
+            self.latency_us_p50,
+            self.latency_us_p95,
+            self.latency_us_p99,
+            self.latency_us_mean,
+            self.queue_us_mean
+        )?;
+        writeln!(
+            f,
+            "steps/req  mean {:.1}  p95 {}   spikes/req mean {:.0}  p95 {}",
+            self.steps_mean, self.steps_p95, self.spikes_mean, self.spikes_p95
+        )?;
+        write!(
+            f,
+            "batching   mean occupancy {:.2}   queue depth {}",
+            self.batch_mean, self.queue_depth
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::ServeError;
+    use crate::request::InferResponse;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = Histogram::exponential(1, 10); // bounds 1,2,4,...,512
+        for v in [1u64, 2, 3, 500, 100_000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert!((h.mean() - 100_506.0 / 5.0).abs() < 1e-9);
+        // Ranks: 1→bucket(1), 2→bucket(2), 3→bucket(4), 500→bucket(512),
+        // 100k→overflow (reports last bound 512).
+        assert_eq!(h.quantile(0.2), 1);
+        assert_eq!(h.quantile(0.4), 2);
+        assert_eq!(h.quantile(0.6), 4);
+        assert_eq!(h.quantile(0.8), 512);
+        assert_eq!(h.quantile(1.0), 512);
+        let empty = Histogram::exponential(1, 4);
+        assert_eq!(empty.quantile(0.5), 0);
+        assert_eq!(empty.mean(), 0.0);
+    }
+
+    #[test]
+    fn metrics_aggregate_results() {
+        let m = ServeMetrics::new();
+        m.observe_submit();
+        m.observe_submit();
+        m.observe_rejected();
+        m.observe_batch(2);
+        let ok = InferResponse {
+            prediction: 3,
+            steps: 40,
+            spikes: 1000,
+            margin: 0.1,
+            exit: ExitReason::Converged,
+            model_epoch: 1,
+            queue_micros: 50,
+            service_micros: 450,
+            batch_size: 2,
+        };
+        m.observe_result(&Ok(ok.clone()));
+        m.observe_result(&Ok(InferResponse {
+            exit: ExitReason::HorizonReached,
+            ..ok
+        }));
+        m.observe_result(&Err(ServeError::UnknownModel("x".into())));
+        let snap = m.snapshot(5);
+        assert_eq!(snap.submitted, 2);
+        assert_eq!(snap.rejected, 1);
+        assert_eq!(snap.completed, 2);
+        assert_eq!(snap.failed, 1);
+        assert_eq!(snap.early_exits, 1);
+        assert_eq!(snap.queue_depth, 5);
+        assert!(snap.latency_us_p50 >= 500);
+        assert!((snap.steps_mean - 40.0).abs() < 1e-9);
+        assert!((snap.batch_mean - 2.0).abs() < 1e-9);
+        let report = snap.to_string();
+        assert!(report.contains("early-exit 1"));
+        assert!(report.contains("queue depth 5"));
+    }
+}

@@ -1,0 +1,290 @@
+//! A bounded MPMC queue with adaptive micro-batching.
+//!
+//! Producers [`push`](BatchQueue::push) single items and get immediate
+//! backpressure (`Err`) when the queue is at capacity. Consumers call
+//! [`pop_batch`](BatchQueue::pop_batch), which blocks until at least one
+//! item is available and then *lingers* briefly to let a batch
+//! accumulate: it returns as soon as `max_batch` items are queued or the
+//! linger window expires, whichever comes first. Under load batches fill
+//! instantly (no added latency); when idle a single request pays at most
+//! the linger window.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Why a [`BatchQueue::push`] was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity; retry later (backpressure).
+    Full,
+    /// The queue was closed; no more items are accepted.
+    Closed,
+}
+
+#[derive(Debug)]
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// Bounded MPMC queue with batch-oriented consumption.
+#[derive(Debug)]
+pub struct BatchQueue<T> {
+    state: Mutex<QueueState<T>>,
+    changed: Condvar,
+    capacity: usize,
+}
+
+impl<T> BatchQueue<T> {
+    /// A queue holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be nonzero");
+        BatchQueue {
+            state: Mutex::new(QueueState {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            changed: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Maximum number of queued items.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current queue depth.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue poisoned").items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueues one item, returning it in `Err` when the queue is full
+    /// (backpressure) or closed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the rejected item together with a [`PushError`].
+    pub fn push(&self, item: T) -> Result<(), (T, PushError)> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        if state.closed {
+            return Err((item, PushError::Closed));
+        }
+        if state.items.len() >= self.capacity {
+            return Err((item, PushError::Full));
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.changed.notify_one();
+        Ok(())
+    }
+
+    /// Closes the queue: pending items remain poppable, new pushes fail,
+    /// and blocked consumers wake up.
+    pub fn close(&self) {
+        self.state.lock().expect("queue poisoned").closed = true;
+        self.changed.notify_all();
+    }
+
+    /// Whether [`close`](Self::close) has been called.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().expect("queue poisoned").closed
+    }
+
+    /// Pops an adaptive micro-batch of up to `max_batch` items.
+    ///
+    /// Blocks until at least one item is available, then waits up to
+    /// `linger` for the batch to fill. Returns an empty vector only when
+    /// the queue is closed *and* drained — the consumer's shutdown
+    /// signal.
+    pub fn pop_batch(&self, max_batch: usize, linger: Duration) -> Vec<T> {
+        let max_batch = max_batch.max(1);
+        let mut state = self.state.lock().expect("queue poisoned");
+        loop {
+            // Phase 1: wait for the first item (or shutdown).
+            while state.items.is_empty() {
+                if state.closed {
+                    return Vec::new();
+                }
+                state = self.changed.wait(state).expect("queue poisoned");
+            }
+            // Phase 2: linger until the batch fills, the window expires,
+            // or the queue closes.
+            if state.items.len() < max_batch && !linger.is_zero() && !state.closed {
+                let deadline = Instant::now() + linger;
+                while state.items.len() < max_batch && !state.closed {
+                    let now = Instant::now();
+                    let Some(remaining) = deadline
+                        .checked_duration_since(now)
+                        .filter(|d| !d.is_zero())
+                    else {
+                        break;
+                    };
+                    let (next, timeout) = self
+                        .changed
+                        .wait_timeout(state, remaining)
+                        .expect("queue poisoned");
+                    state = next;
+                    if timeout.timed_out() {
+                        break;
+                    }
+                }
+            }
+            // Another consumer may have drained the queue while this one
+            // lingered with the lock released; an empty batch on an open
+            // queue must not masquerade as the shutdown signal — go back
+            // to waiting instead.
+            let take = state.items.len().min(max_batch);
+            if take == 0 {
+                if state.closed {
+                    return Vec::new();
+                }
+                continue;
+            }
+            let batch: Vec<T> = state.items.drain(..take).collect();
+            drop(state);
+            // A leftover backlog may be able to fill another consumer's
+            // batch.
+            self.changed.notify_one();
+            return batch;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn push_pop_respects_capacity() {
+        let q = BatchQueue::new(2);
+        assert_eq!(q.capacity(), 2);
+        assert!(q.push(1).is_ok());
+        assert!(q.push(2).is_ok());
+        let (item, err) = q.push(3).unwrap_err();
+        assert_eq!((item, err), (3, PushError::Full));
+        assert_eq!(q.len(), 2);
+        let batch = q.pop_batch(10, Duration::ZERO);
+        assert_eq!(batch, vec![1, 2]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn pop_batch_caps_at_max_batch() {
+        let q = BatchQueue::new(8);
+        for i in 0..6 {
+            q.push(i).unwrap();
+        }
+        assert_eq!(q.pop_batch(4, Duration::ZERO), vec![0, 1, 2, 3]);
+        assert_eq!(q.pop_batch(4, Duration::ZERO), vec![4, 5]);
+    }
+
+    #[test]
+    fn closed_queue_rejects_pushes_and_drains() {
+        let q = BatchQueue::new(4);
+        q.push(7).unwrap();
+        q.close();
+        assert!(q.is_closed());
+        let (_, err) = q.push(8).unwrap_err();
+        assert_eq!(err, PushError::Closed);
+        // Pending items survive close...
+        assert_eq!(q.pop_batch(4, Duration::from_millis(50)), vec![7]);
+        // ...and a drained closed queue returns the shutdown signal.
+        assert!(q.pop_batch(4, Duration::from_millis(50)).is_empty());
+    }
+
+    #[test]
+    fn linger_lets_batches_accumulate() {
+        let q = Arc::new(BatchQueue::new(64));
+        let producer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || {
+                for i in 0..4 {
+                    q.push(i).unwrap();
+                    thread::sleep(Duration::from_millis(2));
+                }
+            })
+        };
+        // A generous linger window should collect everything the
+        // producer trickles in.
+        let batch = q.pop_batch(4, Duration::from_millis(500));
+        assert_eq!(batch, vec![0, 1, 2, 3]);
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn lingering_consumer_is_not_fooled_by_theft() {
+        // Regression: consumer A wakes on the first item and lingers
+        // (releasing the lock); consumer B drains that item meanwhile.
+        // A's linger then expires on an empty-but-open queue — it must
+        // keep waiting for real work, not return the empty "shutdown"
+        // signal.
+        let q = Arc::new(BatchQueue::new(8));
+        q.push(1).unwrap();
+        let a = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || q.pop_batch(4, Duration::from_millis(100)))
+        };
+        thread::sleep(Duration::from_millis(20)); // A is lingering
+        assert_eq!(q.pop_batch(4, Duration::ZERO), vec![1]); // B steals
+        thread::sleep(Duration::from_millis(20));
+        q.push(2).unwrap();
+        assert_eq!(a.join().unwrap(), vec![2], "A must outlive the theft");
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumer() {
+        let q = Arc::new(BatchQueue::<u32>::new(4));
+        let consumer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || q.pop_batch(4, Duration::from_secs(10)))
+        };
+        thread::sleep(Duration::from_millis(10));
+        q.close();
+        assert!(consumer.join().unwrap().is_empty());
+    }
+
+    #[test]
+    fn many_producers_one_consumer_preserves_items() {
+        let q = Arc::new(BatchQueue::new(1024));
+        let mut producers = Vec::new();
+        for p in 0..4 {
+            let q = Arc::clone(&q);
+            producers.push(thread::spawn(move || {
+                for i in 0..50 {
+                    while q.push(p * 1000 + i).is_err() {
+                        thread::yield_now();
+                    }
+                }
+            }));
+        }
+        for h in producers {
+            h.join().unwrap();
+        }
+        q.close();
+        let mut seen = Vec::new();
+        loop {
+            let batch = q.pop_batch(16, Duration::ZERO);
+            if batch.is_empty() {
+                break;
+            }
+            seen.extend(batch);
+        }
+        assert_eq!(seen.len(), 200);
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 200, "no item lost or duplicated");
+    }
+}

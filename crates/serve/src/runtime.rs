@@ -1,0 +1,225 @@
+//! The serving runtime: configuration, submission, lifecycle.
+
+use crate::error::ServeError;
+use crate::metrics::{MetricsSnapshot, ServeMetrics};
+use crate::queue::{BatchQueue, PushError};
+use crate::registry::ModelRegistry;
+use crate::request::{InferRequest, ResponseHandle, ResponseSlot};
+use crate::worker::{worker_loop, QueuedRequest};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs of a [`ServeRuntime`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads (each holds its own network clones).
+    pub workers: usize,
+    /// Bounded queue capacity; submissions beyond it get
+    /// [`ServeError::QueueFull`].
+    pub queue_capacity: usize,
+    /// Maximum micro-batch a worker pops at once.
+    pub max_batch: usize,
+    /// How long a worker lingers for a batch to fill once it has at
+    /// least one request.
+    pub batch_linger: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get().min(8))
+                .unwrap_or(4),
+            queue_capacity: 1024,
+            max_batch: 8,
+            batch_linger: Duration::from_micros(200),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] for zero workers, capacity,
+    /// or batch size.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        if self.workers == 0 {
+            return Err(ServeError::InvalidConfig("workers must be nonzero".into()));
+        }
+        if self.queue_capacity == 0 {
+            return Err(ServeError::InvalidConfig(
+                "queue capacity must be nonzero".into(),
+            ));
+        }
+        if self.max_batch == 0 {
+            return Err(ServeError::InvalidConfig(
+                "max_batch must be nonzero".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A running worker pool over a model registry.
+///
+/// Dropping the runtime closes the queue, lets the workers drain pending
+/// requests, and joins them; [`shutdown`](Self::shutdown) does the same
+/// and additionally hands back the final metrics snapshot.
+#[derive(Debug)]
+pub struct ServeRuntime {
+    queue: Arc<BatchQueue<QueuedRequest>>,
+    registry: Arc<ModelRegistry>,
+    metrics: Arc<ServeMetrics>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServeRuntime {
+    /// Starts `cfg.workers` worker threads over `registry`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] for degenerate
+    /// configurations.
+    pub fn start(cfg: ServeConfig, registry: Arc<ModelRegistry>) -> Result<Self, ServeError> {
+        cfg.validate()?;
+        let queue = Arc::new(BatchQueue::new(cfg.queue_capacity));
+        let metrics = Arc::new(ServeMetrics::new());
+        let mut workers = Vec::with_capacity(cfg.workers);
+        for i in 0..cfg.workers {
+            let spawned = std::thread::Builder::new()
+                .name(format!("burst-serve-worker-{i}"))
+                .spawn({
+                    let queue = Arc::clone(&queue);
+                    let registry = Arc::clone(&registry);
+                    let metrics = Arc::clone(&metrics);
+                    let max_batch = cfg.max_batch;
+                    let linger = cfg.batch_linger;
+                    move || worker_loop(queue, registry, metrics, max_batch, linger)
+                });
+            match spawned {
+                Ok(handle) => workers.push(handle),
+                Err(e) => {
+                    // Don't leak the workers that did start: close the
+                    // queue so they exit, and join them before failing.
+                    queue.close();
+                    for handle in workers {
+                        let _ = handle.join();
+                    }
+                    return Err(ServeError::Internal(format!(
+                        "failed to spawn worker {i}: {e}"
+                    )));
+                }
+            }
+        }
+        Ok(ServeRuntime {
+            queue,
+            registry,
+            metrics,
+            workers,
+        })
+    }
+
+    /// Submits a request; returns a handle to wait on.
+    ///
+    /// Fails fast (before enqueueing) on malformed policies, and returns
+    /// [`ServeError::QueueFull`] under backpressure — callers decide
+    /// whether to retry, shed, or block.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::QueueFull`], [`ServeError::ShuttingDown`], or
+    /// [`ServeError::InvalidPolicy`].
+    pub fn submit(&self, request: InferRequest) -> Result<ResponseHandle, ServeError> {
+        request.policy.validate()?;
+        let slot = Arc::new(ResponseSlot::default());
+        let queued = QueuedRequest {
+            request,
+            slot: Arc::clone(&slot),
+            enqueued: Instant::now(),
+        };
+        match self.queue.push(queued) {
+            Ok(()) => {
+                self.metrics.observe_submit();
+                Ok(ResponseHandle::new(slot))
+            }
+            Err((_, PushError::Full)) => {
+                self.metrics.observe_rejected();
+                Err(ServeError::QueueFull)
+            }
+            Err((_, PushError::Closed)) => Err(ServeError::ShuttingDown),
+        }
+    }
+
+    /// The registry this runtime serves from (install/hot-swap through
+    /// it at any time).
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.registry
+    }
+
+    /// Current queue depth.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// A point-in-time metrics snapshot.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot(self.queue.len())
+    }
+
+    fn close_and_join(&mut self) {
+        self.queue.close();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+
+    /// Stops accepting requests, drains the queue, joins the workers,
+    /// and returns the final metrics.
+    pub fn shutdown(mut self) -> MetricsSnapshot {
+        self.close_and_join();
+        self.metrics.snapshot(0)
+    }
+}
+
+impl Drop for ServeRuntime {
+    fn drop(&mut self) {
+        self.close_and_join();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degenerate_configs_rejected() {
+        let reg = Arc::new(ModelRegistry::new());
+        for cfg in [
+            ServeConfig {
+                workers: 0,
+                ..ServeConfig::default()
+            },
+            ServeConfig {
+                queue_capacity: 0,
+                ..ServeConfig::default()
+            },
+            ServeConfig {
+                max_batch: 0,
+                ..ServeConfig::default()
+            },
+        ] {
+            assert!(matches!(
+                ServeRuntime::start(cfg, Arc::clone(&reg)),
+                Err(ServeError::InvalidConfig(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn default_config_is_valid() {
+        assert!(ServeConfig::default().validate().is_ok());
+    }
+}

@@ -1,0 +1,147 @@
+//! Worker threads: pop micro-batches, run the early-exit engine on a
+//! per-worker cached network clone, fulfill response slots.
+
+use crate::error::ServeError;
+use crate::exit::run_with_policy;
+use crate::metrics::ServeMetrics;
+use crate::queue::BatchQueue;
+use crate::registry::ModelRegistry;
+use crate::request::{InferRequest, InferResponse, InferResult, ResponseSlot};
+use bsnn_core::SpikingNetwork;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A request travelling through the queue.
+#[derive(Debug)]
+pub(crate) struct QueuedRequest {
+    pub(crate) request: InferRequest,
+    pub(crate) slot: Arc<ResponseSlot>,
+    pub(crate) enqueued: Instant,
+}
+
+impl Drop for QueuedRequest {
+    /// Drop-guard: if a request is discarded before a response was
+    /// delivered — a worker panicked mid-batch, or the queue was torn
+    /// down with items still inside — the waiting client gets an error
+    /// instead of hanging forever on its `ResponseHandle`.
+    fn drop(&mut self) {
+        self.slot.fulfill_if_empty(Err(ServeError::Internal(
+            "request dropped without a response".into(),
+        )));
+    }
+}
+
+/// A worker's long-lived clone of one registry model. The clone is made
+/// once per (model, epoch) and reused across requests with an in-place
+/// [`SpikingNetwork::reset_state`] — no per-request allocation of layer
+/// state.
+struct CachedModel {
+    epoch: u64,
+    net: SpikingNetwork,
+}
+
+/// The body of one worker thread. Returns when the queue is closed and
+/// drained.
+pub(crate) fn worker_loop(
+    queue: Arc<BatchQueue<QueuedRequest>>,
+    registry: Arc<ModelRegistry>,
+    metrics: Arc<ServeMetrics>,
+    max_batch: usize,
+    linger: Duration,
+) {
+    let mut cache: HashMap<String, CachedModel> = HashMap::new();
+    loop {
+        let batch = queue.pop_batch(max_batch, linger);
+        if batch.is_empty() {
+            return;
+        }
+        metrics.observe_batch(batch.len());
+        let batch_size = batch.len();
+        for queued in batch {
+            let result = serve_one(&queued, &registry, &mut cache, batch_size);
+            metrics.observe_result(&result);
+            queued.slot.fulfill(result);
+        }
+        // Drop clones of models that have been removed from the registry,
+        // so name churn (install v1, swap to v2, remove v1) cannot grow
+        // worker memory without bound.
+        cache.retain(|name, _| registry.get(name).is_some());
+    }
+}
+
+fn serve_one(
+    queued: &QueuedRequest,
+    registry: &ModelRegistry,
+    cache: &mut HashMap<String, CachedModel>,
+    batch_size: usize,
+) -> InferResult {
+    let request = &queued.request;
+    let queue_micros = queued.enqueued.elapsed().as_micros() as u64;
+    let started = Instant::now();
+    (|| -> InferResult {
+        let entry = registry
+            .get(&request.model)
+            .ok_or_else(|| ServeError::UnknownModel(request.model.clone()))?;
+        // Epoch-checked clone: a hot-swap invalidates the cached network
+        // on this worker's *next* request for the name; the request that
+        // resolved the old entry before the swap finishes on it.
+        let cached = cache
+            .entry(request.model.clone())
+            .and_modify(|c| {
+                if c.epoch != entry.epoch() {
+                    *c = CachedModel {
+                        epoch: entry.epoch(),
+                        net: entry.network().clone(),
+                    };
+                }
+            })
+            .or_insert_with(|| CachedModel {
+                epoch: entry.epoch(),
+                net: entry.network().clone(),
+            });
+        let outcome = run_with_policy(&mut cached.net, &request.image, &entry, &request.policy)?;
+        Ok(InferResponse {
+            prediction: outcome.prediction,
+            steps: outcome.steps,
+            spikes: outcome.spikes,
+            margin: outcome.margin,
+            exit: outcome.reason,
+            model_epoch: entry.epoch(),
+            queue_micros,
+            service_micros: started.elapsed().as_micros() as u64,
+            batch_size,
+        })
+    })()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{ExitPolicy, ResponseHandle};
+
+    #[test]
+    fn dropped_request_fulfills_slot_with_error() {
+        // The drop-guard behind "a panicking worker must not hang its
+        // clients": discarding a queued request without serving it
+        // delivers an Internal error through the handle.
+        let slot = Arc::new(ResponseSlot::default());
+        let handle = ResponseHandle::new(Arc::clone(&slot));
+        let queued = QueuedRequest {
+            request: InferRequest::new(vec![0.0], "m", ExitPolicy::Fixed { steps: 1 }),
+            slot,
+            enqueued: Instant::now(),
+        };
+        drop(queued);
+        assert!(matches!(handle.wait(), Err(ServeError::Internal(_))));
+    }
+
+    #[test]
+    fn served_request_is_not_overwritten_by_drop_guard() {
+        let slot = Arc::new(ResponseSlot::default());
+        let handle = ResponseHandle::new(Arc::clone(&slot));
+        slot.fulfill(Err(ServeError::QueueFull));
+        slot.fulfill_if_empty(Err(ServeError::ShuttingDown));
+        assert_eq!(handle.wait(), Err(ServeError::QueueFull));
+    }
+}

@@ -1,0 +1,307 @@
+//! Integration tests of the serving runtime: early-exit quality, runtime
+//! vs direct-inference equivalence, hot swap, and backpressure.
+
+use bsnn_core::coding::CodingScheme;
+use bsnn_core::convert::{convert, ConversionConfig};
+use bsnn_core::simulator::{infer_image, EvalConfig};
+use bsnn_data::{ImageDataset, SynthSpec};
+use bsnn_dnn::models;
+use bsnn_dnn::train::{TrainConfig, Trainer};
+use bsnn_serve::{
+    run_closed_loop, run_with_policy, ExitPolicy, ExitReason, InferRequest, LoadSpec,
+    ModelRegistry, ServeConfig, ServeError, ServeRuntime,
+};
+use std::sync::Arc;
+use std::time::Duration;
+
+const MODEL: &str = "digits";
+const MAX_STEPS: usize = 96;
+
+/// Trains the standard small model and installs it in a fresh registry.
+/// Returns the registry and the test split.
+fn serving_setup(test_per_class: usize) -> (Arc<ModelRegistry>, ImageDataset) {
+    let (train, test) = SynthSpec::digits()
+        .with_counts(60, test_per_class)
+        .generate();
+    let mut dnn = models::mlp(144, &[32], 10, 5).expect("model");
+    Trainer::new(TrainConfig {
+        epochs: 6,
+        batch_size: 30,
+        lr: 2e-3,
+        ..TrainConfig::default()
+    })
+    .fit(&mut dnn, &train, &test)
+    .expect("training");
+    let scheme = CodingScheme::recommended();
+    let norm = train.batch(&(0..40).collect::<Vec<_>>()).0;
+    let snn = convert(&mut dnn, &norm, &ConversionConfig::new(scheme)).expect("conversion");
+    let registry = Arc::new(ModelRegistry::new());
+    registry.install(MODEL, snn, scheme, 8);
+    (registry, test)
+}
+
+fn margin_policy() -> ExitPolicy {
+    ExitPolicy::ConfidenceMargin {
+        margin: 0.02,
+        patience: 2,
+        check_every: 8,
+        max_steps: MAX_STEPS,
+    }
+}
+
+/// The paper's framing made operational: confidence-margin early exit
+/// must cut mean time steps per request by ≥ 30% versus fixed-step
+/// inference at equal (±0.5%) accuracy on the synthetic dataset.
+#[test]
+fn early_exit_cuts_timesteps_at_equal_accuracy() {
+    let (registry, test) = serving_setup(24); // 240 test images
+    let entry = registry.get(MODEL).expect("installed");
+    let mut net = entry.network().clone();
+
+    let fixed = ExitPolicy::Fixed { steps: MAX_STEPS };
+    let margin = margin_policy();
+    let n = test.len();
+    let (mut correct_fixed, mut correct_margin) = (0usize, 0usize);
+    let (mut steps_fixed, mut steps_margin) = (0u64, 0u64);
+    let mut early = 0usize;
+    for i in 0..n {
+        let f = run_with_policy(&mut net, test.image(i), &entry, &fixed).expect("fixed");
+        let m = run_with_policy(&mut net, test.image(i), &entry, &margin).expect("margin");
+        assert_eq!(f.steps, MAX_STEPS);
+        if f.prediction == test.label(i) {
+            correct_fixed += 1;
+        }
+        if m.prediction == test.label(i) {
+            correct_margin += 1;
+        }
+        steps_fixed += f.steps as u64;
+        steps_margin += m.steps as u64;
+        if m.reason == ExitReason::Converged {
+            early += 1;
+        }
+    }
+    let acc_fixed = correct_fixed as f64 / n as f64;
+    let acc_margin = correct_margin as f64 / n as f64;
+    let mean_fixed = steps_fixed as f64 / n as f64;
+    let mean_margin = steps_margin as f64 / n as f64;
+    println!(
+        "fixed: acc {acc_fixed:.4} @ {mean_fixed:.1} steps | margin: acc {acc_margin:.4} @ \
+         {mean_margin:.1} steps | early {early}/{n}"
+    );
+    assert!(
+        (acc_fixed - acc_margin).abs() <= 0.005,
+        "accuracy must be equal within ±0.5%: fixed {acc_fixed:.4} vs margin {acc_margin:.4}"
+    );
+    assert!(
+        mean_margin <= 0.7 * mean_fixed,
+        "early exit must cut mean steps by ≥30%: {mean_margin:.1} vs {mean_fixed:.1}"
+    );
+    assert!(
+        early > n / 2,
+        "most requests should converge early ({early}/{n})"
+    );
+}
+
+/// The runtime (queue → batcher → worker pool) must return exactly what
+/// direct sequential inference returns — batching and threading change
+/// throughput, never answers.
+#[test]
+fn runtime_matches_direct_inference() {
+    let (registry, test) = serving_setup(6);
+    let entry = registry.get(MODEL).expect("installed");
+    let cfg = EvalConfig::new(entry.scheme(), MAX_STEPS).with_phase_period(entry.phase_period());
+    let mut reference_net = entry.network().clone();
+    let runtime = ServeRuntime::start(
+        ServeConfig {
+            workers: 4,
+            queue_capacity: 256,
+            max_batch: 4,
+            batch_linger: Duration::from_micros(100),
+        },
+        Arc::clone(&registry),
+    )
+    .expect("runtime");
+
+    let handles: Vec<_> = (0..test.len())
+        .map(|i| {
+            runtime
+                .submit(InferRequest::new(
+                    test.image(i).to_vec(),
+                    MODEL,
+                    ExitPolicy::Fixed { steps: MAX_STEPS },
+                ))
+                .expect("submit")
+        })
+        .collect();
+    for (i, handle) in handles.into_iter().enumerate() {
+        let resp = handle.wait().expect("response");
+        let direct = infer_image(&mut reference_net, test.image(i), &cfg).expect("direct");
+        assert_eq!(
+            resp.prediction,
+            *direct.predictions.last().expect("checkpoint"),
+            "image {i}"
+        );
+        assert_eq!(resp.spikes, *direct.cum_spikes.last().expect("checkpoint"));
+        assert_eq!(resp.steps, MAX_STEPS);
+        assert_eq!(resp.exit, ExitReason::HorizonReached);
+        assert!(resp.batch_size >= 1);
+    }
+    let snap = runtime.shutdown();
+    assert_eq!(snap.completed, test.len() as u64);
+    assert_eq!(snap.failed, 0);
+}
+
+/// Hot-swapping a model bumps the epoch new requests see, while the old
+/// entry stays alive for whoever already resolved it.
+#[test]
+fn hot_swap_switches_epochs_between_requests() {
+    let (registry, test) = serving_setup(2);
+    let runtime = ServeRuntime::start(
+        ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        },
+        Arc::clone(&registry),
+    )
+    .expect("runtime");
+    let policy = margin_policy();
+
+    let before = runtime
+        .submit(InferRequest::new(
+            test.image(0).to_vec(),
+            MODEL,
+            policy.clone(),
+        ))
+        .expect("submit")
+        .wait()
+        .expect("response");
+
+    // Hot-swap: re-install the same network under the same name.
+    let old_entry = registry.get(MODEL).expect("entry");
+    let new_epoch = registry.install(
+        MODEL,
+        old_entry.network().clone(),
+        old_entry.scheme(),
+        old_entry.phase_period(),
+    );
+    assert!(new_epoch > before.model_epoch);
+    // The swapped-out entry is still usable by holders of the Arc.
+    assert_eq!(old_entry.epoch(), before.model_epoch);
+
+    let after = runtime
+        .submit(InferRequest::new(test.image(0).to_vec(), MODEL, policy))
+        .expect("submit")
+        .wait()
+        .expect("response");
+    assert_eq!(after.model_epoch, new_epoch);
+    // Same network, same input ⇒ same answer across the swap.
+    assert_eq!(after.prediction, before.prediction);
+    assert_eq!(after.steps, before.steps);
+    runtime.shutdown();
+}
+
+/// A bounded queue sheds load with `QueueFull` instead of blocking, and
+/// every accepted request still completes.
+#[test]
+fn queue_full_backpressure_sheds_load() {
+    let (registry, test) = serving_setup(2);
+    let runtime = ServeRuntime::start(
+        ServeConfig {
+            workers: 1,
+            queue_capacity: 2,
+            max_batch: 1,
+            batch_linger: Duration::ZERO,
+        },
+        Arc::clone(&registry),
+    )
+    .expect("runtime");
+    // Slow requests so the single worker falls behind.
+    let policy = ExitPolicy::Fixed { steps: 2048 };
+    let mut accepted = Vec::new();
+    let mut rejected = 0usize;
+    for _ in 0..64 {
+        match runtime.submit(InferRequest::new(
+            test.image(0).to_vec(),
+            MODEL,
+            policy.clone(),
+        )) {
+            Ok(handle) => accepted.push(handle),
+            Err(ServeError::QueueFull) => rejected += 1,
+            Err(other) => panic!("unexpected submit error: {other}"),
+        }
+    }
+    assert!(rejected > 0, "a 2-deep queue must shed a 64-request burst");
+    let n_accepted = accepted.len();
+    for handle in accepted {
+        let resp = handle.wait().expect("accepted requests complete");
+        assert_eq!(resp.steps, 2048);
+    }
+    let snap = runtime.metrics();
+    assert_eq!(snap.completed, n_accepted as u64);
+    assert_eq!(snap.rejected, rejected as u64);
+    runtime.shutdown();
+}
+
+/// Requests against unknown models fail through the response channel,
+/// not by wedging the worker.
+#[test]
+fn unknown_model_reports_error() {
+    let (registry, test) = serving_setup(2);
+    let runtime =
+        ServeRuntime::start(ServeConfig::default(), Arc::clone(&registry)).expect("runtime");
+    let err = runtime
+        .submit(InferRequest::new(
+            test.image(0).to_vec(),
+            "nonexistent",
+            margin_policy(),
+        ))
+        .expect("submit succeeds; failure is async")
+        .wait()
+        .unwrap_err();
+    assert_eq!(err, ServeError::UnknownModel("nonexistent".into()));
+    // The pool is still healthy afterwards.
+    let ok = runtime
+        .submit(InferRequest::new(
+            test.image(0).to_vec(),
+            MODEL,
+            margin_policy(),
+        ))
+        .expect("submit")
+        .wait()
+        .expect("healthy worker");
+    assert!(ok.prediction < 10);
+    let snap = runtime.shutdown();
+    assert_eq!(snap.failed, 1);
+}
+
+/// The closed-loop load generator reports consistent tallies.
+#[test]
+fn load_generator_completes_all_requests() {
+    let (registry, test) = serving_setup(4);
+    let runtime = ServeRuntime::start(
+        ServeConfig {
+            workers: 4,
+            ..ServeConfig::default()
+        },
+        Arc::clone(&registry),
+    )
+    .expect("runtime");
+    let images: Vec<Vec<f32>> = (0..test.len()).map(|i| test.image(i).to_vec()).collect();
+    let report = run_closed_loop(
+        &runtime,
+        &images,
+        &LoadSpec {
+            total_requests: 100,
+            concurrency: 8,
+            policy: margin_policy(),
+            model: MODEL.into(),
+        },
+    );
+    assert_eq!(report.completed, 100);
+    assert_eq!(report.errors, 0);
+    assert!(report.throughput_rps > 0.0);
+    assert!(report.mean_steps > 0.0);
+    assert!(report.mean_steps <= MAX_STEPS as f64);
+    let snap = runtime.shutdown();
+    assert_eq!(snap.completed, 100);
+}

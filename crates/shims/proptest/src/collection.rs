@@ -1,4 +1,4 @@
-//! Collection strategies: [`vec`] and [`btree_set`].
+//! Collection strategies: [`vec()`] and [`btree_set`].
 
 use crate::strategy::Strategy;
 use rand::rngs::StdRng;
@@ -55,7 +55,7 @@ pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S
     }
 }
 
-/// See [`vec`].
+/// See [`vec()`].
 #[derive(Debug, Clone)]
 pub struct VecStrategy<S> {
     element: S,

@@ -1,0 +1,92 @@
+//! The full serving pipeline in one sitting: train → convert → snapshot
+//! → registry → worker pool → per-request early-exit policies → hot swap
+//! → metrics.
+//!
+//! Run with: `cargo run --release --example serving_pipeline`
+
+use burst_snn::core::coding::CodingScheme;
+use burst_snn::core::convert::{convert, ConversionConfig};
+use burst_snn::core::save_network;
+use burst_snn::data::SynthSpec;
+use burst_snn::dnn::models;
+use burst_snn::dnn::train::{TrainConfig, Trainer};
+use burst_snn::serve::{ExitPolicy, InferRequest, ModelRegistry, ServeConfig, ServeRuntime};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Train once, convert once...
+    let (train, test) = SynthSpec::digits().with_counts(60, 8).generate();
+    let mut dnn = models::mlp(144, &[32], 10, 5)?;
+    Trainer::new(TrainConfig {
+        epochs: 6,
+        batch_size: 30,
+        lr: 2e-3,
+        ..TrainConfig::default()
+    })
+    .fit(&mut dnn, &train, &test)?;
+    let scheme = CodingScheme::recommended();
+    let norm = train.batch(&(0..40).collect::<Vec<_>>()).0;
+    let snn = convert(&mut dnn, &norm, &ConversionConfig::new(scheme))?;
+
+    // ...ship the snapshot bytes into the registry (what a deployment
+    // would load from disk or an artifact store)...
+    let mut snapshot = Vec::new();
+    save_network(&snn, &mut snapshot)?;
+    let registry = Arc::new(ModelRegistry::new());
+    registry.install_snapshot("digits", snapshot.as_slice(), scheme, 8)?;
+
+    // ...and start serving.
+    let runtime = ServeRuntime::start(
+        ServeConfig {
+            workers: 4,
+            queue_capacity: 256,
+            max_batch: 8,
+            batch_linger: Duration::from_micros(200),
+        },
+        Arc::clone(&registry),
+    )?;
+
+    // One image, three service levels: the paper's latency/accuracy/
+    // energy trade-off chosen per request.
+    let image = test.image(0).to_vec();
+    let policies: [(&str, ExitPolicy); 3] = [
+        ("fixed-96", ExitPolicy::Fixed { steps: 96 }),
+        ("margin", ExitPolicy::recommended(96)),
+        (
+            "budget-2k",
+            ExitPolicy::SpikeBudget {
+                max_spikes: 2000,
+                max_steps: 96,
+            },
+        ),
+    ];
+    println!("policy     pred  steps  spikes  margin/step  exit");
+    for (name, policy) in policies {
+        let resp = runtime
+            .submit(InferRequest::new(image.clone(), "digits", policy))?
+            .wait()?;
+        println!(
+            "{name:<10} {:<5} {:<6} {:<7} {:<12.4} {:?}",
+            resp.prediction, resp.steps, resp.spikes, resp.margin, resp.exit
+        );
+    }
+
+    // Hot swap: requests already in flight finish on the old epoch; new
+    // requests pick up the new one.
+    let entry = registry.get("digits").expect("installed");
+    let epoch2 = registry.install("digits", entry.network().clone(), scheme, 8);
+    let resp = runtime
+        .submit(InferRequest::new(
+            image,
+            "digits",
+            ExitPolicy::recommended(96),
+        ))?
+        .wait()?;
+    assert_eq!(resp.model_epoch, epoch2);
+    println!("\nhot-swapped to epoch {epoch2}; next response served by it");
+
+    println!("\nfinal metrics:\n{}", runtime.metrics());
+    runtime.shutdown();
+    Ok(())
+}

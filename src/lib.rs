@@ -14,15 +14,21 @@
 //!   coding schemes, plus DNN→SNN conversion.
 //! * [`analysis`] — ISI histograms, burst statistics, firing
 //!   rate/regularity, spiking density, and neuromorphic energy models.
+//! * [`serve`] — the `burst-serve` inference runtime: worker pools,
+//!   adaptive micro-batching with backpressure, a hot-swappable model
+//!   registry, and anytime early-exit inference that turns the paper's
+//!   accuracy-versus-time-step curves into a per-request latency knob.
 //!
 //! ## Quickstart
 //!
 //! See `examples/quickstart.rs`, which trains a small DNN, converts it to
 //! an SNN with the paper's best *phase-burst* hybrid coding, and compares
-//! accuracy/latency/spike counts against rate coding.
+//! accuracy/latency/spike counts against rate coding. For the serving
+//! path, see `examples/serving_pipeline.rs` and the `serve_demo` binary.
 
 pub use bsnn_analysis as analysis;
 pub use bsnn_core as core;
 pub use bsnn_data as data;
 pub use bsnn_dnn as dnn;
+pub use bsnn_serve as serve;
 pub use bsnn_tensor as tensor;
