@@ -4,8 +4,11 @@
 //! Each sample pushes a fixed closed-loop wave of early-exit requests
 //! through a long-lived runtime; the printed per-iteration time is the
 //! wall clock of the whole wave (divide the wave size by it for req/s).
-//! Batching matters most when workers outnumber clients' instantaneous
-//! arrivals — occupancy amortizes queue synchronization per request.
+//! Since PR 3, workers run each popped micro-batch in *lockstep*
+//! through the SoA batch engine: on conv models (the `cnn` group) a
+//! fuller batch is architecturally faster; on the small dense model the
+//! SIMD gain is offset by losing per-lane spike sparsity, so batch 1
+//! stays the sweet spot there.
 
 use bsnn_core::coding::CodingScheme;
 use bsnn_core::convert::{convert, ConversionConfig};
@@ -20,6 +23,50 @@ use std::time::Duration;
 
 /// Requests per measured wave.
 const WAVE: usize = 64;
+
+fn run_grid(
+    c: &mut Criterion,
+    group_name: &str,
+    snn: &bsnn_core::SpikingNetwork,
+    scheme: CodingScheme,
+    images: &[Vec<f32>],
+    wave: usize,
+    workers_grid: &[usize],
+) {
+    let mut group = c.benchmark_group(group_name);
+    group.sample_size(10);
+    for &workers in workers_grid {
+        for &batch in &[1usize, 4, 16] {
+            let registry = Arc::new(ModelRegistry::new());
+            registry.install("digits", snn.clone(), scheme, 8);
+            let runtime = ServeRuntime::start(
+                ServeConfig {
+                    workers,
+                    queue_capacity: 256,
+                    max_batch: batch,
+                    batch_linger: Duration::from_micros(100),
+                },
+                registry,
+            )
+            .expect("runtime");
+            let spec = LoadSpec {
+                total_requests: wave,
+                concurrency: (workers * 2).max(4).max(batch),
+                policy: ExitPolicy::recommended(96),
+                model: "digits".into(),
+            };
+            group.bench_function(format!("workers{workers}/batch{batch}"), |b| {
+                b.iter(|| {
+                    let report = run_closed_loop(&runtime, images, &spec);
+                    assert_eq!(report.errors, 0, "bench wave must be error-free");
+                    black_box(report.completed)
+                })
+            });
+            runtime.shutdown();
+        }
+    }
+    group.finish();
+}
 
 fn bench_serve_throughput(c: &mut Criterion) {
     // One trained model shared by every configuration.
@@ -37,41 +84,44 @@ fn bench_serve_throughput(c: &mut Criterion) {
     let norm = train.batch(&(0..40).collect::<Vec<_>>()).0;
     let snn = convert(&mut dnn, &norm, &ConversionConfig::new(scheme)).expect("conversion");
     let images: Vec<Vec<f32>> = (0..test.len()).map(|i| test.image(i).to_vec()).collect();
-
-    let mut group = c.benchmark_group("serve_throughput_64req");
-    group.sample_size(10);
-    for &workers in &[1usize, 4, 8] {
-        for &batch in &[1usize, 4, 16] {
-            let registry = Arc::new(ModelRegistry::new());
-            registry.install("digits", snn.clone(), scheme, 8);
-            let runtime = ServeRuntime::start(
-                ServeConfig {
-                    workers,
-                    queue_capacity: 256,
-                    max_batch: batch,
-                    batch_linger: Duration::from_micros(100),
-                },
-                registry,
-            )
-            .expect("runtime");
-            let spec = LoadSpec {
-                total_requests: WAVE,
-                concurrency: (workers * 2).max(4),
-                policy: ExitPolicy::recommended(96),
-                model: "digits".into(),
-            };
-            group.bench_function(format!("workers{workers}/batch{batch}"), |b| {
-                b.iter(|| {
-                    let report = run_closed_loop(&runtime, &images, &spec);
-                    assert_eq!(report.errors, 0, "bench wave must be error-free");
-                    black_box(report.completed)
-                })
-            });
-            runtime.shutdown();
-        }
-    }
-    group.finish();
+    run_grid(
+        c,
+        "serve_throughput_64req",
+        &snn,
+        scheme,
+        &images,
+        WAVE,
+        &[1, 4, 8],
+    );
 }
 
-criterion_group!(benches, bench_serve_throughput);
+fn bench_serve_throughput_cnn(c: &mut Criterion) {
+    // The conv workload: lockstep batching is architecturally faster
+    // here (weight reuse across lanes dominates the sparsity loss).
+    let (train, test) = SynthSpec::digits().with_counts(60, 8).generate();
+    let mut dnn = models::vgg_tiny(1, 12, 12, 10, 0).expect("model");
+    Trainer::new(TrainConfig {
+        epochs: 4,
+        batch_size: 30,
+        lr: 2e-3,
+        ..TrainConfig::default()
+    })
+    .fit(&mut dnn, &train, &test)
+    .expect("training");
+    let scheme = CodingScheme::recommended();
+    let norm = train.batch(&(0..40).collect::<Vec<_>>()).0;
+    let snn = convert(&mut dnn, &norm, &ConversionConfig::new(scheme)).expect("conversion");
+    let images: Vec<Vec<f32>> = (0..test.len()).map(|i| test.image(i).to_vec()).collect();
+    run_grid(
+        c,
+        "serve_throughput_cnn_32req",
+        &snn,
+        scheme,
+        &images,
+        32,
+        &[1, 4],
+    );
+}
+
+criterion_group!(benches, bench_serve_throughput, bench_serve_throughput_cnn);
 criterion_main!(benches);

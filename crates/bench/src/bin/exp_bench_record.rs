@@ -1,0 +1,235 @@
+//! Records the repo's perf baselines as machine-readable JSON:
+//! `BENCH_core.json` (simulation steps/s, sequential vs lockstep
+//! batches) and `BENCH_serve.json` (serving req/s and latency
+//! percentiles), so future PRs have a perf trajectory to compare
+//! against.
+//!
+//! ```text
+//! cargo run --release -p bsnn-bench --bin exp_bench_record -- [--out DIR]
+//! ```
+//!
+//! Numbers are wall-clock measurements of this machine; the JSON
+//! records the workload shape alongside every figure so comparisons
+//! stay apples-to-apples.
+
+use bsnn_core::batch::{BatchedNetwork, BatchedStepwiseInference};
+use bsnn_core::coding::CodingScheme;
+use bsnn_core::convert::{convert, ConversionConfig};
+use bsnn_core::simulator::{EvalConfig, StepwiseInference};
+use bsnn_core::SpikingNetwork;
+use bsnn_data::SynthSpec;
+use bsnn_dnn::models;
+use bsnn_dnn::train::{TrainConfig, Trainer};
+use bsnn_serve::{run_closed_loop, ExitPolicy, LoadSpec, ModelRegistry, ServeConfig, ServeRuntime};
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const SIM_STEPS: usize = 64;
+const SIM_BATCH: usize = 16;
+const SIM_REPS: usize = 5;
+
+fn train_model(
+    build: impl Fn() -> bsnn_dnn::Sequential,
+    epochs: usize,
+) -> (SpikingNetwork, Vec<Vec<f32>>, CodingScheme) {
+    let (train, test) = SynthSpec::digits().with_counts(60, 8).generate();
+    let mut dnn = build();
+    Trainer::new(TrainConfig {
+        epochs,
+        batch_size: 30,
+        lr: 2e-3,
+        ..TrainConfig::default()
+    })
+    .fit(&mut dnn, &train, &test)
+    .expect("training");
+    let scheme = CodingScheme::recommended();
+    let norm = train.batch(&(0..40).collect::<Vec<_>>()).0;
+    let snn = convert(&mut dnn, &norm, &ConversionConfig::new(scheme)).expect("conversion");
+    let images: Vec<Vec<f32>> = (0..test.len()).map(|i| test.image(i).to_vec()).collect();
+    (snn, images, scheme)
+}
+
+/// Best-of-N wall clock of `f`, in seconds.
+fn best_secs(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Lane-steps per second of `batch` sequential single-image runs.
+fn seq_steps_per_sec(net: &SpikingNetwork, images: &[Vec<f32>], cfg: &EvalConfig) -> f64 {
+    let mut local = net.clone();
+    let secs = best_secs(SIM_REPS, || {
+        for image in &images[..SIM_BATCH] {
+            let mut run = StepwiseInference::new(&mut local, image, cfg).expect("run");
+            while run.advance().expect("step") {}
+            black_box(run.prediction());
+        }
+    });
+    (SIM_BATCH * SIM_STEPS) as f64 / secs
+}
+
+/// Lane-steps per second of one lockstep batch of `width` lanes.
+fn batched_steps_per_sec(
+    net: &SpikingNetwork,
+    images: &[Vec<f32>],
+    cfg: &EvalConfig,
+    width: usize,
+) -> f64 {
+    let mut engine = BatchedNetwork::new(net.clone(), width).expect("engine");
+    let refs: Vec<&[f32]> = images[..width].iter().map(|v| v.as_slice()).collect();
+    let secs = best_secs(SIM_REPS, || {
+        let mut run = BatchedStepwiseInference::new(&mut engine, &refs, cfg).expect("run");
+        while run.advance().expect("step") {}
+        for lane in 0..width {
+            black_box(run.prediction(lane));
+        }
+    });
+    (width * SIM_STEPS) as f64 / secs
+}
+
+/// One workload's core-simulation record as a JSON object string.
+fn core_record(
+    name: &str,
+    net: &SpikingNetwork,
+    images: &[Vec<f32>],
+    scheme: CodingScheme,
+) -> String {
+    let cfg = EvalConfig::new(scheme, SIM_STEPS);
+    let seq = seq_steps_per_sec(net, images, &cfg);
+    let b1 = batched_steps_per_sec(net, images, &cfg, 1);
+    let b4 = batched_steps_per_sec(net, images, &cfg, 4);
+    let b16 = batched_steps_per_sec(net, images, &cfg, 16);
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        concat!(
+            "{{\"workload\": \"{}\", \"neurons\": {}, \"coding\": \"{}\", ",
+            "\"steps\": {}, \"lane_steps_per_sec\": {{\"sequential\": {:.0}, ",
+            "\"batch1\": {:.0}, \"batch4\": {:.0}, \"batch16\": {:.0}}}, ",
+            "\"speedup_batch16_vs_sequential\": {:.2}}}"
+        ),
+        name,
+        net.num_neurons(),
+        scheme,
+        SIM_STEPS,
+        seq,
+        b1,
+        b4,
+        b16,
+        b16 / seq
+    );
+    s
+}
+
+/// One serving configuration's record as a JSON object string.
+fn serve_record(
+    name: &str,
+    snn: &SpikingNetwork,
+    scheme: CodingScheme,
+    images: &[Vec<f32>],
+    workers: usize,
+    max_batch: usize,
+    requests: usize,
+) -> String {
+    let registry = Arc::new(ModelRegistry::new());
+    registry.install("digits", snn.clone(), scheme, 8);
+    let runtime = ServeRuntime::start(
+        ServeConfig {
+            workers,
+            queue_capacity: 256,
+            max_batch,
+            batch_linger: Duration::from_micros(100),
+        },
+        registry,
+    )
+    .expect("runtime");
+    let spec = LoadSpec {
+        total_requests: requests,
+        concurrency: (workers * 2).max(4).max(max_batch),
+        policy: ExitPolicy::recommended(96),
+        model: "digits".into(),
+    };
+    // One measured wave, no separate warm-up: the runtime's metrics are
+    // cumulative, so throughput and the latency histograms must describe
+    // the same requests. Engine construction (first batch per worker) is
+    // inside the measurement and amortized by the wave size.
+    let report = run_closed_loop(&runtime, images, &spec);
+    assert_eq!(report.errors, 0, "bench wave must be error-free");
+    let metrics = runtime.metrics();
+    runtime.shutdown();
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        concat!(
+            "{{\"workload\": \"{}\", \"workers\": {}, \"max_batch\": {}, ",
+            "\"requests\": {}, \"throughput_rps\": {:.0}, ",
+            "\"latency_us\": {{\"p50\": {}, \"p95\": {}, \"p99\": {}}}, ",
+            "\"mean_steps_per_req\": {:.1}, \"mean_spikes_per_req\": {:.0}, ",
+            "\"early_exit_fraction\": {:.3}, \"mean_batch_occupancy\": {:.2}}}"
+        ),
+        name,
+        workers,
+        max_batch,
+        report.completed,
+        report.throughput_rps,
+        metrics.latency_us_p50,
+        metrics.latency_us_p95,
+        metrics.latency_us_p99,
+        report.mean_steps,
+        report.mean_spikes,
+        report.early_exits as f64 / report.completed.max(1) as f64,
+        metrics.batch_mean,
+    );
+    s
+}
+
+fn main() {
+    let mut out_dir = ".".to_string();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--out" => out_dir = it.next().expect("missing value for --out"),
+            other => {
+                eprintln!("unknown flag `{other}` (usage: exp_bench_record [--out DIR])");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    eprintln!("training workloads (mlp 144-32-10, vgg_tiny 1x12x12)...");
+    let (mlp, mlp_images, mlp_scheme) =
+        train_model(|| models::mlp(144, &[32], 10, 5).expect("mlp"), 6);
+    let (cnn, cnn_images, cnn_scheme) =
+        train_model(|| models::vgg_tiny(1, 12, 12, 10, 0).expect("vgg_tiny"), 4);
+
+    eprintln!("measuring core simulation throughput...");
+    let core = format!(
+        "{{\n  \"schema\": \"bsnn-bench-core-v1\",\n  \"note\": \"lane-steps/s = images × time-steps simulated per wall-clock second; sequential = {SIM_BATCH} back-to-back single-image runs\",\n  \"workloads\": [\n    {},\n    {}\n  ]\n}}\n",
+        core_record("mlp_144_32_10", &mlp, &mlp_images, mlp_scheme),
+        core_record("vgg_tiny_1x12x12", &cnn, &cnn_images, cnn_scheme),
+    );
+    let core_path = format!("{out_dir}/BENCH_core.json");
+    std::fs::write(&core_path, &core).expect("write BENCH_core.json");
+    eprintln!("wrote {core_path}");
+
+    eprintln!("measuring serving throughput...");
+    let serve = format!(
+        "{{\n  \"schema\": \"bsnn-bench-serve-v1\",\n  \"note\": \"one closed-loop wave per config (cold worker engines included), confidence-margin early exit (horizon 96); latency percentiles are log-bucket upper bounds\",\n  \"configs\": [\n    {},\n    {},\n    {},\n    {}\n  ]\n}}\n",
+        serve_record("mlp_144_32_10", &mlp, mlp_scheme, &mlp_images, 4, 1, 512),
+        serve_record("mlp_144_32_10", &mlp, mlp_scheme, &mlp_images, 4, 8, 512),
+        serve_record("vgg_tiny_1x12x12", &cnn, cnn_scheme, &cnn_images, 1, 1, 128),
+        serve_record("vgg_tiny_1x12x12", &cnn, cnn_scheme, &cnn_images, 1, 16, 128),
+    );
+    let serve_path = format!("{out_dir}/BENCH_serve.json");
+    std::fs::write(&serve_path, &serve).expect("write BENCH_serve.json");
+    eprintln!("wrote {serve_path}");
+    println!("{core}");
+    println!("{serve}");
+}

@@ -94,11 +94,12 @@ pub struct SpikingLayer {
     g: Vec<f32>,
     out: Vec<f32>,
     psp: Vec<f32>,
-    /// When enabled, the PSP computed for the previous input is reused if
-    /// the input is bitwise identical (real input coding drives the first
-    /// stage with a constant analog vector).
-    cache_psp: bool,
-    cached_input: Option<Vec<f32>>,
+    /// Input-generation token of the cached `psp`: when the caller
+    /// presents the same token again, the PSP is reused without
+    /// recomputation (real input coding drives the first stage with a
+    /// constant analog vector, so its generation never changes within a
+    /// run). `None` when nothing is cached.
+    cached_token: Option<u64>,
     reset: ResetMode,
 }
 
@@ -132,8 +133,7 @@ impl SpikingLayer {
             g: vec![1.0; n],
             out: vec![0.0; n],
             psp: vec![0.0; n],
-            cache_psp: false,
-            cached_input: None,
+            cached_token: None,
             reset: ResetMode::Subtraction,
         })
     }
@@ -188,19 +188,11 @@ impl SpikingLayer {
         self.reset = reset;
     }
 
-    /// Enables or disables PSP caching for constant analog inputs.
-    pub fn set_psp_caching(&mut self, enabled: bool) {
-        self.cache_psp = enabled;
-        if !enabled {
-            self.cached_input = None;
-        }
-    }
-
     /// Resets all dynamic state (membrane, burst function, caches).
     pub fn reset(&mut self) {
         self.vmem.iter_mut().for_each(|v| *v = 0.0);
         self.g.iter_mut().for_each(|g| *g = 1.0);
-        self.cached_input = None;
+        self.cached_token = None;
     }
 
     /// The threshold of neuron `j` at time `t` under the current state.
@@ -226,18 +218,37 @@ impl SpikingLayer {
     /// Returns [`SnnError::InputSizeMismatch`] when `input` has the wrong
     /// length.
     pub fn step(&mut self, input: &[f32], t: u64) -> Result<&[f32], SnnError> {
-        // 1. PSP accumulation (with optional caching for static inputs).
-        let reuse = self.cache_psp
-            && self
-                .cached_input
-                .as_ref()
-                .is_some_and(|c| c.as_slice() == input);
+        self.step_with_token(input, t, None)
+    }
+
+    /// Advances the layer one time step, passing an *input-generation
+    /// token*.
+    ///
+    /// The token identifies the content of `input`: callers that know
+    /// their drive signal is unchanged since the previous step (e.g. real
+    /// input coding's constant analog vector) pass the same `Some(token)`
+    /// again, and the layer reuses the previously computed PSP without an
+    /// O(n) buffer compare or clone. `None` (or a changed token) always
+    /// recomputes — the token alone governs caching. Passing an unchanged
+    /// token with *different* input contents is a caller contract
+    /// violation and yields stale PSPs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnnError::InputSizeMismatch`] when `input` has the wrong
+    /// length.
+    pub fn step_with_token(
+        &mut self,
+        input: &[f32],
+        t: u64,
+        token: Option<u64>,
+    ) -> Result<&[f32], SnnError> {
+        // 1. PSP accumulation (reused when the generation token matches).
+        let reuse = token.is_some() && self.cached_token == token;
         if !reuse {
             self.psp.iter_mut().for_each(|p| *p = 0.0);
             self.synapse.accumulate(input, &mut self.psp)?;
-            if self.cache_psp {
-                self.cached_input = Some(input.to_vec());
-            }
+            self.cached_token = token;
         }
         for (v, p) in self.vmem.iter_mut().zip(&self.psp) {
             *v += p;
@@ -549,18 +560,36 @@ mod tests {
     }
 
     #[test]
-    fn psp_cache_reuses_for_identical_input() {
+    fn psp_cache_reuses_for_same_token() {
         let mut l = identity_layer(2, ThresholdPolicy::Fixed { vth: 10.0 });
-        l.set_psp_caching(true);
-        let _ = l.step(&[0.5, 0.5], 0).unwrap();
+        let _ = l.step_with_token(&[0.5, 0.5], 0, Some(7)).unwrap();
         let v1 = l.potentials().to_vec();
-        let _ = l.step(&[0.5, 0.5], 1).unwrap();
+        // Same token ⇒ the cached PSP is reused; the (deliberately
+        // different) input buffer is not even read.
+        let _ = l.step_with_token(&[9.0, 9.0], 1, Some(7)).unwrap();
         let v2 = l.potentials().to_vec();
         assert_eq!(v2, vec![v1[0] * 2.0, v1[1] * 2.0]);
-        // Changing the input must invalidate the cache.
-        let _ = l.step(&[1.0, 0.0], 2).unwrap();
+        // A new token must invalidate the cache.
+        let _ = l.step_with_token(&[1.0, 0.0], 2, Some(8)).unwrap();
         assert_eq!(l.potentials()[0], v2[0] + 1.0);
         assert_eq!(l.potentials()[1], v2[1]);
+        // Token `None` always recomputes.
+        let _ = l.step_with_token(&[0.0, 1.0], 3, None).unwrap();
+        assert_eq!(l.potentials()[1], v2[1] + 1.0);
+        // ...and clears the cache: re-presenting an old token after a
+        // `None` step recomputes rather than resurrecting stale PSPs.
+        let _ = l.step_with_token(&[1.0, 0.0], 4, Some(8)).unwrap();
+        assert_eq!(l.potentials()[0], v2[0] + 2.0);
+    }
+
+    #[test]
+    fn psp_cache_cleared_by_reset() {
+        let mut l = identity_layer(1, ThresholdPolicy::Fixed { vth: 10.0 });
+        let _ = l.step_with_token(&[0.5], 0, Some(1)).unwrap();
+        l.reset();
+        // After reset the same token must recompute (fresh image).
+        let _ = l.step_with_token(&[1.0], 0, Some(1)).unwrap();
+        assert_eq!(l.potentials()[0], 1.0);
     }
 
     #[test]

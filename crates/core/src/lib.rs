@@ -61,6 +61,7 @@
 //! # }
 //! ```
 
+pub mod batch;
 pub mod coding;
 pub mod convert;
 pub mod encoder;
@@ -72,6 +73,7 @@ pub mod simulator;
 pub mod snapshot;
 pub mod synapse;
 
+pub use batch::{BatchedNetwork, BatchedStepwiseInference};
 pub use coding::{CodingScheme, HiddenCoding, InputCoding};
 pub use convert::{convert, ConversionConfig, Normalization};
 pub use encoder::InputEncoder;

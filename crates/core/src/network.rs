@@ -22,6 +22,9 @@ pub struct SpikingNetwork {
     output_vmem: Vec<f32>,
     /// Scratch buffer holding the current layer input.
     scratch: Vec<f32>,
+    /// Scratch buffer for the output stage's per-step PSP (preallocated
+    /// so stepping never allocates).
+    output_psp: Vec<f32>,
 }
 
 impl SpikingNetwork {
@@ -69,6 +72,7 @@ impl SpikingNetwork {
             output_bias,
             output_vmem: vec![0.0; out_len],
             scratch: Vec::new(),
+            output_psp: vec![0.0; out_len],
         })
     }
 
@@ -87,7 +91,7 @@ impl SpikingNetwork {
         &self.layers
     }
 
-    /// Mutable access to the hidden stages (e.g. to toggle PSP caching).
+    /// Mutable access to the hidden stages (e.g. to set reset modes).
     pub fn layers_mut(&mut self) -> &mut [SpikingLayer] {
         &mut self.layers
     }
@@ -137,14 +141,6 @@ impl SpikingNetwork {
         self.reset_state();
     }
 
-    /// Enables PSP caching on the first hidden stage (profitable when the
-    /// input encoder produces a constant analog drive, i.e. real coding).
-    pub fn set_first_stage_caching(&mut self, enabled: bool) {
-        if let Some(l) = self.layers.first_mut() {
-            l.set_psp_caching(enabled);
-        }
-    }
-
     /// Advances the whole network one time step.
     ///
     /// `input` is the input layer's spike-magnitude (or analog) buffer for
@@ -161,6 +157,25 @@ impl SpikingNetwork {
         t: u64,
         record: &mut SpikeRecord,
     ) -> Result<(), SnnError> {
+        self.step_with_token(input, t, record, None)
+    }
+
+    /// Advances the whole network one time step with an input-generation
+    /// token forwarded to the first stage's PSP cache (see
+    /// [`SpikingLayer::step_with_token`]). Drivers with a constant analog
+    /// input (real coding) pass an unchanged `Some(token)` every step to
+    /// skip recomputing the first stage's PSP without any buffer compare.
+    ///
+    /// # Errors
+    ///
+    /// Returns size-mismatch errors if `input` has the wrong length.
+    pub fn step_with_token(
+        &mut self,
+        input: &[f32],
+        t: u64,
+        record: &mut SpikeRecord,
+        input_token: Option<u64>,
+    ) -> Result<(), SnnError> {
         if input.len() != self.input_len {
             return Err(SnnError::InputSizeMismatch {
                 expected: self.input_len,
@@ -170,15 +185,17 @@ impl SpikingNetwork {
         self.scratch.clear();
         self.scratch.extend_from_slice(input);
         for (i, layer) in self.layers.iter_mut().enumerate() {
-            let out = layer.step(&self.scratch, t)?;
+            let token = if i == 0 { input_token } else { None };
+            let out = layer.step_with_token(&self.scratch, t, token)?;
             record.observe_layer(i + 1, t, out);
             self.scratch.clear();
             self.scratch.extend_from_slice(out);
         }
         // Output accumulator: integrate, never fire.
-        let mut psp = vec![0.0f32; self.output_vmem.len()];
-        self.output_synapse.accumulate(&self.scratch, &mut psp)?;
-        for (v, p) in self.output_vmem.iter_mut().zip(&psp) {
+        self.output_psp.iter_mut().for_each(|p| *p = 0.0);
+        self.output_synapse
+            .accumulate(&self.scratch, &mut self.output_psp)?;
+        for (v, p) in self.output_vmem.iter_mut().zip(&self.output_psp) {
             *v += p;
         }
         if let Some(b) = &self.output_bias {
@@ -196,12 +213,40 @@ impl SpikingNetwork {
 
     /// Argmax over the output potentials.
     pub fn prediction(&self) -> usize {
-        self.output_vmem
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
-            .map(|(i, _)| i)
-            .unwrap_or(0)
+        argmax_last(self.output_vmem.iter().copied())
+    }
+}
+
+/// Argmax with the exact tie-breaking of the scalar inference path
+/// (`Iterator::max_by`: the *last* maximum wins; incomparable values
+/// count as equal). Shared with the batched engine so per-lane
+/// predictions are bit-for-bit identical.
+pub(crate) fn argmax_last(values: impl Iterator<Item = f32>) -> usize {
+    values
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+/// Gap between the top and runner-up values (`f32::INFINITY` for fewer
+/// than two values) — the raw confidence margin, shared between the
+/// scalar and batched inference paths.
+pub(crate) fn top2_margin(values: impl Iterator<Item = f32>) -> f32 {
+    let mut top = f32::NEG_INFINITY;
+    let mut second = f32::NEG_INFINITY;
+    for v in values {
+        if v > top {
+            second = top;
+            top = v;
+        } else if v > second {
+            second = v;
+        }
+    }
+    if second == f32::NEG_INFINITY {
+        f32::INFINITY
+    } else {
+        top - second
     }
 }
 

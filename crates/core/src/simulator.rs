@@ -71,7 +71,7 @@ impl EvalConfig {
         self
     }
 
-    fn validate(&self) -> Result<(), SnnError> {
+    pub(crate) fn validate(&self) -> Result<(), SnnError> {
         if self.steps == 0 {
             return Err(SnnError::InvalidConfig("steps must be nonzero".into()));
         }
@@ -147,6 +147,10 @@ pub struct StepwiseInference<'net> {
     t: u64,
     record_input_trains: bool,
     input_is_spiking: bool,
+    /// Input-generation token forwarded to the first stage's PSP cache:
+    /// `Some` (and constant for the whole run) when the encoder's drive
+    /// is static, `None` otherwise.
+    input_token: Option<u64>,
 }
 
 impl<'net> StepwiseInference<'net> {
@@ -170,11 +174,11 @@ impl<'net> StepwiseInference<'net> {
         }
         net.reset_state();
         let encoder = InputEncoder::new(cfg.scheme.input, image, cfg.phase_period)?;
-        net.set_first_stage_caching(encoder.is_static());
         let record = SpikeRecord::new(&net.spiking_layer_sizes(), cfg.record);
         let record_input_trains = matches!(cfg.record, RecordLevel::Trains { .. })
             && cfg.scheme.input != InputCoding::Real;
         let input_is_spiking = cfg.scheme.input != InputCoding::Real;
+        let input_token = encoder.is_static().then_some(0);
         let buf = vec![0.0f32; net.input_len()];
         Ok(StepwiseInference {
             net,
@@ -185,6 +189,7 @@ impl<'net> StepwiseInference<'net> {
             t: 0,
             record_input_trains,
             input_is_spiking,
+            input_token,
         })
     }
 
@@ -206,7 +211,8 @@ impl<'net> StepwiseInference<'net> {
         } else if self.input_is_spiking {
             self.record.add_count(0, n_in as u64);
         }
-        self.net.step(&self.buf, t, &mut self.record)?;
+        self.net
+            .step_with_token(&self.buf, t, &mut self.record, self.input_token)?;
         self.record.end_step();
         self.t += 1;
         Ok(true)
@@ -248,21 +254,7 @@ impl<'net> StepwiseInference<'net> {
     /// normalize it by [`steps_taken`](Self::steps_taken). Returns
     /// `f32::INFINITY` for single-class networks.
     pub fn confidence_margin(&self) -> f32 {
-        let mut top = f32::NEG_INFINITY;
-        let mut second = f32::NEG_INFINITY;
-        for &v in self.net.output_potentials() {
-            if v > top {
-                second = top;
-                top = v;
-            } else if v > second {
-                second = v;
-            }
-        }
-        if second == f32::NEG_INFINITY {
-            f32::INFINITY
-        } else {
-            top - second
-        }
+        crate::network::top2_margin(self.net.output_potentials().iter().copied())
     }
 
     /// Read-only view of the spike record accumulated so far.
@@ -655,7 +647,9 @@ mod tests {
         }
         net.reset();
         let mut encoder = InputEncoder::new(cfg.scheme.input, image, cfg.phase_period)?;
-        net.set_first_stage_caching(encoder.is_static());
+        // (The seed enabled first-stage PSP caching here; caching is now
+        // governed by the input-generation token and never changes
+        // values, so the replica stays step-for-step equivalent.)
         let mut record = SpikeRecord::new(&net.spiking_layer_sizes(), cfg.record);
         let record_input_trains = matches!(cfg.record, RecordLevel::Trains { .. })
             && cfg.scheme.input != InputCoding::Real;

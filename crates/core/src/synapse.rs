@@ -11,6 +11,56 @@ use crate::SnnError;
 use bsnn_tensor::conv::Conv2dGeometry;
 use bsnn_tensor::Tensor;
 
+/// Batched dense accumulation with a compile-time lane count: the
+/// `B`-wide FMA loops below compile to straight vector code (no trip
+/// counts, no bounds checks).
+fn dense_lanes<const B: usize>(input: &[f32], psp: &mut [f32], w: &[f32], out: usize) {
+    for (i, lanes) in input.chunks_exact(B).enumerate() {
+        let lanes: &[f32; B] = lanes.try_into().expect("chunk width");
+        if *lanes == [0.0; B] {
+            continue;
+        }
+        let row = &w[i * out..(i + 1) * out];
+        for (p, &wij) in psp.chunks_exact_mut(B).zip(row) {
+            let p: &mut [f32; B] = p.try_into().expect("chunk width");
+            for b in 0..B {
+                p[b] += lanes[b] * wij;
+            }
+        }
+    }
+}
+
+/// The kernel offsets along one axis that map input coordinate `i` onto a
+/// valid output coordinate: every `k` in `first..=last` stepping by
+/// `stride` satisfies `(i + pad - k) % stride == 0` and
+/// `(i + pad - k) / stride < out_len`.
+///
+/// Returns `None` when no kernel offset is valid. Hoisting this range
+/// computation out of the innermost scatter loops removes the per-pixel
+/// padding arithmetic and divisibility checks the seed kernels re-derived
+/// for every `(ky, kx)` pair.
+#[inline]
+fn valid_kernel_range(
+    i: usize,
+    pad: usize,
+    stride: usize,
+    kernel: usize,
+    out_len: usize,
+) -> Option<(usize, usize)> {
+    if kernel == 0 || out_len == 0 {
+        return None;
+    }
+    let num = i + pad;
+    let last_unaligned = num.min(kernel - 1);
+    // `oy = (num - k) / stride < out_len` bounds k from below.
+    let lower = num.saturating_sub(stride * (out_len - 1));
+    // Align both ends onto `k ≡ num (mod stride)`.
+    let first = lower + (num - lower) % stride;
+    let align_down = (stride - (num - last_unaligned) % stride) % stride;
+    let last = last_unaligned.checked_sub(align_down)?;
+    (first <= last).then_some((first, last))
+}
+
 /// Spatial shape of a conv/pool stage in CHW order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Chw {
@@ -96,15 +146,42 @@ impl Synapse {
     ///
     /// Returns [`SnnError::InputSizeMismatch`] on length mismatches.
     pub fn accumulate(&self, input: &[f32], psp: &mut [f32]) -> Result<(), SnnError> {
-        if input.len() != self.input_len() {
+        self.accumulate_batch(input, psp, 1)
+    }
+
+    /// Accumulates `batch` images in lockstep: `input` and `psp` are
+    /// structure-of-arrays, batch-innermost buffers (`[neuron][batch]`,
+    /// so lane `b` of neuron `i` lives at `i * batch + b`).
+    ///
+    /// The innermost loop of every kernel runs over the contiguous batch
+    /// axis, which LLVM auto-vectorizes; weights are loaded once per
+    /// batch instead of once per image. An input neuron is skipped only
+    /// when *all* of its lanes are zero, so per-lane results are
+    /// identical to `batch` independent [`Self::accumulate`] calls (the
+    /// extra lanes contribute exact `±0.0` terms).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnnError::InputSizeMismatch`] on length mismatches and
+    /// [`SnnError::InvalidConfig`] for a zero batch.
+    pub fn accumulate_batch(
+        &self,
+        input: &[f32],
+        psp: &mut [f32],
+        batch: usize,
+    ) -> Result<(), SnnError> {
+        if batch == 0 {
+            return Err(SnnError::InvalidConfig("batch must be nonzero".into()));
+        }
+        if input.len() != self.input_len() * batch {
             return Err(SnnError::InputSizeMismatch {
-                expected: self.input_len(),
+                expected: self.input_len() * batch,
                 actual: input.len(),
             });
         }
-        if psp.len() != self.output_len() {
+        if psp.len() != self.output_len() * batch {
             return Err(SnnError::InputSizeMismatch {
-                expected: self.output_len(),
+                expected: self.output_len() * batch,
                 actual: psp.len(),
             });
         }
@@ -112,13 +189,41 @@ impl Synapse {
             Synapse::Dense { weight } => {
                 let out = weight.shape()[1];
                 let w = weight.as_slice();
-                for (i, &s) in input.iter().enumerate() {
-                    if s == 0.0 {
-                        continue;
+                match batch {
+                    1 => {
+                        // Scalar fast path: the seed's spike-sparse loop.
+                        for (i, &s) in input.iter().enumerate() {
+                            if s == 0.0 {
+                                continue;
+                            }
+                            let row = &w[i * out..(i + 1) * out];
+                            for (p, &wij) in psp.iter_mut().zip(row) {
+                                *p += s * wij;
+                            }
+                        }
                     }
-                    let row = &w[i * out..(i + 1) * out];
-                    for (p, &wij) in psp.iter_mut().zip(row) {
-                        *p += s * wij;
+                    // Compile-time lane counts let LLVM fully unroll the
+                    // lane loop into straight SIMD.
+                    2 => dense_lanes::<2>(input, psp, w, out),
+                    4 => dense_lanes::<4>(input, psp, w, out),
+                    8 => dense_lanes::<8>(input, psp, w, out),
+                    16 => dense_lanes::<16>(input, psp, w, out),
+                    _ => {
+                        for (i, lanes) in input.chunks_exact(batch).enumerate() {
+                            if lanes.iter().all(|&s| s == 0.0) {
+                                continue;
+                            }
+                            let row = &w[i * out..(i + 1) * out];
+                            // One contiguous walk over `psp` per active
+                            // input: the weight changes every `batch`
+                            // elements, the lane FMA loop is the
+                            // vectorized innermost.
+                            for (p, &wij) in psp.chunks_exact_mut(batch).zip(row) {
+                                for (pb, &sb) in p.iter_mut().zip(lanes) {
+                                    *pb += sb * wij;
+                                }
+                            }
+                        }
                     }
                 }
             }
@@ -128,55 +233,23 @@ impl Synapse {
                 in_shape,
                 out_shape,
             } => {
-                let (c_out, c_in) = (weight.shape()[0], weight.shape()[1]);
-                debug_assert_eq!(c_in, in_shape.c);
-                let (kh, kw) = (geom.kernel_h, geom.kernel_w);
-                let w = weight.as_slice();
-                let (ih, iw) = (in_shape.h, in_shape.w);
-                let (oh, ow) = (out_shape.h, out_shape.w);
-                for ci in 0..c_in {
-                    for iy in 0..ih {
-                        for ix in 0..iw {
-                            let s = input[(ci * ih + iy) * iw + ix];
-                            if s == 0.0 {
-                                continue;
-                            }
-                            // Output rows touched by this input pixel:
-                            // oy·stride + ky − pad = iy.
-                            for ky in 0..kh {
-                                let num_y = iy + geom.pad_h;
-                                if num_y < ky {
-                                    continue;
-                                }
-                                let dy = num_y - ky;
-                                if dy % geom.stride_h != 0 {
-                                    continue;
-                                }
-                                let oy = dy / geom.stride_h;
-                                if oy >= oh {
-                                    continue;
-                                }
-                                for kx in 0..kw {
-                                    let num_x = ix + geom.pad_w;
-                                    if num_x < kx {
-                                        continue;
-                                    }
-                                    let dx = num_x - kx;
-                                    if dx % geom.stride_w != 0 {
-                                        continue;
-                                    }
-                                    let ox = dx / geom.stride_w;
-                                    if ox >= ow {
-                                        continue;
-                                    }
-                                    for co in 0..c_out {
-                                        let wv = w[((co * c_in + ci) * kh + ky) * kw + kx];
-                                        psp[(co * oh + oy) * ow + ox] += s * wv;
-                                    }
-                                }
-                            }
-                        }
-                    }
+                debug_assert_eq!(weight.shape()[1], in_shape.c);
+                let plan = ScatterPlan {
+                    w: weight.as_slice(),
+                    c_in: in_shape.c,
+                    c_out: weight.shape()[0],
+                    geom,
+                    ih: in_shape.h,
+                    iw: in_shape.w,
+                    oh: out_shape.h,
+                    ow: out_shape.w,
+                };
+                match batch {
+                    2 => conv_scatter::<Fixed<2>>(batch, input, psp, &plan),
+                    4 => conv_scatter::<Fixed<4>>(batch, input, psp, &plan),
+                    8 => conv_scatter::<Fixed<8>>(batch, input, psp, &plan),
+                    16 => conv_scatter::<Fixed<16>>(batch, input, psp, &plan),
+                    _ => conv_scatter::<Dynamic>(batch, input, psp, &plan),
                 }
             }
             Synapse::Pool {
@@ -185,52 +258,162 @@ impl Synapse {
                 out_shape,
                 scale,
             } => {
-                let (kh, kw) = (geom.kernel_h, geom.kernel_w);
-                let unit = *scale / (kh * kw) as f32;
-                let (ih, iw) = (in_shape.h, in_shape.w);
-                let (oh, ow) = (out_shape.h, out_shape.w);
-                for ci in 0..in_shape.c {
-                    for iy in 0..ih {
-                        for ix in 0..iw {
-                            let s = input[(ci * ih + iy) * iw + ix];
-                            if s == 0.0 {
-                                continue;
-                            }
-                            for ky in 0..kh {
-                                let num_y = iy + geom.pad_h;
-                                if num_y < ky {
-                                    continue;
-                                }
-                                let dy = num_y - ky;
-                                if dy % geom.stride_h != 0 {
-                                    continue;
-                                }
-                                let oy = dy / geom.stride_h;
-                                if oy >= oh {
-                                    continue;
-                                }
-                                for kx in 0..kw {
-                                    let num_x = ix + geom.pad_w;
-                                    if num_x < kx {
-                                        continue;
-                                    }
-                                    let dx = num_x - kx;
-                                    if dx % geom.stride_w != 0 {
-                                        continue;
-                                    }
-                                    let ox = dx / geom.stride_w;
-                                    if ox >= ow {
-                                        continue;
-                                    }
-                                    psp[(ci * oh + oy) * ow + ox] += s * unit;
-                                }
-                            }
+                let unit = *scale / (geom.kernel_h * geom.kernel_w) as f32;
+                let plan = ScatterPlan {
+                    w: std::slice::from_ref(&unit),
+                    c_in: in_shape.c,
+                    c_out: 1,
+                    geom,
+                    ih: in_shape.h,
+                    iw: in_shape.w,
+                    oh: out_shape.h,
+                    ow: out_shape.w,
+                };
+                match batch {
+                    2 => pool_scatter::<Fixed<2>>(batch, input, psp, &plan),
+                    4 => pool_scatter::<Fixed<4>>(batch, input, psp, &plan),
+                    8 => pool_scatter::<Fixed<8>>(batch, input, psp, &plan),
+                    16 => pool_scatter::<Fixed<16>>(batch, input, psp, &plan),
+                    _ => pool_scatter::<Dynamic>(batch, input, psp, &plan),
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Shared geometry/weight context of the conv and pool scatter kernels.
+struct ScatterPlan<'a> {
+    w: &'a [f32],
+    c_in: usize,
+    c_out: usize,
+    geom: &'a Conv2dGeometry,
+    ih: usize,
+    iw: usize,
+    oh: usize,
+    ow: usize,
+}
+
+/// A batch-innermost FMA over one output's lane block. Monomorphized per
+/// lane-width wrapper so the fixed widths compile to straight SIMD.
+trait LaneFma {
+    fn any_nonzero(lanes: &[f32]) -> bool;
+    fn fma(p: &mut [f32], lanes: &[f32], w: f32);
+}
+
+/// Compile-time lane count (widths 2/4/8/16).
+struct Fixed<const B: usize>;
+
+impl<const B: usize> LaneFma for Fixed<B> {
+    #[inline(always)]
+    fn any_nonzero(lanes: &[f32]) -> bool {
+        let lanes: &[f32; B] = lanes.try_into().expect("lane width");
+        *lanes != [0.0; B]
+    }
+
+    #[inline(always)]
+    fn fma(p: &mut [f32], lanes: &[f32], w: f32) {
+        let p: &mut [f32; B] = p.try_into().expect("lane width");
+        let lanes: &[f32; B] = lanes.try_into().expect("lane width");
+        for b in 0..B {
+            p[b] += lanes[b] * w;
+        }
+    }
+}
+
+/// Runtime lane count (any other width).
+struct Dynamic;
+
+impl LaneFma for Dynamic {
+    #[inline(always)]
+    fn any_nonzero(lanes: &[f32]) -> bool {
+        !lanes.iter().all(|&s| s == 0.0)
+    }
+
+    #[inline(always)]
+    fn fma(p: &mut [f32], lanes: &[f32], w: f32) {
+        for (pb, &sb) in p.iter_mut().zip(lanes) {
+            *pb += sb * w;
+        }
+    }
+}
+
+/// The conv scatter kernel: for every input pixel with at least one
+/// live lane, accumulate `s·w` into every output it feeds. The valid
+/// `(ky → oy, kx → ox)` kernel ranges are hoisted out of the inner
+/// loops (see [`valid_kernel_range`]); the innermost loop is the
+/// contiguous lane axis.
+fn conv_scatter<L: LaneFma>(batch: usize, input: &[f32], psp: &mut [f32], plan: &ScatterPlan<'_>) {
+    let (kh, kw) = (plan.geom.kernel_h, plan.geom.kernel_w);
+    let (stride_h, stride_w) = (plan.geom.stride_h.max(1), plan.geom.stride_w.max(1));
+    let (pad_h, pad_w) = (plan.geom.pad_h, plan.geom.pad_w);
+    let (ih, iw, oh, ow) = (plan.ih, plan.iw, plan.oh, plan.ow);
+    for ci in 0..plan.c_in {
+        for iy in 0..ih {
+            // Valid `ky → oy` pairs depend only on the row.
+            let Some((ky_first, ky_last)) = valid_kernel_range(iy, pad_h, stride_h, kh, oh) else {
+                continue;
+            };
+            for ix in 0..iw {
+                let base = ((ci * ih + iy) * iw + ix) * batch;
+                let lanes = &input[base..base + batch];
+                if !L::any_nonzero(lanes) {
+                    continue;
+                }
+                let Some((kx_first, kx_last)) = valid_kernel_range(ix, pad_w, stride_w, kw, ow)
+                else {
+                    continue;
+                };
+                for ky in (ky_first..=ky_last).step_by(stride_h) {
+                    let oy = (iy + pad_h - ky) / stride_h;
+                    for kx in (kx_first..=kx_last).step_by(stride_w) {
+                        let ox = (ix + pad_w - kx) / stride_w;
+                        for co in 0..plan.c_out {
+                            let wv = plan.w[((co * plan.c_in + ci) * kh + ky) * kw + kx];
+                            let o = ((co * oh + oy) * ow + ox) * batch;
+                            L::fma(&mut psp[o..o + batch], lanes, wv);
                         }
                     }
                 }
             }
         }
-        Ok(())
+    }
+}
+
+/// The pool scatter kernel: identical traversal to [`conv_scatter`] but
+/// depthwise (`c_out = 1` per input channel) with one uniform weight
+/// (`scale / (kh·kw)`, precomputed once in `plan.w[0]`).
+fn pool_scatter<L: LaneFma>(batch: usize, input: &[f32], psp: &mut [f32], plan: &ScatterPlan<'_>) {
+    let (kh, kw) = (plan.geom.kernel_h, plan.geom.kernel_w);
+    let (stride_h, stride_w) = (plan.geom.stride_h.max(1), plan.geom.stride_w.max(1));
+    let (pad_h, pad_w) = (plan.geom.pad_h, plan.geom.pad_w);
+    let (ih, iw, oh, ow) = (plan.ih, plan.iw, plan.oh, plan.ow);
+    let unit = plan.w[0];
+    for ci in 0..plan.c_in {
+        for iy in 0..ih {
+            let Some((ky_first, ky_last)) = valid_kernel_range(iy, pad_h, stride_h, kh, oh) else {
+                continue;
+            };
+            for ix in 0..iw {
+                let base = ((ci * ih + iy) * iw + ix) * batch;
+                let lanes = &input[base..base + batch];
+                if !L::any_nonzero(lanes) {
+                    continue;
+                }
+                let Some((kx_first, kx_last)) = valid_kernel_range(ix, pad_w, stride_w, kw, ow)
+                else {
+                    continue;
+                };
+                for ky in (ky_first..=ky_last).step_by(stride_h) {
+                    let oy = (iy + pad_h - ky) / stride_h;
+                    for kx in (kx_first..=kx_last).step_by(stride_w) {
+                        let ox = (ix + pad_w - kx) / stride_w;
+                        let o = ((ci * oh + oy) * ow + ox) * batch;
+                        L::fma(&mut psp[o..o + batch], lanes, unit);
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -358,5 +541,186 @@ mod tests {
         };
         assert_eq!(syn.input_len(), 4);
         assert_eq!(syn.output_len(), 7);
+    }
+
+    #[test]
+    fn valid_kernel_range_enumerates_seed_checks() {
+        // Exhaustive cross-check against the seed's per-(i, k) predicate.
+        for kernel in 1..=4usize {
+            for stride in 1..=3usize {
+                for pad in 0..=2usize {
+                    for out_len in 1..=6usize {
+                        for i in 0..8usize {
+                            let brute: Vec<usize> = (0..kernel)
+                                .filter(|&k| {
+                                    let num = i + pad;
+                                    num >= k
+                                        && (num - k) % stride == 0
+                                        && (num - k) / stride < out_len
+                                })
+                                .collect();
+                            let hoisted: Vec<usize> =
+                                match valid_kernel_range(i, pad, stride, kernel, out_len) {
+                                    None => vec![],
+                                    Some((first, last)) => (first..=last).step_by(stride).collect(),
+                                };
+                            assert_eq!(
+                                brute, hoisted,
+                                "i={i} pad={pad} stride={stride} kernel={kernel} out={out_len}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Interleaves per-image buffers into the batch-innermost SoA layout.
+    fn to_soa(images: &[Vec<f32>]) -> Vec<f32> {
+        let batch = images.len();
+        let n = images[0].len();
+        let mut soa = vec![0.0f32; n * batch];
+        for (b, img) in images.iter().enumerate() {
+            for (i, &v) in img.iter().enumerate() {
+                soa[i * batch + b] = v;
+            }
+        }
+        soa
+    }
+
+    fn batch_matches_scalar(syn: &Synapse, inputs: &[Vec<f32>]) {
+        let batch = inputs.len();
+        let out = syn.output_len();
+        let soa = to_soa(inputs);
+        let mut psp_batch = vec![0.0f32; out * batch];
+        syn.accumulate_batch(&soa, &mut psp_batch, batch).unwrap();
+        for (b, input) in inputs.iter().enumerate() {
+            let mut psp = vec![0.0f32; out];
+            syn.accumulate(input, &mut psp).unwrap();
+            for j in 0..out {
+                assert_eq!(
+                    psp[j],
+                    psp_batch[j * batch + b],
+                    "lane {b} neuron {j} diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dense_batch_lanes_match_scalar_bitwise() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let weight = uniform(&mut rng, &[6, 4], -1.0, 1.0);
+        let syn = Synapse::Dense { weight };
+        // Mixed sparsity: some lanes zero where others spike.
+        let inputs = vec![
+            vec![0.5, 0.0, 1.0, 0.0, 0.25, 0.0],
+            vec![0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+            vec![1.0, 1.0, 0.0, 0.5, 0.0, 0.125],
+        ];
+        batch_matches_scalar(&syn, &inputs);
+    }
+
+    #[test]
+    fn conv_batch_lanes_match_scalar_bitwise() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for (geom, in_shape, out_shape) in [
+            (
+                Conv2dGeometry::square(3, 1, 1),
+                Chw::new(2, 5, 5),
+                Chw::new(3, 5, 5),
+            ),
+            (
+                Conv2dGeometry::square(2, 2, 0),
+                Chw::new(1, 6, 6),
+                Chw::new(2, 3, 3),
+            ),
+            (
+                Conv2dGeometry::square(3, 2, 1),
+                Chw::new(1, 5, 5),
+                Chw::new(2, 3, 3),
+            ),
+        ] {
+            let weight = uniform(
+                &mut rng,
+                &[out_shape.c, in_shape.c, geom.kernel_h, geom.kernel_w],
+                -1.0,
+                1.0,
+            );
+            let syn = Synapse::Conv {
+                weight,
+                geom,
+                in_shape,
+                out_shape,
+            };
+            let inputs: Vec<Vec<f32>> = (0..4)
+                .map(|_| {
+                    uniform(&mut rng, &[in_shape.volume()], 0.0, 1.0)
+                        .as_slice()
+                        .iter()
+                        .map(|&v| if v < 0.4 { 0.0 } else { v })
+                        .collect()
+                })
+                .collect();
+            batch_matches_scalar(&syn, &inputs);
+        }
+    }
+
+    #[test]
+    fn pool_batch_lanes_match_scalar_bitwise() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let geom = Conv2dGeometry::square(2, 2, 0);
+        let syn = Synapse::Pool {
+            geom,
+            in_shape: Chw::new(2, 4, 4),
+            out_shape: Chw::new(2, 2, 2),
+            scale: 1.7,
+        };
+        let inputs: Vec<Vec<f32>> = (0..2)
+            .map(|_| uniform(&mut rng, &[32], 0.0, 1.0).as_slice().to_vec())
+            .collect();
+        batch_matches_scalar(&syn, &inputs);
+    }
+
+    #[test]
+    fn accumulate_batch_rejects_bad_shapes() {
+        let syn = Synapse::Dense {
+            weight: Tensor::zeros(&[2, 3]),
+        };
+        let mut psp = vec![0.0f32; 6];
+        assert!(syn.accumulate_batch(&[0.0; 4], &mut psp, 0).is_err());
+        assert!(syn.accumulate_batch(&[0.0; 3], &mut psp, 2).is_err());
+        let mut short = vec![0.0f32; 5];
+        assert!(syn.accumulate_batch(&[0.0; 4], &mut short, 2).is_err());
+        assert!(syn.accumulate_batch(&[0.0; 4], &mut psp, 2).is_ok());
+    }
+
+    #[test]
+    fn conv_restructured_matches_dense_conv2d_odd_geometry() {
+        // Asymmetric stride/pad exercise the hoisted range computation.
+        let mut rng = StdRng::seed_from_u64(23);
+        let geom = Conv2dGeometry {
+            kernel_h: 3,
+            kernel_w: 2,
+            stride_h: 2,
+            stride_w: 1,
+            pad_h: 1,
+            pad_w: 0,
+        };
+        let (oh, ow) = geom.output_hw(7, 5).unwrap();
+        let weight = uniform(&mut rng, &[2, 1, 3, 2], -1.0, 1.0);
+        let input = uniform(&mut rng, &[1, 1, 7, 5], 0.0, 1.0);
+        let reference = conv2d(&input, &weight, None, &geom).unwrap();
+        let syn = Synapse::Conv {
+            weight,
+            geom,
+            in_shape: Chw::new(1, 7, 5),
+            out_shape: Chw::new(2, oh, ow),
+        };
+        let mut psp = vec![0.0f32; 2 * oh * ow];
+        syn.accumulate(input.as_slice(), &mut psp).unwrap();
+        for (a, b) in psp.iter().zip(reference.as_slice()) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
     }
 }

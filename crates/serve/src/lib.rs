@@ -51,7 +51,9 @@ pub mod runtime;
 mod worker;
 
 pub use error::ServeError;
-pub use exit::{run_with_policy, ExitOutcome};
+pub use exit::{
+    run_batch_with_policies, run_batch_with_policies_each, run_with_policy, ExitOutcome,
+};
 pub use loadgen::{run_closed_loop, LoadReport, LoadSpec};
 pub use metrics::{Histogram, MetricsSnapshot, ServeMetrics};
 pub use queue::{BatchQueue, PushError};

@@ -1,13 +1,22 @@
-//! Worker threads: pop micro-batches, run the early-exit engine on a
-//! per-worker cached network clone, fulfill response slots.
+//! Worker threads: pop micro-batches, run them in *lockstep* through a
+//! per-worker batched engine, fulfill response slots.
+//!
+//! Each popped micro-batch is grouped by model name and every group is
+//! stepped through one [`BatchedNetwork`] simultaneously — the SIMD-
+//! friendly SoA kernels in `bsnn-core` make the arithmetic itself
+//! batched, not just the queue synchronization. Per-request
+//! [`crate::ExitPolicy`]s are evaluated every step, so early-exiting
+//! lanes retire (freeze, stop spiking) while the rest of the batch
+//! continues.
 
 use crate::error::ServeError;
-use crate::exit::run_with_policy;
+use crate::exit::run_batch_with_policies_each;
 use crate::metrics::ServeMetrics;
 use crate::queue::BatchQueue;
 use crate::registry::ModelRegistry;
 use crate::request::{InferRequest, InferResponse, InferResult, ResponseSlot};
-use bsnn_core::SpikingNetwork;
+use bsnn_core::batch::BatchedNetwork;
+use bsnn_core::SnnError;
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -18,6 +27,14 @@ pub(crate) struct QueuedRequest {
     pub(crate) request: InferRequest,
     pub(crate) slot: Arc<ResponseSlot>,
     pub(crate) enqueued: Instant,
+}
+
+impl QueuedRequest {
+    /// Delivers a result to the waiting client and records it.
+    fn fulfill(self, metrics: &ServeMetrics, result: InferResult) {
+        metrics.observe_result(&result);
+        self.slot.fulfill(result);
+    }
 }
 
 impl Drop for QueuedRequest {
@@ -32,13 +49,12 @@ impl Drop for QueuedRequest {
     }
 }
 
-/// A worker's long-lived clone of one registry model. The clone is made
-/// once per (model, epoch) and reused across requests with an in-place
-/// [`SpikingNetwork::reset_state`] — no per-request allocation of layer
-/// state.
+/// A worker's long-lived lockstep engine for one registry model. Built
+/// once per (model, epoch) and reused across micro-batches — repeated
+/// batches of the same width perform no allocation at all.
 struct CachedModel {
     epoch: u64,
-    net: SpikingNetwork,
+    engine: BatchedNetwork,
 }
 
 /// The body of one worker thread. Returns when the queue is closed and
@@ -57,62 +73,129 @@ pub(crate) fn worker_loop(
             return;
         }
         metrics.observe_batch(batch.len());
-        let batch_size = batch.len();
+        // Group by model, preserving arrival order within each group;
+        // each group runs as one lockstep batch.
+        let mut groups: Vec<(String, Vec<QueuedRequest>)> = Vec::new();
         for queued in batch {
-            let result = serve_one(&queued, &registry, &mut cache, batch_size);
-            metrics.observe_result(&result);
-            queued.slot.fulfill(result);
+            match groups
+                .iter_mut()
+                .find(|(name, _)| *name == queued.request.model)
+            {
+                Some((_, group)) => group.push(queued),
+                None => groups.push((queued.request.model.clone(), vec![queued])),
+            }
         }
-        // Drop clones of models that have been removed from the registry,
-        // so name churn (install v1, swap to v2, remove v1) cannot grow
-        // worker memory without bound.
+        for (name, group) in groups {
+            serve_group(&name, group, &registry, &mut cache, max_batch, &metrics);
+        }
+        // Drop engines of models that have been removed from the
+        // registry, so name churn (install v1, swap to v2, remove v1)
+        // cannot grow worker memory without bound.
         cache.retain(|name, _| registry.get(name).is_some());
     }
 }
 
-fn serve_one(
-    queued: &QueuedRequest,
+/// Serves one same-model group of a popped micro-batch in lockstep.
+fn serve_group(
+    name: &str,
+    group: Vec<QueuedRequest>,
     registry: &ModelRegistry,
     cache: &mut HashMap<String, CachedModel>,
-    batch_size: usize,
-) -> InferResult {
-    let request = &queued.request;
-    let queue_micros = queued.enqueued.elapsed().as_micros() as u64;
-    let started = Instant::now();
-    (|| -> InferResult {
-        let entry = registry
-            .get(&request.model)
-            .ok_or_else(|| ServeError::UnknownModel(request.model.clone()))?;
-        // Epoch-checked clone: a hot-swap invalidates the cached network
-        // on this worker's *next* request for the name; the request that
-        // resolved the old entry before the swap finishes on it.
-        let cached = cache
-            .entry(request.model.clone())
-            .and_modify(|c| {
-                if c.epoch != entry.epoch() {
-                    *c = CachedModel {
-                        epoch: entry.epoch(),
-                        net: entry.network().clone(),
-                    };
-                }
-            })
-            .or_insert_with(|| CachedModel {
-                epoch: entry.epoch(),
-                net: entry.network().clone(),
-            });
-        let outcome = run_with_policy(&mut cached.net, &request.image, &entry, &request.policy)?;
-        Ok(InferResponse {
-            prediction: outcome.prediction,
-            steps: outcome.steps,
-            spikes: outcome.spikes,
-            margin: outcome.margin,
-            exit: outcome.reason,
-            model_epoch: entry.epoch(),
-            queue_micros,
-            service_micros: started.elapsed().as_micros() as u64,
-            batch_size,
+    max_batch: usize,
+    metrics: &ServeMetrics,
+) {
+    let Some(entry) = registry.get(name) else {
+        for queued in group {
+            queued.fulfill(metrics, Err(ServeError::UnknownModel(name.to_string())));
+        }
+        return;
+    };
+    // Epoch-checked engine: a hot-swap invalidates this worker's cached
+    // engine on its *next* batch for the name; the batch that resolved
+    // the old entry before the swap finishes on it.
+    let cached = cache
+        .entry(name.to_string())
+        .and_modify(|c| {
+            if c.epoch != entry.epoch() {
+                *c = CachedModel {
+                    epoch: entry.epoch(),
+                    engine: BatchedNetwork::new(entry.network().clone(), max_batch)
+                        .expect("max_batch validated at runtime start"),
+                };
+            }
         })
-    })()
+        .or_insert_with(|| CachedModel {
+            epoch: entry.epoch(),
+            engine: BatchedNetwork::new(entry.network().clone(), max_batch)
+                .expect("max_batch validated at runtime start"),
+        });
+    // Per-lane validation isolates malformed requests so they cannot
+    // fail the whole lockstep group.
+    let input_len = entry.network().input_len();
+    let mut lanes: Vec<QueuedRequest> = Vec::with_capacity(group.len());
+    for queued in group {
+        if let Err(e) = queued.request.policy.validate() {
+            queued.fulfill(metrics, Err(e));
+        } else if queued.request.image.len() != input_len {
+            let e = ServeError::Simulation(SnnError::InputSizeMismatch {
+                expected: input_len,
+                actual: queued.request.image.len(),
+            });
+            queued.fulfill(metrics, Err(e));
+        } else {
+            lanes.push(queued);
+        }
+    }
+    if lanes.is_empty() {
+        return;
+    }
+    let lockstep_width = lanes.len();
+    let queue_micros: Vec<u64> = lanes
+        .iter()
+        .map(|q| q.enqueued.elapsed().as_micros() as u64)
+        .collect();
+    // Move the image buffers out of the requests (no clone) so the
+    // engine can borrow them while the slots are fulfilled lane by lane.
+    let images_owned: Vec<Vec<f32>> = lanes
+        .iter_mut()
+        .map(|q| std::mem::take(&mut q.request.image))
+        .collect();
+    let images: Vec<&[f32]> = images_owned.iter().map(|v| v.as_slice()).collect();
+    let policies: Vec<_> = lanes.iter().map(|q| q.request.policy.clone()).collect();
+    let started = Instant::now();
+    // Slots are fulfilled the moment their lane retires: a converged
+    // request is answered immediately instead of waiting for the
+    // slowest lane in its batch.
+    let mut slots: Vec<Option<QueuedRequest>> = lanes.into_iter().map(Some).collect();
+    let result = run_batch_with_policies_each(
+        &mut cached.engine,
+        &images,
+        &entry,
+        &policies,
+        |lane, outcome| {
+            if let Some(queued) = slots[lane].take() {
+                queued.fulfill(
+                    metrics,
+                    Ok(InferResponse {
+                        prediction: outcome.prediction,
+                        steps: outcome.steps,
+                        spikes: outcome.spikes,
+                        margin: outcome.margin,
+                        exit: outcome.reason,
+                        model_epoch: entry.epoch(),
+                        queue_micros: queue_micros[lane],
+                        service_micros: started.elapsed().as_micros() as u64,
+                        batch_size: lockstep_width,
+                    }),
+                );
+            }
+        },
+    );
+    if let Err(e) = result {
+        for queued in slots.into_iter().flatten() {
+            queued.fulfill(metrics, Err(e.clone()));
+        }
+    }
 }
 
 #[cfg(test)]

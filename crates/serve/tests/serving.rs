@@ -305,3 +305,62 @@ fn load_generator_completes_all_requests() {
     let snap = runtime.shutdown();
     assert_eq!(snap.completed, 100);
 }
+
+/// A malformed lane (wrong image length) inside a lockstep micro-batch
+/// must fail alone: its batch neighbors are served normally, and mixed
+/// per-request exit policies coexist in one batch.
+#[test]
+fn bad_lane_does_not_poison_its_lockstep_batch() {
+    let (registry, test) = serving_setup(2);
+    let runtime = ServeRuntime::start(
+        ServeConfig {
+            workers: 1,
+            queue_capacity: 64,
+            max_batch: 8,
+            // A long linger so all submissions below land in one batch.
+            batch_linger: Duration::from_millis(50),
+        },
+        Arc::clone(&registry),
+    )
+    .expect("runtime");
+    let good = test.image(0).to_vec();
+    let handles: Vec<_> = vec![
+        runtime.submit(InferRequest::new(good.clone(), MODEL, margin_policy())),
+        runtime.submit(InferRequest::new(
+            vec![0.5; 7], // wrong input length
+            MODEL,
+            margin_policy(),
+        )),
+        runtime.submit(InferRequest::new(
+            good.clone(),
+            MODEL,
+            ExitPolicy::Fixed { steps: 24 },
+        )),
+        runtime.submit(InferRequest::new(
+            good.clone(),
+            MODEL,
+            ExitPolicy::SpikeBudget {
+                max_spikes: 500,
+                max_steps: MAX_STEPS,
+            },
+        )),
+    ]
+    .into_iter()
+    .map(|h| h.expect("submit"))
+    .collect();
+    let results: Vec<_> = handles.into_iter().map(|h| h.wait()).collect();
+    assert!(results[0].is_ok(), "margin lane failed: {:?}", results[0]);
+    assert!(
+        matches!(results[1], Err(ServeError::Simulation(_))),
+        "bad lane must fail with a simulation error: {:?}",
+        results[1]
+    );
+    let fixed = results[2].as_ref().expect("fixed lane");
+    assert_eq!(fixed.steps, 24);
+    assert_eq!(fixed.exit, ExitReason::HorizonReached);
+    let budget = results[3].as_ref().expect("budget lane");
+    assert!(budget.spikes >= 500);
+    let snap = runtime.shutdown();
+    assert_eq!(snap.completed, 3);
+    assert_eq!(snap.failed, 1);
+}
