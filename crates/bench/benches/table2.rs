@@ -5,7 +5,7 @@
 use bsnn_analysis::{EnergyModel, WorkloadMetrics};
 use bsnn_core::coding::{CodingScheme, HiddenCoding, InputCoding};
 use bsnn_core::convert::{convert, ConversionConfig};
-use bsnn_core::simulator::{evaluate_dataset, EvalConfig};
+use bsnn_core::simulator::{evaluate_dataset_batched, EvalConfig};
 use bsnn_data::SynthSpec;
 use bsnn_dnn::models;
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -22,15 +22,18 @@ fn bench_methods(c: &mut Criterion) {
         CodingScheme::new(InputCoding::Phase, HiddenCoding::Phase),
         CodingScheme::new(InputCoding::Phase, HiddenCoding::Burst),
     ];
-    let mut group = c.benchmark_group("table2_evaluate_10imgs_32steps");
+    // The exp_* bins evaluate through the lockstep engine; the bench
+    // measures the same path (single worker thread for stable samples).
+    let mut group = c.benchmark_group("table2_evaluate_batch16_10imgs_32steps");
     group.sample_size(10);
     for scheme in methods {
         let cfg = ConversionConfig::new(scheme).with_vth(0.125);
-        let mut snn = convert(&mut dnn, &norm, &cfg).expect("conversion");
+        let snn = convert(&mut dnn, &norm, &cfg).expect("conversion");
         let eval_cfg = EvalConfig::new(scheme, 32).with_max_images(10);
         group.bench_function(scheme.to_string(), |b| {
             b.iter(|| {
-                let ev = evaluate_dataset(&mut snn, black_box(&test), &eval_cfg).expect("eval");
+                let ev = evaluate_dataset_batched(&snn, black_box(&test), &eval_cfg, 1, 16)
+                    .expect("eval");
                 black_box(ev.final_mean_spikes())
             })
         });

@@ -5,16 +5,12 @@
 //! * max versus outlier-robust percentile weight normalization,
 //! * phase period k sweep.
 
-use bsnn_bench::{prepare_task, print_table, Profile};
+use bsnn_bench::{evaluate_autotuned, prepare_task, print_table, Profile};
 use bsnn_core::coding::CodingScheme;
 use bsnn_core::convert::{convert, ConversionConfig, Normalization};
-use bsnn_core::simulator::{evaluate_dataset_parallel, EvalConfig};
+use bsnn_core::simulator::EvalConfig;
 use bsnn_core::ResetMode;
 use bsnn_data::SyntheticTask;
-
-fn threads() -> usize {
-    std::thread::available_parallelism().map_or(1, |n| n.get())
-}
 
 fn main() {
     let profile = Profile::from_env();
@@ -36,7 +32,7 @@ fn main() {
             .with_checkpoint_every((profile.steps / 16).max(1))
             .with_max_images(profile.eval_images)
             .with_phase_period(cfg.phase_period);
-        evaluate_dataset_parallel(&snn, &setup.test, &eval_cfg, threads()).expect("evaluation")
+        evaluate_autotuned(&snn, &setup.test, &eval_cfg).0
     };
     let fmt_row = |label: String, eval: &bsnn_core::simulator::EvalResult| {
         let (latency, spikes) = match eval.latency_to(target) {

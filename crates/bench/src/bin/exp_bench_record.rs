@@ -12,12 +12,15 @@
 //! records the workload shape alongside every figure so comparisons
 //! stay apples-to-apples.
 
+use bsnn_core::autotune::{autotune_batch, AutotuneConfig};
 use bsnn_core::batch::{BatchedNetwork, BatchedStepwiseInference};
 use bsnn_core::coding::CodingScheme;
 use bsnn_core::convert::{convert, ConversionConfig};
-use bsnn_core::simulator::{EvalConfig, StepwiseInference};
+use bsnn_core::simulator::{
+    evaluate_dataset, evaluate_dataset_batched, EvalConfig, StepwiseInference,
+};
 use bsnn_core::SpikingNetwork;
-use bsnn_data::SynthSpec;
+use bsnn_data::{ImageDataset, SynthSpec};
 use bsnn_dnn::models;
 use bsnn_dnn::train::{TrainConfig, Trainer};
 use bsnn_serve::{run_closed_loop, ExitPolicy, LoadSpec, ModelRegistry, ServeConfig, ServeRuntime};
@@ -33,7 +36,7 @@ const SIM_REPS: usize = 5;
 fn train_model(
     build: impl Fn() -> bsnn_dnn::Sequential,
     epochs: usize,
-) -> (SpikingNetwork, Vec<Vec<f32>>, CodingScheme) {
+) -> (SpikingNetwork, ImageDataset, Vec<Vec<f32>>, CodingScheme) {
     let (train, test) = SynthSpec::digits().with_counts(60, 8).generate();
     let mut dnn = build();
     Trainer::new(TrainConfig {
@@ -48,7 +51,7 @@ fn train_model(
     let norm = train.batch(&(0..40).collect::<Vec<_>>()).0;
     let snn = convert(&mut dnn, &norm, &ConversionConfig::new(scheme)).expect("conversion");
     let images: Vec<Vec<f32>> = (0..test.len()).map(|i| test.image(i).to_vec()).collect();
-    (snn, images, scheme)
+    (snn, test, images, scheme)
 }
 
 /// Best-of-N wall clock of `f`, in seconds.
@@ -128,7 +131,57 @@ fn core_record(
     s
 }
 
+/// One workload's end-to-end dataset-evaluation record (images/s for
+/// sequential vs parallel vs batched×parallel at the autotuned width)
+/// as a JSON object string.
+fn eval_record(
+    name: &str,
+    net: &SpikingNetwork,
+    test: &ImageDataset,
+    scheme: CodingScheme,
+) -> String {
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let cfg = EvalConfig::new(scheme, SIM_STEPS);
+    let n_images = test.len();
+    let policy = autotune_batch(net, scheme, &AutotuneConfig::default()).expect("autotune");
+    let seq = best_secs(3, || {
+        let mut local = net.clone();
+        std::hint::black_box(evaluate_dataset(&mut local, test, &cfg).expect("eval"));
+    });
+    let par = best_secs(3, || {
+        std::hint::black_box(evaluate_dataset_batched(net, test, &cfg, threads, 1).expect("eval"));
+    });
+    let batched = best_secs(3, || {
+        std::hint::black_box(
+            evaluate_dataset_batched(net, test, &cfg, threads, policy.preferred_batch)
+                .expect("eval"),
+        );
+    });
+    let ips = |secs: f64| n_images as f64 / secs;
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        concat!(
+            "{{\"workload\": \"{}\", \"images\": {}, \"steps\": {}, \"threads\": {}, ",
+            "\"preferred_batch\": {}, \"images_per_sec\": {{\"sequential\": {:.1}, ",
+            "\"parallel\": {:.1}, \"batched_autotuned\": {:.1}}}, ",
+            "\"speedup_batched_vs_parallel\": {:.2}}}"
+        ),
+        name,
+        n_images,
+        SIM_STEPS,
+        threads,
+        policy.preferred_batch,
+        ips(seq),
+        ips(par),
+        ips(batched),
+        par / batched,
+    );
+    s
+}
+
 /// One serving configuration's record as a JSON object string.
+#[allow(clippy::too_many_arguments)]
 fn serve_record(
     name: &str,
     snn: &SpikingNetwork,
@@ -137,9 +190,16 @@ fn serve_record(
     workers: usize,
     max_batch: usize,
     requests: usize,
+    autotune: bool,
 ) -> String {
     let registry = Arc::new(ModelRegistry::new());
-    registry.install("digits", snn.clone(), scheme, 8);
+    if autotune {
+        registry
+            .install_autotuned("digits", snn.clone(), scheme, 8, &AutotuneConfig::default())
+            .expect("autotuned install");
+    } else {
+        registry.install("digits", snn.clone(), scheme, 8);
+    }
     let runtime = ServeRuntime::start(
         ServeConfig {
             workers,
@@ -169,6 +229,7 @@ fn serve_record(
         s,
         concat!(
             "{{\"workload\": \"{}\", \"workers\": {}, \"max_batch\": {}, ",
+            "\"batch_policy\": \"{}\", ",
             "\"requests\": {}, \"throughput_rps\": {:.0}, ",
             "\"latency_us\": {{\"p50\": {}, \"p95\": {}, \"p99\": {}}}, ",
             "\"mean_steps_per_req\": {:.1}, \"mean_spikes_per_req\": {:.0}, ",
@@ -177,6 +238,7 @@ fn serve_record(
         name,
         workers,
         max_batch,
+        if autotune { "autotuned" } else { "fixed" },
         report.completed,
         report.throughput_rps,
         metrics.latency_us_p50,
@@ -204,16 +266,18 @@ fn main() {
     }
 
     eprintln!("training workloads (mlp 144-32-10, vgg_tiny 1x12x12)...");
-    let (mlp, mlp_images, mlp_scheme) =
+    let (mlp, mlp_test, mlp_images, mlp_scheme) =
         train_model(|| models::mlp(144, &[32], 10, 5).expect("mlp"), 6);
-    let (cnn, cnn_images, cnn_scheme) =
+    let (cnn, cnn_test, cnn_images, cnn_scheme) =
         train_model(|| models::vgg_tiny(1, 12, 12, 10, 0).expect("vgg_tiny"), 4);
 
     eprintln!("measuring core simulation throughput...");
     let core = format!(
-        "{{\n  \"schema\": \"bsnn-bench-core-v1\",\n  \"note\": \"lane-steps/s = images × time-steps simulated per wall-clock second; sequential = {SIM_BATCH} back-to-back single-image runs\",\n  \"workloads\": [\n    {},\n    {}\n  ]\n}}\n",
+        "{{\n  \"schema\": \"bsnn-bench-core-v2\",\n  \"note\": \"lane-steps/s = images × time-steps simulated per wall-clock second; sequential = {SIM_BATCH} back-to-back single-image runs; dataset_eval = full evaluate_dataset passes (batched width from the autotuner)\",\n  \"workloads\": [\n    {},\n    {}\n  ],\n  \"dataset_eval\": [\n    {},\n    {}\n  ]\n}}\n",
         core_record("mlp_144_32_10", &mlp, &mlp_images, mlp_scheme),
         core_record("vgg_tiny_1x12x12", &cnn, &cnn_images, cnn_scheme),
+        eval_record("mlp_144_32_10", &mlp, &mlp_test, mlp_scheme),
+        eval_record("vgg_tiny_1x12x12", &cnn, &cnn_test, cnn_scheme),
     );
     let core_path = format!("{out_dir}/BENCH_core.json");
     std::fs::write(&core_path, &core).expect("write BENCH_core.json");
@@ -221,11 +285,13 @@ fn main() {
 
     eprintln!("measuring serving throughput...");
     let serve = format!(
-        "{{\n  \"schema\": \"bsnn-bench-serve-v1\",\n  \"note\": \"one closed-loop wave per config (cold worker engines included), confidence-margin early exit (horizon 96); latency percentiles are log-bucket upper bounds\",\n  \"configs\": [\n    {},\n    {},\n    {},\n    {}\n  ]\n}}\n",
-        serve_record("mlp_144_32_10", &mlp, mlp_scheme, &mlp_images, 4, 1, 512),
-        serve_record("mlp_144_32_10", &mlp, mlp_scheme, &mlp_images, 4, 8, 512),
-        serve_record("vgg_tiny_1x12x12", &cnn, cnn_scheme, &cnn_images, 1, 1, 128),
-        serve_record("vgg_tiny_1x12x12", &cnn, cnn_scheme, &cnn_images, 1, 16, 128),
+        "{{\n  \"schema\": \"bsnn-bench-serve-v2\",\n  \"note\": \"one closed-loop wave per config (cold worker engines included), confidence-margin early exit (horizon 96); latency percentiles are log-bucket upper bounds; batch_policy=autotuned splits popped micro-batches to the model's measured width\",\n  \"configs\": [\n    {},\n    {},\n    {},\n    {},\n    {},\n    {}\n  ]\n}}\n",
+        serve_record("mlp_144_32_10", &mlp, mlp_scheme, &mlp_images, 4, 1, 512, false),
+        serve_record("mlp_144_32_10", &mlp, mlp_scheme, &mlp_images, 4, 8, 512, false),
+        serve_record("mlp_144_32_10", &mlp, mlp_scheme, &mlp_images, 4, 8, 512, true),
+        serve_record("vgg_tiny_1x12x12", &cnn, cnn_scheme, &cnn_images, 1, 1, 128, false),
+        serve_record("vgg_tiny_1x12x12", &cnn, cnn_scheme, &cnn_images, 1, 16, 128, false),
+        serve_record("vgg_tiny_1x12x12", &cnn, cnn_scheme, &cnn_images, 1, 16, 128, true),
     );
     let serve_path = format!("{out_dir}/BENCH_serve.json");
     std::fs::write(&serve_path, &serve).expect("write BENCH_serve.json");

@@ -8,15 +8,11 @@
 //! phase-burst needs the fewest spikes among schemes that reach the
 //! target; real-rate's latency grows steeply as the target tightens.
 
-use bsnn_bench::{prepare_task, print_table, Profile};
+use bsnn_bench::{evaluate_autotuned, prepare_task, print_table, Profile};
 use bsnn_core::coding::CodingScheme;
 use bsnn_core::convert::{convert, ConversionConfig};
-use bsnn_core::simulator::{evaluate_dataset_parallel, EvalConfig};
+use bsnn_core::simulator::EvalConfig;
 use bsnn_data::SyntheticTask;
-
-fn threads() -> usize {
-    std::thread::available_parallelism().map_or(1, |n| n.get())
-}
 
 fn main() {
     let profile = Profile::from_env();
@@ -41,8 +37,7 @@ fn main() {
         let eval_cfg = EvalConfig::new(scheme, profile.steps)
             .with_checkpoint_every((profile.steps / 32).max(1))
             .with_max_images(profile.eval_images);
-        let eval =
-            evaluate_dataset_parallel(&snn, &setup.test, &eval_cfg, threads()).expect("evaluation");
+        let (eval, _) = evaluate_autotuned(&snn, &setup.test, &eval_cfg);
         let mut row = vec![scheme.to_string()];
         for (_, target) in &targets {
             match eval.latency_to(*target) {

@@ -5,15 +5,11 @@
 //! coding converges fastest; rate-phase is the worst curve; phase-burst
 //! and real-burst track the DNN ceiling earliest.
 
-use bsnn_bench::{prepare_task, print_table, Profile};
+use bsnn_bench::{evaluate_autotuned, prepare_task, print_table, Profile};
 use bsnn_core::coding::CodingScheme;
 use bsnn_core::convert::{convert, ConversionConfig};
-use bsnn_core::simulator::{evaluate_dataset_parallel, EvalConfig};
+use bsnn_core::simulator::EvalConfig;
 use bsnn_data::SyntheticTask;
-
-fn threads() -> usize {
-    std::thread::available_parallelism().map_or(1, |n| n.get())
-}
 
 fn main() {
     let profile = Profile::from_env();
@@ -34,8 +30,7 @@ fn main() {
         let eval_cfg = EvalConfig::new(scheme, profile.steps)
             .with_checkpoint_every(every)
             .with_max_images(profile.eval_images);
-        let eval =
-            evaluate_dataset_parallel(&snn, &setup.test, &eval_cfg, threads()).expect("evaluation");
+        let (eval, _) = evaluate_autotuned(&snn, &setup.test, &eval_cfg);
         if headers.len() == 1 {
             headers.extend(eval.checkpoints.iter().map(|c| format!("t={c}")));
         }

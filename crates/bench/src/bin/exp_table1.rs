@@ -7,15 +7,11 @@
 //! coding generates the most spikes; phase-burst reaches DNN accuracy
 //! with fewer steps than the horizon.
 
-use bsnn_bench::{prepare_task, print_table, Profile};
+use bsnn_bench::{evaluate_autotuned, prepare_task, print_table, Profile};
 use bsnn_core::coding::CodingScheme;
 use bsnn_core::convert::{convert, ConversionConfig};
-use bsnn_core::simulator::{evaluate_dataset_parallel, EvalConfig};
+use bsnn_core::simulator::EvalConfig;
 use bsnn_data::SyntheticTask;
-
-fn threads() -> usize {
-    std::thread::available_parallelism().map_or(1, |n| n.get())
-}
 
 fn main() {
     let profile = Profile::from_env();
@@ -40,8 +36,8 @@ fn main() {
         let eval_cfg = EvalConfig::new(scheme, profile.steps)
             .with_checkpoint_every((profile.steps / 16).max(1))
             .with_max_images(profile.eval_images);
-        let eval =
-            evaluate_dataset_parallel(&snn, &setup.test, &eval_cfg, threads()).expect("evaluation");
+        let (eval, policy) = evaluate_autotuned(&snn, &setup.test, &eval_cfg);
+        eprintln!("[{scheme}] lockstep width {}", policy.preferred_batch);
         let (latency, spikes_at) = match eval.latency_to(target) {
             Some((t, s)) => (format!("{t}"), s),
             None => (format!(">{}", profile.steps), eval.final_mean_spikes()),

@@ -16,10 +16,10 @@
 //! spike counts; smaller v_th converges faster but spikes more.
 
 use bsnn_analysis::{EnergyModel, WorkloadMetrics};
-use bsnn_bench::{prepare_task, print_table, Profile};
+use bsnn_bench::{evaluate_autotuned, prepare_task, print_table, Profile};
 use bsnn_core::coding::{CodingScheme, HiddenCoding, InputCoding};
 use bsnn_core::convert::{convert, ConversionConfig};
-use bsnn_core::simulator::{evaluate_dataset_parallel, EvalConfig};
+use bsnn_core::simulator::EvalConfig;
 use bsnn_data::SyntheticTask;
 
 struct MethodSpec {
@@ -65,10 +65,6 @@ fn methods() -> Vec<MethodSpec> {
     ]
 }
 
-fn threads() -> usize {
-    std::thread::available_parallelism().map_or(1, |n| n.get())
-}
-
 fn main() {
     let profile = Profile::from_env();
     let truenorth = EnergyModel::truenorth();
@@ -98,8 +94,7 @@ fn main() {
             let eval_cfg = EvalConfig::new(m.scheme, profile.steps)
                 .with_checkpoint_every((profile.steps / 16).max(1))
                 .with_max_images(profile.eval_images);
-            let eval = evaluate_dataset_parallel(&snn, &setup.test, &eval_cfg, threads())
-                .expect("evaluation");
+            let (eval, _) = evaluate_autotuned(&snn, &setup.test, &eval_cfg);
             let (latency, spikes) = match eval.latency_to(target) {
                 Some((t, s)) => (t, s),
                 None => (profile.steps, eval.final_mean_spikes()),

@@ -20,6 +20,9 @@
 //! the default `quick` profile finishes each binary in well under a
 //! minute on a laptop CPU.
 
+use bsnn_core::autotune::{autotune_batch, AutotuneConfig, BatchPolicy};
+use bsnn_core::simulator::{evaluate_dataset_batched, EvalConfig, EvalResult};
+use bsnn_core::SpikingNetwork;
 use bsnn_data::{ImageDataset, SynthSpec, SyntheticTask};
 use bsnn_dnn::models;
 use bsnn_dnn::train::{evaluate, TrainConfig, Trainer};
@@ -28,6 +31,37 @@ use bsnn_tensor::Tensor;
 use std::fs;
 use std::io::{Read, Write};
 use std::path::PathBuf;
+
+/// Worker threads for dataset evaluation: all available cores.
+pub fn eval_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Evaluates `net` over the dataset with the `threads × batch`
+/// composition, at the lockstep width the model's own autotuning probe
+/// picks — the default evaluation path of every `exp_*` binary. Returns
+/// the result together with the measured [`BatchPolicy`] so reports can
+/// cite the width the numbers were produced at (bit-identical to the
+/// sequential path at any width, so the choice affects only wall-clock).
+///
+/// # Panics
+///
+/// Panics if the autotuning probe or the evaluation itself fails —
+/// experiment binaries treat both as fatal.
+pub fn evaluate_autotuned(
+    net: &SpikingNetwork,
+    dataset: &ImageDataset,
+    cfg: &EvalConfig,
+) -> (EvalResult, BatchPolicy) {
+    let probe_cfg = AutotuneConfig {
+        phase_period: cfg.phase_period,
+        ..AutotuneConfig::default()
+    };
+    let policy = autotune_batch(net, cfg.scheme, &probe_cfg).expect("autotune probe");
+    let eval = evaluate_dataset_batched(net, dataset, cfg, eval_threads(), policy.preferred_batch)
+        .expect("dataset evaluation");
+    (eval, policy)
+}
 
 /// Experiment scale: dataset sizes, training epochs, evaluation breadth.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

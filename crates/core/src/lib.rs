@@ -61,6 +61,7 @@
 //! # }
 //! ```
 
+pub mod autotune;
 pub mod batch;
 pub mod coding;
 pub mod convert;
@@ -73,6 +74,7 @@ pub mod simulator;
 pub mod snapshot;
 pub mod synapse;
 
+pub use autotune::{autotune_batch, AutotuneConfig, BatchPolicy, BatchProbe};
 pub use batch::{BatchedNetwork, BatchedStepwiseInference};
 pub use coding::{CodingScheme, HiddenCoding, InputCoding};
 pub use convert::{convert, ConversionConfig, Normalization};
@@ -82,7 +84,10 @@ pub use layer::{ResetMode, SpikingLayer, ThresholdPolicy};
 pub use network::SpikingNetwork;
 pub use recorder::{NeuronId, RecordLevel, SpikeRecord, SpikeTrainRec};
 pub use simulator::{
-    evaluate_dataset, evaluate_dataset_parallel, infer_image, EvalConfig, EvalResult, ImageResult,
-    StepwiseInference,
+    evaluate_dataset, evaluate_dataset_batched, evaluate_dataset_parallel, infer_image, EvalConfig,
+    EvalResult, ImageResult, StepwiseInference,
 };
-pub use snapshot::{load_network, save_network, SnapshotError};
+pub use snapshot::{
+    load_network, load_network_with_meta, save_network, save_network_with_meta, SnapshotError,
+    SnapshotMeta,
+};

@@ -1,6 +1,15 @@
 //! Clock-driven inference: per-image runs, dataset evaluation with
 //! accuracy-versus-time-step checkpoints, and latency-to-target queries.
+//!
+//! Dataset evaluation composes two orthogonal speedups: **threads**
+//! (shard the dataset, one network clone per worker) and **lockstep
+//! batch** (step several images through one network simultaneously via
+//! [`BatchedStepwiseInference`], SIMD over the contiguous lane axis).
+//! [`evaluate_dataset_batched`] exposes both knobs; every path produces
+//! results bit-identical to the sequential reference
+//! [`evaluate_dataset`].
 
+use crate::batch::{BatchedNetwork, BatchedStepwiseInference};
 use crate::coding::{CodingScheme, InputCoding};
 use crate::encoder::InputEncoder;
 use crate::network::SpikingNetwork;
@@ -403,21 +412,107 @@ pub fn evaluate_dataset(
     })
 }
 
-/// Evaluates the network over (a prefix of) a dataset using `threads`
-/// worker threads, each with its own clone of the network. Results are
-/// bit-identical to [`evaluate_dataset`] (per-image simulation is
-/// deterministic and images are independent).
+/// Per-worker partial sums: correct@checkpoint, spikes@checkpoint,
+/// per-layer counts.
+type PartialSums = (Vec<usize>, Vec<u64>, Vec<u64>);
+
+/// Evaluates images `lo..hi` against `net`, accumulating checkpointed
+/// partial sums — the shared body of every dataset-evaluation path.
 ///
-/// `threads = 0` or `1` falls back to the sequential path.
+/// Every width (including 1) drives a [`BatchedStepwiseInference`] in
+/// lockstep chunks of up to `batch` lanes, so the engine the
+/// autotuner's width-1 probe measures is the engine that actually runs.
+/// Spike-train recording is only supported by the scalar engine, so
+/// [`RecordLevel::Trains`] configs replay the scalar [`infer_image`]
+/// loop instead (`EvalResult` carries counts either way, and per-lane
+/// lockstep results are bit-identical to scalar runs, so the choice
+/// never changes the outcome — only the wall-clock).
+fn eval_range(
+    net: &SpikingNetwork,
+    dataset: &ImageDataset,
+    cfg: &EvalConfig,
+    lo: usize,
+    hi: usize,
+    batch: usize,
+) -> Result<PartialSums, SnnError> {
+    let mut correct = vec![0usize; cfg.checkpoints.len()];
+    let mut spikes = vec![0u64; cfg.checkpoints.len()];
+    let mut layer_counts = vec![0u64; net.spiking_layer_sizes().len()];
+    if matches!(cfg.record, RecordLevel::Trains { .. }) {
+        let mut local = net.clone();
+        for i in lo..hi {
+            let result = infer_image(&mut local, dataset.image(i), cfg)?;
+            let label = dataset.label(i);
+            for (c, &p) in result.predictions.iter().enumerate() {
+                if p == label {
+                    correct[c] += 1;
+                }
+            }
+            for (s, &cs) in result.cum_spikes.iter().enumerate() {
+                spikes[s] += cs;
+            }
+            for (lc, &c) in layer_counts.iter_mut().zip(result.record.layer_counts()) {
+                *lc += c;
+            }
+        }
+        return Ok((correct, spikes, layer_counts));
+    }
+    let batch = batch.max(1);
+    let mut engine = BatchedNetwork::new(net.clone(), batch.min(hi - lo))?;
+    let mut start = lo;
+    while start < hi {
+        let width = batch.min(hi - start);
+        let images: Vec<&[f32]> = (start..start + width).map(|i| dataset.image(i)).collect();
+        let mut run = BatchedStepwiseInference::new(&mut engine, &images, cfg)?;
+        // No lane retires, so every lane hits each checkpoint together.
+        let mut next_cp = 0usize;
+        while run.advance()? {
+            if next_cp < cfg.checkpoints.len()
+                && run.steps_taken_global() == cfg.checkpoints[next_cp]
+            {
+                for lane in 0..width {
+                    if run.prediction(lane) == dataset.label(start + lane) {
+                        correct[next_cp] += 1;
+                    }
+                    spikes[next_cp] += run.total_spikes(lane);
+                }
+                next_cp += 1;
+            }
+        }
+        for lane in 0..width {
+            for (lc, c) in layer_counts.iter_mut().zip(run.layer_counts(lane)) {
+                *lc += c;
+            }
+        }
+        start += width;
+    }
+    Ok((correct, spikes, layer_counts))
+}
+
+/// Evaluates the network over (a prefix of) a dataset with `threads`
+/// workers, each stepping lockstep batches of up to `batch` images
+/// through its own [`BatchedNetwork`] — the `threads × batch`
+/// composition of the two dataset-evaluation speedups. Results are
+/// **bit-identical** to [`evaluate_dataset`] (per-image lockstep
+/// simulation is bit-exact versus sequential, and images are
+/// independent).
+///
+/// `threads <= 1` evaluates on the calling thread; `batch <= 1` runs
+/// the lockstep engine at width 1 (which slightly beats the scalar
+/// loop — and is exactly what the autotuner's width-1 probe measures).
+/// The best `batch` is model-dependent — measure it with
+/// [`crate::autotune::autotune_batch`] rather than hardcoding (conv
+/// nets want 8–16, small dense nets want 1).
 ///
 /// # Errors
 ///
-/// Propagates per-image simulation errors from any worker.
-pub fn evaluate_dataset_parallel(
+/// Propagates configuration and simulation errors from any worker.
+pub fn evaluate_dataset_batched(
     net: &SpikingNetwork,
     dataset: &ImageDataset,
     cfg: &EvalConfig,
     threads: usize,
+    batch: usize,
 ) -> Result<EvalResult, SnnError> {
     cfg.validate()?;
     let n_images = cfg
@@ -426,59 +521,33 @@ pub fn evaluate_dataset_parallel(
     if n_images == 0 {
         return Err(SnnError::InvalidConfig("no images to evaluate".into()));
     }
-    if threads <= 1 {
-        let mut local = net.clone();
-        return evaluate_dataset(&mut local, dataset, cfg);
-    }
-    // Per-worker partial sums: (correct@checkpoint, spikes@checkpoint,
-    // per-layer counts, images processed).
-    type WorkerResult = Result<(Vec<usize>, Vec<u64>, Vec<u64>, usize), SnnError>;
-    let threads = threads.min(n_images);
-    let chunk = n_images.div_ceil(threads);
-    let results: Vec<WorkerResult> = std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for w in 0..threads {
-            let lo = w * chunk;
-            let hi = ((w + 1) * chunk).min(n_images);
-            if lo >= hi {
-                break;
-            }
-            let mut local = net.clone();
-            let cfg = cfg.clone();
-            handles.push(scope.spawn(move || {
-                let mut correct = vec![0usize; cfg.checkpoints.len()];
-                let mut spikes = vec![0u64; cfg.checkpoints.len()];
-                let mut layer_counts = vec![0u64; local.spiking_layer_sizes().len()];
-                for i in lo..hi {
-                    let result = infer_image(&mut local, dataset.image(i), &cfg)?;
-                    let label = dataset.label(i);
-                    for (c, &p) in result.predictions.iter().enumerate() {
-                        if p == label {
-                            correct[c] += 1;
-                        }
-                    }
-                    for (s, &cs) in result.cum_spikes.iter().enumerate() {
-                        spikes[s] += cs;
-                    }
-                    for (lc, &c) in layer_counts.iter_mut().zip(result.record.layer_counts()) {
-                        *lc += c;
-                    }
+    let threads = threads.clamp(1, n_images);
+    let results: Vec<Result<PartialSums, SnnError>> = if threads == 1 {
+        vec![eval_range(net, dataset, cfg, 0, n_images, batch)]
+    } else {
+        let chunk = n_images.div_ceil(threads);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for w in 0..threads {
+                let lo = w * chunk;
+                let hi = ((w + 1) * chunk).min(n_images);
+                if lo >= hi {
+                    break;
                 }
-                Ok((correct, spikes, layer_counts, hi - lo))
-            }));
-        }
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker thread panicked"))
-            .collect()
-    });
+                handles.push(scope.spawn(move || eval_range(net, dataset, cfg, lo, hi, batch)));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker thread panicked"))
+                .collect()
+        })
+    };
 
     let mut correct = vec![0usize; cfg.checkpoints.len()];
     let mut spikes = vec![0u64; cfg.checkpoints.len()];
     let mut layer_counts = vec![0u64; net.spiking_layer_sizes().len()];
-    let mut counted = 0usize;
     for r in results {
-        let (c, s, lc, n) = r?;
+        let (c, s, lc) = r?;
         for (a, b) in correct.iter_mut().zip(&c) {
             *a += b;
         }
@@ -488,9 +557,7 @@ pub fn evaluate_dataset_parallel(
         for (a, b) in layer_counts.iter_mut().zip(&lc) {
             *a += b;
         }
-        counted += n;
     }
-    debug_assert_eq!(counted, n_images);
     Ok(EvalResult {
         scheme: cfg.scheme,
         checkpoints: cfg.checkpoints.clone(),
@@ -503,6 +570,25 @@ pub fn evaluate_dataset_parallel(
         num_neurons: net.num_neurons(),
         layer_counts,
     })
+}
+
+/// Evaluates the network over (a prefix of) a dataset using `threads`
+/// worker threads, each with its own clone of the network — the
+/// `batch = 1` case of [`evaluate_dataset_batched`]. Results are
+/// bit-identical to [`evaluate_dataset`].
+///
+/// `threads = 0` or `1` evaluates on the calling thread.
+///
+/// # Errors
+///
+/// Propagates per-image simulation errors from any worker.
+pub fn evaluate_dataset_parallel(
+    net: &SpikingNetwork,
+    dataset: &ImageDataset,
+    cfg: &EvalConfig,
+    threads: usize,
+) -> Result<EvalResult, SnnError> {
+    evaluate_dataset_batched(net, dataset, cfg, threads, 1)
 }
 
 /// Runs one image with full spike-train recording — the data source for

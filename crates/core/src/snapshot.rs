@@ -3,9 +3,15 @@
 //! A [`SpikingNetwork`] is expensive to produce (it requires a trained
 //! DNN plus a normalization pass), so deployments want to convert once
 //! and ship the result. [`save_network`] / [`load_network`] implement a
-//! small versioned binary format (magic `BSNN`, format version 1,
-//! little-endian) over any `Write`/`Read` — pass `&mut file` if you need
-//! the file back afterwards.
+//! small versioned binary format (magic `BSNN`, little-endian) over any
+//! `Write`/`Read` — pass `&mut file` if you need the file back
+//! afterwards.
+//!
+//! Format version 2 adds a [`SnapshotMeta`] block (currently the
+//! model's autotuned `preferred_batch` lockstep width) between the
+//! header and the network body, so deployment-time measurements travel
+//! with the weights; version-1 streams still load (with default
+//! metadata). Writers emit version 2.
 //!
 //! Only the *static* structure is serialized (weights, thresholds,
 //! geometry); dynamic state (membrane potentials, burst functions) is
@@ -20,7 +26,16 @@ use bsnn_tensor::Tensor;
 use std::io::{self, Read, Write};
 
 const MAGIC: &[u8; 4] = b"BSNN";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
+
+/// Deployment metadata carried alongside the network structure.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SnapshotMeta {
+    /// Autotuned lockstep batch width the model should run at
+    /// (`0` = no preference recorded; see
+    /// [`crate::autotune::autotune_batch`]).
+    pub preferred_batch: u32,
+}
 
 /// Errors from reading or writing a network snapshot.
 #[derive(Debug)]
@@ -250,15 +265,29 @@ fn read_policy<R: Read>(r: &mut R) -> Result<ThresholdPolicy, SnapshotError> {
     }
 }
 
-/// Writes a network snapshot to `writer` (pass `&mut writer` to keep
-/// ownership).
+/// Writes a network snapshot with default metadata (pass `&mut writer`
+/// to keep ownership).
 ///
 /// # Errors
 ///
 /// Returns I/O errors from the writer.
-pub fn save_network<W: Write>(net: &SpikingNetwork, mut writer: W) -> Result<(), SnapshotError> {
+pub fn save_network<W: Write>(net: &SpikingNetwork, writer: W) -> Result<(), SnapshotError> {
+    save_network_with_meta(net, SnapshotMeta::default(), writer)
+}
+
+/// Writes a network snapshot carrying `meta` (format version 2).
+///
+/// # Errors
+///
+/// Returns I/O errors from the writer.
+pub fn save_network_with_meta<W: Write>(
+    net: &SpikingNetwork,
+    meta: SnapshotMeta,
+    mut writer: W,
+) -> Result<(), SnapshotError> {
     writer.write_all(MAGIC)?;
     write_u32(&mut writer, VERSION)?;
+    write_u32(&mut writer, meta.preferred_batch)?;
     write_u32(&mut writer, net.input_len() as u32)?;
     write_u32(&mut writer, net.layers().len() as u32)?;
     for layer in net.layers() {
@@ -290,25 +319,47 @@ pub fn save_network<W: Write>(net: &SpikingNetwork, mut writer: W) -> Result<(),
     Ok(())
 }
 
-/// Reads a network snapshot produced by [`save_network`].
+/// Reads a network snapshot produced by [`save_network`] or
+/// [`save_network_with_meta`], discarding the metadata.
 ///
 /// # Errors
 ///
 /// Returns [`SnapshotError::Format`] for corrupt or foreign streams,
 /// and [`SnapshotError::Invalid`] if the decoded stages are mutually
 /// inconsistent.
-pub fn load_network<R: Read>(mut reader: R) -> Result<SpikingNetwork, SnapshotError> {
+pub fn load_network<R: Read>(reader: R) -> Result<SpikingNetwork, SnapshotError> {
+    load_network_with_meta(reader).map(|(net, _)| net)
+}
+
+/// Reads a network snapshot together with its [`SnapshotMeta`].
+/// Version-1 streams (which predate the metadata block) decode with
+/// default metadata.
+///
+/// # Errors
+///
+/// Returns [`SnapshotError::Format`] for corrupt or foreign streams,
+/// and [`SnapshotError::Invalid`] if the decoded stages are mutually
+/// inconsistent.
+pub fn load_network_with_meta<R: Read>(
+    mut reader: R,
+) -> Result<(SpikingNetwork, SnapshotMeta), SnapshotError> {
     let mut magic = [0u8; 4];
     reader.read_exact(&mut magic)?;
     if &magic != MAGIC {
         return Err(SnapshotError::Format("bad magic".into()));
     }
     let version = read_u32(&mut reader)?;
-    if version != VERSION {
-        return Err(SnapshotError::Format(format!(
-            "unsupported snapshot version {version}"
-        )));
-    }
+    let meta = match version {
+        1 => SnapshotMeta::default(),
+        2 => SnapshotMeta {
+            preferred_batch: read_u32(&mut reader)?,
+        },
+        other => {
+            return Err(SnapshotError::Format(format!(
+                "unsupported snapshot version {other}"
+            )))
+        }
+    };
     let input_len = read_u32(&mut reader)? as usize;
     let n_layers = read_u32(&mut reader)? as usize;
     if n_layers > 4096 {
@@ -340,12 +391,8 @@ pub fn load_network<R: Read>(mut reader: R) -> Result<SpikingNetwork, SnapshotEr
         1 => Some(read_f32_vec(&mut reader)?),
         tag => return Err(SnapshotError::Format(format!("unknown bias tag {tag}"))),
     };
-    Ok(SpikingNetwork::new(
-        input_len,
-        layers,
-        output_synapse,
-        output_bias,
-    )?)
+    let net = SpikingNetwork::new(input_len, layers, output_synapse, output_bias)?;
+    Ok((net, meta))
 }
 
 #[cfg(test)]
@@ -402,6 +449,37 @@ mod tests {
             assert_eq!(a.reset_mode(), b.reset_mode());
             assert_eq!(a.bias(), b.bias());
         }
+    }
+
+    #[test]
+    fn meta_round_trip_and_v1_compat() {
+        let (net, _, _) = sample_network(HiddenCoding::Burst);
+        let mut buf = Vec::new();
+        save_network_with_meta(
+            &net,
+            SnapshotMeta {
+                preferred_batch: 16,
+            },
+            &mut buf,
+        )
+        .expect("save");
+        let (_, meta) = load_network_with_meta(buf.as_slice()).expect("load");
+        assert_eq!(meta.preferred_batch, 16);
+        // A plain save carries no preference.
+        let mut plain = Vec::new();
+        save_network(&net, &mut plain).expect("save");
+        let (_, meta) = load_network_with_meta(plain.as_slice()).expect("load");
+        assert_eq!(meta, SnapshotMeta::default());
+        // A version-1 stream (no meta block) still loads, with default
+        // metadata: magic + version, then the body after the v2 meta u32.
+        let mut v1 = Vec::new();
+        v1.extend_from_slice(MAGIC);
+        v1.extend_from_slice(&1u32.to_le_bytes());
+        v1.extend_from_slice(&buf[12..]);
+        let (restored, meta) = load_network_with_meta(v1.as_slice()).expect("load v1");
+        assert_eq!(meta, SnapshotMeta::default());
+        assert_eq!(restored.input_len(), net.input_len());
+        assert_eq!(restored.num_neurons(), net.num_neurons());
     }
 
     #[test]

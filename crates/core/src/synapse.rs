@@ -11,9 +11,59 @@ use crate::SnnError;
 use bsnn_tensor::conv::Conv2dGeometry;
 use bsnn_tensor::Tensor;
 
+/// `p[b] += lanes[b] * w` over one lane block, 4 lanes at a time.
+///
+/// On x86-64 this is written with explicit 128-bit SSE intrinsics rather
+/// than a plain loop. The loop *is* trivially vectorizable — but LLVM's
+/// SLP pass (rustc 1.95, opt-level 3) instead transposes mid-width lane
+/// loops onto the *output* axis, assembling vectors of strided `psp`
+/// elements with `movss`+`unpcklps` gathers; measured on the dense
+/// 144×32 stage that made batch 4 *2.6× slower* per lane than batch 1
+/// (the BENCH_core.json batch-4 regression). Spelling the quads as
+/// vector IR pins the lane-innermost strategy. `_mm_mul_ps`/`_mm_add_ps`
+/// round exactly like the scalar `mul`+`add` (no fused contraction), so
+/// results stay bit-identical to [`Synapse::accumulate`].
+#[cfg(target_arch = "x86_64")]
+#[inline(always)]
+fn lane_fma(p: &mut [f32], lanes: &[f32], w: f32) {
+    use core::arch::x86_64::{_mm_add_ps, _mm_loadu_ps, _mm_mul_ps, _mm_set1_ps, _mm_storeu_ps};
+    debug_assert_eq!(p.len(), lanes.len());
+    let n = p.len().min(lanes.len());
+    let quads = n - n % 4;
+    // SAFETY: SSE is baseline on x86-64, and every load/store covers
+    // `[q, q + 4)` with `q + 4 <= quads <= n <= len(p), len(lanes)`.
+    unsafe {
+        let wv = _mm_set1_ps(w);
+        let mut q = 0;
+        while q < quads {
+            let pp = p.as_mut_ptr().add(q);
+            let lp = lanes.as_ptr().add(q);
+            _mm_storeu_ps(
+                pp,
+                _mm_add_ps(_mm_loadu_ps(pp), _mm_mul_ps(_mm_loadu_ps(lp), wv)),
+            );
+            q += 4;
+        }
+    }
+    for b in quads..n {
+        p[b] += lanes[b] * w;
+    }
+}
+
+/// Portable fallback: the plain lane loop (auto-vectorized).
+#[cfg(not(target_arch = "x86_64"))]
+#[inline(always)]
+fn lane_fma(p: &mut [f32], lanes: &[f32], w: f32) {
+    for (pb, &sb) in p.iter_mut().zip(lanes) {
+        *pb += sb * w;
+    }
+}
+
 /// Batched dense accumulation with a compile-time lane count: the
-/// `B`-wide FMA loops below compile to straight vector code (no trip
-/// counts, no bounds checks).
+/// zero-skip check compiles to straight vector compares, and the
+/// `B`-wide FMA runs through [`lane_fma`] (quad-pinned; widths 2 and 3
+/// take its scalar remainder loop, which LLVM vectorizes fine at those
+/// widths).
 fn dense_lanes<const B: usize>(input: &[f32], psp: &mut [f32], w: &[f32], out: usize) {
     for (i, lanes) in input.chunks_exact(B).enumerate() {
         let lanes: &[f32; B] = lanes.try_into().expect("chunk width");
@@ -22,10 +72,7 @@ fn dense_lanes<const B: usize>(input: &[f32], psp: &mut [f32], w: &[f32], out: u
         }
         let row = &w[i * out..(i + 1) * out];
         for (p, &wij) in psp.chunks_exact_mut(B).zip(row) {
-            let p: &mut [f32; B] = p.try_into().expect("chunk width");
-            for b in 0..B {
-                p[b] += lanes[b] * wij;
-            }
+            lane_fma(p, lanes, wij);
         }
     }
 }
@@ -219,9 +266,7 @@ impl Synapse {
                             // elements, the lane FMA loop is the
                             // vectorized innermost.
                             for (p, &wij) in psp.chunks_exact_mut(batch).zip(row) {
-                                for (pb, &sb) in p.iter_mut().zip(lanes) {
-                                    *pb += sb * wij;
-                                }
+                                lane_fma(p, lanes, wij);
                             }
                         }
                     }
@@ -313,11 +358,11 @@ impl<const B: usize> LaneFma for Fixed<B> {
 
     #[inline(always)]
     fn fma(p: &mut [f32], lanes: &[f32], w: f32) {
+        // The array casts pin the lane count at compile time, so the
+        // quad/remainder split inside `lane_fma` resolves statically.
         let p: &mut [f32; B] = p.try_into().expect("lane width");
         let lanes: &[f32; B] = lanes.try_into().expect("lane width");
-        for b in 0..B {
-            p[b] += lanes[b] * w;
-        }
+        lane_fma(p, lanes, w);
     }
 }
 
@@ -332,9 +377,7 @@ impl LaneFma for Dynamic {
 
     #[inline(always)]
     fn fma(p: &mut [f32], lanes: &[f32], w: f32) {
-        for (pb, &sb) in p.iter_mut().zip(lanes) {
-            *pb += sb * w;
-        }
+        lane_fma(p, lanes, w);
     }
 }
 

@@ -25,6 +25,12 @@
 //! * **Model registry** ([`registry::ModelRegistry`]) — snapshot-backed,
 //!   hot-swappable by name with epoch-counted `Arc` swap: in-flight
 //!   requests finish on the model they started with.
+//! * **Per-model batch policy** — entries carry an autotuned
+//!   `preferred_batch` lockstep width (measured by
+//!   [`bsnn_core::autotune`], shipped in snapshot metadata, or set via
+//!   [`registry::ModelRegistry::install_with_batch`]); workers split
+//!   popped micro-batches to each model's width, so event-skip-bound
+//!   models run scalar while conv models run wide.
 //! * **Metrics** ([`metrics::ServeMetrics`]) — request counts,
 //!   p50/p95/p99 latency, time steps and spikes per request, batch
 //!   occupancy, and queue depth.
@@ -50,6 +56,7 @@ pub mod request;
 pub mod runtime;
 mod worker;
 
+pub use bsnn_core::autotune::{autotune_batch, AutotuneConfig, BatchPolicy};
 pub use error::ServeError;
 pub use exit::{
     run_batch_with_policies, run_batch_with_policies_each, run_with_policy, ExitOutcome,

@@ -4,10 +4,13 @@
 //! Each popped micro-batch is grouped by model name and every group is
 //! stepped through one [`BatchedNetwork`] simultaneously — the SIMD-
 //! friendly SoA kernels in `bsnn-core` make the arithmetic itself
-//! batched, not just the queue synchronization. Per-request
-//! [`crate::ExitPolicy`]s are evaluated every step, so early-exiting
-//! lanes retire (freeze, stop spiking) while the rest of the batch
-//! continues.
+//! batched, not just the queue synchronization. A model with a measured
+//! [`preferred_batch`](crate::registry::ModelEntry::preferred_batch) is
+//! further split into sub-batches of that width: lockstep *loses* to
+//! scalar on event-skip-bound models (small MLPs), so the right width
+//! is per model, not per queue pop. Per-request [`crate::ExitPolicy`]s
+//! are evaluated every step, so early-exiting lanes retire (freeze,
+//! stop spiking) while the rest of the batch continues.
 
 use crate::error::ServeError;
 use crate::exit::run_batch_with_policies_each;
@@ -146,9 +149,32 @@ fn serve_group(
             lanes.push(queued);
         }
     }
-    if lanes.is_empty() {
-        return;
+    // The model's measured batch policy caps the lockstep width: an
+    // event-skip-bound model (preferred width 1) runs its requests
+    // scalar even when the queue handed the worker a wide batch.
+    let width_cap = entry
+        .preferred_batch()
+        .unwrap_or(max_batch)
+        .clamp(1, max_batch);
+    let mut lanes = lanes.into_iter();
+    loop {
+        let chunk: Vec<QueuedRequest> = lanes.by_ref().take(width_cap).collect();
+        if chunk.is_empty() {
+            return;
+        }
+        serve_lockstep_chunk(chunk, &entry, &mut cached.engine, metrics);
     }
+}
+
+/// Runs one lockstep sub-batch (all same model, all pre-validated)
+/// through the worker's engine and fulfills each slot as its lane
+/// retires.
+fn serve_lockstep_chunk(
+    mut lanes: Vec<QueuedRequest>,
+    entry: &crate::registry::ModelEntry,
+    engine: &mut BatchedNetwork,
+    metrics: &ServeMetrics,
+) {
     let lockstep_width = lanes.len();
     let queue_micros: Vec<u64> = lanes
         .iter()
@@ -167,12 +193,8 @@ fn serve_group(
     // request is answered immediately instead of waiting for the
     // slowest lane in its batch.
     let mut slots: Vec<Option<QueuedRequest>> = lanes.into_iter().map(Some).collect();
-    let result = run_batch_with_policies_each(
-        &mut cached.engine,
-        &images,
-        &entry,
-        &policies,
-        |lane, outcome| {
+    let result =
+        run_batch_with_policies_each(engine, &images, entry, &policies, |lane, outcome| {
             if let Some(queued) = slots[lane].take() {
                 queued.fulfill(
                     metrics,
@@ -189,8 +211,7 @@ fn serve_group(
                     }),
                 );
             }
-        },
-    );
+        });
     if let Err(e) = result {
         for queued in slots.into_iter().flatten() {
             queued.fulfill(metrics, Err(e.clone()));
@@ -202,6 +223,97 @@ fn serve_group(
 mod tests {
     use super::*;
     use crate::request::{ExitPolicy, ResponseHandle};
+    use bsnn_core::coding::{CodingScheme, HiddenCoding, InputCoding};
+    use bsnn_core::layer::{SpikingLayer, ThresholdPolicy};
+    use bsnn_core::synapse::Synapse;
+    use bsnn_core::SpikingNetwork;
+    use bsnn_tensor::Tensor;
+
+    fn tiny_network() -> SpikingNetwork {
+        let diag = || Synapse::Dense {
+            weight: Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]).unwrap(),
+        };
+        let hidden = SpikingLayer::new(diag(), None, ThresholdPolicy::Fixed { vth: 0.25 }).unwrap();
+        SpikingNetwork::new(2, vec![hidden], diag(), None).unwrap()
+    }
+
+    fn queued(model: &str) -> (QueuedRequest, ResponseHandle) {
+        let slot = Arc::new(ResponseSlot::default());
+        let handle = ResponseHandle::new(Arc::clone(&slot));
+        let queued = QueuedRequest {
+            request: InferRequest::new(vec![0.9, 0.1], model, ExitPolicy::Fixed { steps: 4 }),
+            slot,
+            enqueued: Instant::now(),
+        };
+        (queued, handle)
+    }
+
+    /// The per-model batch policy is honored at the lockstep level: an
+    /// MLP-tagged entry (preferred width 1) is split to scalar runs, a
+    /// conv-tagged entry keeps the popped width, and a mid preference
+    /// chunks with a remainder — all pinned via each response's
+    /// `batch_size`.
+    #[test]
+    fn preferred_batch_splits_popped_groups() {
+        let scheme = CodingScheme::new(InputCoding::Real, HiddenCoding::Rate);
+        let registry = ModelRegistry::new();
+        registry.install_with_batch("mlp", tiny_network(), scheme, 8, 1);
+        registry.install_with_batch("conv", tiny_network(), scheme, 8, 16);
+        registry.install_with_batch("mid", tiny_network(), scheme, 8, 3);
+        let metrics = ServeMetrics::new();
+        let mut cache = HashMap::new();
+        let max_batch = 16;
+
+        let (group, handles): (Vec<_>, Vec<_>) = (0..16).map(|_| queued("mlp")).unzip();
+        serve_group("mlp", group, &registry, &mut cache, max_batch, &metrics);
+        for handle in handles {
+            assert_eq!(handle.wait().unwrap().batch_size, 1, "mlp must run scalar");
+        }
+
+        let (group, handles): (Vec<_>, Vec<_>) = (0..16).map(|_| queued("conv")).unzip();
+        serve_group("conv", group, &registry, &mut cache, max_batch, &metrics);
+        for handle in handles {
+            assert_eq!(
+                handle.wait().unwrap().batch_size,
+                16,
+                "conv keeps the popped width"
+            );
+        }
+
+        let (group, handles): (Vec<_>, Vec<_>) = (0..4).map(|_| queued("mid")).unzip();
+        serve_group("mid", group, &registry, &mut cache, max_batch, &metrics);
+        let widths: Vec<usize> = handles
+            .into_iter()
+            .map(|h| h.wait().unwrap().batch_size)
+            .collect();
+        assert_eq!(widths, vec![3, 3, 3, 1], "arrival order chunks of 3");
+    }
+
+    /// Without a preference the popped width is kept, and a preference
+    /// wider than the worker's `max_batch` is capped to it.
+    #[test]
+    fn unset_preference_keeps_width_and_wide_preference_is_capped() {
+        let scheme = CodingScheme::new(InputCoding::Real, HiddenCoding::Rate);
+        let registry = ModelRegistry::new();
+        registry.install("plain", tiny_network(), scheme, 8);
+        registry.install_with_batch("wide", tiny_network(), scheme, 8, 64);
+        let metrics = ServeMetrics::new();
+        let mut cache = HashMap::new();
+
+        let (group, handles): (Vec<_>, Vec<_>) = (0..5).map(|_| queued("plain")).unzip();
+        serve_group("plain", group, &registry, &mut cache, 8, &metrics);
+        for handle in handles {
+            assert_eq!(handle.wait().unwrap().batch_size, 5);
+        }
+
+        let (group, handles): (Vec<_>, Vec<_>) = (0..6).map(|_| queued("wide")).unzip();
+        serve_group("wide", group, &registry, &mut cache, 4, &metrics);
+        let widths: Vec<usize> = handles
+            .into_iter()
+            .map(|h| h.wait().unwrap().batch_size)
+            .collect();
+        assert_eq!(widths, vec![4, 4, 4, 4, 2, 2], "capped at max_batch");
+    }
 
     #[test]
     fn dropped_request_fulfills_slot_with_error() {
