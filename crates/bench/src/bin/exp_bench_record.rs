@@ -5,19 +5,28 @@
 //! against.
 //!
 //! ```text
-//! cargo run --release -p bsnn-bench --bin exp_bench_record -- [--out DIR]
+//! cargo run --release -p bsnn-bench --bin exp_bench_record -- \
+//!     [--out DIR] [--quick] [--min-mlp-b16-speedup X]
 //! ```
+//!
+//! `--quick` shrinks training and the serve waves for CI smoke runs;
+//! `--min-mlp-b16-speedup X` exits nonzero unless the MLP's batch-16
+//! auto-dispatch lane-steps/s reaches `X ×` its sequential baseline — a
+//! machine-independent floor guarding the sparsity-adaptive dispatch
+//! win (absolute lane-steps/s floors would be runner-dependent).
 //!
 //! Numbers are wall-clock measurements of this machine; the JSON
 //! records the workload shape alongside every figure so comparisons
 //! stay apples-to-apples.
 
-use bsnn_core::autotune::{autotune_batch, AutotuneConfig};
-use bsnn_core::batch::{BatchedNetwork, BatchedStepwiseInference};
+use bsnn_bench::autotune_cached;
+use bsnn_core::autotune::AutotuneConfig;
+use bsnn_core::batch::{BatchedNetwork, BatchedStepwiseInference, DispatchMode, DispatchPolicy};
 use bsnn_core::coding::CodingScheme;
 use bsnn_core::convert::{convert, ConversionConfig};
 use bsnn_core::simulator::{
-    evaluate_dataset, evaluate_dataset_batched, EvalConfig, StepwiseInference,
+    evaluate_dataset, evaluate_dataset_batched, evaluate_dataset_batched_with_dispatch, EvalConfig,
+    StepwiseInference,
 };
 use bsnn_core::SpikingNetwork;
 use bsnn_data::{ImageDataset, SynthSpec};
@@ -78,14 +87,17 @@ fn seq_steps_per_sec(net: &SpikingNetwork, images: &[Vec<f32>], cfg: &EvalConfig
     (SIM_BATCH * SIM_STEPS) as f64 / secs
 }
 
-/// Lane-steps per second of one lockstep batch of `width` lanes.
+/// Lane-steps per second of one lockstep batch of `width` lanes under
+/// `dispatch`, plus the per-stage dispatch counters of the last rep.
 fn batched_steps_per_sec(
     net: &SpikingNetwork,
     images: &[Vec<f32>],
     cfg: &EvalConfig,
     width: usize,
-) -> f64 {
+    dispatch: &DispatchPolicy,
+) -> (f64, Vec<bsnn_core::batch::StageDispatchStats>) {
     let mut engine = BatchedNetwork::new(net.clone(), width).expect("engine");
+    engine.set_dispatch(dispatch.clone());
     let refs: Vec<&[f32]> = images[..width].iter().map(|v| v.as_slice()).collect();
     let secs = best_secs(SIM_REPS, || {
         let mut run = BatchedStepwiseInference::new(&mut engine, &refs, cfg).expect("run");
@@ -94,29 +106,64 @@ fn batched_steps_per_sec(
             black_box(run.prediction(lane));
         }
     });
-    (width * SIM_STEPS) as f64 / secs
+    (
+        (width * SIM_STEPS) as f64 / secs,
+        engine.dispatch_stats().to_vec(),
+    )
 }
 
-/// One workload's core-simulation record as a JSON object string.
+/// One workload's core-simulation record as a JSON object string, plus
+/// the auto-dispatch batch-16 speedup vs sequential (the floor metric).
 fn core_record(
     name: &str,
     net: &SpikingNetwork,
     images: &[Vec<f32>],
     scheme: CodingScheme,
-) -> String {
+) -> (String, f64) {
     let cfg = EvalConfig::new(scheme, SIM_STEPS);
+    let policy = autotune_cached(net, scheme, &AutotuneConfig::default());
+    let auto = DispatchPolicy {
+        mode: DispatchMode::Auto,
+        thresholds: policy.density_thresholds.clone(),
+    };
+    let dense = DispatchPolicy::forced(DispatchMode::ForceDense);
     let seq = seq_steps_per_sec(net, images, &cfg);
-    let b1 = batched_steps_per_sec(net, images, &cfg, 1);
-    let b4 = batched_steps_per_sec(net, images, &cfg, 4);
-    let b16 = batched_steps_per_sec(net, images, &cfg, 16);
+    let (b1, _) = batched_steps_per_sec(net, images, &cfg, 1, &auto);
+    let (b4, _) = batched_steps_per_sec(net, images, &cfg, 4, &auto);
+    let (b16, stats) = batched_steps_per_sec(net, images, &cfg, 16, &auto);
+    let (b16_dense, _) = batched_steps_per_sec(net, images, &cfg, 16, &dense);
+    let stages: Vec<String> = stats
+        .iter()
+        .enumerate()
+        .map(|(k, st)| {
+            format!(
+                concat!(
+                    "{{\"stage\": {}, \"crossover\": {:.4}, \"mean_density\": {:.3}, ",
+                    "\"sparse_steps\": {}, \"dense_steps\": {}, \"cached_steps\": {}}}"
+                ),
+                k,
+                policy
+                    .density_thresholds
+                    .get(k)
+                    .copied()
+                    .unwrap_or(bsnn_core::batch::DEFAULT_DENSITY_CROSSOVER),
+                st.mean_density(),
+                st.sparse_steps,
+                st.dense_steps,
+                st.cached_steps,
+            )
+        })
+        .collect();
     let mut s = String::new();
     let _ = write!(
         s,
         concat!(
             "{{\"workload\": \"{}\", \"neurons\": {}, \"coding\": \"{}\", ",
             "\"steps\": {}, \"lane_steps_per_sec\": {{\"sequential\": {:.0}, ",
-            "\"batch1\": {:.0}, \"batch4\": {:.0}, \"batch16\": {:.0}}}, ",
-            "\"speedup_batch16_vs_sequential\": {:.2}}}"
+            "\"batch1\": {:.0}, \"batch4\": {:.0}, \"batch16\": {:.0}, ",
+            "\"batch16_forced_dense\": {:.0}}}, ",
+            "\"speedup_batch16_vs_sequential\": {:.2}, ",
+            "\"dispatch_batch16\": [{}]}}"
         ),
         name,
         net.num_neurons(),
@@ -126,9 +173,11 @@ fn core_record(
         b1,
         b4,
         b16,
-        b16 / seq
+        b16_dense,
+        b16 / seq,
+        stages.join(", "),
     );
-    s
+    (s, b16 / seq)
 }
 
 /// One workload's end-to-end dataset-evaluation record (images/s for
@@ -143,7 +192,7 @@ fn eval_record(
     let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     let cfg = EvalConfig::new(scheme, SIM_STEPS);
     let n_images = test.len();
-    let policy = autotune_batch(net, scheme, &AutotuneConfig::default()).expect("autotune");
+    let policy = autotune_cached(net, scheme, &AutotuneConfig::default());
     let seq = best_secs(3, || {
         let mut local = net.clone();
         std::hint::black_box(evaluate_dataset(&mut local, test, &cfg).expect("eval"));
@@ -151,10 +200,21 @@ fn eval_record(
     let par = best_secs(3, || {
         std::hint::black_box(evaluate_dataset_batched(net, test, &cfg, threads, 1).expect("eval"));
     });
+    let dispatch = DispatchPolicy {
+        mode: DispatchMode::Auto,
+        thresholds: policy.density_thresholds.clone(),
+    };
     let batched = best_secs(3, || {
         std::hint::black_box(
-            evaluate_dataset_batched(net, test, &cfg, threads, policy.preferred_batch)
-                .expect("eval"),
+            evaluate_dataset_batched_with_dispatch(
+                net,
+                test,
+                &cfg,
+                threads,
+                policy.preferred_batch,
+                &dispatch,
+            )
+            .expect("eval"),
         );
     });
     let ips = |secs: f64| n_images as f64 / secs;
@@ -254,44 +314,82 @@ fn serve_record(
 
 fn main() {
     let mut out_dir = ".".to_string();
+    let mut quick = false;
+    let mut min_mlp_b16_speedup: Option<f64> = None;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--out" => out_dir = it.next().expect("missing value for --out"),
+            "--quick" => quick = true,
+            "--min-mlp-b16-speedup" => {
+                min_mlp_b16_speedup = Some(
+                    it.next()
+                        .expect("missing value for --min-mlp-b16-speedup")
+                        .parse()
+                        .expect("floor must be a number"),
+                )
+            }
             other => {
-                eprintln!("unknown flag `{other}` (usage: exp_bench_record [--out DIR])");
+                eprintln!(
+                    "unknown flag `{other}` (usage: exp_bench_record [--out DIR] [--quick] \
+                     [--min-mlp-b16-speedup X])"
+                );
                 std::process::exit(2);
             }
         }
     }
+    // --quick: less training and smaller serve waves; the simulation
+    // measurements themselves stay full-length (they are the floors).
+    let (mlp_epochs, cnn_epochs) = if quick { (2, 1) } else { (6, 4) };
+    let (mlp_wave, cnn_wave) = if quick { (128, 64) } else { (512, 128) };
 
     eprintln!("training workloads (mlp 144-32-10, vgg_tiny 1x12x12)...");
     let (mlp, mlp_test, mlp_images, mlp_scheme) =
-        train_model(|| models::mlp(144, &[32], 10, 5).expect("mlp"), 6);
-    let (cnn, cnn_test, cnn_images, cnn_scheme) =
-        train_model(|| models::vgg_tiny(1, 12, 12, 10, 0).expect("vgg_tiny"), 4);
+        train_model(|| models::mlp(144, &[32], 10, 5).expect("mlp"), mlp_epochs);
+    let (cnn, cnn_test, cnn_images, cnn_scheme) = train_model(
+        || models::vgg_tiny(1, 12, 12, 10, 0).expect("vgg_tiny"),
+        cnn_epochs,
+    );
 
     eprintln!("measuring core simulation throughput...");
+    let (mlp_core, mlp_b16_speedup) = core_record("mlp_144_32_10", &mlp, &mlp_images, mlp_scheme);
+    let (cnn_core, cnn_b16_speedup) =
+        core_record("vgg_tiny_1x12x12", &cnn, &cnn_images, cnn_scheme);
     let core = format!(
-        "{{\n  \"schema\": \"bsnn-bench-core-v2\",\n  \"note\": \"lane-steps/s = images × time-steps simulated per wall-clock second; sequential = {SIM_BATCH} back-to-back single-image runs; dataset_eval = full evaluate_dataset passes (batched width from the autotuner)\",\n  \"workloads\": [\n    {},\n    {}\n  ],\n  \"dataset_eval\": [\n    {},\n    {}\n  ]\n}}\n",
-        core_record("mlp_144_32_10", &mlp, &mlp_images, mlp_scheme),
-        core_record("vgg_tiny_1x12x12", &cnn, &cnn_images, cnn_scheme),
+        "{{\n  \"schema\": \"bsnn-bench-core-v3\",\n  \"note\": \"lane-steps/s = images × time-steps simulated per wall-clock second; sequential = {SIM_BATCH} back-to-back single-image runs; batch* rows run the density-dispatching engine at the autotuned crossovers, batch16_forced_dense pins the pre-dispatch dense kernels; dispatch_batch16 records each stage's measured density and strategy mix; dataset_eval = full evaluate_dataset passes (batched width from the autotuner)\",\n  \"workloads\": [\n    {},\n    {}\n  ],\n  \"dataset_eval\": [\n    {},\n    {}\n  ]\n}}\n",
+        mlp_core,
+        cnn_core,
         eval_record("mlp_144_32_10", &mlp, &mlp_test, mlp_scheme),
         eval_record("vgg_tiny_1x12x12", &cnn, &cnn_test, cnn_scheme),
     );
     let core_path = format!("{out_dir}/BENCH_core.json");
     std::fs::write(&core_path, &core).expect("write BENCH_core.json");
     eprintln!("wrote {core_path}");
+    eprintln!(
+        "batch16 speedup vs sequential: mlp {mlp_b16_speedup:.2}x, vgg_tiny {cnn_b16_speedup:.2}x"
+    );
+    // Fail the floor as soon as the metric exists — no point paying for
+    // six serve waves on a run that has already regressed.
+    if let Some(floor) = min_mlp_b16_speedup {
+        if mlp_b16_speedup < floor {
+            println!("{core}");
+            eprintln!(
+                "FAIL: mlp batch-16 speedup {mlp_b16_speedup:.2}x below the {floor:.2}x floor"
+            );
+            std::process::exit(1);
+        }
+        eprintln!("perf floor ok: mlp batch-16 {mlp_b16_speedup:.2}x >= {floor:.2}x");
+    }
 
     eprintln!("measuring serving throughput...");
     let serve = format!(
-        "{{\n  \"schema\": \"bsnn-bench-serve-v2\",\n  \"note\": \"one closed-loop wave per config (cold worker engines included), confidence-margin early exit (horizon 96); latency percentiles are log-bucket upper bounds; batch_policy=autotuned splits popped micro-batches to the model's measured width\",\n  \"configs\": [\n    {},\n    {},\n    {},\n    {},\n    {},\n    {}\n  ]\n}}\n",
-        serve_record("mlp_144_32_10", &mlp, mlp_scheme, &mlp_images, 4, 1, 512, false),
-        serve_record("mlp_144_32_10", &mlp, mlp_scheme, &mlp_images, 4, 8, 512, false),
-        serve_record("mlp_144_32_10", &mlp, mlp_scheme, &mlp_images, 4, 8, 512, true),
-        serve_record("vgg_tiny_1x12x12", &cnn, cnn_scheme, &cnn_images, 1, 1, 128, false),
-        serve_record("vgg_tiny_1x12x12", &cnn, cnn_scheme, &cnn_images, 1, 16, 128, false),
-        serve_record("vgg_tiny_1x12x12", &cnn, cnn_scheme, &cnn_images, 1, 16, 128, true),
+        "{{\n  \"schema\": \"bsnn-bench-serve-v3\",\n  \"note\": \"one closed-loop wave per config (cold worker engines included), confidence-margin early exit (horizon 96); latency percentiles are log-bucket upper bounds; batch_policy=autotuned splits popped micro-batches to the model's measured width and installs its density crossovers; ragged lockstep chunks are padded to fixed widths with dead lanes\",\n  \"configs\": [\n    {},\n    {},\n    {},\n    {},\n    {},\n    {}\n  ]\n}}\n",
+        serve_record("mlp_144_32_10", &mlp, mlp_scheme, &mlp_images, 4, 1, mlp_wave, false),
+        serve_record("mlp_144_32_10", &mlp, mlp_scheme, &mlp_images, 4, 8, mlp_wave, false),
+        serve_record("mlp_144_32_10", &mlp, mlp_scheme, &mlp_images, 4, 8, mlp_wave, true),
+        serve_record("vgg_tiny_1x12x12", &cnn, cnn_scheme, &cnn_images, 1, 1, cnn_wave, false),
+        serve_record("vgg_tiny_1x12x12", &cnn, cnn_scheme, &cnn_images, 1, 16, cnn_wave, false),
+        serve_record("vgg_tiny_1x12x12", &cnn, cnn_scheme, &cnn_images, 1, 16, cnn_wave, true),
     );
     let serve_path = format!("{out_dir}/BENCH_serve.json");
     std::fs::write(&serve_path, &serve).expect("write BENCH_serve.json");

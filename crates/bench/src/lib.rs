@@ -20,8 +20,9 @@
 //! the default `quick` profile finishes each binary in well under a
 //! minute on a laptop CPU.
 
-use bsnn_core::autotune::{autotune_batch, AutotuneConfig, BatchPolicy};
-use bsnn_core::simulator::{evaluate_dataset_batched, EvalConfig, EvalResult};
+use bsnn_core::autotune::{autotune_batch, AutotuneConfig, BatchPolicy, BatchProbe};
+use bsnn_core::batch::{DispatchMode, DispatchPolicy};
+use bsnn_core::simulator::{evaluate_dataset_batched_with_dispatch, EvalConfig, EvalResult};
 use bsnn_core::SpikingNetwork;
 use bsnn_data::{ImageDataset, SynthSpec, SyntheticTask};
 use bsnn_dnn::models;
@@ -38,11 +39,14 @@ pub fn eval_threads() -> usize {
 }
 
 /// Evaluates `net` over the dataset with the `threads × batch`
-/// composition, at the lockstep width the model's own autotuning probe
-/// picks — the default evaluation path of every `exp_*` binary. Returns
-/// the result together with the measured [`BatchPolicy`] so reports can
-/// cite the width the numbers were produced at (bit-identical to the
-/// sequential path at any width, so the choice affects only wall-clock).
+/// composition, at the lockstep width (and density crossovers) the
+/// model's own autotuning probe picks — the default evaluation path of
+/// every `exp_*` binary. Returns the result together with the measured
+/// [`BatchPolicy`] so reports can cite the width the numbers were
+/// produced at (bit-identical to the sequential path at any width, so
+/// the choice affects only wall-clock). The probe itself is cached (see
+/// [`autotune_cached`]), so repeated binaries skip the ~0.2 s
+/// measurement.
 ///
 /// # Panics
 ///
@@ -57,10 +61,133 @@ pub fn evaluate_autotuned(
         phase_period: cfg.phase_period,
         ..AutotuneConfig::default()
     };
-    let policy = autotune_batch(net, cfg.scheme, &probe_cfg).expect("autotune probe");
-    let eval = evaluate_dataset_batched(net, dataset, cfg, eval_threads(), policy.preferred_batch)
-        .expect("dataset evaluation");
+    let policy = autotune_cached(net, cfg.scheme, &probe_cfg);
+    let eval = evaluate_dataset_batched_with_dispatch(
+        net,
+        dataset,
+        cfg,
+        eval_threads(),
+        policy.preferred_batch,
+        &DispatchPolicy {
+            mode: DispatchMode::Auto,
+            thresholds: policy.density_thresholds.clone(),
+        },
+    )
+    .expect("dataset evaluation");
     (eval, policy)
+}
+
+/// 64-bit FNV-1a over `bytes`, continuing from `h` (seed the first call
+/// with [`FNV_OFFSET`]). Hand-rolled so cache keys are stable across
+/// toolchains, unlike `DefaultHasher`.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+fn fnv1a64(bytes: &[u8], mut h: u64) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// [`autotune_batch`], cached under `target/bsnn_cache/` keyed by
+/// (model content, coding scheme, [`AutotuneConfig`]): the probe is a
+/// wall-clock measurement of ~0.2 s per (model, scheme), and the exp_*
+/// binaries re-create bit-identical models from cached trained weights
+/// on every run, so re-probing them is pure startup cost. Any change to
+/// the model bytes or the probe configuration changes the key; a
+/// corrupt or unparsable cache entry is ignored and re-measured. The
+/// cache records measurements of *this machine* — `target/` is not
+/// meant to travel.
+///
+/// # Panics
+///
+/// Panics if the underlying probe fails (experiment binaries treat that
+/// as fatal).
+pub fn autotune_cached(
+    net: &SpikingNetwork,
+    scheme: bsnn_core::coding::CodingScheme,
+    cfg: &AutotuneConfig,
+) -> BatchPolicy {
+    let mut model_bytes = Vec::new();
+    let key = if bsnn_core::snapshot::save_network(net, &mut model_bytes).is_ok() {
+        // "at1" salts the key with the cache-entry format generation:
+        // bump it when the probe or the kernels change meaningfully, so
+        // stale measurements from older binaries are not reused.
+        let tag = format!(
+            "at1|{scheme}|{:?}|{}|{}|{}|{}|{}|{}|{}",
+            cfg.widths,
+            cfg.steps,
+            cfg.reps,
+            cfg.min_gain,
+            cfg.seed,
+            cfg.phase_period,
+            cfg.calibrate_density,
+            cfg.density_reps
+        );
+        Some(fnv1a64(tag.as_bytes(), fnv1a64(&model_bytes, FNV_OFFSET)))
+    } else {
+        None
+    };
+    let path = key.map(|k| cache_dir().join(format!("autotune-{k:016x}.txt")));
+    if let Some(policy) = path.as_deref().and_then(read_autotune_cache) {
+        return policy;
+    }
+    let policy = autotune_batch(net, scheme, cfg).expect("autotune probe");
+    if let Some(path) = path {
+        // Write-then-rename so a concurrent exp_* binary (or a kill
+        // mid-write) can never observe a truncated entry — a prefix
+        // like "thresholds 0.28,0." still parses, with wrong values.
+        let tmp = path.with_extension(format!("tmp{}", std::process::id()));
+        if fs::write(&tmp, render_autotune_cache(&policy)).is_ok() {
+            let _ = fs::rename(&tmp, &path);
+        }
+    }
+    policy
+}
+
+fn render_autotune_cache(policy: &BatchPolicy) -> String {
+    let mut s = format!("preferred_batch {}\n", policy.preferred_batch);
+    let thresholds: Vec<String> = policy
+        .density_thresholds
+        .iter()
+        .map(|t| format!("{t}"))
+        .collect();
+    s.push_str(&format!("thresholds {}\n", thresholds.join(",")));
+    for p in &policy.probes {
+        s.push_str(&format!("probe {} {}\n", p.width, p.lane_steps_per_sec));
+    }
+    s
+}
+
+fn read_autotune_cache(path: &std::path::Path) -> Option<BatchPolicy> {
+    let text = fs::read_to_string(path).ok()?;
+    let mut preferred_batch = None;
+    let mut density_thresholds = Vec::new();
+    let mut probes = Vec::new();
+    for line in text.lines() {
+        let mut parts = line.split_whitespace();
+        match parts.next()? {
+            "preferred_batch" => preferred_batch = Some(parts.next()?.parse().ok()?),
+            "thresholds" => {
+                if let Some(list) = parts.next() {
+                    for v in list.split(',') {
+                        density_thresholds.push(v.parse().ok()?);
+                    }
+                }
+            }
+            "probe" => probes.push(BatchProbe {
+                width: parts.next()?.parse().ok()?,
+                lane_steps_per_sec: parts.next()?.parse().ok()?,
+            }),
+            _ => return None,
+        }
+    }
+    Some(BatchPolicy {
+        preferred_batch: preferred_batch?,
+        probes,
+        density_thresholds,
+    })
 }
 
 /// Experiment scale: dataset sizes, training epochs, evaluation breadth.
@@ -351,5 +478,70 @@ mod tests {
         let spec = SynthSpec::digits();
         let m = build_model(SyntheticTask::Digits, &spec);
         assert!(m.summary().starts_with("conv2d"));
+    }
+
+    #[test]
+    fn autotune_cache_entry_round_trips() {
+        let policy = BatchPolicy {
+            preferred_batch: 8,
+            probes: vec![
+                BatchProbe {
+                    width: 1,
+                    lane_steps_per_sec: 1000.5,
+                },
+                BatchProbe {
+                    width: 8,
+                    lane_steps_per_sec: 4000.25,
+                },
+            ],
+            density_thresholds: vec![0.28125, 0.0, 1.01],
+        };
+        let path = cache_dir().join("test-autotune-roundtrip.txt");
+        fs::write(&path, render_autotune_cache(&policy)).unwrap();
+        assert_eq!(read_autotune_cache(&path), Some(policy));
+        // Corrupt entries are rejected, not trusted.
+        fs::write(&path, "preferred_batch eight\n").unwrap();
+        assert_eq!(read_autotune_cache(&path), None);
+        fs::write(&path, "unexpected_key 3\n").unwrap();
+        assert_eq!(read_autotune_cache(&path), None);
+        let _ = fs::remove_file(&path);
+        assert_eq!(read_autotune_cache(&path), None, "missing file");
+    }
+
+    #[test]
+    fn autotune_cached_probes_once_then_hits() {
+        use bsnn_core::coding::{CodingScheme, HiddenCoding, InputCoding};
+        use bsnn_core::layer::{SpikingLayer, ThresholdPolicy};
+        use bsnn_core::synapse::Synapse;
+        let dense = |n: usize| Synapse::Dense {
+            weight: bsnn_tensor::Tensor::from_vec(vec![0.3; n * n], &[n, n]).unwrap(),
+        };
+        let hidden =
+            SpikingLayer::new(dense(4), None, ThresholdPolicy::Fixed { vth: 0.5 }).unwrap();
+        let net = SpikingNetwork::new(4, vec![hidden], dense(4), None).unwrap();
+        let scheme = CodingScheme::new(InputCoding::Real, HiddenCoding::Rate);
+        // A config no other test uses, so the key (and file) is ours.
+        let cfg = AutotuneConfig {
+            steps: 3,
+            reps: 1,
+            density_reps: 1,
+            seed: 0xCAC4E,
+            ..AutotuneConfig::default()
+        };
+        let first = autotune_cached(&net, scheme, &cfg);
+        let second = autotune_cached(&net, scheme, &cfg);
+        // The second call must be a byte-exact cache hit — identical
+        // probes (wall-clock numbers would differ if re-measured).
+        assert_eq!(first, second);
+        // A different config misses the cache.
+        let other = autotune_cached(
+            &net,
+            scheme,
+            &AutotuneConfig {
+                steps: 4,
+                ..cfg.clone()
+            },
+        );
+        assert_eq!(other.probes.len(), first.probes.len());
     }
 }

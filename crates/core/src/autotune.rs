@@ -1,20 +1,30 @@
-//! Per-model lockstep batch-width autotuning.
+//! Per-model lockstep batch-width and density-crossover autotuning.
 //!
 //! The lockstep engine's win is model-dependent: conv/pool stages are
 //! weight-reuse-bound and gain 2–3× at widths 8–16, while small dense
-//! stages under sparse spike traffic are event-skip-bound and can *lose*
-//! to the scalar engine (a lockstep batch must touch every input that is
-//! live in *any* lane). BENCH_core.json records both regimes on the same
-//! machine. The right width therefore cannot be hardcoded — it is
-//! measured per model on a short synthetic warm-up and carried with the
-//! model (snapshot metadata, registry entry) so every consumer — the
-//! batched dataset evaluator, the serving workers — runs each model at
-//! its own sweet spot.
+//! stages under sparse spike traffic are event-skip-bound and used to
+//! *lose* to the scalar engine. BENCH_core.json records both regimes on
+//! the same machine. Two knobs therefore cannot be hardcoded and are
+//! measured per model on a short synthetic warm-up:
+//!
+//! 1. **Density crossovers** — per stage, the spike density below which
+//!    the sparse event-list kernel beats the dense lockstep kernel
+//!    (micro-benchmarked strategy-vs-strategy on the stage's own
+//!    synapse over a density grid; see
+//!    [`crate::batch::DispatchPolicy`]).
+//! 2. **Preferred batch width** — probed with those crossovers already
+//!    installed, so the width decision reflects the
+//!    sparsity-adaptive engine that will actually run.
+//!
+//! Both travel with the model (snapshot metadata v3, registry entry) so
+//! every consumer — the batched dataset evaluator, the serving
+//! workers — runs each model at its own sweet spot.
 
-use crate::batch::{BatchedNetwork, BatchedStepwiseInference};
+use crate::batch::{BatchedNetwork, BatchedStepwiseInference, DispatchMode, DispatchPolicy};
 use crate::coding::CodingScheme;
 use crate::network::SpikingNetwork;
 use crate::simulator::EvalConfig;
+use crate::synapse::{KernelScratch, Synapse};
 use crate::SnnError;
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -50,6 +60,14 @@ pub struct AutotuneConfig {
     /// event-skip break-even width — probe with the value the model
     /// will actually run at.
     pub phase_period: u32,
+    /// Whether to micro-benchmark each stage's sparse-vs-dense density
+    /// crossover (on by default). When off, the engine falls back to
+    /// [`crate::batch::DEFAULT_DENSITY_CROSSOVER`] everywhere and the
+    /// width probe runs with that default.
+    pub calibrate_density: bool,
+    /// Wall-clock repetitions per (stage, density, strategy)
+    /// measurement (best-of, to shed scheduler noise).
+    pub density_reps: usize,
 }
 
 impl Default for AutotuneConfig {
@@ -61,6 +79,8 @@ impl Default for AutotuneConfig {
             min_gain: 0.15,
             seed: 0x5eed,
             phase_period: 8,
+            calibrate_density: true,
+            density_reps: 3,
         }
     }
 }
@@ -82,6 +102,11 @@ impl AutotuneConfig {
                 "autotune min_gain {} must be finite and nonnegative",
                 self.min_gain
             )));
+        }
+        if self.density_reps == 0 {
+            return Err(SnnError::InvalidConfig(
+                "autotune density_reps must be nonzero".into(),
+            ));
         }
         Ok(())
     }
@@ -105,6 +130,12 @@ pub struct BatchPolicy {
     pub preferred_batch: usize,
     /// All probed widths, in probe order.
     pub probes: Vec<BatchProbe>,
+    /// Calibrated sparse/dense density crossovers, one per hidden stage
+    /// plus a final entry for the output synapse — install into the
+    /// engine via [`crate::batch::DispatchPolicy`]. Empty when
+    /// calibration was disabled (consumers then use
+    /// [`crate::batch::DEFAULT_DENSITY_CROSSOVER`]).
+    pub density_thresholds: Vec<f32>,
 }
 
 impl BatchPolicy {
@@ -146,8 +177,105 @@ fn warmup_images(rng: &mut StdRng, n: usize, len: usize) -> Vec<Vec<f32>> {
         .collect()
 }
 
+/// The densities probed when calibrating a stage's sparse/dense
+/// crossover. The crossover is reported as the midpoint between the
+/// last density where sparse won and the first where dense won.
+const DENSITY_GRID: [f32; 7] = [0.03125, 0.0625, 0.125, 0.25, 0.5, 0.75, 1.0];
+
+/// Relative speed advantage sparse must show to win a grid point —
+/// hysteresis toward dense, whose worst case is bounded while a wrongly
+/// sparse stage forfeits its weight reuse. 15% (like the width probe's
+/// `min_gain`) also absorbs the crossover shift between the calibrated
+/// width and other widths the engine may run at.
+const SPARSE_WIN_MARGIN: f64 = 1.15;
+
+/// A synthetic SoA input of `len × width` lane-elements at spike
+/// density `d`.
+fn density_input(rng: &mut StdRng, len: usize, width: usize, d: f32) -> Vec<f32> {
+    (0..len * width)
+        .map(|_| {
+            if rng.gen_range(0.0..1.0f32) < d {
+                rng.gen_range(0.01..1.0f32)
+            } else {
+                0.0
+            }
+        })
+        .collect()
+}
+
+/// Micro-benchmarks each stage's synapse strategy-vs-strategy over the
+/// density grid at lockstep width `width` and returns the per-stage
+/// crossover densities (hidden stages, then the output synapse).
+/// `0.0` means "always dense"; a value above 1.0 means "always sparse".
+fn calibrate_density_thresholds(
+    net: &SpikingNetwork,
+    width: usize,
+    cfg: &AutotuneConfig,
+    rng: &mut StdRng,
+) -> Result<Vec<f32>, SnnError> {
+    let mut synapses: Vec<&Synapse> = net.layers().iter().map(|l| l.synapse()).collect();
+    synapses.push(net.output_synapse());
+    let mut scratch = KernelScratch::default();
+    let mut thresholds = Vec::with_capacity(synapses.len());
+    for syn in synapses {
+        let in_len = syn.input_len();
+        let out_len = syn.output_len();
+        let mut psp = vec![0.0f32; out_len * width];
+        let mut vmem = vec![0.0f32; out_len * width];
+        // Iterations per timed measurement, sized so tiny stages are
+        // still measurable above timer resolution.
+        let iters = (32_768 / (in_len * width).max(1)).clamp(2, 64);
+        // Index into the grid of the first density where dense won
+        // (the grid is scanned in ascending density, where sparse can
+        // only get weaker).
+        let mut first_dense_win = None;
+        for (gi, &d) in DENSITY_GRID.iter().enumerate() {
+            let input = density_input(rng, in_len, width, d);
+            let mut dense_best = f64::INFINITY;
+            let mut sparse_best = f64::INFINITY;
+            // Each strategy is charged its full per-step cost: the
+            // kernel plus the integration pass in the layout it
+            // produces (the sparse path's fold is a transposed add).
+            for _ in 0..cfg.density_reps {
+                psp.iter_mut().for_each(|p| *p = 0.0);
+                let t0 = Instant::now();
+                for _ in 0..iters {
+                    syn.accumulate_batch(&input, &mut psp, width)?;
+                    crate::batch::integrate(&mut vmem, &psp, false, out_len, width);
+                }
+                dense_best = dense_best.min(t0.elapsed().as_secs_f64());
+                psp.iter_mut().for_each(|p| *p = 0.0);
+                let t0 = Instant::now();
+                for _ in 0..iters {
+                    syn.accumulate_batch_sparse(&input, &mut psp, width, &mut scratch)?;
+                    crate::batch::integrate(&mut vmem, &psp, true, out_len, width);
+                }
+                sparse_best = sparse_best.min(t0.elapsed().as_secs_f64());
+            }
+            if sparse_best * SPARSE_WIN_MARGIN >= dense_best {
+                first_dense_win = Some(gi);
+                break;
+            }
+        }
+        thresholds.push(match first_dense_win {
+            Some(0) => 0.0,
+            Some(gi) => (DENSITY_GRID[gi - 1] + DENSITY_GRID[gi]) / 2.0,
+            None => 1.01,
+        });
+    }
+    Ok(thresholds)
+}
+
 /// Measures `net`'s lockstep throughput at each candidate width on a
-/// short synthetic warm-up and returns the width it should run at.
+/// short synthetic warm-up and returns the width it should run at,
+/// together with the calibrated per-stage density crossovers.
+///
+/// Crossovers are calibrated first (at the widest candidate width,
+/// where the sparse/dense trade matters most) and installed into every
+/// width probe's engine, so the width decision reflects the
+/// sparsity-adaptive engine consumers will actually run. If the
+/// preferred width ends up different, the crossovers are re-calibrated
+/// at that width.
 ///
 /// `scheme` must be the coding the model serves under — the input
 /// coding decides whether the encoder restages the drive every step,
@@ -168,11 +296,20 @@ pub fn autotune_batch(
     cfg.validate()?;
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let max_width = *cfg.widths.iter().max().expect("nonempty widths");
+    let density_thresholds = if cfg.calibrate_density {
+        calibrate_density_thresholds(net, max_width, cfg, &mut rng)?
+    } else {
+        Vec::new()
+    };
     let images = warmup_images(&mut rng, max_width, net.input_len());
     let eval = EvalConfig::new(scheme, cfg.steps).with_phase_period(cfg.phase_period);
     let mut probes = Vec::with_capacity(cfg.widths.len());
     for &width in &cfg.widths {
         let mut engine = BatchedNetwork::new(net.clone(), width)?;
+        engine.set_dispatch(DispatchPolicy {
+            mode: DispatchMode::Auto,
+            thresholds: density_thresholds.clone(),
+        });
         let refs: Vec<&[f32]> = images[..width].iter().map(|v| v.as_slice()).collect();
         let mut best = f64::INFINITY;
         for _ in 0..cfg.reps {
@@ -201,9 +338,15 @@ pub fn autotune_batch(
             preferred = probe;
         }
     }
+    let density_thresholds = if cfg.calibrate_density && preferred.width != max_width {
+        calibrate_density_thresholds(net, preferred.width, cfg, &mut rng)?
+    } else {
+        density_thresholds
+    };
     Ok(BatchPolicy {
         preferred_batch: preferred.width,
         probes,
+        density_thresholds,
     })
 }
 
@@ -257,9 +400,32 @@ mod tests {
                 min_gain: f64::NAN,
                 ..quick_cfg()
             },
+            AutotuneConfig {
+                density_reps: 0,
+                ..quick_cfg()
+            },
         ] {
             assert!(autotune_batch(&net, scheme, &bad).is_err());
         }
+    }
+
+    #[test]
+    fn density_calibration_covers_every_stage() {
+        let net = tiny_network();
+        let scheme = CodingScheme::new(InputCoding::Real, HiddenCoding::Rate);
+        let policy = autotune_batch(&net, scheme, &quick_cfg()).unwrap();
+        // One crossover per hidden stage plus the output synapse.
+        assert_eq!(policy.density_thresholds.len(), net.layers().len() + 1);
+        for &th in &policy.density_thresholds {
+            assert!((0.0..=1.01).contains(&th), "crossover {th} out of range");
+        }
+        // Calibration off → no thresholds recorded.
+        let cfg = AutotuneConfig {
+            calibrate_density: false,
+            ..quick_cfg()
+        };
+        let policy = autotune_batch(&net, scheme, &cfg).unwrap();
+        assert!(policy.density_thresholds.is_empty());
     }
 
     #[test]

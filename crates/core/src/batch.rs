@@ -26,6 +26,41 @@
 //! continue unperturbed — so a batch's per-step cost tracks its *live*
 //! width, and stragglers never pay for lanes that already answered.
 //!
+//! ## Sparsity-adaptive dispatch
+//!
+//! The dense lockstep kernels skip an input neuron only when it is
+//! silent in *every* lane, so at batch 16 a spike-sparse stage
+//! degenerates to dense work (almost every neuron is live in *some*
+//! lane). The engine therefore carries **two** execution strategies per
+//! stage and dispatches per (stage, step) on the input's measured spike
+//! density: below the stage's crossover it runs the sparse event-list
+//! kernel ([`crate::synapse::Synapse::accumulate_batch_sparse`]),
+//! whose cost scales
+//! with events per lane; above it, the dense kernel, whose weight reuse
+//! wins when most neurons are live anyway. The density probe is free —
+//! stage `k`'s input events are exactly stage `k − 1`'s spike counts
+//! for this step (already tallied by the fire kernel), and the input
+//! layer's events are counted while staging. Crossovers are
+//! per-stage and per-model: measure them with
+//! [`crate::autotune::autotune_batch`] and install via
+//! [`BatchedNetwork::set_dispatch`]. All strategies are bit-identical
+//! per lane, so dispatch only ever changes wall-clock.
+//!
+//! ## Periodic-input PSP caching
+//!
+//! Phase- and TTFS-coded inputs are *periodic*: the drive at step `t`
+//! is a pure function of `t % period` (real coding is the period-1
+//! case). The engine therefore caches the first stage's PSP per phase
+//! token — after the first period, a step skips the encoders, the SoA
+//! staging copy, and the first-stage kernel outright, replaying the
+//! cached PSP (and cached per-lane input spike counts) bit-exactly.
+//! On the phase-burst MLP workload this turns the first stage from the
+//! dominant per-step cost into a single integration pass, and it is
+//! the main reason batch-16 lockstep beats the scalar engine ~3.6× on
+//! that workload (BENCH_core.json v3). The cache is invalidated
+//! whenever the lockstep width changes (lane retirement), and rebuilt
+//! over the next period.
+//!
 //! [`Synapse`]: crate::synapse::Synapse
 
 use crate::coding::InputCoding;
@@ -34,7 +69,101 @@ use crate::layer::{ResetMode, ThresholdPolicy};
 use crate::network::{argmax_last, top2_margin, SpikingNetwork};
 use crate::recorder::RecordLevel;
 use crate::simulator::EvalConfig;
+use crate::synapse::KernelScratch;
 use crate::SnnError;
+
+/// Density crossover used for stages without a calibrated threshold:
+/// inputs with fewer than this fraction of live (neuron, lane) entries
+/// run the sparse event-list kernel. The default is deliberately
+/// conservative toward dense — the dense kernel's worst case is
+/// bounded, while a wrongly sparse stage forfeits its weight reuse
+/// (and narrow output rows measured dense-faster even below 10%
+/// density) — so uncalibrated engines only go sparse when the input is
+/// almost silent. Measure the real crossover per stage with
+/// [`crate::autotune::autotune_batch`].
+pub const DEFAULT_DENSITY_CROSSOVER: f32 = 0.05;
+
+/// How the engine chooses between the sparse and dense kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DispatchMode {
+    /// Per (stage, step): sparse below the stage's density crossover.
+    #[default]
+    Auto,
+    /// Always the dense lockstep kernels (the pre-dispatch behavior).
+    ForceDense,
+    /// Always the sparse event-list kernels.
+    ForceSparse,
+}
+
+/// The engine's kernel-dispatch configuration.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DispatchPolicy {
+    /// Strategy selection mode.
+    pub mode: DispatchMode,
+    /// Per-stage density crossovers — one entry per hidden stage plus a
+    /// final entry for the output synapse. Missing entries (or an empty
+    /// vector) fall back to [`DEFAULT_DENSITY_CROSSOVER`].
+    pub thresholds: Vec<f32>,
+}
+
+impl DispatchPolicy {
+    /// A forced-strategy policy (for tests and benchmarks).
+    pub fn forced(mode: DispatchMode) -> Self {
+        DispatchPolicy {
+            mode,
+            thresholds: Vec::new(),
+        }
+    }
+
+    /// The crossover for one stage index.
+    fn threshold(&self, stage: usize) -> f32 {
+        self.thresholds
+            .get(stage)
+            .copied()
+            .unwrap_or(DEFAULT_DENSITY_CROSSOVER)
+    }
+}
+
+/// Per-stage kernel-dispatch counters of one lockstep run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StageDispatchStats {
+    /// Steps executed with the dense kernel.
+    pub dense_steps: u64,
+    /// Steps executed with the sparse event-list kernel.
+    pub sparse_steps: u64,
+    /// Steps that reused the cached PSP (no kernel ran).
+    pub cached_steps: u64,
+    /// Sum of the observed input densities over executed steps.
+    pub density_sum: f64,
+}
+
+impl StageDispatchStats {
+    /// Mean input density over the steps that ran a kernel.
+    pub fn mean_density(&self) -> f64 {
+        let executed = self.dense_steps + self.sparse_steps;
+        if executed == 0 {
+            0.0
+        } else {
+            self.density_sum / executed as f64
+        }
+    }
+}
+
+/// The next lockstep width with a monomorphized fixed-width kernel
+/// (`{1, 2, 4, 8, 16}`); widths above 16 are returned unchanged. Ragged
+/// tail chunks padded up to this width with dead lanes run 2–4× faster
+/// per live lane than the dynamic-width dense path (see
+/// [`BatchedStepwiseInference::new_padded`]).
+pub fn padded_width(n: usize) -> usize {
+    match n {
+        0..=1 => n,
+        2 => 2,
+        3..=4 => 4,
+        5..=8 => 8,
+        9..=16 => 16,
+        wider => wider,
+    }
+}
 
 /// Per-stage structure-of-arrays state: `[neuron][width]` buffers for
 /// membrane potentials, burst functions, PSPs, and output spikes.
@@ -44,8 +173,11 @@ struct StageState {
     g: Vec<f32>,
     psp: Vec<f32>,
     out: Vec<f32>,
-    /// Input-generation token of the cached `psp` (first stage only).
-    psp_token: Option<u64>,
+    /// Layout tag of `psp`: `true` when the sparse kernel last wrote it
+    /// lane-major (`[lane][neuron]`); the integration step folds either
+    /// layout into the batch-innermost membrane, so no standalone
+    /// transpose pass ever runs.
+    psp_lane_major: bool,
 }
 
 impl StageState {
@@ -58,15 +190,60 @@ impl StageState {
         self.psp.resize(len, 0.0);
         self.out.clear();
         self.out.resize(len, 0.0);
-        self.psp_token = None;
+        self.psp_lane_major = false;
     }
 
     fn remove_column(&mut self, width: usize, col: usize) {
         remove_column(&mut self.vmem, width, col);
         remove_column(&mut self.g, width, col);
-        remove_column(&mut self.psp, width, col);
+        remove_psp_column(&mut self.psp, self.psp_lane_major, width, col);
         remove_column(&mut self.out, width, col);
-        self.psp_token = None;
+    }
+}
+
+/// One cached first-stage PSP, keyed by the input-generation token.
+#[derive(Debug, Clone)]
+struct PspSlot {
+    token: u64,
+    psp: Vec<f32>,
+    lane_major: bool,
+}
+
+/// Upper bound on cached first-stage PSP slots. Periodic input codings
+/// produce at most `period` distinct tokens (phase coding caps the
+/// period at 24); the bound only guards against a pathological caller
+/// cycling unbounded token values.
+const MAX_INPUT_PSP_SLOTS: usize = 32;
+
+/// `vmem += psp` in whichever layout the PSP was produced: the
+/// batch-innermost case is a contiguous elementwise add, the lane-major
+/// case folds the transpose into the same single pass. `pub(crate)` so
+/// the autotuner's crossover calibration can charge each strategy its
+/// real integration cost.
+pub(crate) fn integrate(vmem: &mut [f32], psp: &[f32], lane_major: bool, n: usize, w: usize) {
+    if lane_major {
+        for (b, lane_psp) in psp.chunks_exact(n).enumerate() {
+            for (j, &p) in lane_psp.iter().enumerate() {
+                vmem[j * w + b] += p;
+            }
+        }
+    } else {
+        for (v, p) in vmem.iter_mut().zip(psp) {
+            *v += p;
+        }
+    }
+}
+
+/// Column removal for a PSP buffer in either layout: batch-innermost
+/// buffers compact like every other SoA buffer; lane-major buffers drop
+/// the lane's contiguous row instead.
+fn remove_psp_column(buf: &mut Vec<f32>, lane_major: bool, width: usize, col: usize) {
+    if lane_major {
+        debug_assert!(col < width && buf.len().is_multiple_of(width));
+        let rows = buf.len() / width;
+        buf.drain(col * rows..(col + 1) * rows);
+    } else {
+        remove_column(buf, width, col);
     }
 }
 
@@ -105,7 +282,24 @@ pub struct BatchedNetwork {
     stages: Vec<StageState>,
     out_vmem: Vec<f32>,
     out_psp: Vec<f32>,
+    /// Layout tag of `out_psp` (see [`StageState::psp_lane_major`]).
+    out_psp_lane_major: bool,
     input_soa: Vec<f32>,
+    /// Nonzero entries currently staged per column (the input layer's
+    /// free density probe).
+    input_nnz: Vec<usize>,
+    /// First-stage PSPs cached per input-generation token. Static
+    /// inputs occupy one slot; phase/TTFS-periodic inputs one per
+    /// phase, so after the first period the encoder, the staging copy,
+    /// and the first-stage kernel are all skipped — bit-exactly, since
+    /// a periodic drive reproduces the identical PSP. Invalidated
+    /// whenever the width changes.
+    input_psp_cache: Vec<PspSlot>,
+    dispatch: DispatchPolicy,
+    scratch: KernelScratch,
+    /// Per-stage dispatch counters (hidden stages, then the output
+    /// synapse); reset by [`begin_batch`](Self::begin_batch).
+    stats: Vec<StageDispatchStats>,
 }
 
 impl BatchedNetwork {
@@ -122,6 +316,7 @@ impl BatchedNetwork {
             ));
         }
         let stages = vec![StageState::default(); template.layers().len()];
+        let n_dispatch = template.layers().len() + 1;
         Ok(BatchedNetwork {
             template,
             max_batch,
@@ -129,8 +324,33 @@ impl BatchedNetwork {
             stages,
             out_vmem: Vec::new(),
             out_psp: Vec::new(),
+            out_psp_lane_major: false,
             input_soa: Vec::new(),
+            input_nnz: Vec::new(),
+            input_psp_cache: Vec::new(),
+            dispatch: DispatchPolicy::default(),
+            scratch: KernelScratch::default(),
+            stats: vec![StageDispatchStats::default(); n_dispatch],
         })
+    }
+
+    /// Installs a kernel-dispatch policy (mode + per-stage density
+    /// crossovers). Dispatch never changes per-lane results — only which
+    /// bit-identical kernel executes each (stage, step).
+    pub fn set_dispatch(&mut self, dispatch: DispatchPolicy) {
+        self.dispatch = dispatch;
+    }
+
+    /// The active kernel-dispatch policy.
+    pub fn dispatch(&self) -> &DispatchPolicy {
+        &self.dispatch
+    }
+
+    /// Per-stage dispatch counters of the current batch (one entry per
+    /// hidden stage, then the output synapse). Reset by
+    /// [`begin_batch`](Self::begin_batch).
+    pub fn dispatch_stats(&self) -> &[StageDispatchStats] {
+        &self.stats
     }
 
     /// The pristine single-image network this batch engine was built
@@ -190,10 +410,23 @@ impl BatchedNetwork {
         self.out_vmem.resize(classes * width, 0.0);
         self.out_psp.clear();
         self.out_psp.resize(classes * width, 0.0);
+        self.out_psp_lane_major = false;
         self.input_soa.clear();
         self.input_soa
             .resize(self.template.input_len() * width, 0.0);
+        self.input_nnz.clear();
+        self.input_nnz.resize(width, 0);
+        self.input_psp_cache.clear();
+        self.stats.iter_mut().for_each(|s| *s = Default::default());
         Ok(())
+    }
+
+    /// Whether a first-stage PSP is cached for `token` at the current
+    /// width. A `true` here means the next [`step`](Self::step) with
+    /// this token will not read the staged input at all — callers can
+    /// skip encoding and staging it.
+    pub fn psp_cached(&self, token: u64) -> bool {
+        self.input_psp_cache.iter().any(|s| s.token == token)
     }
 
     /// Compacts one column out of every SoA buffer: the remaining
@@ -212,8 +445,11 @@ impl BatchedNetwork {
             stage.remove_column(width, col);
         }
         remove_column(&mut self.out_vmem, width, col);
-        remove_column(&mut self.out_psp, width, col);
+        remove_psp_column(&mut self.out_psp, self.out_psp_lane_major, width, col);
         remove_column(&mut self.input_soa, width, col);
+        self.input_nnz.remove(col);
+        // Cached PSPs are sized for the old width.
+        self.input_psp_cache.clear();
         self.width -= 1;
     }
 
@@ -227,17 +463,23 @@ impl BatchedNetwork {
         let w = self.width;
         assert!(col < w, "column out of range");
         assert_eq!(drive.len(), self.template.input_len(), "drive length");
+        let mut nnz = 0usize;
         for (i, &v) in drive.iter().enumerate() {
             self.input_soa[i * w + col] = v;
+            nnz += (v != 0.0) as usize;
         }
+        self.input_nnz[col] = nnz;
     }
 
     /// Advances every lane one time step using the staged input.
     ///
-    /// `input_token` is the input-generation token for the first stage's
-    /// PSP cache (same contract as
-    /// [`crate::SpikingLayer::step_with_token`]): pass an unchanged
-    /// `Some(token)` while the staged input is unchanged.
+    /// `input_token` names the staged input's *generation* for the
+    /// first-stage PSP cache: equal tokens promise bit-identical staged
+    /// inputs. Pass `Some(0)` for a static drive, `Some(t % p)` for a
+    /// period-`p` periodic drive (each phase gets its own cache slot),
+    /// `None` for non-reproducible drives. When
+    /// [`psp_cached`](Self::psp_cached) already holds the token, the
+    /// staged input is not read at all — the caller may skip staging.
     ///
     /// `spike_counts` is the per-column spike-count matrix for **this
     /// step**, laid out `[layer][column]` with
@@ -277,17 +519,49 @@ impl BatchedNetwork {
             } else {
                 &done[k - 1].out
             };
-            // 1. PSP accumulation (first stage may reuse by token).
+            // 1. PSP accumulation, dispatched on the input's spike
+            // density; the first stage may serve straight from the
+            // per-token cache (skipping the kernel — and, for the
+            // caller, the encoder and staging — entirely). The density
+            // probe is free: stage 0's events were counted while
+            // staging, and stage k's input events are exactly stage
+            // k−1's spike row for this step, written by `fire_lanes`
+            // just above.
+            let n = layer.len();
             let token = if k == 0 { input_token } else { None };
-            let reuse = token.is_some() && stage.psp_token == token;
-            if !reuse {
-                stage.psp.iter_mut().for_each(|p| *p = 0.0);
-                layer.synapse().accumulate_batch(input, &mut stage.psp, w)?;
-                stage.psp_token = token;
-            }
-            // 2. Integration.
-            for (v, p) in stage.vmem.iter_mut().zip(&stage.psp) {
-                *v += p;
+            let slot =
+                token.and_then(|tok| self.input_psp_cache.iter().position(|s| s.token == tok));
+            if let Some(si) = slot {
+                self.stats[k].cached_steps += 1;
+                let slot = &self.input_psp_cache[si];
+                // 2. Integration — a lane-major PSP is folded into the
+                // batch-innermost membrane in the same pass, so the
+                // sparse path never pays a standalone transpose.
+                integrate(&mut stage.vmem, &slot.psp, slot.lane_major, n, w);
+            } else {
+                let events = stage_events(k, w, &self.input_nnz, spike_counts);
+                let sparse = accumulate_dispatched(
+                    layer.synapse(),
+                    input,
+                    &mut stage.psp,
+                    w,
+                    events,
+                    &self.dispatch,
+                    k,
+                    &mut self.scratch,
+                    &mut self.stats[k],
+                )?;
+                stage.psp_lane_major = sparse;
+                if let Some(tok) = token {
+                    if self.input_psp_cache.len() < MAX_INPUT_PSP_SLOTS {
+                        self.input_psp_cache.push(PspSlot {
+                            token: tok,
+                            psp: stage.psp.clone(),
+                            lane_major: sparse,
+                        });
+                    }
+                }
+                integrate(&mut stage.vmem, &stage.psp, sparse, n, w);
             }
             if let Some(bias) = layer.bias() {
                 for (vrow, &bb) in stage.vmem.chunks_exact_mut(w).zip(bias) {
@@ -309,18 +583,32 @@ impl BatchedNetwork {
                 w,
             );
         }
-        // Output accumulator: integrate, never fire.
+        // Output accumulator: integrate, never fire. Same density
+        // dispatch, with the last stage's spike row as the probe.
         let last_out: &[f32] = match self.stages.last() {
             Some(s) => &s.out,
             None => &self.input_soa,
         };
-        self.out_psp.iter_mut().for_each(|p| *p = 0.0);
-        self.template
-            .output_synapse()
-            .accumulate_batch(last_out, &mut self.out_psp, w)?;
-        for (v, p) in self.out_vmem.iter_mut().zip(&self.out_psp) {
-            *v += p;
-        }
+        let k_out = self.stages.len();
+        let events = stage_events(k_out, w, &self.input_nnz, spike_counts);
+        self.out_psp_lane_major = accumulate_dispatched(
+            self.template.output_synapse(),
+            last_out,
+            &mut self.out_psp,
+            w,
+            events,
+            &self.dispatch,
+            k_out,
+            &mut self.scratch,
+            &mut self.stats[k_out],
+        )?;
+        integrate(
+            &mut self.out_vmem,
+            &self.out_psp,
+            self.out_psp_lane_major,
+            self.template.output_len(),
+            w,
+        );
         if let Some(bias) = self.template.output_bias() {
             for (vrow, &bb) in self.out_vmem.chunks_exact_mut(w).zip(bias) {
                 for v in vrow {
@@ -353,6 +641,57 @@ impl BatchedNetwork {
     pub fn confidence_margin(&self, col: usize) -> f32 {
         top2_margin(self.lane_output_potentials(col))
     }
+}
+
+/// Input events of stage `stage_idx` for this step — the free density
+/// probe: the staged-input nonzeros for stage 0, the previous stage's
+/// just-written spike row otherwise.
+fn stage_events(stage_idx: usize, w: usize, input_nnz: &[usize], spike_counts: &[u64]) -> u64 {
+    if stage_idx == 0 {
+        input_nnz.iter().map(|&n| n as u64).sum()
+    } else {
+        spike_counts[stage_idx * w..(stage_idx + 1) * w]
+            .iter()
+            .sum()
+    }
+}
+
+/// Zeroes `psp`, runs whichever kernel the dispatch policy selects for
+/// this (stage, step) given the input's event count, and records the
+/// decision in `st`. Returns whether the PSP was produced lane-major —
+/// the shared dispatch body of the hidden-stage loop and the output
+/// accumulator in [`BatchedNetwork::step`].
+#[allow(clippy::too_many_arguments)]
+fn accumulate_dispatched(
+    syn: &crate::synapse::Synapse,
+    input: &[f32],
+    psp: &mut [f32],
+    w: usize,
+    events: u64,
+    dispatch: &DispatchPolicy,
+    stage_idx: usize,
+    scratch: &mut KernelScratch,
+    st: &mut StageDispatchStats,
+) -> Result<bool, SnnError> {
+    let density = events as f64 / (syn.input_len() * w) as f64;
+    let sparse = match dispatch.mode {
+        DispatchMode::ForceDense => false,
+        DispatchMode::ForceSparse => true,
+        DispatchMode::Auto => (density as f32) < dispatch.threshold(stage_idx),
+    };
+    psp.iter_mut().for_each(|p| *p = 0.0);
+    if sparse {
+        syn.accumulate_batch_sparse(input, psp, w, scratch)?;
+    } else {
+        syn.accumulate_batch(input, psp, w)?;
+    }
+    st.density_sum += density;
+    if sparse {
+        st.sparse_steps += 1;
+    } else {
+        st.dense_steps += 1;
+    }
+    Ok(sparse)
 }
 
 /// The fire/reset/burst update of one stage across all lanes, batch
@@ -496,12 +835,25 @@ pub struct BatchedStepwiseInference<'net> {
     steps: usize,
     t: u64,
     batch: usize,
+    /// Lanes that carry caller images; lanes `real_lanes..batch` are
+    /// dead padding (see [`new_padded`](Self::new_padded)).
+    real_lanes: usize,
+    /// Still-live lanes among the real ones — the run ends when this
+    /// hits zero, dead padding notwithstanding.
+    live_real: usize,
     input_is_spiking: bool,
-    /// `Some(0)` for static (real-coded) drive — forwarded as the
-    /// first-stage PSP cache token.
-    input_token: Option<u64>,
-    /// Whether the static drive is currently staged for every column.
-    input_staged: bool,
+    /// `Some(p)`: the drive at step `t` is a pure function of `t % p`
+    /// (static real coding is the `p = 1` case), enabling the engine's
+    /// per-token PSP cache and this wrapper's per-phase spike-count
+    /// cache — on a cache hit the encoder, the staging copy, and the
+    /// first-stage kernel are all skipped.
+    input_period: Option<u64>,
+    /// Cached per-(phase, lane) input spike counts (`[phase][lane]`,
+    /// original lane indices; empty unless the input is spiking and
+    /// periodic).
+    phase_n_in: Vec<u64>,
+    /// Which rows of `phase_n_in` have been recorded.
+    phase_filled: Vec<bool>,
 }
 
 impl<'net> BatchedStepwiseInference<'net> {
@@ -518,6 +870,44 @@ impl<'net> BatchedStepwiseInference<'net> {
         net: &'net mut BatchedNetwork,
         images: &[&[f32]],
         cfg: &EvalConfig,
+    ) -> Result<Self, SnnError> {
+        Self::build(net, images, cfg, images.len())
+    }
+
+    /// [`new`](Self::new), but ragged widths are padded up to the next
+    /// fixed lane width (`{2, 4, 8, 16}`, see [`padded_width`]) with
+    /// **dead lanes** driven by all-zero images, instead of running the
+    /// 3–4×-slower dynamic-width dense path. Dead lanes are pure
+    /// ballast: they occupy tail lane slots so the monomorphized
+    /// kernels apply, contribute no input events, are excluded from
+    /// [`is_done`](Self::is_done) (the run ends when every *real* lane
+    /// is retired or the horizon hits), and their results must simply
+    /// be ignored — iterate lanes `0..`[`real_lanes`](Self::real_lanes).
+    /// Real-lane results are bit-identical to the unpadded run. No
+    /// padding happens when the width is already fixed, exceeds 16, or
+    /// the padded width would not fit the engine.
+    pub fn new_padded(
+        net: &'net mut BatchedNetwork,
+        images: &[&[f32]],
+        cfg: &EvalConfig,
+    ) -> Result<Self, SnnError> {
+        let n = images.len();
+        let target = padded_width(n);
+        if target <= n || target > net.max_batch() {
+            return Self::build(net, images, cfg, n);
+        }
+        let zero = vec![0.0f32; net.input_len()];
+        let mut padded: Vec<&[f32]> = Vec::with_capacity(target);
+        padded.extend_from_slice(images);
+        padded.resize(target, zero.as_slice());
+        Self::build(net, &padded, cfg, n)
+    }
+
+    fn build(
+        net: &'net mut BatchedNetwork,
+        images: &[&[f32]],
+        cfg: &EvalConfig,
+        real_lanes: usize,
     ) -> Result<Self, SnnError> {
         cfg.validate()?;
         if matches!(cfg.record, RecordLevel::Trains { .. }) {
@@ -542,7 +932,16 @@ impl<'net> BatchedStepwiseInference<'net> {
             .iter()
             .map(|image| InputEncoder::new(cfg.scheme.input, image, cfg.phase_period))
             .collect::<Result<_, _>>()?;
-        let input_token = encoders[0].is_static().then_some(0);
+        let input_period = encoders[0]
+            .period()
+            .filter(|&p| (p as usize) <= MAX_INPUT_PSP_SLOTS)
+            .map(u64::from);
+        let input_is_spiking = cfg.scheme.input != InputCoding::Real;
+        let cache_rows = if input_is_spiking {
+            input_period.unwrap_or(0) as usize
+        } else {
+            0
+        };
         let rows = net.spiking_layers();
         Ok(BatchedStepwiseInference {
             enc_buf: vec![0.0; net.input_len()],
@@ -555,17 +954,28 @@ impl<'net> BatchedStepwiseInference<'net> {
             steps: cfg.steps,
             t: 0,
             batch,
-            input_is_spiking: cfg.scheme.input != InputCoding::Real,
-            input_token,
-            input_staged: false,
+            real_lanes,
+            live_real: real_lanes,
+            input_is_spiking,
+            input_period,
+            phase_n_in: vec![0; cache_rows * batch],
+            phase_filled: vec![false; cache_rows],
             net,
             encoders,
         })
     }
 
-    /// Lockstep width at construction (number of lanes, live + retired).
+    /// Lockstep width at construction (number of lanes, live + retired,
+    /// **including** any dead padding lanes).
     pub fn batch(&self) -> usize {
         self.batch
+    }
+
+    /// Number of lanes carrying caller images: lanes `0..real_lanes()`
+    /// hold results; any further lanes are dead padding (see
+    /// [`new_padded`](Self::new_padded)).
+    pub fn real_lanes(&self) -> usize {
+        self.real_lanes
     }
 
     /// Number of still-live lanes.
@@ -588,9 +998,10 @@ impl<'net> BatchedStepwiseInference<'net> {
         self.lane_steps[lane] as usize
     }
 
-    /// Whether the run is over (horizon reached or every lane retired).
+    /// Whether the run is over (horizon reached or every real lane
+    /// retired — dead padding lanes never hold a run open).
     pub fn is_done(&self) -> bool {
-        self.t as usize >= self.steps || self.lane_of_col.is_empty()
+        self.t as usize >= self.steps || self.live_real == 0
     }
 
     /// Whether a lane is still live.
@@ -615,13 +1026,16 @@ impl<'net> BatchedStepwiseInference<'net> {
         self.net.remove_lane(col);
         self.lane_of_col.remove(col);
         self.col_of_lane[lane] = None;
+        if lane < self.real_lanes {
+            self.live_real -= 1;
+        }
         for c in self.col_of_lane.iter_mut().flatten() {
             if *c > col {
                 *c -= 1;
             }
         }
-        // Columns moved: the static drive must be restaged.
-        self.input_staged = false;
+        // (The engine dropped its PSP cache with the column, so the
+        // next step restages the drive at the new width.)
     }
 
     /// Presents one time step to every live lane. Returns `Ok(false)`
@@ -638,20 +1052,40 @@ impl<'net> BatchedStepwiseInference<'net> {
         let t = self.t;
         let width = self.lane_of_col.len();
         let rows = self.net.spiking_layers();
-        if self.input_token.is_none() || !self.input_staged {
+        let token = self.input_period.map(|p| t % p);
+        let cached = token.is_some_and(|tok| self.net.psp_cached(tok));
+        if !cached {
+            // Encode and stage this step's drive (periodic encoders are
+            // pure functions of `t % p`, so re-encoding after a cache
+            // invalidation reproduces the identical drive and counts).
             for col in 0..width {
                 let lane = self.lane_of_col[col];
-                let n_in = self.encoders[lane].step(t, &mut self.enc_buf);
+                let n_in = self.encoders[lane].step(t, &mut self.enc_buf) as u64;
                 self.net.stage_lane_input(col, &self.enc_buf);
                 if self.input_is_spiking {
-                    self.counts[lane] += n_in as u64;
+                    self.counts[lane] += n_in;
+                    if let Some(tok) = token {
+                        self.phase_n_in[tok as usize * self.batch + lane] = n_in;
+                    }
                 }
             }
-            self.input_staged = true;
+            if let Some(tok) = token {
+                if self.input_is_spiking {
+                    self.phase_filled[tok as usize] = true;
+                }
+            }
+        } else if self.input_is_spiking {
+            // Engine serves the PSP from its cache; the per-lane input
+            // spike counts come from ours.
+            let tok = token.expect("cached implies a token") as usize;
+            debug_assert!(self.phase_filled[tok], "hit before any staging");
+            for &lane in &self.lane_of_col {
+                self.counts[lane] += self.phase_n_in[tok * self.batch + lane];
+            }
         }
         let step_counts = &mut self.step_counts[..rows * width];
         step_counts.iter_mut().for_each(|c| *c = 0);
-        self.net.step(t, self.input_token, step_counts)?;
+        self.net.step(t, token, step_counts)?;
         // Fold per-column step counts into the per-lane accumulators.
         for row in 1..rows {
             for col in 0..width {
@@ -866,6 +1300,92 @@ mod tests {
             run.output_potentials(0)
         };
         assert_eq!(first, again, "stale state leaked across batches");
+    }
+
+    #[test]
+    fn padded_width_snaps_to_fixed_lanes() {
+        assert_eq!(padded_width(0), 0);
+        assert_eq!(padded_width(1), 1);
+        assert_eq!(padded_width(2), 2);
+        assert_eq!(padded_width(3), 4);
+        assert_eq!(padded_width(5), 8);
+        assert_eq!(padded_width(8), 8);
+        assert_eq!(padded_width(9), 16);
+        assert_eq!(padded_width(16), 16);
+        assert_eq!(padded_width(17), 17, "beyond 16 there is no fixed kernel");
+    }
+
+    #[test]
+    fn padded_run_matches_plain_and_ends_on_real_lanes() {
+        let cfg = EvalConfig::new(real_rate(), 9);
+        let imgs: [[f32; 2]; 3] = [[0.9, 0.1], [0.2, 0.7], [0.5, 0.5]];
+        let refs: Vec<&[f32]> = imgs.iter().map(|i| i.as_slice()).collect();
+        let mut plain_engine = BatchedNetwork::new(tiny_network(0.25), 4).unwrap();
+        let mut plain = BatchedStepwiseInference::new(&mut plain_engine, &refs, &cfg).unwrap();
+        while plain.advance().unwrap() {}
+        let mut engine = BatchedNetwork::new(tiny_network(0.25), 4).unwrap();
+        let mut run = BatchedStepwiseInference::new_padded(&mut engine, &refs, &cfg).unwrap();
+        assert_eq!(run.batch(), 4, "3 lanes pad to the next fixed width");
+        assert_eq!(run.real_lanes(), 3);
+        while run.advance().unwrap() {}
+        for lane in 0..run.real_lanes() {
+            assert_eq!(run.output_potentials(lane), plain.output_potentials(lane));
+            assert_eq!(run.prediction(lane), plain.prediction(lane));
+            assert_eq!(run.total_spikes(lane), plain.total_spikes(lane));
+        }
+        // Retiring every real lane ends the run even though the dead
+        // padding lane never retires.
+        let mut engine = BatchedNetwork::new(tiny_network(0.25), 4).unwrap();
+        let mut run = BatchedStepwiseInference::new_padded(&mut engine, &refs, &cfg).unwrap();
+        assert!(run.advance().unwrap());
+        run.retire(0);
+        run.retire(1);
+        run.retire(2);
+        assert!(run.is_done());
+        assert!(!run.advance().unwrap());
+        assert_eq!(run.live_lanes(), 1, "dead lane still live, run over");
+        // A width the engine cannot pad (padded width > max_batch) runs
+        // unpadded; a fixed width is left alone.
+        let mut engine = BatchedNetwork::new(tiny_network(0.25), 3).unwrap();
+        let run = BatchedStepwiseInference::new_padded(&mut engine, &refs, &cfg).unwrap();
+        assert_eq!(run.batch(), 3);
+        let mut engine = BatchedNetwork::new(tiny_network(0.25), 4).unwrap();
+        let two: Vec<&[f32]> = refs[..2].to_vec();
+        let run = BatchedStepwiseInference::new_padded(&mut engine, &two, &cfg).unwrap();
+        assert_eq!(run.batch(), 2);
+    }
+
+    #[test]
+    fn forced_strategies_agree_bitwise_and_stats_account_steps() {
+        let cfg = EvalConfig::new(real_rate(), 7);
+        let imgs: [[f32; 2]; 2] = [[0.9, 0.0], [0.0, 0.6]];
+        let refs: Vec<&[f32]> = imgs.iter().map(|i| i.as_slice()).collect();
+        let mut pots = Vec::new();
+        for mode in [
+            DispatchMode::ForceDense,
+            DispatchMode::ForceSparse,
+            DispatchMode::Auto,
+        ] {
+            let mut engine = BatchedNetwork::new(tiny_network(0.25), 2).unwrap();
+            engine.set_dispatch(DispatchPolicy::forced(mode));
+            assert_eq!(engine.dispatch().mode, mode);
+            let mut run = BatchedStepwiseInference::new(&mut engine, &refs, &cfg).unwrap();
+            while run.advance().unwrap() {}
+            pots.push((0..2).map(|l| run.output_potentials(l)).collect::<Vec<_>>());
+            // Every (stage, step) is accounted to exactly one bucket.
+            for st in engine.dispatch_stats() {
+                assert_eq!(st.dense_steps + st.sparse_steps + st.cached_steps, 7);
+                assert!(st.mean_density() >= 0.0 && st.mean_density() <= 1.0);
+            }
+            let stats = engine.dispatch_stats();
+            match mode {
+                DispatchMode::ForceDense => assert!(stats.iter().all(|s| s.sparse_steps == 0)),
+                DispatchMode::ForceSparse => assert!(stats.iter().all(|s| s.dense_steps == 0)),
+                DispatchMode::Auto => {}
+            }
+        }
+        assert_eq!(pots[0], pots[1], "sparse vs dense bit drift");
+        assert_eq!(pots[0], pots[2], "auto vs dense bit drift");
     }
 
     #[test]

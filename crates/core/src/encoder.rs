@@ -135,6 +135,23 @@ impl InputEncoder {
         matches!(self.kind, EncoderKind::Real { .. })
     }
 
+    /// The period `p` such that the drive at step `t` is a pure function
+    /// of `t % p`, if the coding is periodic: real coding is the `p = 1`
+    /// case, phase coding repeats every period (the codes are static and
+    /// the bit/weight depend only on the phase), and TTFS repeats every
+    /// window. Rate coding is stateful (integrate-and-fire membranes) and
+    /// returns `None`. A periodic drive lets consumers cache everything
+    /// derived from the input — spike counts and first-stage PSPs — per
+    /// `t % p`, bit-exactly.
+    pub fn period(&self) -> Option<u32> {
+        match &self.kind {
+            EncoderKind::Real { .. } => Some(1),
+            EncoderKind::Phase { period, .. } => Some(*period),
+            EncoderKind::Ttfs { window, .. } => Some(*window),
+            EncoderKind::Rate { .. } => None,
+        }
+    }
+
     /// Fills `buf` with this step's spike magnitudes and returns the
     /// number of spikes emitted (always 0 for real coding, which injects
     /// analog current rather than spikes).

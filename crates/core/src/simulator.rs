@@ -9,7 +9,7 @@
 //! results bit-identical to the sequential reference
 //! [`evaluate_dataset`].
 
-use crate::batch::{BatchedNetwork, BatchedStepwiseInference};
+use crate::batch::{BatchedNetwork, BatchedStepwiseInference, DispatchPolicy};
 use crate::coding::{CodingScheme, InputCoding};
 use crate::encoder::InputEncoder;
 use crate::network::SpikingNetwork;
@@ -434,6 +434,7 @@ fn eval_range(
     lo: usize,
     hi: usize,
     batch: usize,
+    dispatch: &DispatchPolicy,
 ) -> Result<PartialSums, SnnError> {
     let mut correct = vec![0usize; cfg.checkpoints.len()];
     let mut spikes = vec![0u64; cfg.checkpoints.len()];
@@ -458,12 +459,17 @@ fn eval_range(
         return Ok((correct, spikes, layer_counts));
     }
     let batch = batch.max(1);
-    let mut engine = BatchedNetwork::new(net.clone(), batch.min(hi - lo))?;
+    // The engine is sized for the *padded* width so ragged tail chunks
+    // (and ragged user-chosen widths) can run the fixed-width kernels
+    // with dead lanes instead of the slower dynamic dense path.
+    let mut engine =
+        BatchedNetwork::new(net.clone(), crate::batch::padded_width(batch.min(hi - lo)))?;
+    engine.set_dispatch(dispatch.clone());
     let mut start = lo;
     while start < hi {
         let width = batch.min(hi - start);
         let images: Vec<&[f32]> = (start..start + width).map(|i| dataset.image(i)).collect();
-        let mut run = BatchedStepwiseInference::new(&mut engine, &images, cfg)?;
+        let mut run = BatchedStepwiseInference::new_padded(&mut engine, &images, cfg)?;
         // No lane retires, so every lane hits each checkpoint together.
         let mut next_cp = 0usize;
         while run.advance()? {
@@ -500,9 +506,14 @@ fn eval_range(
 /// `threads <= 1` evaluates on the calling thread; `batch <= 1` runs
 /// the lockstep engine at width 1 (which slightly beats the scalar
 /// loop — and is exactly what the autotuner's width-1 probe measures).
+/// Ragged widths — a non-{1, 2, 4, 8, 16} `batch`, or the tail chunk of
+/// a shard — are padded to the next fixed lane width with dead lanes
+/// ([`BatchedStepwiseInference::new_padded`]), which beats the dynamic
+/// dense path those widths would otherwise take; results are unchanged.
 /// The best `batch` is model-dependent — measure it with
 /// [`crate::autotune::autotune_batch`] rather than hardcoding (conv
-/// nets want 8–16, small dense nets want 1).
+/// nets want 8–16, small dense nets historically wanted 1; with density
+/// dispatch they win at wide batches too).
 ///
 /// # Errors
 ///
@@ -514,6 +525,34 @@ pub fn evaluate_dataset_batched(
     threads: usize,
     batch: usize,
 ) -> Result<EvalResult, SnnError> {
+    evaluate_dataset_batched_with_dispatch(
+        net,
+        dataset,
+        cfg,
+        threads,
+        batch,
+        &DispatchPolicy::default(),
+    )
+}
+
+/// [`evaluate_dataset_batched`] with an explicit kernel-dispatch policy
+/// installed into every worker's engine — pass the model's calibrated
+/// [`crate::autotune::BatchPolicy::density_thresholds`] so the
+/// sparse/dense decision runs at the measured crossovers instead of the
+/// conservative default. Dispatch never changes results, only
+/// wall-clock.
+///
+/// # Errors
+///
+/// Propagates configuration and simulation errors from any worker.
+pub fn evaluate_dataset_batched_with_dispatch(
+    net: &SpikingNetwork,
+    dataset: &ImageDataset,
+    cfg: &EvalConfig,
+    threads: usize,
+    batch: usize,
+    dispatch: &DispatchPolicy,
+) -> Result<EvalResult, SnnError> {
     cfg.validate()?;
     let n_images = cfg
         .max_images
@@ -523,7 +562,7 @@ pub fn evaluate_dataset_batched(
     }
     let threads = threads.clamp(1, n_images);
     let results: Vec<Result<PartialSums, SnnError>> = if threads == 1 {
-        vec![eval_range(net, dataset, cfg, 0, n_images, batch)]
+        vec![eval_range(net, dataset, cfg, 0, n_images, batch, dispatch)]
     } else {
         let chunk = n_images.div_ceil(threads);
         std::thread::scope(|scope| {
@@ -534,7 +573,9 @@ pub fn evaluate_dataset_batched(
                 if lo >= hi {
                     break;
                 }
-                handles.push(scope.spawn(move || eval_range(net, dataset, cfg, lo, hi, batch)));
+                handles.push(
+                    scope.spawn(move || eval_range(net, dataset, cfg, lo, hi, batch, dispatch)),
+                );
             }
             handles
                 .into_iter()

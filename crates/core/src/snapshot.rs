@@ -7,11 +7,13 @@
 //! `Write`/`Read` — pass `&mut file` if you need the file back
 //! afterwards.
 //!
-//! Format version 2 adds a [`SnapshotMeta`] block (currently the
-//! model's autotuned `preferred_batch` lockstep width) between the
-//! header and the network body, so deployment-time measurements travel
-//! with the weights; version-1 streams still load (with default
-//! metadata). Writers emit version 2.
+//! Format version 2 added a [`SnapshotMeta`] block (the model's
+//! autotuned `preferred_batch` lockstep width) between the header and
+//! the network body, so deployment-time measurements travel with the
+//! weights; version 3 extends the block with the per-stage sparse/dense
+//! density crossovers measured by the same autotuning pass. Version-1
+//! and version-2 streams still load (missing fields default). Writers
+//! emit version 3.
 //!
 //! Only the *static* structure is serialized (weights, thresholds,
 //! geometry); dynamic state (membrane potentials, burst functions) is
@@ -26,15 +28,20 @@ use bsnn_tensor::Tensor;
 use std::io::{self, Read, Write};
 
 const MAGIC: &[u8; 4] = b"BSNN";
-const VERSION: u32 = 2;
+const VERSION: u32 = 3;
 
 /// Deployment metadata carried alongside the network structure.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SnapshotMeta {
     /// Autotuned lockstep batch width the model should run at
     /// (`0` = no preference recorded; see
     /// [`crate::autotune::autotune_batch`]).
     pub preferred_batch: u32,
+    /// Calibrated sparse/dense density crossovers — one per hidden
+    /// stage plus the output synapse, in stage order (empty = none
+    /// recorded; consumers fall back to
+    /// [`crate::batch::DEFAULT_DENSITY_CROSSOVER`]).
+    pub density_thresholds: Vec<f32>,
 }
 
 /// Errors from reading or writing a network snapshot.
@@ -275,7 +282,7 @@ pub fn save_network<W: Write>(net: &SpikingNetwork, writer: W) -> Result<(), Sna
     save_network_with_meta(net, SnapshotMeta::default(), writer)
 }
 
-/// Writes a network snapshot carrying `meta` (format version 2).
+/// Writes a network snapshot carrying `meta` (format version 3).
 ///
 /// # Errors
 ///
@@ -288,6 +295,7 @@ pub fn save_network_with_meta<W: Write>(
     writer.write_all(MAGIC)?;
     write_u32(&mut writer, VERSION)?;
     write_u32(&mut writer, meta.preferred_batch)?;
+    write_f32_slice(&mut writer, &meta.density_thresholds)?;
     write_u32(&mut writer, net.input_len() as u32)?;
     write_u32(&mut writer, net.layers().len() as u32)?;
     for layer in net.layers() {
@@ -333,7 +341,8 @@ pub fn load_network<R: Read>(reader: R) -> Result<SpikingNetwork, SnapshotError>
 
 /// Reads a network snapshot together with its [`SnapshotMeta`].
 /// Version-1 streams (which predate the metadata block) decode with
-/// default metadata.
+/// default metadata; version-2 streams (which predate the density
+/// crossovers) decode with empty `density_thresholds`.
 ///
 /// # Errors
 ///
@@ -353,7 +362,22 @@ pub fn load_network_with_meta<R: Read>(
         1 => SnapshotMeta::default(),
         2 => SnapshotMeta {
             preferred_batch: read_u32(&mut reader)?,
+            ..SnapshotMeta::default()
         },
+        3 => {
+            let preferred_batch = read_u32(&mut reader)?;
+            let density_thresholds = read_f32_vec(&mut reader)?;
+            if density_thresholds.len() > 4097 {
+                return Err(SnapshotError::Format(format!(
+                    "implausible threshold count {}",
+                    density_thresholds.len()
+                )));
+            }
+            SnapshotMeta {
+                preferred_batch,
+                density_thresholds,
+            }
+        }
         other => {
             return Err(SnapshotError::Format(format!(
                 "unsupported snapshot version {other}"
@@ -452,33 +476,49 @@ mod tests {
     }
 
     #[test]
-    fn meta_round_trip_and_v1_compat() {
+    fn meta_round_trip_and_v1_v2_compat() {
         let (net, _, _) = sample_network(HiddenCoding::Burst);
         let mut buf = Vec::new();
         save_network_with_meta(
             &net,
             SnapshotMeta {
                 preferred_batch: 16,
+                density_thresholds: vec![0.28125, 0.09375, 0.0],
             },
             &mut buf,
         )
         .expect("save");
         let (_, meta) = load_network_with_meta(buf.as_slice()).expect("load");
         assert_eq!(meta.preferred_batch, 16);
+        assert_eq!(meta.density_thresholds, vec![0.28125, 0.09375, 0.0]);
         // A plain save carries no preference.
         let mut plain = Vec::new();
         save_network(&net, &mut plain).expect("save");
         let (_, meta) = load_network_with_meta(plain.as_slice()).expect("load");
         assert_eq!(meta, SnapshotMeta::default());
-        // A version-1 stream (no meta block) still loads, with default
-        // metadata: magic + version, then the body after the v2 meta u32.
+        // The v3 header is magic + version + preferred_batch + the
+        // threshold block (count + values); the network body follows.
+        let body = 16 + 4 * 3;
+        // A version-1 stream (no meta block at all) still loads, with
+        // default metadata.
         let mut v1 = Vec::new();
         v1.extend_from_slice(MAGIC);
         v1.extend_from_slice(&1u32.to_le_bytes());
-        v1.extend_from_slice(&buf[12..]);
+        v1.extend_from_slice(&buf[body..]);
         let (restored, meta) = load_network_with_meta(v1.as_slice()).expect("load v1");
         assert_eq!(meta, SnapshotMeta::default());
         assert_eq!(restored.input_len(), net.input_len());
+        assert_eq!(restored.num_neurons(), net.num_neurons());
+        // A version-2 stream (preferred_batch, no thresholds) loads with
+        // the preference and empty thresholds.
+        let mut v2 = Vec::new();
+        v2.extend_from_slice(MAGIC);
+        v2.extend_from_slice(&2u32.to_le_bytes());
+        v2.extend_from_slice(&8u32.to_le_bytes());
+        v2.extend_from_slice(&buf[body..]);
+        let (restored, meta) = load_network_with_meta(v2.as_slice()).expect("load v2");
+        assert_eq!(meta.preferred_batch, 8);
+        assert!(meta.density_thresholds.is_empty());
         assert_eq!(restored.num_neurons(), net.num_neurons());
     }
 

@@ -59,21 +59,80 @@ fn lane_fma(p: &mut [f32], lanes: &[f32], w: f32) {
     }
 }
 
+/// Lane-elements per PSP block of the dense kernels (16 KiB of `f32`):
+/// stages whose `out × batch` PSP exceeds this are processed in
+/// L1-resident output chunks, so every active input's FMA hits a hot
+/// PSP row instead of streaming the whole output. The active-input scan
+/// re-runs once per block — negligible next to the saved PSP traffic —
+/// and stages that fit in one block keep the exact single-pass loop.
+/// Blocking only reorders work across output columns, never within one
+/// `(output, lane)` accumulation chain, so results are bit-identical.
+const DENSE_PSP_BLOCK: usize = 4096;
+
 /// Batched dense accumulation with a compile-time lane count: the
 /// zero-skip check compiles to straight vector compares, and the
 /// `B`-wide FMA runs through [`lane_fma`] (quad-pinned; widths 2 and 3
 /// take its scalar remainder loop, which LLVM vectorizes fine at those
-/// widths).
+/// widths). Large outputs are cache-blocked (see [`DENSE_PSP_BLOCK`]).
 fn dense_lanes<const B: usize>(input: &[f32], psp: &mut [f32], w: &[f32], out: usize) {
-    for (i, lanes) in input.chunks_exact(B).enumerate() {
-        let lanes: &[f32; B] = lanes.try_into().expect("chunk width");
-        if *lanes == [0.0; B] {
-            continue;
+    let cols = (DENSE_PSP_BLOCK / B).max(1);
+    let mut j0 = 0;
+    while j0 < out {
+        let j1 = (j0 + cols).min(out);
+        for (i, lanes) in input.chunks_exact(B).enumerate() {
+            let lanes: &[f32; B] = lanes.try_into().expect("chunk width");
+            if *lanes == [0.0; B] {
+                continue;
+            }
+            let row = &w[i * out + j0..i * out + j1];
+            for (p, &wij) in psp[j0 * B..j1 * B].chunks_exact_mut(B).zip(row) {
+                lane_fma(p, lanes, wij);
+            }
         }
-        let row = &w[i * out..(i + 1) * out];
-        for (p, &wij) in psp.chunks_exact_mut(B).zip(row) {
-            lane_fma(p, lanes, wij);
+        j0 = j1;
+    }
+}
+
+/// Runtime-width sibling of [`dense_lanes`] for lane counts without a
+/// monomorphized kernel, with the same output-axis cache blocking.
+fn dense_dynamic(input: &[f32], psp: &mut [f32], w: &[f32], out: usize, batch: usize) {
+    let cols = (DENSE_PSP_BLOCK / batch).max(1);
+    let mut j0 = 0;
+    while j0 < out {
+        let j1 = (j0 + cols).min(out);
+        for (i, lanes) in input.chunks_exact(batch).enumerate() {
+            if lanes.iter().all(|&s| s == 0.0) {
+                continue;
+            }
+            let row = &w[i * out + j0..i * out + j1];
+            // One walk over this PSP block per active input: the weight
+            // changes every `batch` elements, the lane FMA loop is the
+            // vectorized innermost.
+            for (p, &wij) in psp[j0 * batch..j1 * batch].chunks_exact_mut(batch).zip(row) {
+                lane_fma(p, lanes, wij);
+            }
         }
+        j0 = j1;
+    }
+}
+
+/// The scalar (batch = 1) dense kernel: the seed's spike-sparse loop,
+/// cache-blocked over the output axis like its batched siblings.
+fn dense_scalar(input: &[f32], psp: &mut [f32], w: &[f32], out: usize) {
+    let cols = DENSE_PSP_BLOCK.max(1);
+    let mut j0 = 0;
+    while j0 < out {
+        let j1 = (j0 + cols).min(out);
+        for (i, &s) in input.iter().enumerate() {
+            if s == 0.0 {
+                continue;
+            }
+            let row = &w[i * out + j0..i * out + j1];
+            for (p, &wij) in psp[j0..j1].iter_mut().zip(row) {
+                *p += s * wij;
+            }
+        }
+        j0 = j1;
     }
 }
 
@@ -237,39 +296,15 @@ impl Synapse {
                 let out = weight.shape()[1];
                 let w = weight.as_slice();
                 match batch {
-                    1 => {
-                        // Scalar fast path: the seed's spike-sparse loop.
-                        for (i, &s) in input.iter().enumerate() {
-                            if s == 0.0 {
-                                continue;
-                            }
-                            let row = &w[i * out..(i + 1) * out];
-                            for (p, &wij) in psp.iter_mut().zip(row) {
-                                *p += s * wij;
-                            }
-                        }
-                    }
+                    // Scalar fast path: the seed's spike-sparse loop.
+                    1 => dense_scalar(input, psp, w, out),
                     // Compile-time lane counts let LLVM fully unroll the
                     // lane loop into straight SIMD.
                     2 => dense_lanes::<2>(input, psp, w, out),
                     4 => dense_lanes::<4>(input, psp, w, out),
                     8 => dense_lanes::<8>(input, psp, w, out),
                     16 => dense_lanes::<16>(input, psp, w, out),
-                    _ => {
-                        for (i, lanes) in input.chunks_exact(batch).enumerate() {
-                            if lanes.iter().all(|&s| s == 0.0) {
-                                continue;
-                            }
-                            let row = &w[i * out..(i + 1) * out];
-                            // One contiguous walk over `psp` per active
-                            // input: the weight changes every `batch`
-                            // elements, the lane FMA loop is the
-                            // vectorized innermost.
-                            for (p, &wij) in psp.chunks_exact_mut(batch).zip(row) {
-                                lane_fma(p, lanes, wij);
-                            }
-                        }
-                    }
+                    _ => dense_dynamic(input, psp, w, out, batch),
                 }
             }
             Synapse::Conv {
@@ -325,6 +360,165 @@ impl Synapse {
         }
         Ok(())
     }
+
+    /// Sparse event-list accumulation: the spike-driven sibling of
+    /// [`Self::accumulate_batch`] for batches whose lanes are mostly
+    /// silent.
+    ///
+    /// `input` is the usual batch-innermost SoA buffer, but `psp_lanes`
+    /// is **lane-major** (`[lane][neuron]`, so lane `b`'s PSP row is the
+    /// contiguous slice `b * output_len()..`). Each lane's nonzero
+    /// `(neuron, magnitude)` events are compacted and replayed through
+    /// the scalar event path in ascending neuron order — the exact
+    /// per-lane operation sequence of the dense kernel minus its
+    /// skipped-lane `±0.0` terms, so per-lane results are bit-identical
+    /// to both [`Self::accumulate`] and the dense batch path. Cost
+    /// scales with *events per lane* instead of *inputs live in any
+    /// lane*, which is the difference between O(density) and
+    /// O(1 − (1 − density)^batch) work per step.
+    ///
+    /// `scratch` hosts the event lists (dense) or the per-lane compacted
+    /// input row (conv/pool); its capacity is retained across calls so
+    /// steady-state stepping performs no allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnnError::InputSizeMismatch`] on length mismatches and
+    /// [`SnnError::InvalidConfig`] for a zero batch.
+    pub fn accumulate_batch_sparse(
+        &self,
+        input: &[f32],
+        psp_lanes: &mut [f32],
+        batch: usize,
+        scratch: &mut KernelScratch,
+    ) -> Result<(), SnnError> {
+        if batch == 0 {
+            return Err(SnnError::InvalidConfig("batch must be nonzero".into()));
+        }
+        if input.len() != self.input_len() * batch {
+            return Err(SnnError::InputSizeMismatch {
+                expected: self.input_len() * batch,
+                actual: input.len(),
+            });
+        }
+        let out_len = self.output_len();
+        if psp_lanes.len() != out_len * batch {
+            return Err(SnnError::InputSizeMismatch {
+                expected: out_len * batch,
+                actual: psp_lanes.len(),
+            });
+        }
+        match self {
+            Synapse::Dense { weight } => {
+                let out = weight.shape()[1];
+                let w = weight.as_slice();
+                // Compact each lane's events in one contiguous pass over
+                // the SoA input; pushing in input order keeps every
+                // lane's list in ascending neuron order.
+                if scratch.events.len() < batch {
+                    scratch.events.resize(batch, Vec::new());
+                }
+                for list in &mut scratch.events[..batch] {
+                    list.clear();
+                }
+                for (i, lanes) in input.chunks_exact(batch).enumerate() {
+                    for (b, &s) in lanes.iter().enumerate() {
+                        if s != 0.0 {
+                            scratch.events[b].push((i as u32, s));
+                        }
+                    }
+                }
+                // Replay per lane: each event is one contiguous
+                // `out`-wide row FMA into the lane's PSP row.
+                for (b, list) in scratch.events[..batch].iter().enumerate() {
+                    let lane_psp = &mut psp_lanes[b * out..(b + 1) * out];
+                    for &(i, s) in list {
+                        let row = &w[i as usize * out..(i as usize + 1) * out];
+                        for (p, &wij) in lane_psp.iter_mut().zip(row) {
+                            *p += s * wij;
+                        }
+                    }
+                }
+            }
+            Synapse::Conv {
+                weight,
+                geom,
+                in_shape,
+                out_shape,
+            } => {
+                let plan = ScatterPlan {
+                    w: weight.as_slice(),
+                    c_in: in_shape.c,
+                    c_out: weight.shape()[0],
+                    geom,
+                    ih: in_shape.h,
+                    iw: in_shape.w,
+                    oh: out_shape.h,
+                    ow: out_shape.w,
+                };
+                let n_in = in_shape.volume();
+                scratch.lane_input.resize(n_in, 0.0);
+                for b in 0..batch {
+                    for (i, v) in scratch.lane_input.iter_mut().enumerate() {
+                        *v = input[i * batch + b];
+                    }
+                    // The scalar scatter's own zero-skip is the event
+                    // compaction here — exactly the batch-1 kernel.
+                    conv_scatter::<Dynamic>(
+                        1,
+                        &scratch.lane_input,
+                        &mut psp_lanes[b * out_len..(b + 1) * out_len],
+                        &plan,
+                    );
+                }
+            }
+            Synapse::Pool {
+                geom,
+                in_shape,
+                out_shape,
+                scale,
+            } => {
+                let unit = *scale / (geom.kernel_h * geom.kernel_w) as f32;
+                let plan = ScatterPlan {
+                    w: std::slice::from_ref(&unit),
+                    c_in: in_shape.c,
+                    c_out: 1,
+                    geom,
+                    ih: in_shape.h,
+                    iw: in_shape.w,
+                    oh: out_shape.h,
+                    ow: out_shape.w,
+                };
+                let n_in = in_shape.volume();
+                scratch.lane_input.resize(n_in, 0.0);
+                for b in 0..batch {
+                    for (i, v) in scratch.lane_input.iter_mut().enumerate() {
+                        *v = input[i * batch + b];
+                    }
+                    pool_scatter::<Dynamic>(
+                        1,
+                        &scratch.lane_input,
+                        &mut psp_lanes[b * out_len..(b + 1) * out_len],
+                        &plan,
+                    );
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Reusable buffers of the sparse event-list kernel
+/// ([`Synapse::accumulate_batch_sparse`]): per-lane event lists for
+/// dense stages and one compacted per-lane input row for conv/pool
+/// stages. Hold one per engine — capacity is retained across calls, so
+/// repeated stepping allocates nothing.
+#[derive(Debug, Clone, Default)]
+pub struct KernelScratch {
+    /// Per-lane `(neuron, magnitude)` events, ascending neuron order.
+    events: Vec<Vec<(u32, f32)>>,
+    /// One lane's input deinterleaved into a dense batch-1 row.
+    lane_input: Vec<f32>,
 }
 
 /// Shared geometry/weight context of the conv and pool scatter kernels.
@@ -723,6 +917,137 @@ mod tests {
             .map(|_| uniform(&mut rng, &[32], 0.0, 1.0).as_slice().to_vec())
             .collect();
         batch_matches_scalar(&syn, &inputs);
+    }
+
+    /// Sparse (lane-major) and dense (batch-innermost) strategies must
+    /// agree bitwise, lane for lane, with the scalar path.
+    fn sparse_matches_dense_and_scalar(syn: &Synapse, inputs: &[Vec<f32>]) {
+        let batch = inputs.len();
+        let out = syn.output_len();
+        let soa = to_soa(inputs);
+        let mut psp_dense = vec![0.0f32; out * batch];
+        syn.accumulate_batch(&soa, &mut psp_dense, batch).unwrap();
+        let mut psp_sparse = vec![0.0f32; out * batch];
+        let mut scratch = KernelScratch::default();
+        syn.accumulate_batch_sparse(&soa, &mut psp_sparse, batch, &mut scratch)
+            .unwrap();
+        for (b, input) in inputs.iter().enumerate() {
+            let mut psp = vec![0.0f32; out];
+            syn.accumulate(input, &mut psp).unwrap();
+            for j in 0..out {
+                assert_eq!(
+                    psp[j].to_bits(),
+                    psp_sparse[b * out + j].to_bits(),
+                    "sparse lane {b} neuron {j} diverged from scalar"
+                );
+                assert_eq!(
+                    psp[j].to_bits(),
+                    psp_dense[j * batch + b].to_bits(),
+                    "dense lane {b} neuron {j} diverged from scalar"
+                );
+            }
+        }
+    }
+
+    /// Images at a given per-pixel density, including fully silent lanes.
+    fn sparse_inputs(rng: &mut StdRng, batch: usize, len: usize, density: f32) -> Vec<Vec<f32>> {
+        use rand::Rng;
+        (0..batch)
+            .map(|b| {
+                (0..len)
+                    .map(|_| {
+                        if b == 0 || rng.gen_range(0.0..1.0f32) >= density {
+                            0.0 // lane 0 stays fully silent
+                        } else {
+                            rng.gen_range(0.01..1.0f32)
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sparse_strategy_matches_dense_bitwise_across_densities() {
+        let mut rng = StdRng::seed_from_u64(29);
+        let weight = uniform(&mut rng, &[24, 9], -1.0, 1.0);
+        let dense_syn = Synapse::Dense { weight };
+        let conv_syn = Synapse::Conv {
+            weight: uniform(&mut rng, &[3, 2, 3, 3], -1.0, 1.0),
+            geom: Conv2dGeometry::square(3, 1, 1),
+            in_shape: Chw::new(2, 4, 4),
+            out_shape: Chw::new(3, 4, 4),
+        };
+        let pool_syn = Synapse::Pool {
+            geom: Conv2dGeometry::square(2, 2, 0),
+            in_shape: Chw::new(2, 4, 4),
+            out_shape: Chw::new(2, 2, 2),
+            scale: 1.3,
+        };
+        for density in [0.0, 0.1, 0.5, 1.0] {
+            for batch in [1usize, 3, 4, 16] {
+                let inputs = sparse_inputs(&mut rng, batch, 24, density);
+                sparse_matches_dense_and_scalar(&dense_syn, &inputs);
+                let inputs = sparse_inputs(&mut rng, batch, 32, density);
+                sparse_matches_dense_and_scalar(&conv_syn, &inputs);
+                let inputs = sparse_inputs(&mut rng, batch, 32, density);
+                sparse_matches_dense_and_scalar(&pool_syn, &inputs);
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_dense_matches_unblocked_reference_bitwise() {
+        // `out × batch` beyond DENSE_PSP_BLOCK forces multiple PSP
+        // blocks for scalar, fixed, and dynamic widths; the reference is
+        // the naive single-pass loop.
+        let mut rng = StdRng::seed_from_u64(31);
+        let (inn, out) = (6usize, 2600usize);
+        let weight = uniform(&mut rng, &[inn, out], -1.0, 1.0);
+        let w = weight.as_slice().to_vec();
+        let syn = Synapse::Dense { weight };
+        for batch in [1usize, 2, 4, 5, 16] {
+            let inputs = sparse_inputs(&mut rng, batch, inn, 0.7);
+            let soa = to_soa(&inputs);
+            let mut psp = vec![0.0f32; out * batch];
+            syn.accumulate_batch(&soa, &mut psp, batch).unwrap();
+            let mut reference = vec![0.0f32; out * batch];
+            for (i, lanes) in soa.chunks_exact(batch).enumerate() {
+                if lanes.iter().all(|&s| s == 0.0) {
+                    continue;
+                }
+                for j in 0..out {
+                    for (b, &s) in lanes.iter().enumerate() {
+                        reference[j * batch + b] += s * w[i * out + j];
+                    }
+                }
+            }
+            for (a, b) in psp.iter().zip(&reference) {
+                assert_eq!(a.to_bits(), b.to_bits(), "batch {batch}");
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_rejects_bad_shapes() {
+        let syn = Synapse::Dense {
+            weight: Tensor::zeros(&[2, 3]),
+        };
+        let mut scratch = KernelScratch::default();
+        let mut psp = vec![0.0f32; 6];
+        assert!(syn
+            .accumulate_batch_sparse(&[0.0; 4], &mut psp, 0, &mut scratch)
+            .is_err());
+        assert!(syn
+            .accumulate_batch_sparse(&[0.0; 3], &mut psp, 2, &mut scratch)
+            .is_err());
+        let mut short = vec![0.0f32; 5];
+        assert!(syn
+            .accumulate_batch_sparse(&[0.0; 4], &mut short, 2, &mut scratch)
+            .is_err());
+        assert!(syn
+            .accumulate_batch_sparse(&[0.0; 4], &mut psp, 2, &mut scratch)
+            .is_ok());
     }
 
     #[test]

@@ -211,12 +211,14 @@ fn main() -> ExitCode {
         let policy =
             autotune_batch(&snn, scheme, &AutotuneConfig::default()).expect("autotune probe");
         println!(
-            "autotune: preferred lockstep width {} ({:.2}x vs scalar)",
+            "autotune: preferred lockstep width {} ({:.2}x vs scalar), density crossovers {:?}",
             policy.preferred_batch,
-            policy.speedup_vs_scalar()
+            policy.speedup_vs_scalar(),
+            policy.density_thresholds
         );
         SnapshotMeta {
             preferred_batch: policy.preferred_batch as u32,
+            density_thresholds: policy.density_thresholds,
         }
     } else {
         SnapshotMeta::default()

@@ -174,8 +174,12 @@ impl LaneController {
 /// waits for a straggler in its batch) and their column is compacted
 /// out, so the rest of the batch continues at reduced cost. The run
 /// ends when every lane has retired (each policy's hard horizon
-/// guarantees this). Per-lane outcomes are identical to running each
-/// image alone through [`run_with_policy`].
+/// guarantees this). Ragged widths are padded to the next fixed lane
+/// width with dead lanes
+/// ([`BatchedStepwiseInference::new_padded`]) — dead lanes carry no
+/// policy, report nothing, and never hold the run open. Per-lane
+/// outcomes are identical to running each image alone through
+/// [`run_with_policy`].
 ///
 /// # Errors
 ///
@@ -207,7 +211,7 @@ pub fn run_batch_with_policies_each(
         return Err(ServeError::InvalidConfig("empty lockstep batch".into()));
     }
     let cfg = EvalConfig::new(entry.scheme(), horizon).with_phase_period(entry.phase_period());
-    let mut run = BatchedStepwiseInference::new(engine, images, &cfg)?;
+    let mut run = BatchedStepwiseInference::new_padded(engine, images, &cfg)?;
     let mut controllers: Vec<LaneController> =
         policies.iter().cloned().map(LaneController::new).collect();
     while run.advance()? {

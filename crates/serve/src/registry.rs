@@ -9,12 +9,14 @@
 //! network they started with, and pick up the new epoch on their next
 //! request.
 //!
-//! An entry can carry a **preferred lockstep batch width** — measured
-//! per model by [`bsnn_core::autotune::autotune_batch`], loaded from
-//! snapshot metadata, or set explicitly. Workers split every popped
-//! micro-batch into per-model sub-batches at that width, so an
-//! event-skip-bound MLP runs scalar while a conv model in the same
-//! queue runs 16 lanes wide.
+//! An entry can carry a **preferred lockstep batch width** and
+//! per-stage **density crossovers** — measured per model by
+//! [`bsnn_core::autotune::autotune_batch`], loaded from snapshot
+//! metadata, or set explicitly. Workers split every popped micro-batch
+//! into per-model sub-batches at the preferred width and install the
+//! crossovers into their lockstep engines, so an event-skip-bound MLP
+//! runs the sparse event-list kernels while a conv model in the same
+//! queue runs the dense weight-reuse kernels 16 lanes wide.
 
 use crate::error::ServeError;
 use bsnn_core::autotune::{autotune_batch, AutotuneConfig, BatchPolicy};
@@ -36,6 +38,7 @@ pub struct ModelEntry {
     scheme: CodingScheme,
     phase_period: u32,
     preferred_batch: Option<usize>,
+    density_thresholds: Vec<f32>,
 }
 
 impl ModelEntry {
@@ -72,6 +75,13 @@ impl ModelEntry {
     pub fn preferred_batch(&self) -> Option<usize> {
         self.preferred_batch
     }
+
+    /// Calibrated per-stage sparse/dense density crossovers for this
+    /// model's lockstep engines (empty = none measured; engines fall
+    /// back to [`bsnn_core::batch::DEFAULT_DENSITY_CROSSOVER`]).
+    pub fn density_thresholds(&self) -> &[f32] {
+        &self.density_thresholds
+    }
 }
 
 /// Thread-safe named model store.
@@ -98,7 +108,7 @@ impl ModelRegistry {
         scheme: CodingScheme,
         phase_period: u32,
     ) -> u64 {
-        self.install_entry(name.into(), network, scheme, phase_period, None)
+        self.install_entry(name.into(), network, scheme, phase_period, None, Vec::new())
     }
 
     /// [`install`](Self::install) with an explicit preferred lockstep
@@ -117,6 +127,28 @@ impl ModelRegistry {
             scheme,
             phase_period,
             (preferred_batch > 0).then_some(preferred_batch),
+            Vec::new(),
+        )
+    }
+
+    /// [`install`](Self::install) carrying a full measured
+    /// [`BatchPolicy`] — the preferred lockstep width plus the
+    /// per-stage density crossovers.
+    pub fn install_with_policy(
+        &self,
+        name: impl Into<String>,
+        network: SpikingNetwork,
+        scheme: CodingScheme,
+        phase_period: u32,
+        policy: &BatchPolicy,
+    ) -> u64 {
+        self.install_entry(
+            name.into(),
+            network,
+            scheme,
+            phase_period,
+            (policy.preferred_batch > 0).then_some(policy.preferred_batch),
+            policy.density_thresholds.clone(),
         )
     }
 
@@ -143,8 +175,7 @@ impl ModelRegistry {
             ..cfg.clone()
         };
         let policy = autotune_batch(&network, scheme, &probe_cfg)?;
-        let epoch =
-            self.install_with_batch(name, network, scheme, phase_period, policy.preferred_batch);
+        let epoch = self.install_with_policy(name, network, scheme, phase_period, &policy);
         Ok((epoch, policy))
     }
 
@@ -155,6 +186,7 @@ impl ModelRegistry {
         scheme: CodingScheme,
         phase_period: u32,
         preferred_batch: Option<usize>,
+        density_thresholds: Vec<f32>,
     ) -> u64 {
         let epoch = self.next_epoch.fetch_add(1, Ordering::Relaxed) + 1;
         let entry = Arc::new(ModelEntry {
@@ -164,6 +196,7 @@ impl ModelRegistry {
             scheme,
             phase_period,
             preferred_batch,
+            density_thresholds,
         });
         self.models
             .write()
@@ -173,10 +206,10 @@ impl ModelRegistry {
     }
 
     /// Installs a model from a `BSNN` snapshot stream (the format
-    /// written by [`bsnn_core::snapshot::save_network`]). A version-2
-    /// snapshot's `preferred_batch` metadata becomes the entry's batch
-    /// preference, so autotuned deployments survive the
-    /// save/ship/load round trip.
+    /// written by [`bsnn_core::snapshot::save_network`]). A snapshot's
+    /// `preferred_batch` and `density_thresholds` metadata become the
+    /// entry's batch preference and dispatch crossovers, so autotuned
+    /// deployments survive the save/ship/load round trip.
     ///
     /// # Errors
     ///
@@ -191,12 +224,14 @@ impl ModelRegistry {
     ) -> Result<u64, ServeError> {
         let (network, meta) = snapshot::load_network_with_meta(reader)
             .map_err(|e| ServeError::Snapshot(e.to_string()))?;
-        Ok(self.install_with_batch(
-            name,
+        let preferred = meta.preferred_batch as usize;
+        Ok(self.install_entry(
+            name.into(),
             network,
             scheme,
             phase_period,
-            meta.preferred_batch as usize,
+            (preferred > 0).then_some(preferred),
+            meta.density_thresholds,
         ))
     }
 
@@ -332,17 +367,39 @@ mod tests {
             0,
         );
         assert_eq!(reg.get("unset").unwrap().preferred_batch(), None);
-        // Snapshot metadata survives the save/ship/load round trip.
+        // Snapshot metadata survives the save/ship/load round trip —
+        // batch preference AND dispatch crossovers.
         let mut buf = Vec::new();
         bsnn_core::snapshot::save_network_with_meta(
             &tiny_network(1.0),
-            bsnn_core::snapshot::SnapshotMeta { preferred_batch: 4 },
+            bsnn_core::snapshot::SnapshotMeta {
+                preferred_batch: 4,
+                density_thresholds: vec![0.1875, 0.375],
+            },
             &mut buf,
         )
         .unwrap();
         reg.install_snapshot("shipped", buf.as_slice(), CodingScheme::recommended(), 8)
             .unwrap();
-        assert_eq!(reg.get("shipped").unwrap().preferred_batch(), Some(4));
+        let shipped = reg.get("shipped").unwrap();
+        assert_eq!(shipped.preferred_batch(), Some(4));
+        assert_eq!(shipped.density_thresholds(), &[0.1875, 0.375]);
+        // A full measured policy installs both knobs.
+        let policy = bsnn_core::autotune::BatchPolicy {
+            preferred_batch: 8,
+            probes: vec![],
+            density_thresholds: vec![0.5, 0.0],
+        };
+        reg.install_with_policy(
+            "measured",
+            tiny_network(1.0),
+            CodingScheme::recommended(),
+            8,
+            &policy,
+        );
+        let measured = reg.get("measured").unwrap();
+        assert_eq!(measured.preferred_batch(), Some(8));
+        assert_eq!(measured.density_thresholds(), &[0.5, 0.0]);
     }
 
     #[test]
@@ -364,5 +421,6 @@ mod tests {
         assert_eq!(entry.epoch(), epoch);
         assert_eq!(entry.preferred_batch(), Some(policy.preferred_batch));
         assert!(cfg.widths.contains(&policy.preferred_batch));
+        assert_eq!(entry.density_thresholds(), policy.density_thresholds);
     }
 }

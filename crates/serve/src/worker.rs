@@ -18,7 +18,7 @@ use crate::metrics::ServeMetrics;
 use crate::queue::BatchQueue;
 use crate::registry::ModelRegistry;
 use crate::request::{InferRequest, InferResponse, InferResult, ResponseSlot};
-use bsnn_core::batch::BatchedNetwork;
+use bsnn_core::batch::{BatchedNetwork, DispatchMode, DispatchPolicy};
 use bsnn_core::SnnError;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -58,6 +58,22 @@ impl Drop for QueuedRequest {
 struct CachedModel {
     epoch: u64,
     engine: BatchedNetwork,
+}
+
+/// Builds a worker's lockstep engine for one registry entry, installing
+/// the model's measured density crossovers so per-step kernel dispatch
+/// runs the calibration the autotuner shipped with the model.
+fn build_cached(entry: &crate::registry::ModelEntry, max_batch: usize) -> CachedModel {
+    let mut engine = BatchedNetwork::new(entry.network().clone(), max_batch)
+        .expect("max_batch validated at runtime start");
+    engine.set_dispatch(DispatchPolicy {
+        mode: DispatchMode::Auto,
+        thresholds: entry.density_thresholds().to_vec(),
+    });
+    CachedModel {
+        epoch: entry.epoch(),
+        engine,
+    }
 }
 
 /// The body of one worker thread. Returns when the queue is closed and
@@ -120,18 +136,10 @@ fn serve_group(
         .entry(name.to_string())
         .and_modify(|c| {
             if c.epoch != entry.epoch() {
-                *c = CachedModel {
-                    epoch: entry.epoch(),
-                    engine: BatchedNetwork::new(entry.network().clone(), max_batch)
-                        .expect("max_batch validated at runtime start"),
-                };
+                *c = build_cached(&entry, max_batch);
             }
         })
-        .or_insert_with(|| CachedModel {
-            epoch: entry.epoch(),
-            engine: BatchedNetwork::new(entry.network().clone(), max_batch)
-                .expect("max_batch validated at runtime start"),
-        });
+        .or_insert_with(|| build_cached(&entry, max_batch));
     // Per-lane validation isolates malformed requests so they cannot
     // fail the whole lockstep group.
     let input_len = entry.network().input_len();
