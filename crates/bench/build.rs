@@ -1,0 +1,25 @@
+//! Captures the toolchain identity at compile time so the autotune cache
+//! can salt its keys with it: policies measured under one codegen must
+//! not be reused under another (rustc upgrade, `-C target-cpu` change).
+
+use std::process::Command;
+
+fn main() {
+    let rustc = std::env::var("RUSTC").unwrap_or_else(|_| "rustc".into());
+    let version = Command::new(&rustc)
+        .arg("--version")
+        .output()
+        .ok()
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown-rustc".into());
+    println!("cargo:rustc-env=BSNN_RUSTC_VERSION={version}");
+
+    // The enabled target features of the crate being built (cargo sets
+    // this for build scripts); a `-C target-feature`/`target-cpu` change
+    // shows up here and must invalidate cached measurements.
+    let features = std::env::var("CARGO_CFG_TARGET_FEATURE").unwrap_or_default();
+    println!("cargo:rustc-env=BSNN_TARGET_FEATURES={features}");
+    println!("cargo:rerun-if-env-changed=CARGO_CFG_TARGET_FEATURE");
+}

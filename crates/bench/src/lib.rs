@@ -109,27 +109,59 @@ pub fn autotune_cached(
     scheme: bsnn_core::coding::CodingScheme,
     cfg: &AutotuneConfig,
 ) -> BatchPolicy {
+    autotune_cached_salted(net, scheme, cfg, &toolchain_salt())
+}
+
+/// The toolchain identity folded into every autotune cache key: the
+/// rustc that compiled this binary plus its enabled target features
+/// (both captured by `build.rs`). A toolchain bump or a
+/// `-C target-cpu`/`target-feature` change alters codegen — and with it
+/// the relative cost of scalar vs lockstep kernels — so measurements
+/// made under the old toolchain must miss the cache, not silently load.
+fn toolchain_salt() -> String {
+    format!(
+        "{}|{}",
+        env!("BSNN_RUSTC_VERSION"),
+        env!("BSNN_TARGET_FEATURES")
+    )
+}
+
+/// The on-disk cache location for a (model, scheme, config, salt)
+/// combination; `None` if the model cannot be serialized (then nothing
+/// is cached).
+fn autotune_cache_path(
+    net: &SpikingNetwork,
+    scheme: bsnn_core::coding::CodingScheme,
+    cfg: &AutotuneConfig,
+    salt: &str,
+) -> Option<PathBuf> {
     let mut model_bytes = Vec::new();
-    let key = if bsnn_core::snapshot::save_network(net, &mut model_bytes).is_ok() {
-        // "at1" salts the key with the cache-entry format generation:
-        // bump it when the probe or the kernels change meaningfully, so
-        // stale measurements from older binaries are not reused.
-        let tag = format!(
-            "at1|{scheme}|{:?}|{}|{}|{}|{}|{}|{}|{}",
-            cfg.widths,
-            cfg.steps,
-            cfg.reps,
-            cfg.min_gain,
-            cfg.seed,
-            cfg.phase_period,
-            cfg.calibrate_density,
-            cfg.density_reps
-        );
-        Some(fnv1a64(tag.as_bytes(), fnv1a64(&model_bytes, FNV_OFFSET)))
-    } else {
-        None
-    };
-    let path = key.map(|k| cache_dir().join(format!("autotune-{k:016x}.txt")));
+    bsnn_core::snapshot::save_network(net, &mut model_bytes).ok()?;
+    // "at1" salts the key with the cache-entry format generation: bump
+    // it when the probe or the kernels change meaningfully, so stale
+    // measurements from older binaries are not reused.
+    let tag = format!(
+        "at1|{salt}|{scheme}|{:?}|{}|{}|{}|{}|{}|{}|{}",
+        cfg.widths,
+        cfg.steps,
+        cfg.reps,
+        cfg.min_gain,
+        cfg.seed,
+        cfg.phase_period,
+        cfg.calibrate_density,
+        cfg.density_reps
+    );
+    let key = fnv1a64(tag.as_bytes(), fnv1a64(&model_bytes, FNV_OFFSET));
+    Some(cache_dir().join(format!("autotune-{key:016x}.txt")))
+}
+
+fn autotune_cached_salted(
+    net: &SpikingNetwork,
+    scheme: bsnn_core::coding::CodingScheme,
+    cfg: &AutotuneConfig,
+    salt: &str,
+) -> BatchPolicy {
+    let path = autotune_cache_path(net, scheme, cfg, salt);
     if let Some(policy) = path.as_deref().and_then(read_autotune_cache) {
         return policy;
     }
@@ -543,5 +575,50 @@ mod tests {
             },
         );
         assert_eq!(other.probes.len(), first.probes.len());
+    }
+
+    #[test]
+    fn toolchain_salt_change_misses_the_cache() {
+        use bsnn_core::coding::{CodingScheme, HiddenCoding, InputCoding};
+        use bsnn_core::layer::{SpikingLayer, ThresholdPolicy};
+        use bsnn_core::synapse::Synapse;
+        let dense = |n: usize| Synapse::Dense {
+            weight: bsnn_tensor::Tensor::from_vec(vec![0.3; n * n], &[n, n]).unwrap(),
+        };
+        let hidden =
+            SpikingLayer::new(dense(4), None, ThresholdPolicy::Fixed { vth: 0.5 }).unwrap();
+        let net = SpikingNetwork::new(4, vec![hidden], dense(4), None).unwrap();
+        let scheme = CodingScheme::new(InputCoding::Real, HiddenCoding::Rate);
+        let cfg = AutotuneConfig {
+            steps: 3,
+            reps: 1,
+            density_reps: 1,
+            seed: 0x5A17ED,
+            ..AutotuneConfig::default()
+        };
+
+        // The regression this guards: before the salt, a rustc upgrade
+        // (or a -C target-cpu change) reused policies calibrated under
+        // the old codegen. Different salts must map to different cache
+        // files entirely.
+        let old = autotune_cache_path(&net, scheme, &cfg, "rustc 1.0.0 (old)|").unwrap();
+        let new = autotune_cache_path(&net, scheme, &cfg, "rustc 2.0.0 (new)|+avx2").unwrap();
+        assert_ne!(old, new, "salt must be part of the key");
+        // And the live key uses the compiled-in toolchain identity.
+        let live = autotune_cache_path(&net, scheme, &cfg, &toolchain_salt()).unwrap();
+        assert_ne!(live, old);
+
+        // End to end: populate under one salt, then probe under another —
+        // the second salt must re-measure (its file appears), never read
+        // the first salt's entry.
+        let _ = fs::remove_file(&old);
+        let _ = fs::remove_file(&new);
+        autotune_cached_salted(&net, scheme, &cfg, "rustc 1.0.0 (old)|");
+        assert!(old.exists(), "first probe populates its entry");
+        assert!(!new.exists());
+        autotune_cached_salted(&net, scheme, &cfg, "rustc 2.0.0 (new)|+avx2");
+        assert!(new.exists(), "changed salt re-probes into a fresh entry");
+        let _ = fs::remove_file(&old);
+        let _ = fs::remove_file(&new);
     }
 }

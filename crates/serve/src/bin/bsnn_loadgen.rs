@@ -1,0 +1,235 @@
+//! `bsnn_loadgen`: open-loop load generator for a running `bsnn_server`.
+//!
+//! Offers a fixed-rate or bursty arrival schedule over framed TCP and
+//! reports offered/completed rates, shed/error counts, and p50/p95/p99
+//! latency measured from each request's *scheduled* arrival (no
+//! coordinated omission). Unlike `serve_demo`'s closed-loop wave, the
+//! offered load does not adapt to the server — overload produces
+//! explicit SHED responses, which is exactly what the CI `net-smoke` job
+//! asserts.
+//!
+//! Assertion flags turn the report into an exit code for CI:
+//! `--min-completed-rps`, `--require-shed`, `--max-protocol-errors`,
+//! `--max-p99-us` (p99 ceiling on admitted traffic), `--max-dropped`.
+//!
+//! ```text
+//! cargo run --release -p bsnn-serve --bin bsnn_loadgen -- \
+//!     --addr 127.0.0.1:7979 --rps 12000 --duration-s 4 --connections 2
+//! ```
+
+use bsnn_data::SynthSpec;
+use bsnn_serve::{run_open_loop_net, ArrivalProcess, ExitPolicy, OpenLoadSpec};
+use std::process::ExitCode;
+use std::time::Duration;
+
+#[derive(Debug, Clone)]
+struct Args {
+    addr: String,
+    model: String,
+    rps: f64,
+    burst: usize,
+    duration_secs: f64,
+    connections: usize,
+    steps: usize,
+    policy: String,
+    min_completed_rps: f64,
+    require_shed: bool,
+    max_protocol_errors: Option<usize>,
+    max_p99_us: Option<u64>,
+    max_dropped: Option<usize>,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            addr: "127.0.0.1:7979".into(),
+            model: "digits".into(),
+            rps: 1000.0,
+            burst: 0, // 0 = fixed rate
+            duration_secs: 4.0,
+            connections: 2,
+            steps: 96,
+            policy: "margin".into(),
+            min_completed_rps: 0.0,
+            require_shed: false,
+            max_protocol_errors: None,
+            max_p99_us: None,
+            max_dropped: None,
+        }
+    }
+}
+
+fn usage() -> &'static str {
+    "bsnn_loadgen [--addr A] [--model M] [--rps R] [--burst B] \
+     [--duration-s S] [--connections K] [--steps N] [--policy margin|fixed] \
+     [--min-completed-rps R] [--require-shed] [--max-protocol-errors N] \
+     [--max-p99-us T] [--max-dropped N]"
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--model" => args.model = value("--model")?,
+            "--rps" => args.rps = value("--rps")?.parse().map_err(|e| format!("--rps: {e}"))?,
+            "--burst" => {
+                args.burst = value("--burst")?
+                    .parse()
+                    .map_err(|e| format!("--burst: {e}"))?
+            }
+            "--duration-s" => {
+                args.duration_secs = value("--duration-s")?
+                    .parse()
+                    .map_err(|e| format!("--duration-s: {e}"))?
+            }
+            "--connections" => {
+                args.connections = value("--connections")?
+                    .parse()
+                    .map_err(|e| format!("--connections: {e}"))?
+            }
+            "--steps" => {
+                args.steps = value("--steps")?
+                    .parse()
+                    .map_err(|e| format!("--steps: {e}"))?
+            }
+            "--policy" => args.policy = value("--policy")?,
+            "--min-completed-rps" => {
+                args.min_completed_rps = value("--min-completed-rps")?
+                    .parse()
+                    .map_err(|e| format!("--min-completed-rps: {e}"))?
+            }
+            "--require-shed" => args.require_shed = true,
+            "--max-protocol-errors" => {
+                args.max_protocol_errors = Some(
+                    value("--max-protocol-errors")?
+                        .parse()
+                        .map_err(|e| format!("--max-protocol-errors: {e}"))?,
+                )
+            }
+            "--max-p99-us" => {
+                args.max_p99_us = Some(
+                    value("--max-p99-us")?
+                        .parse()
+                        .map_err(|e| format!("--max-p99-us: {e}"))?,
+                )
+            }
+            "--max-dropped" => {
+                args.max_dropped = Some(
+                    value("--max-dropped")?
+                        .parse()
+                        .map_err(|e| format!("--max-dropped: {e}"))?,
+                )
+            }
+            "--help" | "-h" => return Err(usage().to_string()),
+            other => return Err(format!("unknown flag `{other}`\n{}", usage())),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let policy = match args.policy.as_str() {
+        "margin" => ExitPolicy::recommended(args.steps),
+        "fixed" => ExitPolicy::Fixed { steps: args.steps },
+        other => {
+            eprintln!("unknown policy `{other}` (margin|fixed)");
+            return ExitCode::from(2);
+        }
+    };
+    let arrival = if args.burst > 1 {
+        ArrivalProcess::Bursty {
+            rps: args.rps,
+            burst: args.burst,
+        }
+    } else {
+        ArrivalProcess::FixedRate { rps: args.rps }
+    };
+
+    // The demo server's `digits` model takes 12×12 synthetic digit
+    // images; generation is deterministic, so these match what the
+    // server was trained on.
+    let (_, test) = SynthSpec::digits().with_counts(1, 24).generate();
+    let images: Vec<Vec<f32>> = (0..test.len()).map(|i| test.image(i).to_vec()).collect();
+
+    let spec = OpenLoadSpec {
+        connections: args.connections,
+        policy,
+        ..OpenLoadSpec::new(
+            args.model.clone(),
+            arrival,
+            Duration::from_secs_f64(args.duration_secs),
+        )
+    };
+    println!(
+        "offering {:.0} rps ({}) to {} for {:.1}s over {} connections...",
+        args.rps,
+        match arrival {
+            ArrivalProcess::FixedRate { .. } => "fixed rate".to_string(),
+            ArrivalProcess::Bursty { burst, .. } => format!("bursts of {burst}"),
+        },
+        args.addr,
+        args.duration_secs,
+        spec.connections
+    );
+    let report = match run_open_loop_net(&args.addr, &images, &spec) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("load run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{report}");
+
+    // Assertion flags → exit code.
+    let mut failed = false;
+    if report.completed_rps < args.min_completed_rps {
+        eprintln!(
+            "FAIL: completed {:.0} rps below required {:.0}",
+            report.completed_rps, args.min_completed_rps
+        );
+        failed = true;
+    }
+    if args.require_shed && report.shed == 0 {
+        eprintln!("FAIL: expected nonzero shed count under overload");
+        failed = true;
+    }
+    if let Some(max) = args.max_protocol_errors {
+        if report.protocol_errors > max {
+            eprintln!(
+                "FAIL: {} protocol errors (max {max})",
+                report.protocol_errors
+            );
+            failed = true;
+        }
+    }
+    if let Some(max) = args.max_p99_us {
+        if report.latency_us_p99 > max {
+            eprintln!(
+                "FAIL: p99 {}µs above the {max}µs ceiling",
+                report.latency_us_p99
+            );
+            failed = true;
+        }
+    }
+    if let Some(max) = args.max_dropped {
+        if report.dropped > max {
+            eprintln!("FAIL: {} dropped requests (max {max})", report.dropped);
+            failed = true;
+        }
+    }
+    if failed {
+        return ExitCode::FAILURE;
+    }
+    println!("PASS");
+    ExitCode::SUCCESS
+}

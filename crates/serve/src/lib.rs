@@ -34,10 +34,26 @@
 //! * **Metrics** ([`metrics::ServeMetrics`]) — request counts,
 //!   p50/p95/p99 latency, time steps and spikes per request, batch
 //!   occupancy, and queue depth.
+//! * **TCP front-end** ([`net::NetServer`]) — a nonblocking
+//!   `std::net` poll loop speaking a length-framed binary protocol
+//!   into `submit`; malformed input poisons only its own connection,
+//!   oversized frames are rejected from the header alone, and slow or
+//!   idle peers time out.
+//! * **Load shedding** ([`shed::AdmissionControl`]) — a queue-depth
+//!   watermark refuses work *before* it queues, and `QueueFull`
+//!   backpressure maps to the same explicit `SHED` wire response, so
+//!   overload degrades into cheap refusals instead of latency collapse.
+//! * **Snapshot watcher** ([`watch::SnapshotWatcher`]) — polls a
+//!   directory and hot-installs `name.bsnn` files once their
+//!   (mtime, length) is stable; a corrupt file keeps the old model
+//!   live.
 //!
-//! The `serve_demo` binary wires all of this together behind a CLI, and
-//! [`loadgen`] provides the closed-loop load generator used by the demo,
-//! the integration tests, and the `serve` criterion bench.
+//! The `serve_demo` binary wires the in-process stack together behind a
+//! CLI; `bsnn_server` exposes it over TCP and `bsnn_loadgen` drives it
+//! open-loop (fixed-rate or bursty arrivals, latency quantiles measured
+//! from scheduled arrival). [`loadgen`] provides both the closed-loop
+//! generator used by the demo/bench and the open-loop harnesses
+//! ([`loadgen::run_open_loop`], [`loadgen::run_open_loop_net`]).
 //!
 //! ```text
 //! clients ──submit()──▶ BatchQueue ──pop_batch()──▶ worker threads ──▶ ResponseHandle
@@ -50,10 +66,13 @@ pub mod error;
 pub mod exit;
 pub mod loadgen;
 pub mod metrics;
+pub mod net;
 pub mod queue;
 pub mod registry;
 pub mod request;
 pub mod runtime;
+pub mod shed;
+pub mod watch;
 mod worker;
 
 pub use bsnn_core::autotune::{autotune_batch, AutotuneConfig, BatchPolicy};
@@ -61,9 +80,15 @@ pub use error::ServeError;
 pub use exit::{
     run_batch_with_policies, run_batch_with_policies_each, run_with_policy, ExitOutcome,
 };
-pub use loadgen::{run_closed_loop, LoadReport, LoadSpec};
+pub use loadgen::{
+    run_closed_loop, run_open_loop, run_open_loop_net, ArrivalProcess, LoadReport, LoadSpec,
+    OpenLoadReport, OpenLoadSpec,
+};
 pub use metrics::{Histogram, MetricsSnapshot, ServeMetrics};
+pub use net::{NetClient, NetConfig, NetResponse, NetServer, NetServerHandle, NetStatsSnapshot};
 pub use queue::{BatchQueue, PushError};
 pub use registry::{ModelEntry, ModelRegistry};
 pub use request::{ExitPolicy, ExitReason, InferRequest, InferResponse, ResponseHandle};
 pub use runtime::{ServeConfig, ServeRuntime};
+pub use shed::{AdmissionControl, AdmitError, ShedConfig, ShedReason};
+pub use watch::{SnapshotWatcher, WatchConfig, WatchHandle};

@@ -37,7 +37,39 @@ impl Histogram {
             bounds.push(b);
             b = b.saturating_mul(2);
         }
-        let counts = (0..buckets + 1).map(|_| AtomicU64::new(0)).collect();
+        Self::from_bounds(bounds)
+    }
+
+    /// A histogram whose bucket bounds grow ~`1/substeps` relatively per
+    /// bucket (log-linear layout) from `first` until `max` is covered.
+    ///
+    /// Doubling buckets over-report quantiles by up to 2× — a 180 µs
+    /// p50 reads as 256. With `substeps = 8` the growth factor is 1.125,
+    /// so quantiles are exact below `first + substeps` and within 12.5%
+    /// everywhere else, at the cost of ~8× the buckets (still just one
+    /// atomic per bucket).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `first` or `substeps` is zero or `max <= first`.
+    pub fn log_linear(first: u64, substeps: u64, max: u64) -> Self {
+        assert!(
+            first > 0 && substeps > 0 && max > first,
+            "degenerate histogram layout"
+        );
+        let mut bounds = Vec::new();
+        let mut b = first;
+        while b < max {
+            bounds.push(b);
+            b += (b / substeps).max(1);
+        }
+        bounds.push(max);
+        Self::from_bounds(bounds)
+    }
+
+    fn from_bounds(bounds: Vec<u64>) -> Self {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+        let counts = (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect();
         Histogram {
             bounds,
             counts,
@@ -103,6 +135,10 @@ pub struct ServeMetrics {
     submitted: AtomicU64,
     /// Requests refused with `QueueFull`.
     rejected: AtomicU64,
+    /// Requests refused by admission control with an explicit SHED
+    /// response (load shedding; a superset trigger of `rejected` — see
+    /// [`crate::shed`]).
+    shed: AtomicU64,
     /// Requests answered successfully.
     completed: AtomicU64,
     /// Requests answered with an error.
@@ -126,12 +162,16 @@ impl Default for ServeMetrics {
         ServeMetrics {
             submitted: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             failed: AtomicU64::new(0),
             early_exits: AtomicU64::new(0),
-            // bounds 1, 2, ..., 2^25 µs (~33.5 s); beyond that, overflow
-            latency_us: Histogram::exponential(1, 26),
-            queue_us: Histogram::exponential(1, 26),
+            // 12.5%-growth buckets, 1 µs up to 2^25 µs (~33.5 s): a
+            // sub-linger (µs-scale) latency lands in a bucket of its own
+            // size instead of collapsing into a power-of-two bound up to
+            // 2× away.
+            latency_us: Histogram::log_linear(1, 8, 1 << 25),
+            queue_us: Histogram::log_linear(1, 8, 1 << 25),
             // bounds up to 2^15 = 32768 steps
             steps: Histogram::exponential(1, 16),
             // bounds up to 2^26 ≈ 67M spikes
@@ -156,6 +196,12 @@ impl ServeMetrics {
     /// Counts a `QueueFull` rejection.
     pub fn observe_rejected(&self) {
         self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a request refused by admission control with an explicit
+    /// SHED response.
+    pub fn observe_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Counts the occupancy of one popped micro-batch.
@@ -189,6 +235,7 @@ impl ServeMetrics {
         MetricsSnapshot {
             submitted: self.submitted.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
             failed: self.failed.load(Ordering::Relaxed),
             early_exits: self.early_exits.load(Ordering::Relaxed),
@@ -214,6 +261,9 @@ pub struct MetricsSnapshot {
     pub submitted: u64,
     /// Requests refused with `QueueFull`.
     pub rejected: u64,
+    /// Requests refused by admission control with an explicit SHED
+    /// response.
+    pub shed: u64,
     /// Requests answered successfully.
     pub completed: u64,
     /// Requests answered with an error.
@@ -248,8 +298,8 @@ impl fmt::Display for MetricsSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "requests   submitted {}  completed {}  failed {}  rejected {}  early-exit {}",
-            self.submitted, self.completed, self.failed, self.rejected, self.early_exits
+            "requests   submitted {}  completed {}  failed {}  rejected {}  shed {}  early-exit {}",
+            self.submitted, self.completed, self.failed, self.rejected, self.shed, self.early_exits
         )?;
         writeln!(
             f,
@@ -300,11 +350,68 @@ mod tests {
     }
 
     #[test]
+    fn log_linear_keeps_microsecond_latencies_apart() {
+        // Regression: with doubling buckets a 180 µs observation reports
+        // as 256 µs (42% high) and everything in [129, 256] collapses
+        // into one bucket. The log-linear layout bounds the relative
+        // over-report at 1/substeps.
+        let h = Histogram::log_linear(1, 8, 1 << 25);
+        for v in [40u64, 170, 180, 5_000, 1_000_000] {
+            h.record(v);
+            let q = h.quantile(1.0);
+            assert!(
+                q >= v && q as f64 <= v as f64 * 1.125 + 1.0,
+                "value {v} reported as {q}"
+            );
+            // Reset by building a fresh histogram per value.
+            let h2 = Histogram::log_linear(1, 8, 1 << 25);
+            h2.record(v);
+            assert_eq!(h2.quantile(0.5), h2.quantile(1.0));
+        }
+        // 150 and 250 µs land in different buckets (both were "256" in
+        // the doubling layout).
+        let fine = Histogram::log_linear(1, 8, 1 << 25);
+        fine.record(150);
+        fine.record(250);
+        assert!(fine.quantile(0.5) < fine.quantile(1.0));
+    }
+
+    #[test]
+    fn quantiles_pinned_on_synthetic_distribution() {
+        // 900 × 100 µs, 90 × 5 ms, 10 × 20 ms — a typical serve shape
+        // (fast mode, slow tail). True quantiles: p50 = 100, p95 = 5000
+        // (rank 950), p99 = 5000 (rank 990), p99.9 = 20000 (rank 999);
+        // each must come back within the layout's 12.5% bucket width.
+        let h = Histogram::log_linear(1, 8, 1 << 25);
+        for _ in 0..900 {
+            h.record(100);
+        }
+        for _ in 0..90 {
+            h.record(5_000);
+        }
+        for _ in 0..10 {
+            h.record(20_000);
+        }
+        let within = |q: u64, truth: u64| q >= truth && q as f64 <= truth as f64 * 1.125 + 1.0;
+        assert!(within(h.quantile(0.50), 100), "p50 {}", h.quantile(0.50));
+        assert!(within(h.quantile(0.95), 5_000), "p95 {}", h.quantile(0.95));
+        assert!(within(h.quantile(0.99), 5_000), "p99 {}", h.quantile(0.99));
+        assert!(
+            within(h.quantile(0.999), 20_000),
+            "p99.9 {}",
+            h.quantile(0.999)
+        );
+        assert_eq!(h.count(), 1000);
+    }
+
+    #[test]
     fn metrics_aggregate_results() {
         let m = ServeMetrics::new();
         m.observe_submit();
         m.observe_submit();
         m.observe_rejected();
+        m.observe_shed();
+        m.observe_shed();
         m.observe_batch(2);
         let ok = InferResponse {
             prediction: 3,
@@ -326,15 +433,17 @@ mod tests {
         let snap = m.snapshot(5);
         assert_eq!(snap.submitted, 2);
         assert_eq!(snap.rejected, 1);
+        assert_eq!(snap.shed, 2);
         assert_eq!(snap.completed, 2);
         assert_eq!(snap.failed, 1);
         assert_eq!(snap.early_exits, 1);
         assert_eq!(snap.queue_depth, 5);
-        assert!(snap.latency_us_p50 >= 500);
+        assert!(snap.latency_us_p50 >= 500 && snap.latency_us_p50 <= 563);
         assert!((snap.steps_mean - 40.0).abs() < 1e-9);
         assert!((snap.batch_mean - 2.0).abs() < 1e-9);
         let report = snap.to_string();
         assert!(report.contains("early-exit 1"));
+        assert!(report.contains("shed 2"));
         assert!(report.contains("queue depth 5"));
     }
 }

@@ -1,0 +1,1307 @@
+//! Networked front-end: a length-framed binary protocol over
+//! nonblocking `std::net`.
+//!
+//! The runtime stops being an in-process library here: [`NetServer`]
+//! accepts TCP connections, decodes framed requests into
+//! [`crate::ServeRuntime::submit`] through [`crate::shed`]'s admission
+//! control, and writes framed responses back as lanes retire — all from
+//! one poll-loop thread with per-connection read/write buffering, no
+//! external crates.
+//!
+//! ## Wire format
+//!
+//! Every frame is a `u32` little-endian payload length, then the
+//! payload. The payload's first byte is the frame kind:
+//!
+//! ```text
+//! request  (kind 1): id u64 | model_len u8 + UTF-8 | policy | npix u32 | f32 × npix
+//!   policy: tag u8 — 0 Fixed{steps u32}
+//!                    1 ConfidenceMargin{margin f32, patience u32,
+//!                                       check_every u32, max_steps u32}
+//!                    2 SpikeBudget{max_spikes u64, max_steps u32}
+//! response (kind 2): id u64 | status u8
+//!   status 0 OK:    prediction u32 | steps u32 | spikes u64 | margin f32
+//!                   | exit u8 | model_epoch u64 | queue_µs u64
+//!                   | service_µs u64 | batch u32
+//!   status 1 SHED:  reason u8 (see ShedReason::code) — refused before
+//!                   queueing; back off and retry
+//!   status 2 ERROR: message_len u16 | UTF-8 message
+//! ```
+//!
+//! Responses are matched to requests by `id` (chosen by the client,
+//! echoed verbatim) and may arrive **out of request order**: a request
+//! that early-exits is answered before an older one still simulating.
+//!
+//! ## Failure semantics
+//!
+//! A malformed frame (bad kind/tag/trailing bytes), an oversized frame
+//! (`len > max_frame`), or a partial frame older than `read_timeout`
+//! poisons only its own connection: the server sends a final ERROR frame
+//! where possible and closes it; other connections are untouched.
+//! Overload is *explicit*: admission control answers SHED instead of
+//! letting clients hang on an unbounded queue.
+
+use crate::error::ServeError;
+use crate::request::{ExitPolicy, ExitReason, InferRequest, InferResponse, ResponseHandle};
+use crate::runtime::ServeRuntime;
+use crate::shed::{AdmissionControl, AdmitError, ShedConfig, ShedReason};
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Frame kind: client → server inference request.
+pub const KIND_REQUEST: u8 = 1;
+/// Frame kind: server → client response.
+pub const KIND_RESPONSE: u8 = 2;
+
+/// Response status: the request was served.
+pub const STATUS_OK: u8 = 0;
+/// Response status: the request was shed by admission control.
+pub const STATUS_SHED: u8 = 1;
+/// Response status: the request failed.
+pub const STATUS_ERROR: u8 = 2;
+
+/// A malformed wire frame (the connection that sent it is poisoned).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The declared payload length exceeds the configured maximum.
+    FrameTooLarge {
+        /// Declared payload length.
+        len: usize,
+        /// Configured maximum.
+        max: usize,
+    },
+    /// The payload ended before the structure it declares.
+    Truncated,
+    /// The payload has bytes left over after its structure ended.
+    TrailingBytes,
+    /// Unknown frame kind byte.
+    BadKind(u8),
+    /// Unknown exit-policy tag byte.
+    BadPolicyTag(u8),
+    /// Unknown response status / exit-reason / shed-reason byte.
+    BadCode(u8),
+    /// The model name is not valid UTF-8.
+    BadModelName,
+    /// A field exceeds its encodable range (model name over 255 bytes,
+    /// an error message over 64 KiB, ...).
+    FieldTooLarge(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::FrameTooLarge { len, max } => {
+                write!(
+                    f,
+                    "frame payload of {len} bytes exceeds the {max}-byte limit"
+                )
+            }
+            WireError::Truncated => write!(f, "frame payload is truncated"),
+            WireError::TrailingBytes => write!(f, "frame payload has trailing bytes"),
+            WireError::BadKind(k) => write!(f, "unknown frame kind {k}"),
+            WireError::BadPolicyTag(t) => write!(f, "unknown exit-policy tag {t}"),
+            WireError::BadCode(c) => write!(f, "unknown status/reason code {c}"),
+            WireError::BadModelName => write!(f, "model name is not valid UTF-8"),
+            WireError::FieldTooLarge(what) => write!(f, "{what} exceeds its wire limit"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+// ---------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------
+
+fn reserve_frame(buf: &mut Vec<u8>) -> usize {
+    let at = buf.len();
+    buf.extend_from_slice(&0u32.to_le_bytes());
+    at
+}
+
+fn finish_frame(buf: &mut [u8], at: usize) {
+    let len = (buf.len() - at - 4) as u32;
+    buf[at..at + 4].copy_from_slice(&len.to_le_bytes());
+}
+
+fn exit_reason_code(reason: ExitReason) -> u8 {
+    match reason {
+        ExitReason::HorizonReached => 0,
+        ExitReason::Converged => 1,
+        ExitReason::BudgetExhausted => 2,
+    }
+}
+
+fn exit_reason_from_code(code: u8) -> Result<ExitReason, WireError> {
+    match code {
+        0 => Ok(ExitReason::HorizonReached),
+        1 => Ok(ExitReason::Converged),
+        2 => Ok(ExitReason::BudgetExhausted),
+        other => Err(WireError::BadCode(other)),
+    }
+}
+
+/// Appends one encoded request frame to `buf`.
+///
+/// # Errors
+///
+/// [`WireError::FieldTooLarge`] if the model name exceeds 255 bytes.
+pub fn encode_request(
+    buf: &mut Vec<u8>,
+    request_id: u64,
+    model: &str,
+    policy: &ExitPolicy,
+    image: &[f32],
+) -> Result<(), WireError> {
+    if model.len() > u8::MAX as usize {
+        return Err(WireError::FieldTooLarge("model name"));
+    }
+    if image.len() > u32::MAX as usize {
+        return Err(WireError::FieldTooLarge("image"));
+    }
+    let at = reserve_frame(buf);
+    buf.push(KIND_REQUEST);
+    buf.extend_from_slice(&request_id.to_le_bytes());
+    buf.push(model.len() as u8);
+    buf.extend_from_slice(model.as_bytes());
+    match *policy {
+        ExitPolicy::Fixed { steps } => {
+            buf.push(0);
+            buf.extend_from_slice(&(steps as u32).to_le_bytes());
+        }
+        ExitPolicy::ConfidenceMargin {
+            margin,
+            patience,
+            check_every,
+            max_steps,
+        } => {
+            buf.push(1);
+            buf.extend_from_slice(&margin.to_le_bytes());
+            buf.extend_from_slice(&(patience as u32).to_le_bytes());
+            buf.extend_from_slice(&(check_every as u32).to_le_bytes());
+            buf.extend_from_slice(&(max_steps as u32).to_le_bytes());
+        }
+        ExitPolicy::SpikeBudget {
+            max_spikes,
+            max_steps,
+        } => {
+            buf.push(2);
+            buf.extend_from_slice(&max_spikes.to_le_bytes());
+            buf.extend_from_slice(&(max_steps as u32).to_le_bytes());
+        }
+    }
+    buf.extend_from_slice(&(image.len() as u32).to_le_bytes());
+    for px in image {
+        buf.extend_from_slice(&px.to_le_bytes());
+    }
+    finish_frame(buf, at);
+    Ok(())
+}
+
+/// Appends one encoded OK response frame to `buf`.
+pub fn encode_response_ok(buf: &mut Vec<u8>, request_id: u64, resp: &InferResponse) {
+    let at = reserve_frame(buf);
+    buf.push(KIND_RESPONSE);
+    buf.extend_from_slice(&request_id.to_le_bytes());
+    buf.push(STATUS_OK);
+    buf.extend_from_slice(&(resp.prediction as u32).to_le_bytes());
+    buf.extend_from_slice(&(resp.steps as u32).to_le_bytes());
+    buf.extend_from_slice(&resp.spikes.to_le_bytes());
+    buf.extend_from_slice(&resp.margin.to_le_bytes());
+    buf.push(exit_reason_code(resp.exit));
+    buf.extend_from_slice(&resp.model_epoch.to_le_bytes());
+    buf.extend_from_slice(&resp.queue_micros.to_le_bytes());
+    buf.extend_from_slice(&resp.service_micros.to_le_bytes());
+    buf.extend_from_slice(&(resp.batch_size as u32).to_le_bytes());
+    finish_frame(buf, at);
+}
+
+/// Appends one encoded SHED response frame to `buf`.
+pub fn encode_response_shed(buf: &mut Vec<u8>, request_id: u64, reason: ShedReason) {
+    let at = reserve_frame(buf);
+    buf.push(KIND_RESPONSE);
+    buf.extend_from_slice(&request_id.to_le_bytes());
+    buf.push(STATUS_SHED);
+    buf.push(reason.code());
+    finish_frame(buf, at);
+}
+
+/// Appends one encoded ERROR response frame to `buf` (the message is
+/// truncated to 64 KiB if longer).
+pub fn encode_response_error(buf: &mut Vec<u8>, request_id: u64, message: &str) {
+    // Truncate on a char boundary so the message stays valid UTF-8.
+    let mut cut = message.len().min(u16::MAX as usize);
+    while !message.is_char_boundary(cut) {
+        cut -= 1;
+    }
+    let message = &message[..cut];
+    let at = reserve_frame(buf);
+    buf.push(KIND_RESPONSE);
+    buf.extend_from_slice(&request_id.to_le_bytes());
+    buf.push(STATUS_ERROR);
+    buf.extend_from_slice(&(message.len() as u16).to_le_bytes());
+    buf.extend_from_slice(message.as_bytes());
+    finish_frame(buf, at);
+}
+
+// ---------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Cursor { bytes, at: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let slice = self
+            .bytes
+            .get(self.at..self.at + n)
+            .ok_or(WireError::Truncated)?;
+        self.at += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(
+            self.take(2)?.try_into().expect("2 bytes"),
+        ))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn f32(&mut self) -> Result<f32, WireError> {
+        Ok(f32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn finish(self) -> Result<(), WireError> {
+        if self.at == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes)
+        }
+    }
+}
+
+/// A decoded request frame: the client-chosen id plus the request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireRequest {
+    /// Client-chosen id, echoed verbatim in the response.
+    pub request_id: u64,
+    /// The decoded inference request.
+    pub request: InferRequest,
+}
+
+/// A decoded response frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetResponse {
+    /// The request was served.
+    Ok {
+        /// Echoed request id.
+        request_id: u64,
+        /// The inference result.
+        response: InferResponse,
+    },
+    /// The request was refused by admission control — back off.
+    Shed {
+        /// Echoed request id.
+        request_id: u64,
+        /// Why it was shed.
+        reason: ShedReason,
+    },
+    /// The request failed.
+    Error {
+        /// Echoed request id.
+        request_id: u64,
+        /// Human-readable failure description.
+        message: String,
+    },
+}
+
+impl NetResponse {
+    /// The echoed request id, regardless of status.
+    pub fn request_id(&self) -> u64 {
+        match self {
+            NetResponse::Ok { request_id, .. }
+            | NetResponse::Shed { request_id, .. }
+            | NetResponse::Error { request_id, .. } => *request_id,
+        }
+    }
+}
+
+/// How many whole frames are buffered, without decoding them: returns
+/// `Some(total_bytes)` of the first frame (header + payload) if `buf`
+/// holds at least one complete frame.
+///
+/// # Errors
+///
+/// [`WireError::FrameTooLarge`] as soon as the *header* declares a
+/// payload over `max_frame` — callers must poison the connection without
+/// waiting for the bytes to arrive.
+pub fn frame_ready(buf: &[u8], max_frame: usize) -> Result<Option<usize>, WireError> {
+    let Some(header) = buf.get(..4) else {
+        return Ok(None);
+    };
+    let len = u32::from_le_bytes(header.try_into().expect("4 bytes")) as usize;
+    if len > max_frame {
+        return Err(WireError::FrameTooLarge {
+            len,
+            max: max_frame,
+        });
+    }
+    if buf.len() < 4 + len {
+        return Ok(None);
+    }
+    Ok(Some(4 + len))
+}
+
+/// Decodes one request payload (the bytes after the length header).
+///
+/// # Errors
+///
+/// Any [`WireError`] for malformed bytes.
+pub fn decode_request(payload: &[u8]) -> Result<WireRequest, WireError> {
+    let mut c = Cursor::new(payload);
+    let kind = c.u8()?;
+    if kind != KIND_REQUEST {
+        return Err(WireError::BadKind(kind));
+    }
+    let request_id = c.u64()?;
+    let model_len = c.u8()? as usize;
+    let model = std::str::from_utf8(c.take(model_len)?).map_err(|_| WireError::BadModelName)?;
+    let policy = match c.u8()? {
+        0 => ExitPolicy::Fixed {
+            steps: c.u32()? as usize,
+        },
+        1 => ExitPolicy::ConfidenceMargin {
+            margin: c.f32()?,
+            patience: c.u32()? as usize,
+            check_every: c.u32()? as usize,
+            max_steps: c.u32()? as usize,
+        },
+        2 => ExitPolicy::SpikeBudget {
+            max_spikes: c.u64()?,
+            max_steps: c.u32()? as usize,
+        },
+        tag => return Err(WireError::BadPolicyTag(tag)),
+    };
+    let npix = c.u32()? as usize;
+    // The cursor bounds-checks against the actual payload, so a huge
+    // declared npix with a short payload is Truncated, not an allocation.
+    let mut image = Vec::with_capacity(npix.min(payload.len() / 4 + 1));
+    for _ in 0..npix {
+        image.push(c.f32()?);
+    }
+    let request = InferRequest::new(image, model, policy);
+    c.finish()?;
+    Ok(WireRequest {
+        request_id,
+        request,
+    })
+}
+
+/// Decodes one response payload (the bytes after the length header).
+///
+/// # Errors
+///
+/// Any [`WireError`] for malformed bytes.
+pub fn decode_response(payload: &[u8]) -> Result<NetResponse, WireError> {
+    let mut c = Cursor::new(payload);
+    let kind = c.u8()?;
+    if kind != KIND_RESPONSE {
+        return Err(WireError::BadKind(kind));
+    }
+    let request_id = c.u64()?;
+    let decoded = match c.u8()? {
+        STATUS_OK => NetResponse::Ok {
+            request_id,
+            response: InferResponse {
+                prediction: c.u32()? as usize,
+                steps: c.u32()? as usize,
+                spikes: c.u64()?,
+                margin: c.f32()?,
+                exit: exit_reason_from_code(c.u8()?)?,
+                model_epoch: c.u64()?,
+                queue_micros: c.u64()?,
+                service_micros: c.u64()?,
+                batch_size: c.u32()? as usize,
+            },
+        },
+        STATUS_SHED => NetResponse::Shed {
+            request_id,
+            reason: ShedReason::from_code(c.u8()?).ok_or(WireError::BadCode(255))?,
+        },
+        STATUS_ERROR => {
+            let len = c.u16()? as usize;
+            let message = std::str::from_utf8(c.take(len)?)
+                .map_err(|_| WireError::BadModelName)?
+                .to_string();
+            NetResponse::Error {
+                request_id,
+                message,
+            }
+        }
+        status => return Err(WireError::BadCode(status)),
+    };
+    c.finish()?;
+    Ok(decoded)
+}
+
+// ---------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------
+
+/// Tuning knobs of a [`NetServer`].
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Maximum accepted frame *payload* size in bytes. A header
+    /// declaring more poisons the connection immediately.
+    pub max_frame: usize,
+    /// Maximum simultaneously open connections; excess accepts are
+    /// closed on the spot.
+    pub max_connections: usize,
+    /// A partially received frame older than this poisons its
+    /// connection (slow-writer / trickle protection).
+    pub read_timeout: Duration,
+    /// A connection with no traffic and nothing in flight for this long
+    /// is closed.
+    pub idle_timeout: Duration,
+    /// Admission-control (load shedding) configuration.
+    pub shed: ShedConfig,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            max_frame: 1 << 20,
+            max_connections: 1024,
+            read_timeout: Duration::from_secs(2),
+            idle_timeout: Duration::from_secs(60),
+            shed: ShedConfig::default(),
+        }
+    }
+}
+
+impl NetConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidConfig`] for zero limits or zero timeouts.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        if self.max_frame == 0 {
+            return Err(ServeError::InvalidConfig(
+                "max_frame must be nonzero".into(),
+            ));
+        }
+        if self.max_connections == 0 {
+            return Err(ServeError::InvalidConfig(
+                "max_connections must be nonzero".into(),
+            ));
+        }
+        if self.read_timeout.is_zero() || self.idle_timeout.is_zero() {
+            return Err(ServeError::InvalidConfig(
+                "read/idle timeouts must be nonzero".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Front-end counters (all monotonic; sample via
+/// [`NetServer::stats`] / [`NetServerHandle::stats`]).
+#[derive(Debug, Default)]
+pub struct NetStats {
+    accepted: AtomicU64,
+    closed: AtomicU64,
+    refused_connections: AtomicU64,
+    frames_in: AtomicU64,
+    responses_ok: AtomicU64,
+    responses_shed: AtomicU64,
+    responses_error: AtomicU64,
+    protocol_errors: AtomicU64,
+    timeouts: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+}
+
+impl NetStats {
+    fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> NetStatsSnapshot {
+        NetStatsSnapshot {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            closed: self.closed.load(Ordering::Relaxed),
+            refused_connections: self.refused_connections.load(Ordering::Relaxed),
+            frames_in: self.frames_in.load(Ordering::Relaxed),
+            responses_ok: self.responses_ok.load(Ordering::Relaxed),
+            responses_shed: self.responses_shed.load(Ordering::Relaxed),
+            responses_error: self.responses_error.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of a front-end's counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NetStatsSnapshot {
+    /// Connections accepted.
+    pub accepted: u64,
+    /// Connections closed (any reason).
+    pub closed: u64,
+    /// Connections refused at accept time (over `max_connections`).
+    pub refused_connections: u64,
+    /// Whole request frames decoded.
+    pub frames_in: u64,
+    /// OK responses written.
+    pub responses_ok: u64,
+    /// SHED responses written.
+    pub responses_shed: u64,
+    /// ERROR responses written.
+    pub responses_error: u64,
+    /// Connections poisoned by malformed/oversized frames.
+    pub protocol_errors: u64,
+    /// Connections closed by read/idle timeout.
+    pub timeouts: u64,
+    /// Bytes received.
+    pub bytes_in: u64,
+    /// Bytes sent.
+    pub bytes_out: u64,
+}
+
+impl fmt::Display for NetStatsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "net conns  accepted {}  closed {}  refused {}  timeouts {}",
+            self.accepted, self.closed, self.refused_connections, self.timeouts
+        )?;
+        writeln!(
+            f,
+            "net frames in {}  ok {}  shed {}  error {}  protocol-errors {}",
+            self.frames_in,
+            self.responses_ok,
+            self.responses_shed,
+            self.responses_error,
+            self.protocol_errors
+        )?;
+        write!(f, "net bytes  in {}  out {}", self.bytes_in, self.bytes_out)
+    }
+}
+
+struct Conn {
+    stream: TcpStream,
+    rbuf: Vec<u8>,
+    wbuf: Vec<u8>,
+    wpos: usize,
+    pending: Vec<(u64, ResponseHandle)>,
+    last_activity: Instant,
+    partial_since: Option<Instant>,
+    read_closed: bool,
+    poisoned: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Self {
+        Conn {
+            stream,
+            rbuf: Vec::new(),
+            wbuf: Vec::new(),
+            wpos: 0,
+            pending: Vec::new(),
+            last_activity: Instant::now(),
+            partial_since: None,
+            read_closed: false,
+            poisoned: false,
+        }
+    }
+
+    fn flushed(&self) -> bool {
+        self.wpos == self.wbuf.len()
+    }
+}
+
+/// The poll-loop TCP front-end over a [`ServeRuntime`].
+///
+/// Bind with [`bind`](Self::bind), then either [`run`](Self::run) on the
+/// current thread or [`spawn`](Self::spawn) a dedicated one. The loop is
+/// level-polled over nonblocking sockets: each pass accepts, reads,
+/// decodes, admits, collects finished responses, and flushes — sleeping
+/// briefly only when an entire pass made no progress, so idle servers
+/// don't spin and loaded ones don't add latency.
+pub struct NetServer {
+    listener: TcpListener,
+    addr: SocketAddr,
+    admission: AdmissionControl,
+    cfg: NetConfig,
+    stats: Arc<NetStats>,
+    stop: Arc<AtomicBool>,
+}
+
+impl fmt::Debug for NetServer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NetServer")
+            .field("addr", &self.addr)
+            .field("cfg", &self.cfg)
+            .finish_non_exhaustive()
+    }
+}
+
+impl NetServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) over
+    /// `runtime`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidConfig`] for a bad `cfg`, or
+    /// [`ServeError::Internal`] if binding fails.
+    pub fn bind<A: ToSocketAddrs>(
+        addr: A,
+        runtime: Arc<ServeRuntime>,
+        cfg: NetConfig,
+    ) -> Result<Self, ServeError> {
+        cfg.validate()?;
+        let listener = TcpListener::bind(addr)
+            .map_err(|e| ServeError::Internal(format!("bind failed: {e}")))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| ServeError::Internal(format!("set_nonblocking failed: {e}")))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| ServeError::Internal(format!("local_addr failed: {e}")))?;
+        let admission = AdmissionControl::new(runtime, &cfg.shed);
+        Ok(NetServer {
+            listener,
+            addr,
+            admission,
+            cfg,
+            stats: Arc::new(NetStats::default()),
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Point-in-time front-end counters.
+    pub fn stats(&self) -> NetStatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// A flag that makes [`run`](Self::run) return when set.
+    pub fn stop_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.stop)
+    }
+
+    /// Runs the poll loop on a dedicated thread; the returned handle
+    /// stops and joins it on shutdown/drop.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Internal`] if the thread cannot be spawned.
+    pub fn spawn(self) -> Result<NetServerHandle, ServeError> {
+        let addr = self.addr;
+        let stats = Arc::clone(&self.stats);
+        let stop = Arc::clone(&self.stop);
+        let thread = std::thread::Builder::new()
+            .name("bsnn-net-frontend".into())
+            .spawn(move || self.run())
+            .map_err(|e| ServeError::Internal(format!("failed to spawn front-end: {e}")))?;
+        Ok(NetServerHandle {
+            addr,
+            stats,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// Runs the poll loop until the [`stop_flag`](Self::stop_flag) is
+    /// set; drains nothing on exit (in-flight requests still complete in
+    /// the runtime, but their responses are not delivered).
+    pub fn run(self) {
+        let mut conns: Vec<Conn> = Vec::new();
+        let mut scratch = vec![0u8; 64 * 1024];
+        while !self.stop.load(Ordering::Relaxed) {
+            let mut progressed = false;
+
+            // Accept everything currently queued on the listener.
+            loop {
+                match self.listener.accept() {
+                    Ok((stream, _peer)) => {
+                        progressed = true;
+                        if conns.len() >= self.cfg.max_connections {
+                            NetStats::bump(&self.stats.refused_connections);
+                            drop(stream);
+                            continue;
+                        }
+                        if stream.set_nonblocking(true).is_err() {
+                            continue;
+                        }
+                        let _ = stream.set_nodelay(true);
+                        NetStats::bump(&self.stats.accepted);
+                        conns.push(Conn::new(stream));
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(_) => break,
+                }
+            }
+
+            let now = Instant::now();
+            for conn in conns.iter_mut() {
+                progressed |= self.service_conn(conn, &mut scratch, now);
+            }
+            conns.retain(|conn| {
+                let done = conn.poisoned && conn.flushed()
+                    || conn.read_closed && conn.pending.is_empty() && conn.flushed();
+                if done {
+                    NetStats::bump(&self.stats.closed);
+                }
+                !done
+            });
+
+            if !progressed {
+                // Idle pass: yield the core to the workers (this matters
+                // on small machines) without adding meaningful latency.
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        }
+    }
+
+    /// One service pass over one connection; returns whether anything
+    /// happened.
+    fn service_conn(&self, conn: &mut Conn, scratch: &mut [u8], now: Instant) -> bool {
+        let mut progressed = false;
+
+        // 1. Drain the socket into the read buffer.
+        while !conn.read_closed && !conn.poisoned {
+            match conn.stream.read(scratch) {
+                Ok(0) => {
+                    conn.read_closed = true;
+                    progressed = true;
+                }
+                Ok(n) => {
+                    conn.rbuf.extend_from_slice(&scratch[..n]);
+                    self.stats.bytes_in.fetch_add(n as u64, Ordering::Relaxed);
+                    conn.last_activity = now;
+                    progressed = true;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    // Peer went away (reset); nothing left to deliver.
+                    conn.read_closed = true;
+                    conn.poisoned = true;
+                    conn.wbuf.clear();
+                    conn.wpos = 0;
+                    progressed = true;
+                }
+            }
+        }
+
+        // 2. Decode and admit every complete frame.
+        while !conn.poisoned {
+            match frame_ready(&conn.rbuf, self.cfg.max_frame) {
+                Ok(None) => break,
+                Ok(Some(total)) => {
+                    progressed = true;
+                    NetStats::bump(&self.stats.frames_in);
+                    let decoded = decode_request(&conn.rbuf[4..total]);
+                    conn.rbuf.drain(..total);
+                    match decoded {
+                        Ok(wire) => self.admit(conn, wire),
+                        Err(e) => self.poison(conn, 0, &e),
+                    }
+                }
+                Err(e) => {
+                    progressed = true;
+                    self.poison(conn, 0, &e);
+                }
+            }
+        }
+        // Track how long a partial frame has been sitting.
+        if conn.rbuf.is_empty() {
+            conn.partial_since = None;
+        } else if conn.partial_since.is_none() {
+            conn.partial_since = Some(now);
+        }
+
+        // 3. Collect finished responses.
+        let mut i = 0;
+        while i < conn.pending.len() {
+            if conn.pending[i].1.is_ready() {
+                progressed = true;
+                let (id, handle) = conn.pending.swap_remove(i);
+                match handle.wait() {
+                    Ok(resp) => {
+                        NetStats::bump(&self.stats.responses_ok);
+                        encode_response_ok(&mut conn.wbuf, id, &resp);
+                    }
+                    Err(e) => {
+                        NetStats::bump(&self.stats.responses_error);
+                        encode_response_error(&mut conn.wbuf, id, &e.to_string());
+                    }
+                }
+                conn.last_activity = now;
+            } else {
+                i += 1;
+            }
+        }
+
+        // 4. Flush the write buffer.
+        while conn.wpos < conn.wbuf.len() {
+            match conn.stream.write(&conn.wbuf[conn.wpos..]) {
+                Ok(0) => break,
+                Ok(n) => {
+                    conn.wpos += n;
+                    self.stats.bytes_out.fetch_add(n as u64, Ordering::Relaxed);
+                    conn.last_activity = now;
+                    progressed = true;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    conn.poisoned = true;
+                    conn.wbuf.clear();
+                    conn.wpos = 0;
+                    progressed = true;
+                    break;
+                }
+            }
+        }
+        if conn.flushed() && conn.wpos > 0 {
+            conn.wbuf.clear();
+            conn.wpos = 0;
+        }
+
+        // 5. Timeouts. A pending response is activity in flight, so only
+        // the *read* side (partial frame) and full idleness count.
+        if !conn.poisoned {
+            let partial_expired = conn
+                .partial_since
+                .is_some_and(|t| now.duration_since(t) > self.cfg.read_timeout);
+            let idle_expired = conn.pending.is_empty()
+                && conn.rbuf.is_empty()
+                && now.duration_since(conn.last_activity) > self.cfg.idle_timeout;
+            if partial_expired || idle_expired {
+                NetStats::bump(&self.stats.timeouts);
+                if partial_expired {
+                    encode_response_error(&mut conn.wbuf, 0, "read timeout: partial frame");
+                }
+                conn.poisoned = true;
+                conn.read_closed = true;
+                progressed = true;
+            }
+        }
+        progressed
+    }
+
+    /// Admits one decoded request, queueing the handle or writing an
+    /// immediate SHED/ERROR response.
+    fn admit(&self, conn: &mut Conn, wire: WireRequest) {
+        match self.admission.try_admit(wire.request) {
+            Ok(handle) => conn.pending.push((wire.request_id, handle)),
+            Err(AdmitError::Shed(reason)) => {
+                NetStats::bump(&self.stats.responses_shed);
+                encode_response_shed(&mut conn.wbuf, wire.request_id, reason);
+            }
+            Err(AdmitError::Rejected(e)) => {
+                NetStats::bump(&self.stats.responses_error);
+                encode_response_error(&mut conn.wbuf, wire.request_id, &e.to_string());
+            }
+        }
+    }
+
+    /// Marks a connection poisoned by a protocol error: queue a final
+    /// ERROR frame (best effort), stop reading, close once flushed.
+    fn poison(&self, conn: &mut Conn, request_id: u64, error: &WireError) {
+        NetStats::bump(&self.stats.protocol_errors);
+        NetStats::bump(&self.stats.responses_error);
+        encode_response_error(&mut conn.wbuf, request_id, &error.to_string());
+        conn.poisoned = true;
+        conn.read_closed = true;
+        conn.rbuf.clear();
+    }
+}
+
+/// Owner handle of a spawned [`NetServer`]: stops and joins the poll
+/// loop on [`shutdown`](Self::shutdown) or drop.
+#[derive(Debug)]
+pub struct NetServerHandle {
+    addr: SocketAddr,
+    stats: Arc<NetStats>,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl NetServerHandle {
+    /// The bound address of the running front-end.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Point-in-time front-end counters.
+    pub fn stats(&self) -> NetStatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Stops the poll loop, joins its thread, and returns the final
+    /// counters.
+    pub fn shutdown(mut self) -> NetStatsSnapshot {
+        self.stop_and_join();
+        self.stats.snapshot()
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for NetServerHandle {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------
+
+/// Reads length-framed payloads off any blocking [`Read`] stream.
+#[derive(Debug)]
+pub struct FrameReader<R> {
+    reader: R,
+    buf: Vec<u8>,
+    max_frame: usize,
+}
+
+impl<R: Read> FrameReader<R> {
+    /// A reader accepting payloads up to `max_frame` bytes.
+    pub fn new(reader: R, max_frame: usize) -> Self {
+        FrameReader {
+            reader,
+            buf: Vec::new(),
+            max_frame,
+        }
+    }
+
+    /// Blocks until one whole frame is available and returns its
+    /// payload; `Ok(None)` on clean EOF between frames.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the underlying stream; `InvalidData` for an
+    /// oversized frame or EOF mid-frame.
+    pub fn next_frame(&mut self) -> io::Result<Option<Vec<u8>>> {
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            match frame_ready(&self.buf, self.max_frame)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?
+            {
+                Some(total) => {
+                    let payload = self.buf[4..total].to_vec();
+                    self.buf.drain(..total);
+                    return Ok(Some(payload));
+                }
+                None => {
+                    let n = self.reader.read(&mut chunk)?;
+                    if n == 0 {
+                        return if self.buf.is_empty() {
+                            Ok(None)
+                        } else {
+                            Err(io::Error::new(
+                                io::ErrorKind::InvalidData,
+                                "connection closed mid-frame",
+                            ))
+                        };
+                    }
+                    self.buf.extend_from_slice(&chunk[..n]);
+                }
+            }
+        }
+    }
+}
+
+/// A simple blocking client for the framed protocol — one request in
+/// flight at a time (the open-loop load generator manages its own
+/// streams for pipelining).
+#[derive(Debug)]
+pub struct NetClient {
+    stream: TcpStream,
+    reader: FrameReader<TcpStream>,
+    next_id: u64,
+}
+
+impl NetClient {
+    /// Connects to a [`NetServer`].
+    ///
+    /// # Errors
+    ///
+    /// Connection-level I/O errors.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = FrameReader::new(stream.try_clone()?, usize::MAX >> 1);
+        Ok(NetClient {
+            stream,
+            reader,
+            next_id: 1,
+        })
+    }
+
+    /// Sends one request and blocks for its response (requests and
+    /// responses are matched by id, so interleaved server output is
+    /// handled).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, or `InvalidData` for undecodable response bytes.
+    pub fn call(
+        &mut self,
+        model: &str,
+        policy: &ExitPolicy,
+        image: &[f32],
+    ) -> io::Result<NetResponse> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let mut buf = Vec::with_capacity(64 + image.len() * 4);
+        encode_request(&mut buf, id, model, policy, image)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+        self.stream.write_all(&buf)?;
+        loop {
+            let Some(payload) = self.reader.next_frame()? else {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection before responding",
+                ));
+            };
+            let response = decode_response(&payload)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+            if response.request_id() == id {
+                return Ok(response);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_response() -> InferResponse {
+        InferResponse {
+            prediction: 7,
+            steps: 42,
+            spikes: 9001,
+            margin: 0.125,
+            exit: ExitReason::Converged,
+            model_epoch: 3,
+            queue_micros: 17,
+            service_micros: 450,
+            batch_size: 8,
+        }
+    }
+
+    #[test]
+    fn request_frame_round_trips() {
+        for policy in [
+            ExitPolicy::Fixed { steps: 96 },
+            ExitPolicy::ConfidenceMargin {
+                margin: 0.02,
+                patience: 2,
+                check_every: 8,
+                max_steps: 96,
+            },
+            ExitPolicy::SpikeBudget {
+                max_spikes: 20_000,
+                max_steps: 64,
+            },
+        ] {
+            let image = vec![0.0, 0.25, 0.5, 1.0];
+            let mut buf = Vec::new();
+            encode_request(&mut buf, 77, "digits", &policy, &image).unwrap();
+            let total = frame_ready(&buf, 1 << 20).unwrap().unwrap();
+            assert_eq!(total, buf.len());
+            let wire = decode_request(&buf[4..total]).unwrap();
+            assert_eq!(wire.request_id, 77);
+            assert_eq!(wire.request.model, "digits");
+            assert_eq!(wire.request.policy, policy);
+            assert_eq!(wire.request.image, image);
+        }
+    }
+
+    #[test]
+    fn response_frames_round_trip() {
+        let mut buf = Vec::new();
+        encode_response_ok(&mut buf, 1, &sample_response());
+        encode_response_shed(&mut buf, 2, ShedReason::QueueDepth);
+        encode_response_error(&mut buf, 3, "boom");
+        let mut decoded = Vec::new();
+        let mut rest = buf.as_slice();
+        while let Some(total) = frame_ready(rest, 1 << 20).unwrap() {
+            decoded.push(decode_response(&rest[4..total]).unwrap());
+            rest = &rest[total..];
+        }
+        assert_eq!(
+            decoded,
+            vec![
+                NetResponse::Ok {
+                    request_id: 1,
+                    response: sample_response()
+                },
+                NetResponse::Shed {
+                    request_id: 2,
+                    reason: ShedReason::QueueDepth
+                },
+                NetResponse::Error {
+                    request_id: 3,
+                    message: "boom".into()
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn partial_frames_are_not_decoded() {
+        let mut buf = Vec::new();
+        encode_request(&mut buf, 5, "m", &ExitPolicy::Fixed { steps: 4 }, &[0.5]).unwrap();
+        for cut in 0..buf.len() {
+            assert_eq!(
+                frame_ready(&buf[..cut], 1 << 20).unwrap(),
+                None,
+                "prefix of {cut} bytes must wait for more"
+            );
+        }
+        assert_eq!(frame_ready(&buf, 1 << 20).unwrap(), Some(buf.len()));
+    }
+
+    #[test]
+    fn oversized_header_rejects_before_payload_arrives() {
+        let huge = (1u32 << 24).to_le_bytes();
+        assert_eq!(
+            frame_ready(&huge, 1 << 20),
+            Err(WireError::FrameTooLarge {
+                len: 1 << 24,
+                max: 1 << 20
+            })
+        );
+    }
+
+    #[test]
+    fn malformed_payloads_error_cleanly() {
+        // Unknown kind.
+        assert_eq!(decode_request(&[9]), Err(WireError::BadKind(9)));
+        // Truncated id.
+        assert_eq!(
+            decode_request(&[KIND_REQUEST, 1, 2]),
+            Err(WireError::Truncated)
+        );
+        // Bad policy tag.
+        let mut buf = Vec::new();
+        encode_request(&mut buf, 1, "m", &ExitPolicy::Fixed { steps: 4 }, &[]).unwrap();
+        let tag_at = 4 + 1 + 8 + 1 + 1; // header|kind|id|model_len|model
+        let mut bad = buf.clone();
+        bad[tag_at] = 9;
+        assert_eq!(decode_request(&bad[4..]), Err(WireError::BadPolicyTag(9)));
+        // Pixel count promising more than the payload delivers.
+        let npix_at = buf.len() - 4;
+        let mut short = buf.clone();
+        short[npix_at..].copy_from_slice(&1000u32.to_le_bytes());
+        assert_eq!(decode_request(&short[4..]), Err(WireError::Truncated));
+        // Trailing garbage after a valid structure.
+        let mut trailing = buf[4..].to_vec();
+        trailing.push(0xFF);
+        assert_eq!(decode_request(&trailing), Err(WireError::TrailingBytes));
+        // Garbage response status.
+        let mut resp = Vec::new();
+        encode_response_shed(&mut resp, 2, ShedReason::QueueFull);
+        let status_at = 4 + 1 + 8;
+        resp[status_at] = 7;
+        assert_eq!(decode_response(&resp[4..]), Err(WireError::BadCode(7)));
+    }
+
+    #[test]
+    fn model_name_over_255_bytes_is_refused_at_encode_time() {
+        let long = "m".repeat(256);
+        let mut buf = Vec::new();
+        assert_eq!(
+            encode_request(&mut buf, 1, &long, &ExitPolicy::Fixed { steps: 1 }, &[]),
+            Err(WireError::FieldTooLarge("model name"))
+        );
+    }
+
+    #[test]
+    fn error_message_truncates_on_char_boundary() {
+        let msg = "é".repeat(40_000); // 80 kB of two-byte chars
+        let mut buf = Vec::new();
+        encode_response_error(&mut buf, 1, &msg);
+        let total = frame_ready(&buf, 1 << 20).unwrap().unwrap();
+        match decode_response(&buf[4..total]).unwrap() {
+            NetResponse::Error { message, .. } => {
+                assert!(message.len() <= u16::MAX as usize);
+                assert!(message.chars().all(|c| c == 'é'));
+            }
+            other => panic!("expected error response, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn net_config_validation() {
+        assert!(NetConfig::default().validate().is_ok());
+        for cfg in [
+            NetConfig {
+                max_frame: 0,
+                ..NetConfig::default()
+            },
+            NetConfig {
+                max_connections: 0,
+                ..NetConfig::default()
+            },
+            NetConfig {
+                read_timeout: Duration::ZERO,
+                ..NetConfig::default()
+            },
+            NetConfig {
+                idle_timeout: Duration::ZERO,
+                ..NetConfig::default()
+            },
+        ] {
+            assert!(matches!(cfg.validate(), Err(ServeError::InvalidConfig(_))));
+        }
+    }
+}

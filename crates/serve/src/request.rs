@@ -119,7 +119,7 @@ pub enum ExitReason {
 }
 
 /// One inference request.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct InferRequest {
     /// Input image (pixels in `[0, 1]`, length = model input size).
     pub image: Vec<f32>,

@@ -39,12 +39,19 @@ impl Default for ServeConfig {
 }
 
 impl ServeConfig {
+    /// Longest accepted [`batch_linger`](Self::batch_linger). The linger
+    /// is a micro-batching window in the hot path; a value beyond this is
+    /// a units mistake (seconds where microseconds were meant) that would
+    /// stall every sparse-traffic request for the whole window.
+    pub const MAX_BATCH_LINGER: Duration = Duration::from_secs(1);
+
     /// Validates the configuration.
     ///
     /// # Errors
     ///
     /// Returns [`ServeError::InvalidConfig`] for zero workers, capacity,
-    /// or batch size.
+    /// or batch size, or a batch linger beyond
+    /// [`MAX_BATCH_LINGER`](Self::MAX_BATCH_LINGER).
     pub fn validate(&self) -> Result<(), ServeError> {
         if self.workers == 0 {
             return Err(ServeError::InvalidConfig("workers must be nonzero".into()));
@@ -58,6 +65,14 @@ impl ServeConfig {
             return Err(ServeError::InvalidConfig(
                 "max_batch must be nonzero".into(),
             ));
+        }
+        if self.batch_linger > Self::MAX_BATCH_LINGER {
+            return Err(ServeError::InvalidConfig(format!(
+                "batch linger {:?} exceeds the {:?} maximum (did you mean \
+                 microseconds?)",
+                self.batch_linger,
+                Self::MAX_BATCH_LINGER
+            )));
         }
         Ok(())
     }
@@ -169,6 +184,18 @@ impl ServeRuntime {
         self.metrics.snapshot(self.queue.len())
     }
 
+    /// The live metrics shared with the workers (admission control
+    /// records shed decisions through it).
+    pub(crate) fn metrics_handle(&self) -> &Arc<ServeMetrics> {
+        &self.metrics
+    }
+
+    /// The bounded queue's capacity (admission control derives its
+    /// default watermark from it).
+    pub fn queue_capacity(&self) -> usize {
+        self.queue.capacity()
+    }
+
     fn close_and_join(&mut self) {
         self.queue.close();
         for handle in self.workers.drain(..) {
@@ -210,6 +237,12 @@ mod tests {
                 max_batch: 0,
                 ..ServeConfig::default()
             },
+            // A linger in whole seconds is a units mistake: every
+            // sparse-traffic request would stall a full window.
+            ServeConfig {
+                batch_linger: Duration::from_secs(2),
+                ..ServeConfig::default()
+            },
         ] {
             assert!(matches!(
                 ServeRuntime::start(cfg, Arc::clone(&reg)),
@@ -221,5 +254,22 @@ mod tests {
     #[test]
     fn default_config_is_valid() {
         assert!(ServeConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn linger_boundary_is_inclusive() {
+        let at_max = ServeConfig {
+            batch_linger: ServeConfig::MAX_BATCH_LINGER,
+            ..ServeConfig::default()
+        };
+        assert!(at_max.validate().is_ok());
+        let over = ServeConfig {
+            batch_linger: ServeConfig::MAX_BATCH_LINGER + Duration::from_micros(1),
+            ..ServeConfig::default()
+        };
+        match over.validate() {
+            Err(ServeError::InvalidConfig(msg)) => assert!(msg.contains("linger")),
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
     }
 }

@@ -1,0 +1,458 @@
+//! Snapshot-directory watcher: drop a `.bsnn` file, get a hot swap.
+//!
+//! Operationally, "deploy a new model" should be `cp model.bsnn
+//! /var/bsnn/models/` — not a process restart. [`SnapshotWatcher`] polls
+//! a directory on an interval (std-only; no inotify dependency) and
+//! drives the existing epoch-counted [`ModelRegistry`] hot-swap path:
+//!
+//! * a new or modified `<name>.bsnn` file installs/replaces model
+//!   `<name>` via [`ModelRegistry::install_snapshot`] — in-flight
+//!   requests finish on the epoch they started with;
+//! * a deleted file (optionally) removes the model;
+//! * a file is only installed once its `(mtime, len)` signature has been
+//!   *stable across two consecutive scans*, so a snapshot still being
+//!   copied in is never half-read (writers should still prefer
+//!   write-then-rename, which makes the appearance atomic).
+//!
+//! Install failures (truncated/corrupt snapshot) are counted and the old
+//! model stays live — a bad deploy never takes down serving.
+
+use crate::registry::ModelRegistry;
+use bsnn_core::coding::CodingScheme;
+use std::collections::HashMap;
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, SystemTime};
+
+/// Tuning knobs of a [`SnapshotWatcher`].
+#[derive(Debug, Clone)]
+pub struct WatchConfig {
+    /// How often the directory is scanned.
+    pub poll_interval: Duration,
+    /// Coding scheme applied to every installed snapshot.
+    pub scheme: CodingScheme,
+    /// Phase period applied to every installed snapshot.
+    pub phase_period: u32,
+    /// Whether deleting `<name>.bsnn` also removes model `<name>` from
+    /// the registry.
+    pub remove_deleted: bool,
+}
+
+impl Default for WatchConfig {
+    fn default() -> Self {
+        WatchConfig {
+            poll_interval: Duration::from_millis(500),
+            scheme: CodingScheme::recommended(),
+            phase_period: 8,
+            remove_deleted: false,
+        }
+    }
+}
+
+/// Counters of a running watcher (monotonic).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WatchStats {
+    /// Directory scans completed.
+    pub scans: u64,
+    /// Successful snapshot installs/replacements.
+    pub installs: u64,
+    /// Models removed after their file disappeared.
+    pub removals: u64,
+    /// Snapshot files that failed to load (the previous model, if any,
+    /// stays live).
+    pub failures: u64,
+}
+
+impl fmt::Display for WatchStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "watch  scans {}  installs {}  removals {}  failures {}",
+            self.scans, self.installs, self.removals, self.failures
+        )
+    }
+}
+
+#[derive(Debug, Default)]
+struct SharedStats {
+    scans: AtomicU64,
+    installs: AtomicU64,
+    removals: AtomicU64,
+    failures: AtomicU64,
+}
+
+impl SharedStats {
+    fn snapshot(&self) -> WatchStats {
+        WatchStats {
+            scans: self.scans.load(Ordering::Relaxed),
+            installs: self.installs.load(Ordering::Relaxed),
+            removals: self.removals.load(Ordering::Relaxed),
+            failures: self.failures.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// On-disk identity of a snapshot file; a candidate is installed only
+/// once this is unchanged across two consecutive scans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct FileSig {
+    mtime: SystemTime,
+    len: u64,
+}
+
+#[derive(Debug)]
+struct Tracked {
+    /// Signature of the version currently installed (None = never
+    /// installed, e.g. every file on the first scan).
+    installed: Option<FileSig>,
+    /// Signature seen on the previous scan, pending stability.
+    seen: Option<FileSig>,
+}
+
+/// Polls a directory of `.bsnn` snapshots into a [`ModelRegistry`].
+///
+/// Construct with [`new`](Self::new), then either call
+/// [`scan_once`](Self::scan_once) from your own loop (what the tests do)
+/// or [`spawn`](Self::spawn) a polling thread.
+pub struct SnapshotWatcher {
+    dir: PathBuf,
+    registry: Arc<ModelRegistry>,
+    cfg: WatchConfig,
+    stats: Arc<SharedStats>,
+    tracked: HashMap<String, Tracked>,
+}
+
+impl fmt::Debug for SnapshotWatcher {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SnapshotWatcher")
+            .field("dir", &self.dir)
+            .field("cfg", &self.cfg)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SnapshotWatcher {
+    /// A watcher over `dir` installing into `registry`. The directory
+    /// does not have to exist yet; scans of a missing directory are
+    /// no-ops.
+    pub fn new(dir: impl Into<PathBuf>, registry: Arc<ModelRegistry>, cfg: WatchConfig) -> Self {
+        SnapshotWatcher {
+            dir: dir.into(),
+            registry,
+            cfg,
+            stats: Arc::new(SharedStats::default()),
+            tracked: HashMap::new(),
+        }
+    }
+
+    /// The watched directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Point-in-time counters.
+    pub fn stats(&self) -> WatchStats {
+        self.stats.snapshot()
+    }
+
+    /// One scan pass: stat every `*.bsnn` file, install the ones whose
+    /// signature is stable and changed, optionally remove vanished ones.
+    /// Returns how many models were installed or removed this pass.
+    pub fn scan_once(&mut self) -> usize {
+        self.stats.scans.fetch_add(1, Ordering::Relaxed);
+        let mut changed = 0;
+        let mut present: HashMap<String, FileSig> = HashMap::new();
+        let Ok(entries) = fs::read_dir(&self.dir) else {
+            return 0;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("bsnn") {
+                continue;
+            }
+            let Some(name) = path.file_stem().and_then(|s| s.to_str()) else {
+                continue;
+            };
+            let Ok(meta) = entry.metadata() else {
+                continue;
+            };
+            let Ok(mtime) = meta.modified() else {
+                continue;
+            };
+            present.insert(
+                name.to_string(),
+                FileSig {
+                    mtime,
+                    len: meta.len(),
+                },
+            );
+        }
+
+        for (name, sig) in &present {
+            let tracked = self.tracked.entry(name.clone()).or_insert(Tracked {
+                installed: None,
+                seen: None,
+            });
+            if tracked.installed == Some(*sig) {
+                tracked.seen = Some(*sig);
+                continue;
+            }
+            if tracked.seen != Some(*sig) {
+                // First sighting of this version — wait one interval for
+                // the copy to finish.
+                tracked.seen = Some(*sig);
+                continue;
+            }
+            // Stable across two scans: install.
+            let path = self.dir.join(format!("{name}.bsnn"));
+            let outcome = fs::File::open(&path)
+                .map_err(|e| e.to_string())
+                .and_then(|f| {
+                    self.registry
+                        .install_snapshot(
+                            name.clone(),
+                            std::io::BufReader::new(f),
+                            self.cfg.scheme,
+                            self.cfg.phase_period,
+                        )
+                        .map_err(|e| e.to_string())
+                });
+            match outcome {
+                Ok(_epoch) => {
+                    tracked.installed = Some(*sig);
+                    self.stats.installs.fetch_add(1, Ordering::Relaxed);
+                    changed += 1;
+                }
+                Err(_) => {
+                    // Corrupt or unreadable: count it, keep the old model
+                    // live, and re-attempt only if the file changes again.
+                    tracked.installed = Some(*sig);
+                    self.stats.failures.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+
+        let vanished: Vec<String> = self
+            .tracked
+            .keys()
+            .filter(|name| !present.contains_key(*name))
+            .cloned()
+            .collect();
+        for name in vanished {
+            self.tracked.remove(&name);
+            if self.cfg.remove_deleted && self.registry.remove(&name) {
+                self.stats.removals.fetch_add(1, Ordering::Relaxed);
+                changed += 1;
+            }
+        }
+        changed
+    }
+
+    /// Runs [`scan_once`](Self::scan_once) every `poll_interval` on a
+    /// dedicated thread; the returned handle stops and joins it on
+    /// shutdown/drop.
+    ///
+    /// # Errors
+    ///
+    /// `std::io::Error` if the thread cannot be spawned.
+    pub fn spawn(mut self) -> std::io::Result<WatchHandle> {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stats = Arc::clone(&self.stats);
+        let thread = std::thread::Builder::new()
+            .name("bsnn-snapshot-watch".into())
+            .spawn({
+                let stop = Arc::clone(&stop);
+                move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        self.scan_once();
+                        // Sleep in small slices so shutdown is prompt even
+                        // with long poll intervals.
+                        let mut remaining = self.cfg.poll_interval;
+                        while !remaining.is_zero() && !stop.load(Ordering::Relaxed) {
+                            let slice = remaining.min(Duration::from_millis(50));
+                            std::thread::sleep(slice);
+                            remaining = remaining.saturating_sub(slice);
+                        }
+                    }
+                }
+            })?;
+        Ok(WatchHandle {
+            stats,
+            stop,
+            thread: Some(thread),
+        })
+    }
+}
+
+/// Owner handle of a spawned [`SnapshotWatcher`]: stops and joins the
+/// polling thread on [`shutdown`](Self::shutdown) or drop.
+#[derive(Debug)]
+pub struct WatchHandle {
+    stats: Arc<SharedStats>,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl WatchHandle {
+    /// Point-in-time counters of the running watcher.
+    pub fn stats(&self) -> WatchStats {
+        self.stats.snapshot()
+    }
+
+    /// Stops the polling thread, joins it, and returns the final
+    /// counters.
+    pub fn shutdown(mut self) -> WatchStats {
+        self.stop_and_join();
+        self.stats.snapshot()
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for WatchHandle {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsnn_core::layer::{SpikingLayer, ThresholdPolicy};
+    use bsnn_core::synapse::Synapse;
+    use bsnn_core::{snapshot, SpikingNetwork};
+    use bsnn_tensor::Tensor;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "bsnn-watch-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    /// Snapshot bytes of a tiny dense network; `hidden` changes the
+    /// architecture, so different values give different byte lengths
+    /// (no mtime-granularity dependence in the change detection tests).
+    fn snapshot_bytes(hidden: usize) -> Vec<u8> {
+        let eye = |rows: usize, cols: usize| {
+            let mut w = vec![0.0f32; rows * cols];
+            for i in 0..rows.min(cols) {
+                w[i * cols + i] = 1.0;
+            }
+            Synapse::Dense {
+                weight: Tensor::from_vec(w, &[rows, cols]).unwrap(),
+            }
+        };
+        let layer =
+            SpikingLayer::new(eye(2, hidden), None, ThresholdPolicy::Fixed { vth: 0.5 }).unwrap();
+        let net = SpikingNetwork::new(2, vec![layer], eye(hidden, 2), None).unwrap();
+        let mut bytes = Vec::new();
+        snapshot::save_network(&net, &mut bytes).unwrap();
+        bytes
+    }
+
+    fn watcher(dir: &Path) -> SnapshotWatcher {
+        let cfg = WatchConfig {
+            remove_deleted: true,
+            ..WatchConfig::default()
+        };
+        SnapshotWatcher::new(dir, Arc::new(ModelRegistry::new()), cfg)
+    }
+
+    #[test]
+    fn stable_file_installs_and_replacement_bumps_epoch() {
+        let dir = temp_dir("install");
+        let mut w = watcher(&dir);
+        fs::write(dir.join("digits.bsnn"), snapshot_bytes(3)).unwrap();
+
+        // First scan only records the signature (copy may be in flight).
+        assert_eq!(w.scan_once(), 0);
+        assert!(w.registry.get("digits").is_none());
+        // Second scan sees it stable and installs.
+        assert_eq!(w.scan_once(), 1);
+        let first = w.registry.get("digits").expect("installed");
+        // Steady state: no churn.
+        assert_eq!(w.scan_once(), 0);
+
+        // Replace with a different architecture — different byte length,
+        // so the signature change doesn't depend on mtime granularity.
+        fs::write(dir.join("digits.bsnn"), snapshot_bytes(5)).unwrap();
+        w.scan_once(); // sees new signature
+        assert_eq!(w.scan_once(), 1, "stable replacement installs");
+        let second = w.registry.get("digits").expect("still installed");
+        assert!(second.epoch() > first.epoch(), "hot swap bumps the epoch");
+        assert_eq!(w.stats().installs, 2);
+
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_snapshot_keeps_old_model_live() {
+        let dir = temp_dir("corrupt");
+        let mut w = watcher(&dir);
+        fs::write(dir.join("m.bsnn"), snapshot_bytes(3)).unwrap();
+        w.scan_once();
+        w.scan_once();
+        let good = w.registry.get("m").expect("installed");
+
+        // A corrupt replacement must not clobber the live model.
+        fs::write(dir.join("m.bsnn"), b"not a snapshot").unwrap();
+        w.scan_once();
+        w.scan_once();
+        assert_eq!(w.stats().failures, 1);
+        let still = w.registry.get("m").expect("old model stays live");
+        assert_eq!(still.epoch(), good.epoch());
+
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn deleted_file_removes_model_when_configured() {
+        let dir = temp_dir("remove");
+        let mut w = watcher(&dir);
+        fs::write(dir.join("gone.bsnn"), snapshot_bytes(3)).unwrap();
+        w.scan_once();
+        w.scan_once();
+        assert!(w.registry.get("gone").is_some());
+
+        fs::remove_file(dir.join("gone.bsnn")).unwrap();
+        assert_eq!(w.scan_once(), 1);
+        assert!(w.registry.get("gone").is_none());
+        assert_eq!(w.stats().removals, 1);
+
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_directory_is_a_noop() {
+        let mut w = watcher(Path::new("/nonexistent/bsnn-watch-test"));
+        assert_eq!(w.scan_once(), 0);
+        assert_eq!(w.stats().scans, 1);
+    }
+
+    #[test]
+    fn non_bsnn_files_are_ignored() {
+        let dir = temp_dir("ignore");
+        let mut w = watcher(&dir);
+        fs::write(dir.join("README.txt"), b"hello").unwrap();
+        fs::write(dir.join("model.bsnn.tmp"), b"partial copy").unwrap();
+        w.scan_once();
+        w.scan_once();
+        assert!(w.registry.names().is_empty());
+        assert_eq!(w.stats().failures, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

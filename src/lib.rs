@@ -16,15 +16,19 @@
 //!   rate/regularity, spiking density, and neuromorphic energy models.
 //! * [`serve`] — the `burst-serve` inference runtime: worker pools,
 //!   adaptive micro-batching with backpressure, a hot-swappable model
-//!   registry, and anytime early-exit inference that turns the paper's
-//!   accuracy-versus-time-step curves into a per-request latency knob.
+//!   registry, anytime early-exit inference that turns the paper's
+//!   accuracy-versus-time-step curves into a per-request latency knob,
+//!   and a framed-TCP front-end with load shedding and a
+//!   snapshot-directory watcher (`bsnn_server` / `bsnn_loadgen`).
 //!
 //! ## Quickstart
 //!
 //! See `examples/quickstart.rs`, which trains a small DNN, converts it to
 //! an SNN with the paper's best *phase-burst* hybrid coding, and compares
 //! accuracy/latency/spike counts against rate coding. For the serving
-//! path, see `examples/serving_pipeline.rs` and the `serve_demo` binary.
+//! path, see `examples/serving_pipeline.rs` and the `serve_demo` binary;
+//! for serving over TCP with hot deploy and open-loop load, see
+//! `examples/networked_serving.rs`.
 
 pub use bsnn_analysis as analysis;
 pub use bsnn_core as core;
