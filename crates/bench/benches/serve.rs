@@ -45,6 +45,7 @@ fn run_grid(
                     queue_capacity: 256,
                     max_batch: batch,
                     batch_linger: Duration::from_micros(100),
+                    ..ServeConfig::default()
                 },
                 registry,
             )

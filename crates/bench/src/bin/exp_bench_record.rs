@@ -88,16 +88,23 @@ fn seq_steps_per_sec(net: &SpikingNetwork, images: &[Vec<f32>], cfg: &EvalConfig
 }
 
 /// Lane-steps per second of one lockstep batch of `width` lanes under
-/// `dispatch`, plus the per-stage dispatch counters of the last rep.
+/// `dispatch`, plus the per-stage dispatch counters of the last rep and
+/// the profile (kernel wall time per stage) aggregated over all reps.
 fn batched_steps_per_sec(
     net: &SpikingNetwork,
     images: &[Vec<f32>],
     cfg: &EvalConfig,
     width: usize,
     dispatch: &DispatchPolicy,
-) -> (f64, Vec<bsnn_core::batch::StageDispatchStats>) {
+) -> (
+    f64,
+    Vec<bsnn_core::batch::StageDispatchStats>,
+    bsnn_core::ProfileSnapshot,
+) {
+    let sink = Arc::new(bsnn_core::ProfileSink::new(net.layers().len() + 1));
     let mut engine = BatchedNetwork::new(net.clone(), width).expect("engine");
     engine.set_dispatch(dispatch.clone());
+    engine.set_profile_sink(Some(Arc::clone(&sink)));
     let refs: Vec<&[f32]> = images[..width].iter().map(|v| v.as_slice()).collect();
     let secs = best_secs(SIM_REPS, || {
         let mut run = BatchedStepwiseInference::new(&mut engine, &refs, cfg).expect("run");
@@ -109,6 +116,7 @@ fn batched_steps_per_sec(
     (
         (width * SIM_STEPS) as f64 / secs,
         engine.dispatch_stats().to_vec(),
+        sink.snapshot(),
     )
 }
 
@@ -128,10 +136,10 @@ fn core_record(
     };
     let dense = DispatchPolicy::forced(DispatchMode::ForceDense);
     let seq = seq_steps_per_sec(net, images, &cfg);
-    let (b1, _) = batched_steps_per_sec(net, images, &cfg, 1, &auto);
-    let (b4, _) = batched_steps_per_sec(net, images, &cfg, 4, &auto);
-    let (b16, stats) = batched_steps_per_sec(net, images, &cfg, 16, &auto);
-    let (b16_dense, _) = batched_steps_per_sec(net, images, &cfg, 16, &dense);
+    let (b1, _, _) = batched_steps_per_sec(net, images, &cfg, 1, &auto);
+    let (b4, _, _) = batched_steps_per_sec(net, images, &cfg, 4, &auto);
+    let (b16, stats, profile) = batched_steps_per_sec(net, images, &cfg, 16, &auto);
+    let (b16_dense, _, _) = batched_steps_per_sec(net, images, &cfg, 16, &dense);
     let stages: Vec<String> = stats
         .iter()
         .enumerate()
@@ -139,7 +147,8 @@ fn core_record(
             format!(
                 concat!(
                     "{{\"stage\": {}, \"crossover\": {:.4}, \"mean_density\": {:.3}, ",
-                    "\"sparse_steps\": {}, \"dense_steps\": {}, \"cached_steps\": {}}}"
+                    "\"sparse_steps\": {}, \"dense_steps\": {}, \"cached_steps\": {}, ",
+                    "\"kernel_ms\": {:.2}}}"
                 ),
                 k,
                 policy
@@ -151,6 +160,10 @@ fn core_record(
                 st.sparse_steps,
                 st.dense_steps,
                 st.cached_steps,
+                profile
+                    .stages
+                    .get(k)
+                    .map_or(0.0, |p| p.kernel_nanos as f64 / 1e6),
             )
         })
         .collect();
@@ -266,8 +279,10 @@ fn serve_record(
             queue_capacity: 256,
             max_batch,
             batch_linger: Duration::from_micros(100),
+            profile: true,
+            ..ServeConfig::default()
         },
-        registry,
+        Arc::clone(&registry),
     )
     .expect("runtime");
     let spec = LoadSpec {
@@ -284,6 +299,28 @@ fn serve_record(
     assert_eq!(report.errors, 0, "bench wave must be error-free");
     let metrics = runtime.metrics();
     runtime.shutdown();
+    // The wave ran with engine profiling on: record where the stepping
+    // time went and which kernel each stage picked.
+    let profile = registry.get("digits").expect("entry").profile().snapshot();
+    let stage_json: Vec<String> = profile
+        .stages
+        .iter()
+        .enumerate()
+        .map(|(k, st)| {
+            format!(
+                concat!(
+                    "{{\"stage\": {}, \"dense_steps\": {}, \"sparse_steps\": {}, ",
+                    "\"cached_steps\": {}, \"mean_density\": {:.3}, \"kernel_ms\": {:.2}}}"
+                ),
+                k,
+                st.dense_steps,
+                st.sparse_steps,
+                st.cached_steps,
+                st.mean_density,
+                st.kernel_nanos as f64 / 1e6,
+            )
+        })
+        .collect();
     let mut s = String::new();
     let _ = write!(
         s,
@@ -293,7 +330,9 @@ fn serve_record(
             "\"requests\": {}, \"throughput_rps\": {:.0}, ",
             "\"latency_us\": {{\"p50\": {}, \"p95\": {}, \"p99\": {}}}, ",
             "\"mean_steps_per_req\": {:.1}, \"mean_spikes_per_req\": {:.0}, ",
-            "\"early_exit_fraction\": {:.3}, \"mean_batch_occupancy\": {:.2}}}"
+            "\"early_exit_fraction\": {:.3}, \"mean_batch_occupancy\": {:.2}, ",
+            "\"lockstep_batches\": {}, \"engine_step_ms\": {:.2}, ",
+            "\"stage_profile\": [{}]}}"
         ),
         name,
         workers,
@@ -308,6 +347,9 @@ fn serve_record(
         report.mean_spikes,
         report.early_exits as f64 / report.completed.max(1) as f64,
         metrics.batch_mean,
+        profile.batches,
+        profile.step_nanos as f64 / 1e6,
+        stage_json.join(", "),
     );
     s
 }
@@ -356,7 +398,7 @@ fn main() {
     let (cnn_core, cnn_b16_speedup) =
         core_record("vgg_tiny_1x12x12", &cnn, &cnn_images, cnn_scheme);
     let core = format!(
-        "{{\n  \"schema\": \"bsnn-bench-core-v3\",\n  \"note\": \"lane-steps/s = images × time-steps simulated per wall-clock second; sequential = {SIM_BATCH} back-to-back single-image runs; batch* rows run the density-dispatching engine at the autotuned crossovers, batch16_forced_dense pins the pre-dispatch dense kernels; dispatch_batch16 records each stage's measured density and strategy mix; dataset_eval = full evaluate_dataset passes (batched width from the autotuner)\",\n  \"workloads\": [\n    {},\n    {}\n  ],\n  \"dataset_eval\": [\n    {},\n    {}\n  ]\n}}\n",
+        "{{\n  \"schema\": \"bsnn-bench-core-v4\",\n  \"note\": \"lane-steps/s = images × time-steps simulated per wall-clock second; sequential = {SIM_BATCH} back-to-back single-image runs; batch* rows run the density-dispatching engine at the autotuned crossovers, batch16_forced_dense pins the pre-dispatch dense kernels; dispatch_batch16 records each stage's measured density and strategy mix plus kernel_ms of stage wall time summed over all {SIM_REPS} measurement reps (ProfileSink); dataset_eval = full evaluate_dataset passes (batched width from the autotuner)\",\n  \"workloads\": [\n    {},\n    {}\n  ],\n  \"dataset_eval\": [\n    {},\n    {}\n  ]\n}}\n",
         mlp_core,
         cnn_core,
         eval_record("mlp_144_32_10", &mlp, &mlp_test, mlp_scheme),
@@ -383,7 +425,7 @@ fn main() {
 
     eprintln!("measuring serving throughput...");
     let serve = format!(
-        "{{\n  \"schema\": \"bsnn-bench-serve-v3\",\n  \"note\": \"one closed-loop wave per config (cold worker engines included), confidence-margin early exit (horizon 96); latency percentiles are log-bucket upper bounds; batch_policy=autotuned splits popped micro-batches to the model's measured width and installs its density crossovers; ragged lockstep chunks are padded to fixed widths with dead lanes\",\n  \"configs\": [\n    {},\n    {},\n    {},\n    {},\n    {},\n    {}\n  ]\n}}\n",
+        "{{\n  \"schema\": \"bsnn-bench-serve-v4\",\n  \"note\": \"one closed-loop wave per config (cold worker engines included), confidence-margin early exit (horizon 96); latency percentiles are within-bucket interpolated log-bucket ranks; batch_policy=autotuned splits popped micro-batches to the model's measured width and installs its density crossovers; ragged lockstep chunks are padded to fixed widths with dead lanes; stage_profile comes from the engine ProfileSink (kernel_ms = stage wall time over the whole wave)\",\n  \"configs\": [\n    {},\n    {},\n    {},\n    {},\n    {},\n    {}\n  ]\n}}\n",
         serve_record("mlp_144_32_10", &mlp, mlp_scheme, &mlp_images, 4, 1, mlp_wave, false),
         serve_record("mlp_144_32_10", &mlp, mlp_scheme, &mlp_images, 4, 8, mlp_wave, false),
         serve_record("mlp_144_32_10", &mlp, mlp_scheme, &mlp_images, 4, 8, mlp_wave, true),

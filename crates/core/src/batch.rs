@@ -71,6 +71,9 @@ use crate::recorder::RecordLevel;
 use crate::simulator::EvalConfig;
 use crate::synapse::KernelScratch;
 use crate::SnnError;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Density crossover used for stages without a calibrated threshold:
 /// inputs with fewer than this fraction of live (neuron, lane) entries
@@ -146,6 +149,185 @@ impl StageDispatchStats {
         } else {
             self.density_sum / executed as f64
         }
+    }
+}
+
+/// Which kernel strategy executed one (stage, step) — the label a
+/// [`ProfileSink`] records alongside the step's density and wall time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelKind {
+    /// The dense lockstep kernel ran.
+    Dense,
+    /// The sparse event-list kernel ran.
+    Sparse,
+    /// The cached first-stage PSP was replayed (no kernel ran).
+    Cached,
+}
+
+/// Fixed-point scale for densities accumulated atomically in a
+/// [`ProfileSink`] (1.0 density = 1e6 units).
+const DENSITY_FP: f64 = 1_000_000.0;
+
+/// Per-stage atomic profile counters (see [`ProfileSink`]).
+#[derive(Debug, Default)]
+struct StageProfileCell {
+    dense_steps: AtomicU64,
+    sparse_steps: AtomicU64,
+    cached_steps: AtomicU64,
+    /// Density × [`DENSITY_FP`], summed over dense + sparse steps.
+    density_fp_sum: AtomicU64,
+    /// Wall time of the stage's kernel + integrate + fire work, ns.
+    kernel_nanos: AtomicU64,
+}
+
+/// A lock-free engine profiling sink: per-(stage, step) kernel
+/// strategy, observed input density, and stage wall time, plus
+/// whole-step wall time and batch counts.
+///
+/// Attach one via [`BatchedNetwork::set_profile_sink`]; it may be
+/// shared (`Arc`) by every engine serving the same model, so the
+/// aggregate is a live per-model stage profile. When no sink is
+/// attached the engine takes **no** timestamps — the hot path pays a
+/// single branch.
+///
+/// All counters are monotonic and recorded with `Relaxed` atomics;
+/// [`snapshot`](Self::snapshot) is a point-in-time copy (use snapshot
+/// deltas to profile a window).
+#[derive(Debug)]
+pub struct ProfileSink {
+    stages: Vec<StageProfileCell>,
+    batches: AtomicU64,
+    steps: AtomicU64,
+    step_nanos: AtomicU64,
+}
+
+impl ProfileSink {
+    /// A zeroed sink for `stages` pipeline stages (a network's hidden
+    /// stages plus its output synapse — `layers().len() + 1`).
+    pub fn new(stages: usize) -> Self {
+        ProfileSink {
+            stages: (0..stages).map(|_| StageProfileCell::default()).collect(),
+            batches: AtomicU64::new(0),
+            steps: AtomicU64::new(0),
+            step_nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of pipeline stages this sink tracks.
+    pub fn stages(&self) -> usize {
+        self.stages.len()
+    }
+
+    fn record_stage(&self, stage: usize, kind: KernelKind, density: f64, nanos: u64) {
+        let Some(cell) = self.stages.get(stage) else {
+            return; // sink sized for a different network: drop silently
+        };
+        match kind {
+            KernelKind::Dense => {
+                cell.dense_steps.fetch_add(1, Ordering::Relaxed);
+                cell.density_fp_sum
+                    .fetch_add((density * DENSITY_FP) as u64, Ordering::Relaxed);
+            }
+            KernelKind::Sparse => {
+                cell.sparse_steps.fetch_add(1, Ordering::Relaxed);
+                cell.density_fp_sum
+                    .fetch_add((density * DENSITY_FP) as u64, Ordering::Relaxed);
+            }
+            KernelKind::Cached => {
+                cell.cached_steps.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        cell.kernel_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    fn record_step(&self, nanos: u64) {
+        self.steps.fetch_add(1, Ordering::Relaxed);
+        self.step_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    fn record_batch(&self) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Zeroes every counter (e.g. between benchmark phases).
+    pub fn reset(&self) {
+        for cell in &self.stages {
+            cell.dense_steps.store(0, Ordering::Relaxed);
+            cell.sparse_steps.store(0, Ordering::Relaxed);
+            cell.cached_steps.store(0, Ordering::Relaxed);
+            cell.density_fp_sum.store(0, Ordering::Relaxed);
+            cell.kernel_nanos.store(0, Ordering::Relaxed);
+        }
+        self.batches.store(0, Ordering::Relaxed);
+        self.steps.store(0, Ordering::Relaxed);
+        self.step_nanos.store(0, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of every counter.
+    pub fn snapshot(&self) -> ProfileSnapshot {
+        ProfileSnapshot {
+            stages: self
+                .stages
+                .iter()
+                .map(|cell| {
+                    let dense = cell.dense_steps.load(Ordering::Relaxed);
+                    let sparse = cell.sparse_steps.load(Ordering::Relaxed);
+                    let executed = dense + sparse;
+                    let mean_density = if executed == 0 {
+                        0.0
+                    } else {
+                        cell.density_fp_sum.load(Ordering::Relaxed) as f64
+                            / DENSITY_FP
+                            / executed as f64
+                    };
+                    StageProfileSnapshot {
+                        dense_steps: dense,
+                        sparse_steps: sparse,
+                        cached_steps: cell.cached_steps.load(Ordering::Relaxed),
+                        mean_density,
+                        kernel_nanos: cell.kernel_nanos.load(Ordering::Relaxed),
+                    }
+                })
+                .collect(),
+            batches: self.batches.load(Ordering::Relaxed),
+            steps: self.steps.load(Ordering::Relaxed),
+            step_nanos: self.step_nanos.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of a [`ProfileSink`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileSnapshot {
+    /// Per-stage profiles (hidden stages, then the output synapse).
+    pub stages: Vec<StageProfileSnapshot>,
+    /// Lockstep batches started ([`BatchedNetwork::begin_batch`]).
+    pub batches: u64,
+    /// Engine steps executed (every live lane advances together).
+    pub steps: u64,
+    /// Total step wall time, ns.
+    pub step_nanos: u64,
+}
+
+/// One stage's aggregated profile inside a [`ProfileSnapshot`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageProfileSnapshot {
+    /// Steps executed with the dense kernel.
+    pub dense_steps: u64,
+    /// Steps executed with the sparse event-list kernel.
+    pub sparse_steps: u64,
+    /// Steps that replayed the cached PSP (no kernel ran).
+    pub cached_steps: u64,
+    /// Mean input density over the steps that ran a kernel.
+    pub mean_density: f64,
+    /// Stage wall time (kernel + integrate + fire), ns.
+    pub kernel_nanos: u64,
+}
+
+impl StageProfileSnapshot {
+    /// Total steps accounted to this stage.
+    pub fn total_steps(&self) -> u64 {
+        self.dense_steps + self.sparse_steps + self.cached_steps
     }
 }
 
@@ -300,6 +482,9 @@ pub struct BatchedNetwork {
     /// Per-stage dispatch counters (hidden stages, then the output
     /// synapse); reset by [`begin_batch`](Self::begin_batch).
     stats: Vec<StageDispatchStats>,
+    /// Optional profiling sink; when absent, stepping takes no
+    /// timestamps.
+    profile: Option<Arc<ProfileSink>>,
 }
 
 impl BatchedNetwork {
@@ -331,7 +516,21 @@ impl BatchedNetwork {
             dispatch: DispatchPolicy::default(),
             scratch: KernelScratch::default(),
             stats: vec![StageDispatchStats::default(); n_dispatch],
+            profile: None,
         })
+    }
+
+    /// Attaches (or detaches, with `None`) a profiling sink. The sink
+    /// may be shared by several engines serving the same model; its
+    /// counters then aggregate across all of them. Profiling never
+    /// changes results — it only adds per-stage timestamps.
+    pub fn set_profile_sink(&mut self, sink: Option<Arc<ProfileSink>>) {
+        self.profile = sink;
+    }
+
+    /// The attached profiling sink, if any.
+    pub fn profile_sink(&self) -> Option<&Arc<ProfileSink>> {
+        self.profile.as_ref()
     }
 
     /// Installs a kernel-dispatch policy (mode + per-stage density
@@ -418,6 +617,9 @@ impl BatchedNetwork {
         self.input_nnz.resize(width, 0);
         self.input_psp_cache.clear();
         self.stats.iter_mut().for_each(|s| *s = Default::default());
+        if let Some(sink) = &self.profile {
+            sink.record_batch();
+        }
         Ok(())
     }
 
@@ -511,7 +713,9 @@ impl BatchedNetwork {
                 self.spiking_layers()
             )));
         }
+        let step_t0 = self.profile.is_some().then(Instant::now);
         for (k, layer) in self.template.layers().iter().enumerate() {
+            let stage_t0 = self.profile.is_some().then(Instant::now);
             let (done, rest) = self.stages.split_at_mut(k);
             let stage = &mut rest[0];
             let input: &[f32] = if k == 0 {
@@ -531,13 +735,14 @@ impl BatchedNetwork {
             let token = if k == 0 { input_token } else { None };
             let slot =
                 token.and_then(|tok| self.input_psp_cache.iter().position(|s| s.token == tok));
-            if let Some(si) = slot {
+            let (kind, density) = if let Some(si) = slot {
                 self.stats[k].cached_steps += 1;
                 let slot = &self.input_psp_cache[si];
                 // 2. Integration — a lane-major PSP is folded into the
                 // batch-innermost membrane in the same pass, so the
                 // sparse path never pays a standalone transpose.
                 integrate(&mut stage.vmem, &slot.psp, slot.lane_major, n, w);
+                (KernelKind::Cached, 0.0)
             } else {
                 let events = stage_events(k, w, &self.input_nnz, spike_counts);
                 let sparse = accumulate_dispatched(
@@ -562,7 +767,16 @@ impl BatchedNetwork {
                     }
                 }
                 integrate(&mut stage.vmem, &stage.psp, sparse, n, w);
-            }
+                let kind = if sparse {
+                    KernelKind::Sparse
+                } else {
+                    KernelKind::Dense
+                };
+                (
+                    kind,
+                    events as f64 / (layer.synapse().input_len() * w) as f64,
+                )
+            };
             if let Some(bias) = layer.bias() {
                 for (vrow, &bb) in stage.vmem.chunks_exact_mut(w).zip(bias) {
                     for v in vrow {
@@ -582,6 +796,9 @@ impl BatchedNetwork {
                 counts,
                 w,
             );
+            if let (Some(sink), Some(t0)) = (&self.profile, stage_t0) {
+                sink.record_stage(k, kind, density, t0.elapsed().as_nanos() as u64);
+            }
         }
         // Output accumulator: integrate, never fire. Same density
         // dispatch, with the last stage's spike row as the probe.
@@ -590,6 +807,7 @@ impl BatchedNetwork {
             None => &self.input_soa,
         };
         let k_out = self.stages.len();
+        let out_t0 = self.profile.is_some().then(Instant::now);
         let events = stage_events(k_out, w, &self.input_nnz, spike_counts);
         self.out_psp_lane_major = accumulate_dispatched(
             self.template.output_synapse(),
@@ -614,6 +832,20 @@ impl BatchedNetwork {
                 for v in vrow {
                     *v += bb;
                 }
+            }
+        }
+        if let Some(sink) = &self.profile {
+            let kind = if self.out_psp_lane_major {
+                KernelKind::Sparse
+            } else {
+                KernelKind::Dense
+            };
+            let density = events as f64 / (self.template.output_synapse().input_len() * w) as f64;
+            if let Some(t0) = out_t0 {
+                sink.record_stage(k_out, kind, density, t0.elapsed().as_nanos() as u64);
+            }
+            if let Some(t0) = step_t0 {
+                sink.record_step(t0.elapsed().as_nanos() as u64);
             }
         }
         Ok(())
@@ -1386,6 +1618,46 @@ mod tests {
         }
         assert_eq!(pots[0], pots[1], "sparse vs dense bit drift");
         assert_eq!(pots[0], pots[2], "auto vs dense bit drift");
+    }
+
+    #[test]
+    fn profile_sink_accounts_every_stage_step_and_changes_nothing() {
+        let cfg = EvalConfig::new(real_rate(), 7);
+        let imgs: [[f32; 2]; 2] = [[0.9, 0.0], [0.0, 0.6]];
+        let refs: Vec<&[f32]> = imgs.iter().map(|i| i.as_slice()).collect();
+        // Reference run without a sink.
+        let mut plain = BatchedNetwork::new(tiny_network(0.25), 2).unwrap();
+        let mut run = BatchedStepwiseInference::new(&mut plain, &refs, &cfg).unwrap();
+        while run.advance().unwrap() {}
+        let expected: Vec<Vec<f32>> = (0..2).map(|l| run.output_potentials(l)).collect();
+        // Profiled run: identical results, fully accounted counters.
+        let mut engine = BatchedNetwork::new(tiny_network(0.25), 2).unwrap();
+        let sink = Arc::new(ProfileSink::new(engine.template().layers().len() + 1));
+        engine.set_profile_sink(Some(Arc::clone(&sink)));
+        assert!(engine.profile_sink().is_some());
+        let mut run = BatchedStepwiseInference::new(&mut engine, &refs, &cfg).unwrap();
+        while run.advance().unwrap() {}
+        let got: Vec<Vec<f32>> = (0..2).map(|l| run.output_potentials(l)).collect();
+        assert_eq!(got, expected, "profiling changed results");
+        let snap = sink.snapshot();
+        assert_eq!(snap.batches, 1);
+        assert_eq!(snap.steps, 7);
+        assert_eq!(snap.stages.len(), 2);
+        for st in &snap.stages {
+            assert_eq!(st.total_steps(), 7, "every (stage, step) accounted");
+            assert!(st.mean_density >= 0.0 && st.mean_density <= 1.0);
+        }
+        // The profile's strategy mix mirrors the engine's dispatch stats.
+        for (st, ds) in snap.stages.iter().zip(engine.dispatch_stats()) {
+            assert_eq!(st.dense_steps, ds.dense_steps);
+            assert_eq!(st.sparse_steps, ds.sparse_steps);
+            assert_eq!(st.cached_steps, ds.cached_steps);
+        }
+        sink.reset();
+        let zero = sink.snapshot();
+        assert_eq!(zero.steps, 0);
+        assert_eq!(zero.batches, 0);
+        assert!(zero.stages.iter().all(|s| s.total_steps() == 0));
     }
 
     #[test]

@@ -75,7 +75,10 @@ pub mod snapshot;
 pub mod synapse;
 
 pub use autotune::{autotune_batch, AutotuneConfig, BatchPolicy, BatchProbe};
-pub use batch::{BatchedNetwork, BatchedStepwiseInference};
+pub use batch::{
+    BatchedNetwork, BatchedStepwiseInference, KernelKind, ProfileSink, ProfileSnapshot,
+    StageProfileSnapshot,
+};
 pub use coding::{CodingScheme, HiddenCoding, InputCoding};
 pub use convert::{convert, ConversionConfig, Normalization};
 pub use encoder::InputEncoder;

@@ -10,7 +10,14 @@
 //!
 //! Assertion flags turn the report into an exit code for CI:
 //! `--min-completed-rps`, `--require-shed`, `--max-protocol-errors`,
-//! `--max-p99-us` (p99 ceiling on admitted traffic), `--max-dropped`.
+//! `--max-p99-us` (p99 ceiling on admitted traffic), `--max-dropped`,
+//! `--check-shed-metrics` (the server's `bsnn_net_responses_shed_total`
+//! delta over the run must equal the SHED responses this generator
+//! observed). Observability flags write artifacts: `--json` dumps the
+//! report as machine-readable JSON, `--dump-metrics` fetches the
+//! server's Prometheus text dump over a `STATS` frame, and
+//! `--dump-trace` fetches its sampled Chrome trace (Perfetto-loadable;
+//! requires the server to run with `--trace-sample`).
 //!
 //! ```text
 //! cargo run --release -p bsnn-serve --bin bsnn_loadgen -- \
@@ -18,7 +25,9 @@
 //! ```
 
 use bsnn_data::SynthSpec;
-use bsnn_serve::{run_open_loop_net, ArrivalProcess, ExitPolicy, OpenLoadSpec};
+use bsnn_serve::{
+    parse_metric, run_open_loop_net, ArrivalProcess, ExitPolicy, NetClient, OpenLoadSpec,
+};
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -37,6 +46,10 @@ struct Args {
     max_protocol_errors: Option<usize>,
     max_p99_us: Option<u64>,
     max_dropped: Option<usize>,
+    json: Option<String>,
+    dump_metrics: Option<String>,
+    dump_trace: Option<String>,
+    check_shed_metrics: bool,
 }
 
 impl Default for Args {
@@ -55,6 +68,10 @@ impl Default for Args {
             max_protocol_errors: None,
             max_p99_us: None,
             max_dropped: None,
+            json: None,
+            dump_metrics: None,
+            dump_trace: None,
+            check_shed_metrics: false,
         }
     }
 }
@@ -63,7 +80,8 @@ fn usage() -> &'static str {
     "bsnn_loadgen [--addr A] [--model M] [--rps R] [--burst B] \
      [--duration-s S] [--connections K] [--steps N] [--policy margin|fixed] \
      [--min-completed-rps R] [--require-shed] [--max-protocol-errors N] \
-     [--max-p99-us T] [--max-dropped N]"
+     [--max-p99-us T] [--max-dropped N] [--json F] [--dump-metrics F] \
+     [--dump-trace F] [--check-shed-metrics]"
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -123,6 +141,10 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("--max-dropped: {e}"))?,
                 )
             }
+            "--json" => args.json = Some(value("--json")?),
+            "--dump-metrics" => args.dump_metrics = Some(value("--dump-metrics")?),
+            "--dump-trace" => args.dump_trace = Some(value("--dump-trace")?),
+            "--check-shed-metrics" => args.check_shed_metrics = true,
             "--help" | "-h" => return Err(usage().to_string()),
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
         }
@@ -181,6 +203,21 @@ fn main() -> ExitCode {
         args.duration_secs,
         spec.connections
     );
+    // Baseline for --check-shed-metrics: the server's shed counter is
+    // cumulative, so reconcile against its delta over this run. Valid
+    // only while this generator is the sole client (as in CI).
+    let shed_before = if args.check_shed_metrics {
+        match fetch_metric(&args.addr, "bsnn_net_responses_shed_total") {
+            Ok(v) => Some(v),
+            Err(e) => {
+                eprintln!("metrics baseline fetch failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        None
+    };
+
     let report = match run_open_loop_net(&args.addr, &images, &spec) {
         Ok(r) => r,
         Err(e) => {
@@ -189,6 +226,44 @@ fn main() -> ExitCode {
         }
     };
     println!("{report}");
+
+    if let Some(path) = &args.json {
+        if let Err(e) = std::fs::write(path, report.to_json() + "\n") {
+            eprintln!("report JSON write to {path} failed: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("report JSON written to {path}");
+    }
+    if let Some(path) = &args.dump_metrics {
+        match NetClient::connect(&args.addr).and_then(|mut c| c.dump_metrics()) {
+            Ok(text) => {
+                if let Err(e) = std::fs::write(path, text) {
+                    eprintln!("metrics dump write to {path} failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("metrics dump written to {path}");
+            }
+            Err(e) => {
+                eprintln!("metrics dump fetch failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(path) = &args.dump_trace {
+        match NetClient::connect(&args.addr).and_then(|mut c| c.dump_trace()) {
+            Ok(text) => {
+                if let Err(e) = std::fs::write(path, text) {
+                    eprintln!("trace write to {path} failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("trace written to {path} (open in ui.perfetto.dev)");
+            }
+            Err(e) => {
+                eprintln!("trace fetch failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
 
     // Assertion flags → exit code.
     let mut failed = false;
@@ -227,9 +302,41 @@ fn main() -> ExitCode {
             failed = true;
         }
     }
+    if let Some(before) = shed_before {
+        match fetch_metric(&args.addr, "bsnn_net_responses_shed_total") {
+            Ok(after) => {
+                let delta = (after - before).round() as i64;
+                if delta != report.shed as i64 {
+                    eprintln!(
+                        "FAIL: server shed delta {delta} != {} SHED responses observed",
+                        report.shed
+                    );
+                    failed = true;
+                } else {
+                    println!(
+                        "shed metrics reconcile: server delta {delta} == observed {}",
+                        report.shed
+                    );
+                }
+            }
+            Err(e) => {
+                eprintln!("FAIL: shed metrics re-fetch failed: {e}");
+                failed = true;
+            }
+        }
+    }
     if failed {
         return ExitCode::FAILURE;
     }
     println!("PASS");
     ExitCode::SUCCESS
+}
+
+/// Fetches one metric from the server's `STATS` dump over a fresh
+/// connection (`STATS` frames are answered inline, never queued or
+/// shed, so this works even while the server is overloaded).
+fn fetch_metric(addr: &str, name: &str) -> Result<f64, String> {
+    let mut client = NetClient::connect(addr).map_err(|e| e.to_string())?;
+    let text = client.dump_metrics().map_err(|e| e.to_string())?;
+    parse_metric(&text, name).ok_or_else(|| format!("metric {name} missing from dump"))
 }

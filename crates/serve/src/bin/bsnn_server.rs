@@ -24,7 +24,8 @@ use bsnn_dnn::models;
 use bsnn_dnn::train::{TrainConfig, Trainer};
 use bsnn_serve::watch::WatchConfig;
 use bsnn_serve::{
-    ModelRegistry, NetConfig, NetServer, ServeConfig, ServeRuntime, ShedConfig, SnapshotWatcher,
+    format_profile, MetricsHub, ModelRegistry, NetConfig, NetServer, ServeConfig, ServeRuntime,
+    ShedConfig, SnapshotWatcher, TraceConfig,
 };
 use std::io::Write as _;
 use std::process::ExitCode;
@@ -44,6 +45,10 @@ struct Args {
     max_connections: usize,
     run_secs: u64,
     stats_every_secs: u64,
+    metrics_addr: Option<String>,
+    trace_out: Option<String>,
+    trace_sample: Option<u32>,
+    profile: bool,
 }
 
 impl Default for Args {
@@ -62,6 +67,10 @@ impl Default for Args {
             max_connections: 1024,
             run_secs: 0, // forever
             stats_every_secs: 0,
+            metrics_addr: None,
+            trace_out: None,
+            trace_sample: None, // default: 64 if --trace-out set, else off
+            profile: false,
         }
     }
 }
@@ -69,7 +78,8 @@ impl Default for Args {
 fn usage() -> &'static str {
     "bsnn_server [--addr A] [--demo-model] [--snapshot-dir D] [--workers W] \
      [--batch B] [--linger-us T] [--queue-cap C] [--watermark H] \
-     [--max-conns N] [--run-secs S] [--stats-every-s S]"
+     [--max-conns N] [--run-secs S] [--stats-every-s S] \
+     [--metrics-addr A] [--trace-out F] [--trace-sample N] [--profile]"
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -121,6 +131,16 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--stats-every-s: {e}"))?
             }
+            "--metrics-addr" => args.metrics_addr = Some(value("--metrics-addr")?),
+            "--trace-out" => args.trace_out = Some(value("--trace-out")?),
+            "--trace-sample" => {
+                args.trace_sample = Some(
+                    value("--trace-sample")?
+                        .parse()
+                        .map_err(|e| format!("--trace-sample: {e}"))?,
+                )
+            }
+            "--profile" => args.profile = true,
             "--help" | "-h" => return Err(usage().to_string()),
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
         }
@@ -172,12 +192,22 @@ fn main() -> ExitCode {
         install_demo_model(&registry);
     }
 
+    // Tracing defaults on (1-in-64 sampling) when a trace file was
+    // requested; otherwise it stays fully inert unless --trace-sample.
+    let sample_every = args
+        .trace_sample
+        .unwrap_or(if args.trace_out.is_some() { 64 } else { 0 });
     let runtime = match ServeRuntime::start(
         ServeConfig {
             workers: args.workers,
             queue_capacity: args.queue_capacity,
             max_batch: args.max_batch,
             batch_linger: Duration::from_micros(args.linger_us),
+            trace: TraceConfig {
+                sample_every,
+                ..TraceConfig::default()
+            },
+            profile: args.profile,
         },
         Arc::clone(&registry),
     ) {
@@ -225,6 +255,18 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Some(watch) = &_watch {
+        handle.metrics_hub().set_watch_stats(watch.stats_handle());
+    }
+    if let Some(metrics_addr) = &args.metrics_addr {
+        match spawn_metrics_http(metrics_addr, Arc::clone(handle.metrics_hub())) {
+            Ok(local) => eprintln!("metrics endpoint on http://{local}/metrics"),
+            Err(e) => {
+                eprintln!("metrics bind {metrics_addr} failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     // Scripts (and the CI net-smoke job) wait for this exact line.
     println!("bsnn_server listening on {addr}");
     std::io::stdout().flush().ok();
@@ -249,5 +291,47 @@ fn main() -> ExitCode {
     let net_stats = handle.shutdown();
     eprintln!("final front-end stats:\n{net_stats}");
     eprintln!("final runtime metrics:\n{}", runtime.metrics());
+    if args.profile {
+        for name in registry.names() {
+            if let Some(entry) = registry.get(&name) {
+                eprintln!("{}", format_profile(&name, &entry.profile().snapshot()));
+            }
+        }
+    }
+    if let Some(path) = &args.trace_out {
+        match std::fs::write(path, runtime.tracer().export_chrome()) {
+            Ok(()) => eprintln!("trace written to {path} (open in ui.perfetto.dev)"),
+            Err(e) => {
+                eprintln!("trace write to {path} failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     ExitCode::SUCCESS
+}
+
+/// Serves `hub.render_prometheus()` as `text/plain` HTTP from a detached
+/// thread — enough for `curl` and a Prometheus scraper, not a web
+/// server. One connection at a time; the dump is cheap to render.
+fn spawn_metrics_http(addr: &str, hub: Arc<MetricsHub>) -> std::io::Result<std::net::SocketAddr> {
+    let listener = std::net::TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(mut stream) = stream else { continue };
+            // Drain (best-effort) whatever request line the client sent;
+            // the reply is the same for every path.
+            let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+            let mut scratch = [0u8; 1024];
+            let _ = std::io::Read::read(&mut stream, &mut scratch);
+            let body = hub.render_prometheus();
+            let _ = write!(
+                stream,
+                "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\n\r\n{}",
+                body.len(),
+                body
+            );
+        }
+    });
+    Ok(local)
 }

@@ -21,8 +21,8 @@ use bsnn_data::SynthSpec;
 use bsnn_dnn::models;
 use bsnn_dnn::train::{TrainConfig, Trainer};
 use bsnn_serve::{
-    autotune_batch, run_closed_loop, AutotuneConfig, ExitPolicy, LoadSpec, ModelRegistry,
-    ServeConfig, ServeRuntime,
+    autotune_batch, format_profile, run_closed_loop, AutotuneConfig, ExitPolicy, LoadSpec,
+    ModelRegistry, ServeConfig, ServeRuntime,
 };
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -238,12 +238,15 @@ fn main() -> ExitCode {
         }
     );
 
-    // 3. Start the worker pool.
+    // 3. Start the worker pool (with engine profiling on, so the demo
+    //    can report per-stage kernel dispatch at exit).
     let cfg = ServeConfig {
         workers: args.workers,
         queue_capacity: args.queue_capacity,
         max_batch: args.max_batch,
         batch_linger: Duration::from_micros(args.linger_us),
+        profile: true,
+        ..ServeConfig::default()
     };
     let runtime = ServeRuntime::start(cfg, Arc::clone(&registry)).expect("runtime start");
     let images: Vec<Vec<f32>> = (0..test.len()).map(|i| test.image(i).to_vec()).collect();
@@ -311,6 +314,10 @@ fn main() -> ExitCode {
 
     let snapshot = runtime.metrics();
     println!("\nruntime metrics:\n{snapshot}");
+    if let Some(entry) = registry.get("digits") {
+        println!("\nengine profile:");
+        println!("{}", format_profile("digits", &entry.profile().snapshot()));
+    }
     runtime.shutdown();
 
     // 7. Smoke assertions for CI.

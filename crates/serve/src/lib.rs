@@ -47,6 +47,13 @@
 //!   directory and hot-installs `name.bsnn` files once their
 //!   (mtime, length) is stable; a corrupt file keeps the old model
 //!   live.
+//! * **Observability** ([`obs`]) — sampled request lifecycle tracing
+//!   into a lock-free ring ([`obs::Tracer`], exported as Perfetto-
+//!   loadable Chrome trace JSON), a Prometheus-style metrics dump
+//!   aggregating every layer's counters ([`obs::MetricsHub`], served
+//!   by the `STATS` wire frame), and per-model kernel-stage profiles
+//!   fed by [`bsnn_core::ProfileSink`] when
+//!   [`runtime::ServeConfig::profile`] is on.
 //!
 //! The `serve_demo` binary wires the in-process stack together behind a
 //! CLI; `bsnn_server` exposes it over TCP and `bsnn_loadgen` drives it
@@ -67,6 +74,7 @@ pub mod exit;
 pub mod loadgen;
 pub mod metrics;
 pub mod net;
+pub mod obs;
 pub mod queue;
 pub mod registry;
 pub mod request;
@@ -85,10 +93,15 @@ pub use loadgen::{
     OpenLoadReport, OpenLoadSpec,
 };
 pub use metrics::{Histogram, MetricsSnapshot, ServeMetrics};
-pub use net::{NetClient, NetConfig, NetResponse, NetServer, NetServerHandle, NetStatsSnapshot};
+pub use net::{
+    NetClient, NetConfig, NetResponse, NetServer, NetServerHandle, NetStatsHandle, NetStatsSnapshot,
+};
+pub use obs::{
+    format_profile, parse_metric, MetricsHub, SpanKind, TraceConfig, TraceEvent, Tracer,
+};
 pub use queue::{BatchQueue, PushError};
 pub use registry::{ModelEntry, ModelRegistry};
 pub use request::{ExitPolicy, ExitReason, InferRequest, InferResponse, ResponseHandle};
 pub use runtime::{ServeConfig, ServeRuntime};
 pub use shed::{AdmissionControl, AdmitError, ShedConfig, ShedReason};
-pub use watch::{SnapshotWatcher, WatchConfig, WatchHandle};
+pub use watch::{SnapshotWatcher, WatchConfig, WatchHandle, WatchStatsHandle};

@@ -273,6 +273,38 @@ pub struct OpenLoadReport {
     pub latency_us_mean: f64,
 }
 
+impl OpenLoadReport {
+    /// The report as a machine-readable JSON object (one line, no
+    /// external dependencies). Keys match the field names; `elapsed`
+    /// is emitted as `elapsed_secs`.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"offered\":{},\"admitted\":{},\"completed\":{},",
+                "\"shed\":{},\"errors\":{},\"dropped\":{},",
+                "\"protocol_errors\":{},\"elapsed_secs\":{:.6},",
+                "\"offered_rps\":{:.3},\"completed_rps\":{:.3},",
+                "\"latency_us_p50\":{},\"latency_us_p95\":{},",
+                "\"latency_us_p99\":{},\"latency_us_mean\":{:.1}}}"
+            ),
+            self.offered,
+            self.admitted,
+            self.completed,
+            self.shed,
+            self.errors,
+            self.dropped,
+            self.protocol_errors,
+            self.elapsed.as_secs_f64(),
+            self.offered_rps,
+            self.completed_rps,
+            self.latency_us_p50,
+            self.latency_us_p95,
+            self.latency_us_p99,
+            self.latency_us_mean,
+        )
+    }
+}
+
 impl fmt::Display for OpenLoadReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
@@ -635,6 +667,44 @@ mod tests {
             assert_eq!(*offset, expected, "arrival {i}");
         }
         assert!((arrival.rps() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_json_carries_every_field() {
+        let report = OpenLoadReport {
+            offered: 100,
+            admitted: 90,
+            completed: 80,
+            shed: 10,
+            errors: 5,
+            dropped: 5,
+            protocol_errors: 0,
+            elapsed: Duration::from_millis(1500),
+            offered_rps: 66.67,
+            completed_rps: 53.33,
+            latency_us_p50: 120,
+            latency_us_p95: 450,
+            latency_us_p99: 900,
+            latency_us_mean: 180.5,
+        };
+        let json = report.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        for key in [
+            "\"offered\":100",
+            "\"admitted\":90",
+            "\"completed\":80",
+            "\"shed\":10",
+            "\"errors\":5",
+            "\"dropped\":5",
+            "\"protocol_errors\":0",
+            "\"elapsed_secs\":1.500000",
+            "\"latency_us_p50\":120",
+            "\"latency_us_p95\":450",
+            "\"latency_us_p99\":900",
+            "\"latency_us_mean\":180.5",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
     }
 
     #[test]

@@ -26,7 +26,14 @@
 //!   status 1 SHED:  reason u8 (see ShedReason::code) — refused before
 //!                   queueing; back off and retry
 //!   status 2 ERROR: message_len u16 | UTF-8 message
+//! stats    (kind 3): what u8 — 0 Prometheus metrics dump,
+//!                              1 Chrome trace-event JSON
+//! stats-reply (kind 4): what u8 | UTF-8 text (the requested dump)
 //! ```
+//!
+//! `STATS` frames are answered inline from the poll loop (no queueing,
+//! never shed), so the observability surface stays reachable under the
+//! very overload it exists to explain.
 //!
 //! Responses are matched to requests by `id` (chosen by the client,
 //! echoed verbatim) and may arrive **out of request order**: a request
@@ -42,6 +49,7 @@
 //! letting clients hang on an unbounded queue.
 
 use crate::error::ServeError;
+use crate::obs::MetricsHub;
 use crate::request::{ExitPolicy, ExitReason, InferRequest, InferResponse, ResponseHandle};
 use crate::runtime::ServeRuntime;
 use crate::shed::{AdmissionControl, AdmitError, ShedConfig, ShedReason};
@@ -57,6 +65,15 @@ use std::time::{Duration, Instant};
 pub const KIND_REQUEST: u8 = 1;
 /// Frame kind: server → client response.
 pub const KIND_RESPONSE: u8 = 2;
+/// Frame kind: client → server stats/trace dump request.
+pub const KIND_STATS: u8 = 3;
+/// Frame kind: server → client stats/trace dump reply.
+pub const KIND_STATS_REPLY: u8 = 4;
+
+/// `STATS` selector: the Prometheus-style metrics dump.
+pub const STATS_METRICS: u8 = 0;
+/// `STATS` selector: the sampled Chrome trace-event JSON.
+pub const STATS_TRACE: u8 = 1;
 
 /// Response status: the request was served.
 pub const STATUS_OK: u8 = 0;
@@ -247,6 +264,61 @@ pub fn encode_response_error(buf: &mut Vec<u8>, request_id: u64, message: &str) 
     buf.extend_from_slice(&(message.len() as u16).to_le_bytes());
     buf.extend_from_slice(message.as_bytes());
     finish_frame(buf, at);
+}
+
+/// Appends one encoded `STATS` request frame to `buf` (`what` is
+/// [`STATS_METRICS`] or [`STATS_TRACE`]).
+pub fn encode_stats_request(buf: &mut Vec<u8>, what: u8) {
+    let at = reserve_frame(buf);
+    buf.push(KIND_STATS);
+    buf.push(what);
+    finish_frame(buf, at);
+}
+
+/// Appends one encoded `STATS` reply frame carrying `text` to `buf`.
+pub fn encode_stats_reply(buf: &mut Vec<u8>, what: u8, text: &str) {
+    let at = reserve_frame(buf);
+    buf.push(KIND_STATS_REPLY);
+    buf.push(what);
+    buf.extend_from_slice(text.as_bytes());
+    finish_frame(buf, at);
+}
+
+/// Decodes one `STATS` request payload; returns the dump selector.
+///
+/// # Errors
+///
+/// Any [`WireError`] for malformed bytes or an unknown selector.
+pub fn decode_stats_request(payload: &[u8]) -> Result<u8, WireError> {
+    let mut c = Cursor::new(payload);
+    let kind = c.u8()?;
+    if kind != KIND_STATS {
+        return Err(WireError::BadKind(kind));
+    }
+    let what = c.u8()?;
+    if what != STATS_METRICS && what != STATS_TRACE {
+        return Err(WireError::BadCode(what));
+    }
+    c.finish()?;
+    Ok(what)
+}
+
+/// Decodes one `STATS` reply payload into `(selector, text)`.
+///
+/// # Errors
+///
+/// Any [`WireError`] for malformed bytes or non-UTF-8 text.
+pub fn decode_stats_reply(payload: &[u8]) -> Result<(u8, String), WireError> {
+    let [kind, what, text @ ..] = payload else {
+        return Err(WireError::Truncated);
+    };
+    if *kind != KIND_STATS_REPLY {
+        return Err(WireError::BadKind(*kind));
+    }
+    let text = std::str::from_utf8(text)
+        .map_err(|_| WireError::BadModelName)?
+        .to_string();
+    Ok((*what, text))
 }
 
 // ---------------------------------------------------------------------
@@ -573,6 +645,19 @@ impl NetStats {
     }
 }
 
+/// A cloneable live view of a front-end's counters, independent of the
+/// server's lifetime — [`NetServer::bind`] wires one into its
+/// [`MetricsHub`] so `bsnn_net_*` series appear in the metrics dump.
+#[derive(Debug, Clone)]
+pub struct NetStatsHandle(Arc<NetStats>);
+
+impl NetStatsHandle {
+    /// Point-in-time counters.
+    pub fn snapshot(&self) -> NetStatsSnapshot {
+        self.0.snapshot()
+    }
+}
+
 /// Point-in-time copy of a front-end's counters.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct NetStatsSnapshot {
@@ -666,6 +751,7 @@ pub struct NetServer {
     admission: AdmissionControl,
     cfg: NetConfig,
     stats: Arc<NetStats>,
+    hub: Arc<MetricsHub>,
     stop: Arc<AtomicBool>,
 }
 
@@ -700,13 +786,17 @@ impl NetServer {
         let addr = listener
             .local_addr()
             .map_err(|e| ServeError::Internal(format!("local_addr failed: {e}")))?;
+        let stats = Arc::new(NetStats::default());
+        let hub = Arc::new(MetricsHub::new(Arc::clone(&runtime)));
+        hub.set_net_stats(NetStatsHandle(Arc::clone(&stats)));
         let admission = AdmissionControl::new(runtime, &cfg.shed);
         Ok(NetServer {
             listener,
             addr,
             admission,
             cfg,
-            stats: Arc::new(NetStats::default()),
+            stats,
+            hub,
             stop: Arc::new(AtomicBool::new(false)),
         })
     }
@@ -719,6 +809,18 @@ impl NetServer {
     /// Point-in-time front-end counters.
     pub fn stats(&self) -> NetStatsSnapshot {
         self.stats.snapshot()
+    }
+
+    /// A live counter view for external [`MetricsHub`]s.
+    pub fn stats_handle(&self) -> NetStatsHandle {
+        NetStatsHandle(Arc::clone(&self.stats))
+    }
+
+    /// The metrics hub `STATS` frames are answered from — the runtime
+    /// and front-end sources are pre-wired; add a snapshot watcher via
+    /// [`MetricsHub::set_watch_stats`].
+    pub fn metrics_hub(&self) -> &Arc<MetricsHub> {
+        &self.hub
     }
 
     /// A flag that makes [`run`](Self::run) return when set.
@@ -735,6 +837,7 @@ impl NetServer {
     pub fn spawn(self) -> Result<NetServerHandle, ServeError> {
         let addr = self.addr;
         let stats = Arc::clone(&self.stats);
+        let hub = Arc::clone(&self.hub);
         let stop = Arc::clone(&self.stop);
         let thread = std::thread::Builder::new()
             .name("bsnn-net-frontend".into())
@@ -743,6 +846,7 @@ impl NetServer {
         Ok(NetServerHandle {
             addr,
             stats,
+            hub,
             stop,
             thread: Some(thread),
         })
@@ -838,11 +942,20 @@ impl NetServer {
                 Ok(Some(total)) => {
                     progressed = true;
                     NetStats::bump(&self.stats.frames_in);
-                    let decoded = decode_request(&conn.rbuf[4..total]);
-                    conn.rbuf.drain(..total);
-                    match decoded {
-                        Ok(wire) => self.admit(conn, wire),
-                        Err(e) => self.poison(conn, 0, &e),
+                    if conn.rbuf.get(4) == Some(&KIND_STATS) {
+                        let decoded = decode_stats_request(&conn.rbuf[4..total]);
+                        conn.rbuf.drain(..total);
+                        match decoded {
+                            Ok(what) => self.answer_stats(conn, what),
+                            Err(e) => self.poison(conn, 0, &e),
+                        }
+                    } else {
+                        let decoded = decode_request(&conn.rbuf[4..total]);
+                        conn.rbuf.drain(..total);
+                        match decoded {
+                            Ok(wire) => self.admit(conn, wire),
+                            Err(e) => self.poison(conn, 0, &e),
+                        }
                     }
                 }
                 Err(e) => {
@@ -944,6 +1057,17 @@ impl NetServer {
         }
     }
 
+    /// Answers one `STATS` frame inline: renders the requested dump and
+    /// queues the reply. Never queued, never shed — observability stays
+    /// reachable under the overload it exists to explain.
+    fn answer_stats(&self, conn: &mut Conn, what: u8) {
+        let text = match what {
+            STATS_TRACE => self.hub.runtime().tracer().export_chrome(),
+            _ => self.hub.render_prometheus(),
+        };
+        encode_stats_reply(&mut conn.wbuf, what, &text);
+    }
+
     /// Marks a connection poisoned by a protocol error: queue a final
     /// ERROR frame (best effort), stop reading, close once flushed.
     fn poison(&self, conn: &mut Conn, request_id: u64, error: &WireError) {
@@ -962,6 +1086,7 @@ impl NetServer {
 pub struct NetServerHandle {
     addr: SocketAddr,
     stats: Arc<NetStats>,
+    hub: Arc<MetricsHub>,
     stop: Arc<AtomicBool>,
     thread: Option<JoinHandle<()>>,
 }
@@ -975,6 +1100,17 @@ impl NetServerHandle {
     /// Point-in-time front-end counters.
     pub fn stats(&self) -> NetStatsSnapshot {
         self.stats.snapshot()
+    }
+
+    /// A live counter view for external [`MetricsHub`]s.
+    pub fn stats_handle(&self) -> NetStatsHandle {
+        NetStatsHandle(Arc::clone(&self.stats))
+    }
+
+    /// The running front-end's metrics hub (see
+    /// [`NetServer::metrics_hub`]).
+    pub fn metrics_hub(&self) -> &Arc<MetricsHub> {
+        &self.hub
     }
 
     /// Stops the poll loop, joins its thread, and returns the final
@@ -1114,6 +1250,47 @@ impl NetClient {
                 .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
             if response.request_id() == id {
                 return Ok(response);
+            }
+        }
+    }
+
+    /// Fetches the server's Prometheus-style metrics dump over a
+    /// `STATS` frame.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, or `InvalidData` for undecodable reply bytes.
+    pub fn dump_metrics(&mut self) -> io::Result<String> {
+        self.dump(STATS_METRICS)
+    }
+
+    /// Fetches the server's sampled request trace as Chrome trace-event
+    /// JSON (empty array unless the server enabled tracing).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, or `InvalidData` for undecodable reply bytes.
+    pub fn dump_trace(&mut self) -> io::Result<String> {
+        self.dump(STATS_TRACE)
+    }
+
+    fn dump(&mut self, what: u8) -> io::Result<String> {
+        let mut buf = Vec::new();
+        encode_stats_request(&mut buf, what);
+        self.stream.write_all(&buf)?;
+        loop {
+            let Some(payload) = self.reader.next_frame()? else {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection before the stats reply",
+                ));
+            };
+            // Skip any still-in-flight inference responses; the reply
+            // to the dump we just sent is the next stats frame.
+            if payload.first() == Some(&KIND_STATS_REPLY) {
+                let (_, text) = decode_stats_reply(&payload)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+                return Ok(text);
             }
         }
     }
@@ -1278,6 +1455,124 @@ mod tests {
             }
             other => panic!("expected error response, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn stats_frames_round_trip_and_reject_garbage() {
+        for what in [STATS_METRICS, STATS_TRACE] {
+            let mut buf = Vec::new();
+            encode_stats_request(&mut buf, what);
+            let total = frame_ready(&buf, 1 << 20).unwrap().unwrap();
+            assert_eq!(decode_stats_request(&buf[4..total]), Ok(what));
+        }
+        let mut reply = Vec::new();
+        encode_stats_reply(&mut reply, STATS_METRICS, "bsnn_queue_depth 0\n");
+        let total = frame_ready(&reply, 1 << 20).unwrap().unwrap();
+        assert_eq!(
+            decode_stats_reply(&reply[4..total]),
+            Ok((STATS_METRICS, "bsnn_queue_depth 0\n".to_string()))
+        );
+        // Unknown selector, wrong kind, trailing bytes.
+        assert_eq!(
+            decode_stats_request(&[KIND_STATS, 9]),
+            Err(WireError::BadCode(9))
+        );
+        assert_eq!(
+            decode_stats_request(&[KIND_REQUEST, 0]),
+            Err(WireError::BadKind(KIND_REQUEST))
+        );
+        assert_eq!(
+            decode_stats_request(&[KIND_STATS, 0, 0]),
+            Err(WireError::TrailingBytes)
+        );
+        assert_eq!(
+            decode_stats_request(&[KIND_STATS]),
+            Err(WireError::Truncated)
+        );
+        assert_eq!(
+            decode_stats_reply(&[KIND_STATS_REPLY]),
+            Err(WireError::Truncated)
+        );
+    }
+
+    /// End to end over a real socket: a served request shows up in the
+    /// metrics dump fetched via the `STATS` frame, and the trace dump
+    /// carries the request's sampled lifecycle spans.
+    #[test]
+    fn stats_frame_serves_metrics_and_trace_over_the_wire() {
+        use crate::obs::{parse_metric, TraceConfig};
+        use crate::registry::ModelRegistry;
+        use crate::runtime::{ServeConfig, ServeRuntime};
+        use bsnn_core::coding::{CodingScheme, HiddenCoding, InputCoding};
+        use bsnn_core::layer::{SpikingLayer, ThresholdPolicy};
+        use bsnn_core::synapse::Synapse;
+        use bsnn_core::SpikingNetwork;
+        use bsnn_tensor::Tensor;
+
+        let diag = || Synapse::Dense {
+            weight: Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]).unwrap(),
+        };
+        let hidden = SpikingLayer::new(diag(), None, ThresholdPolicy::Fixed { vth: 0.25 }).unwrap();
+        let net = SpikingNetwork::new(2, vec![hidden], diag(), None).unwrap();
+        let registry = Arc::new(ModelRegistry::new());
+        registry.install(
+            "m",
+            net,
+            CodingScheme::new(InputCoding::Real, HiddenCoding::Rate),
+            8,
+        );
+        let runtime = Arc::new(
+            ServeRuntime::start(
+                ServeConfig {
+                    workers: 1,
+                    queue_capacity: 16,
+                    max_batch: 4,
+                    batch_linger: Duration::from_micros(50),
+                    trace: TraceConfig {
+                        sample_every: 1,
+                        capacity: 256,
+                    },
+                    profile: true,
+                },
+                registry,
+            )
+            .unwrap(),
+        );
+        let server =
+            NetServer::bind("127.0.0.1:0", Arc::clone(&runtime), NetConfig::default()).unwrap();
+        let addr = server.local_addr();
+        let handle = server.spawn().unwrap();
+
+        let mut client = NetClient::connect(addr).unwrap();
+        let response = client
+            .call("m", &ExitPolicy::Fixed { steps: 4 }, &[0.9, 0.1])
+            .unwrap();
+        assert!(matches!(response, NetResponse::Ok { .. }));
+
+        let metrics = client.dump_metrics().unwrap();
+        assert_eq!(
+            parse_metric(&metrics, "bsnn_requests_completed_total"),
+            Some(1.0)
+        );
+        assert_eq!(
+            parse_metric(&metrics, "bsnn_net_responses_ok_total"),
+            Some(1.0)
+        );
+        assert_eq!(
+            parse_metric(&metrics, "bsnn_model_epoch{model=\"m\"}"),
+            Some(1.0)
+        );
+        // Profiling was on: the model's stage counters account the run.
+        let steps = parse_metric(&metrics, "bsnn_model_steps_total{model=\"m\"}");
+        assert_eq!(steps, Some(4.0), "fixed 4-step request profiled");
+
+        let trace = client.dump_trace().unwrap();
+        assert!(trace.starts_with('['));
+        assert!(trace.contains("\"name\":\"arrival\""));
+        assert!(trace.contains("\"name\":\"service\""));
+        assert!(trace.contains("\"name\":\"flush\""));
+
+        handle.shutdown();
     }
 
     #[test]

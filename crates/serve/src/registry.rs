@@ -22,7 +22,7 @@ use crate::error::ServeError;
 use bsnn_core::autotune::{autotune_batch, AutotuneConfig, BatchPolicy};
 use bsnn_core::coding::CodingScheme;
 use bsnn_core::snapshot;
-use bsnn_core::SpikingNetwork;
+use bsnn_core::{ProfileSink, SpikingNetwork};
 use std::collections::HashMap;
 use std::io::Read;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -39,6 +39,7 @@ pub struct ModelEntry {
     phase_period: u32,
     preferred_batch: Option<usize>,
     density_thresholds: Vec<f32>,
+    profile: Arc<ProfileSink>,
 }
 
 impl ModelEntry {
@@ -81,6 +82,16 @@ impl ModelEntry {
     /// back to [`bsnn_core::batch::DEFAULT_DENSITY_CROSSOVER`]).
     pub fn density_thresholds(&self) -> &[f32] {
         &self.density_thresholds
+    }
+
+    /// The entry's kernel-profile sink (one cell per stage, hidden
+    /// layers + output). Workers with profiling enabled attach it to
+    /// their lockstep engines; it accumulates across all of them and
+    /// surfaces through [`crate::obs::MetricsHub`]. Inert (all zeros)
+    /// unless the runtime was started with
+    /// [`crate::ServeConfig::profile`] — or something else attaches it.
+    pub fn profile(&self) -> &Arc<ProfileSink> {
+        &self.profile
     }
 }
 
@@ -189,6 +200,8 @@ impl ModelRegistry {
         density_thresholds: Vec<f32>,
     ) -> u64 {
         let epoch = self.next_epoch.fetch_add(1, Ordering::Relaxed) + 1;
+        // One profile cell per lockstep stage: hidden layers + output.
+        let profile = Arc::new(ProfileSink::new(network.layers().len() + 1));
         let entry = Arc::new(ModelEntry {
             name: name.clone(),
             epoch,
@@ -197,6 +210,7 @@ impl ModelRegistry {
             phase_period,
             preferred_batch,
             density_thresholds,
+            profile,
         });
         self.models
             .write()

@@ -2,10 +2,11 @@
 
 use crate::error::ServeError;
 use crate::metrics::{MetricsSnapshot, ServeMetrics};
+use crate::obs::{SpanKind, TraceConfig, Tracer};
 use crate::queue::{BatchQueue, PushError};
 use crate::registry::ModelRegistry;
 use crate::request::{InferRequest, ResponseHandle, ResponseSlot};
-use crate::worker::{worker_loop, QueuedRequest};
+use crate::worker::{worker_loop, QueuedRequest, WorkerCtx};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -23,6 +24,12 @@ pub struct ServeConfig {
     /// How long a worker lingers for a batch to fill once it has at
     /// least one request.
     pub batch_linger: Duration,
+    /// Request lifecycle tracing (disabled by default; see
+    /// [`TraceConfig`]).
+    pub trace: TraceConfig,
+    /// Whether workers record per-stage kernel profiles into each
+    /// model's [`crate::registry::ModelEntry::profile`] sink.
+    pub profile: bool,
 }
 
 impl Default for ServeConfig {
@@ -34,6 +41,8 @@ impl Default for ServeConfig {
             queue_capacity: 1024,
             max_batch: 8,
             batch_linger: Duration::from_micros(200),
+            trace: TraceConfig::default(),
+            profile: false,
         }
     }
 }
@@ -88,6 +97,7 @@ pub struct ServeRuntime {
     queue: Arc<BatchQueue<QueuedRequest>>,
     registry: Arc<ModelRegistry>,
     metrics: Arc<ServeMetrics>,
+    tracer: Arc<Tracer>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -102,6 +112,7 @@ impl ServeRuntime {
         cfg.validate()?;
         let queue = Arc::new(BatchQueue::new(cfg.queue_capacity));
         let metrics = Arc::new(ServeMetrics::new());
+        let tracer = Arc::new(Tracer::new(&cfg.trace));
         let mut workers = Vec::with_capacity(cfg.workers);
         for i in 0..cfg.workers {
             let spawned = std::thread::Builder::new()
@@ -112,7 +123,14 @@ impl ServeRuntime {
                     let metrics = Arc::clone(&metrics);
                     let max_batch = cfg.max_batch;
                     let linger = cfg.batch_linger;
-                    move || worker_loop(queue, registry, metrics, max_batch, linger)
+                    // Worker tids start at 1; tid 0 is the submit /
+                    // admission path in exported traces.
+                    let ctx = WorkerCtx {
+                        tracer: Arc::clone(&tracer),
+                        tid: i as u64 + 1,
+                        profile: cfg.profile,
+                    };
+                    move || worker_loop(queue, registry, metrics, max_batch, linger, ctx)
                 });
             match spawned {
                 Ok(handle) => workers.push(handle),
@@ -133,6 +151,7 @@ impl ServeRuntime {
             queue,
             registry,
             metrics,
+            tracer,
             workers,
         })
     }
@@ -149,11 +168,16 @@ impl ServeRuntime {
     /// [`ServeError::InvalidPolicy`].
     pub fn submit(&self, request: InferRequest) -> Result<ResponseHandle, ServeError> {
         request.policy.validate()?;
+        let trace = self.tracer.sample();
+        if let Some(token) = trace {
+            self.tracer.instant(SpanKind::Arrival, 0, token, 0);
+        }
         let slot = Arc::new(ResponseSlot::default());
         let queued = QueuedRequest {
             request,
             slot: Arc::clone(&slot),
             enqueued: Instant::now(),
+            trace,
         };
         match self.queue.push(queued) {
             Ok(()) => {
@@ -188,6 +212,12 @@ impl ServeRuntime {
     /// records shed decisions through it).
     pub(crate) fn metrics_handle(&self) -> &Arc<ServeMetrics> {
         &self.metrics
+    }
+
+    /// The runtime's request lifecycle tracer (inert unless
+    /// [`ServeConfig::trace`] enabled sampling).
+    pub fn tracer(&self) -> &Arc<Tracer> {
+        &self.tracer
     }
 
     /// The bounded queue's capacity (admission control derives its

@@ -13,6 +13,7 @@
 //! SLO was provisioned for.
 
 use crate::error::ServeError;
+use crate::obs::SpanKind;
 use crate::request::{InferRequest, ResponseHandle};
 use crate::runtime::ServeRuntime;
 use std::fmt;
@@ -121,6 +122,7 @@ impl AdmissionControl {
     pub fn try_admit(&self, request: InferRequest) -> Result<ResponseHandle, AdmitError> {
         if self.runtime.queue_depth() >= self.watermark {
             self.runtime.metrics_handle().observe_shed();
+            self.trace_shed(ShedReason::QueueDepth);
             return Err(AdmitError::Shed(ShedReason::QueueDepth));
         }
         match self.runtime.submit(request) {
@@ -130,9 +132,19 @@ impl AdmissionControl {
                 // counter additionally records that the refusal was
                 // surfaced as an explicit SHED.
                 self.runtime.metrics_handle().observe_shed();
+                self.trace_shed(ShedReason::QueueFull);
                 Err(AdmitError::Shed(ShedReason::QueueFull))
             }
             Err(e) => Err(AdmitError::Rejected(e)),
+        }
+    }
+
+    /// Records a sampled shed event on the front-end trace track (tid
+    /// 0), tagged with the wire reason code.
+    fn trace_shed(&self, reason: ShedReason) {
+        let tracer = self.runtime.tracer();
+        if let Some(token) = tracer.sample() {
+            tracer.instant(SpanKind::Shed, 0, token, reason.code() as u64);
         }
     }
 }
@@ -158,6 +170,7 @@ mod tests {
             queue_capacity,
             max_batch: 4,
             batch_linger: Duration::ZERO,
+            ..ServeConfig::default()
         };
         Arc::new(ServeRuntime::start(cfg, Arc::new(ModelRegistry::new())).unwrap())
     }
@@ -207,6 +220,7 @@ mod tests {
             queue_capacity: 4,
             max_batch: 1,
             batch_linger: Duration::ZERO,
+            ..ServeConfig::default()
         };
         let rt = Arc::new(ServeRuntime::start(cfg, Arc::new(ModelRegistry::new())).unwrap());
         let admission = AdmissionControl::new(

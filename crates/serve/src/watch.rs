@@ -96,6 +96,20 @@ impl SharedStats {
     }
 }
 
+/// A cloneable live view of a watcher's counters, independent of the
+/// watcher's lifetime — hand it to [`crate::obs::MetricsHub`] so the
+/// metrics endpoint keeps reading installs/failures while the watcher
+/// thread owns the [`SnapshotWatcher`] itself.
+#[derive(Debug, Clone)]
+pub struct WatchStatsHandle(Arc<SharedStats>);
+
+impl WatchStatsHandle {
+    /// Point-in-time counters.
+    pub fn snapshot(&self) -> WatchStats {
+        self.0.snapshot()
+    }
+}
+
 /// On-disk identity of a snapshot file; a candidate is installed only
 /// once this is unchanged across two consecutive scans.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -157,6 +171,12 @@ impl SnapshotWatcher {
     /// Point-in-time counters.
     pub fn stats(&self) -> WatchStats {
         self.stats.snapshot()
+    }
+
+    /// A live counter view that outlives this watcher value (see
+    /// [`WatchStatsHandle`]).
+    pub fn stats_handle(&self) -> WatchStatsHandle {
+        WatchStatsHandle(Arc::clone(&self.stats))
     }
 
     /// One scan pass: stat every `*.bsnn` file, install the ones whose
@@ -303,6 +323,12 @@ impl WatchHandle {
         self.stats.snapshot()
     }
 
+    /// A live counter view for [`crate::obs::MetricsHub`] (see
+    /// [`WatchStatsHandle`]).
+    pub fn stats_handle(&self) -> WatchStatsHandle {
+        WatchStatsHandle(Arc::clone(&self.stats))
+    }
+
     /// Stops the polling thread, joins it, and returns the final
     /// counters.
     pub fn shutdown(mut self) -> WatchStats {
@@ -432,6 +458,67 @@ mod tests {
         assert_eq!(w.scan_once(), 1);
         assert!(w.registry.get("gone").is_none());
         assert_eq!(w.stats().removals, 1);
+
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// The satellite stats surface: every lifecycle counter — install,
+    /// corrupt-file failure (old model stays live), removal — is
+    /// observable through a [`WatchStatsHandle`] that outlives the
+    /// moment it was taken, and through the rendered metrics dump.
+    #[test]
+    fn stats_handle_exposes_installs_failures_and_removals() {
+        let dir = temp_dir("handle");
+        let mut w = watcher(&dir);
+        let handle = w.stats_handle();
+
+        // Install a good snapshot (two scans: sighting + stability).
+        fs::write(dir.join("m.bsnn"), snapshot_bytes(3)).unwrap();
+        w.scan_once();
+        w.scan_once();
+        assert_eq!(handle.snapshot().installs, 1);
+        let good = w.registry.get("m").expect("installed");
+
+        // Corrupt replacement: counted as a failure, old model live.
+        fs::write(dir.join("m.bsnn"), b"not a snapshot").unwrap();
+        w.scan_once();
+        w.scan_once();
+        let stats = handle.snapshot();
+        assert_eq!(stats.failures, 1);
+        assert_eq!(stats.installs, 1, "failed install is not an install");
+        assert_eq!(w.registry.get("m").unwrap().epoch(), good.epoch());
+
+        // Deletion with remove_deleted: counted as a removal.
+        fs::remove_file(dir.join("m.bsnn")).unwrap();
+        w.scan_once();
+        let stats = handle.snapshot();
+        assert_eq!(stats.removals, 1);
+        assert_eq!(stats.scans, 5);
+        assert_eq!(stats, w.stats(), "handle and watcher agree");
+
+        // The same counters surface in a rendered metrics dump.
+        let registry = Arc::new(ModelRegistry::new());
+        let runtime = Arc::new(
+            crate::runtime::ServeRuntime::start(
+                crate::runtime::ServeConfig {
+                    workers: 1,
+                    queue_capacity: 8,
+                    max_batch: 1,
+                    batch_linger: Duration::ZERO,
+                    ..crate::runtime::ServeConfig::default()
+                },
+                registry,
+            )
+            .unwrap(),
+        );
+        let hub = crate::obs::MetricsHub::new(runtime);
+        hub.set_watch_stats(handle);
+        let text = hub.render_prometheus();
+        let read = |name| crate::obs::parse_metric(&text, name);
+        assert_eq!(read("bsnn_watch_installs_total"), Some(1.0));
+        assert_eq!(read("bsnn_watch_failures_total"), Some(1.0));
+        assert_eq!(read("bsnn_watch_removals_total"), Some(1.0));
+        assert_eq!(read("bsnn_watch_scans_total"), Some(5.0));
 
         let _ = fs::remove_dir_all(&dir);
     }

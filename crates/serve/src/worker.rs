@@ -15,6 +15,7 @@
 use crate::error::ServeError;
 use crate::exit::run_batch_with_policies_each;
 use crate::metrics::ServeMetrics;
+use crate::obs::{SpanKind, Tracer};
 use crate::queue::BatchQueue;
 use crate::registry::ModelRegistry;
 use crate::request::{InferRequest, InferResponse, InferResult, ResponseSlot};
@@ -30,6 +31,9 @@ pub(crate) struct QueuedRequest {
     pub(crate) request: InferRequest,
     pub(crate) slot: Arc<ResponseSlot>,
     pub(crate) enqueued: Instant,
+    /// Trace sample token from [`Tracer::sample`] — `None` for the
+    /// (vast majority of) unsampled requests.
+    pub(crate) trace: Option<u64>,
 }
 
 impl QueuedRequest {
@@ -52,6 +56,16 @@ impl Drop for QueuedRequest {
     }
 }
 
+/// Per-worker observability context: the shared tracer, this worker's
+/// trace track id, and whether engines feed the per-model profile
+/// sinks.
+#[derive(Debug)]
+pub(crate) struct WorkerCtx {
+    pub(crate) tracer: Arc<Tracer>,
+    pub(crate) tid: u64,
+    pub(crate) profile: bool,
+}
+
 /// A worker's long-lived lockstep engine for one registry model. Built
 /// once per (model, epoch) and reused across micro-batches — repeated
 /// batches of the same width perform no allocation at all.
@@ -62,14 +76,23 @@ struct CachedModel {
 
 /// Builds a worker's lockstep engine for one registry entry, installing
 /// the model's measured density crossovers so per-step kernel dispatch
-/// runs the calibration the autotuner shipped with the model.
-fn build_cached(entry: &crate::registry::ModelEntry, max_batch: usize) -> CachedModel {
+/// runs the calibration the autotuner shipped with the model. With
+/// profiling on, the engine reports into the entry's shared
+/// [`crate::registry::ModelEntry::profile`] sink.
+fn build_cached(
+    entry: &crate::registry::ModelEntry,
+    max_batch: usize,
+    profile: bool,
+) -> CachedModel {
     let mut engine = BatchedNetwork::new(entry.network().clone(), max_batch)
         .expect("max_batch validated at runtime start");
     engine.set_dispatch(DispatchPolicy {
         mode: DispatchMode::Auto,
         thresholds: entry.density_thresholds().to_vec(),
     });
+    if profile {
+        engine.set_profile_sink(Some(Arc::clone(entry.profile())));
+    }
     CachedModel {
         epoch: entry.epoch(),
         engine,
@@ -84,6 +107,7 @@ pub(crate) fn worker_loop(
     metrics: Arc<ServeMetrics>,
     max_batch: usize,
     linger: Duration,
+    ctx: WorkerCtx,
 ) {
     let mut cache: HashMap<String, CachedModel> = HashMap::new();
     loop {
@@ -96,6 +120,11 @@ pub(crate) fn worker_loop(
         // each group runs as one lockstep batch.
         let mut groups: Vec<(String, Vec<QueuedRequest>)> = Vec::new();
         for queued in batch {
+            if let Some(token) = queued.trace {
+                // Queue-wait span: from enqueue to this dequeue.
+                ctx.tracer
+                    .complete(SpanKind::Queued, ctx.tid, token, queued.enqueued, 0, 0);
+            }
             match groups
                 .iter_mut()
                 .find(|(name, _)| *name == queued.request.model)
@@ -105,7 +134,9 @@ pub(crate) fn worker_loop(
             }
         }
         for (name, group) in groups {
-            serve_group(&name, group, &registry, &mut cache, max_batch, &metrics);
+            serve_group(
+                &name, group, &registry, &mut cache, max_batch, &metrics, &ctx,
+            );
         }
         // Drop engines of models that have been removed from the
         // registry, so name churn (install v1, swap to v2, remove v1)
@@ -122,6 +153,7 @@ fn serve_group(
     cache: &mut HashMap<String, CachedModel>,
     max_batch: usize,
     metrics: &ServeMetrics,
+    ctx: &WorkerCtx,
 ) {
     let Some(entry) = registry.get(name) else {
         for queued in group {
@@ -136,10 +168,10 @@ fn serve_group(
         .entry(name.to_string())
         .and_modify(|c| {
             if c.epoch != entry.epoch() {
-                *c = build_cached(&entry, max_batch);
+                *c = build_cached(&entry, max_batch, ctx.profile);
             }
         })
-        .or_insert_with(|| build_cached(&entry, max_batch));
+        .or_insert_with(|| build_cached(&entry, max_batch, ctx.profile));
     // Per-lane validation isolates malformed requests so they cannot
     // fail the whole lockstep group.
     let input_len = entry.network().input_len();
@@ -170,7 +202,7 @@ fn serve_group(
         if chunk.is_empty() {
             return;
         }
-        serve_lockstep_chunk(chunk, &entry, &mut cached.engine, metrics);
+        serve_lockstep_chunk(chunk, &entry, &mut cached.engine, metrics, ctx);
     }
 }
 
@@ -182,12 +214,14 @@ fn serve_lockstep_chunk(
     entry: &crate::registry::ModelEntry,
     engine: &mut BatchedNetwork,
     metrics: &ServeMetrics,
+    ctx: &WorkerCtx,
 ) {
     let lockstep_width = lanes.len();
     let queue_micros: Vec<u64> = lanes
         .iter()
         .map(|q| q.enqueued.elapsed().as_micros() as u64)
         .collect();
+    let tokens: Vec<Option<u64>> = lanes.iter().map(|q| q.trace).collect();
     // Move the image buffers out of the requests (no clone) so the
     // engine can borrow them while the slots are fulfilled lane by lane.
     let images_owned: Vec<Vec<f32>> = lanes
@@ -204,6 +238,18 @@ fn serve_lockstep_chunk(
     let result =
         run_batch_with_policies_each(engine, &images, entry, &policies, |lane, outcome| {
             if let Some(queued) = slots[lane].take() {
+                let token = tokens[lane];
+                if let Some(token) = token {
+                    // Lane-retirement span: batch start to this exit.
+                    ctx.tracer.complete(
+                        SpanKind::Service,
+                        ctx.tid,
+                        token,
+                        started,
+                        outcome.steps as u64,
+                        outcome.prediction as u64,
+                    );
+                }
                 queued.fulfill(
                     metrics,
                     Ok(InferResponse {
@@ -218,8 +264,23 @@ fn serve_lockstep_chunk(
                         batch_size: lockstep_width,
                     }),
                 );
+                if let Some(token) = token {
+                    ctx.tracer.instant(SpanKind::Flush, ctx.tid, token, 0);
+                }
             }
         });
+    // One batch-formation span per lockstep run with at least one
+    // sampled lane, labelled with that lane's token and the width.
+    if let Some(token) = tokens.iter().flatten().next() {
+        ctx.tracer.complete(
+            SpanKind::Batch,
+            ctx.tid,
+            *token,
+            started,
+            lockstep_width as u64,
+            0,
+        );
+    }
     if let Err(e) = result {
         for queued in slots.into_iter().flatten() {
             queued.fulfill(metrics, Err(e.clone()));
@@ -230,6 +291,7 @@ fn serve_lockstep_chunk(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::obs::TraceConfig;
     use crate::request::{ExitPolicy, ResponseHandle};
     use bsnn_core::coding::{CodingScheme, HiddenCoding, InputCoding};
     use bsnn_core::layer::{SpikingLayer, ThresholdPolicy};
@@ -252,8 +314,17 @@ mod tests {
             request: InferRequest::new(vec![0.9, 0.1], model, ExitPolicy::Fixed { steps: 4 }),
             slot,
             enqueued: Instant::now(),
+            trace: None,
         };
         (queued, handle)
+    }
+
+    fn ctx() -> WorkerCtx {
+        WorkerCtx {
+            tracer: Arc::new(Tracer::new(&TraceConfig::default())),
+            tid: 1,
+            profile: false,
+        }
     }
 
     /// The per-model batch policy is honored at the lockstep level: an
@@ -273,13 +344,29 @@ mod tests {
         let max_batch = 16;
 
         let (group, handles): (Vec<_>, Vec<_>) = (0..16).map(|_| queued("mlp")).unzip();
-        serve_group("mlp", group, &registry, &mut cache, max_batch, &metrics);
+        serve_group(
+            "mlp",
+            group,
+            &registry,
+            &mut cache,
+            max_batch,
+            &metrics,
+            &ctx(),
+        );
         for handle in handles {
             assert_eq!(handle.wait().unwrap().batch_size, 1, "mlp must run scalar");
         }
 
         let (group, handles): (Vec<_>, Vec<_>) = (0..16).map(|_| queued("conv")).unzip();
-        serve_group("conv", group, &registry, &mut cache, max_batch, &metrics);
+        serve_group(
+            "conv",
+            group,
+            &registry,
+            &mut cache,
+            max_batch,
+            &metrics,
+            &ctx(),
+        );
         for handle in handles {
             assert_eq!(
                 handle.wait().unwrap().batch_size,
@@ -289,7 +376,15 @@ mod tests {
         }
 
         let (group, handles): (Vec<_>, Vec<_>) = (0..4).map(|_| queued("mid")).unzip();
-        serve_group("mid", group, &registry, &mut cache, max_batch, &metrics);
+        serve_group(
+            "mid",
+            group,
+            &registry,
+            &mut cache,
+            max_batch,
+            &metrics,
+            &ctx(),
+        );
         let widths: Vec<usize> = handles
             .into_iter()
             .map(|h| h.wait().unwrap().batch_size)
@@ -309,13 +404,13 @@ mod tests {
         let mut cache = HashMap::new();
 
         let (group, handles): (Vec<_>, Vec<_>) = (0..5).map(|_| queued("plain")).unzip();
-        serve_group("plain", group, &registry, &mut cache, 8, &metrics);
+        serve_group("plain", group, &registry, &mut cache, 8, &metrics, &ctx());
         for handle in handles {
             assert_eq!(handle.wait().unwrap().batch_size, 5);
         }
 
         let (group, handles): (Vec<_>, Vec<_>) = (0..6).map(|_| queued("wide")).unzip();
-        serve_group("wide", group, &registry, &mut cache, 4, &metrics);
+        serve_group("wide", group, &registry, &mut cache, 4, &metrics, &ctx());
         let widths: Vec<usize> = handles
             .into_iter()
             .map(|h| h.wait().unwrap().batch_size)
@@ -334,6 +429,7 @@ mod tests {
             request: InferRequest::new(vec![0.0], "m", ExitPolicy::Fixed { steps: 1 }),
             slot,
             enqueued: Instant::now(),
+            trace: None,
         };
         drop(queued);
         assert!(matches!(handle.wait(), Err(ServeError::Internal(_))));

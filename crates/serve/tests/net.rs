@@ -50,6 +50,7 @@ fn defaults() -> (ServeConfig, NetConfig) {
             queue_capacity: 64,
             max_batch: 4,
             batch_linger: Duration::ZERO,
+            ..ServeConfig::default()
         },
         NetConfig::default(),
     )
@@ -326,6 +327,7 @@ fn open_loop_in_process_reports_slo_numbers() {
                 queue_capacity: 64,
                 max_batch: 4,
                 batch_linger: Duration::ZERO,
+                ..ServeConfig::default()
             },
             registry,
         )

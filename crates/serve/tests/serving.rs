@@ -117,6 +117,7 @@ fn runtime_matches_direct_inference() {
             queue_capacity: 256,
             max_batch: 4,
             batch_linger: Duration::from_micros(100),
+            ..ServeConfig::default()
         },
         Arc::clone(&registry),
     )
@@ -211,6 +212,7 @@ fn queue_full_backpressure_sheds_load() {
             queue_capacity: 2,
             max_batch: 1,
             batch_linger: Duration::ZERO,
+            ..ServeConfig::default()
         },
         Arc::clone(&registry),
     )
@@ -319,6 +321,7 @@ fn bad_lane_does_not_poison_its_lockstep_batch() {
             max_batch: 8,
             // A long linger so all submissions below land in one batch.
             batch_linger: Duration::from_millis(50),
+            ..ServeConfig::default()
         },
         Arc::clone(&registry),
     )

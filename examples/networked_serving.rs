@@ -15,8 +15,9 @@ use burst_snn::dnn::models;
 use burst_snn::dnn::train::{TrainConfig, Trainer};
 use burst_snn::serve::watch::{SnapshotWatcher, WatchConfig};
 use burst_snn::serve::{
-    run_open_loop_net, ArrivalProcess, ExitPolicy, ModelRegistry, NetClient, NetConfig,
-    NetResponse, NetServer, OpenLoadSpec, ServeConfig, ServeRuntime, ShedConfig,
+    format_profile, run_open_loop_net, ArrivalProcess, ExitPolicy, ModelRegistry, NetClient,
+    NetConfig, NetResponse, NetServer, OpenLoadSpec, ServeConfig, ServeRuntime, ShedConfig,
+    TraceConfig,
 };
 use std::sync::Arc;
 use std::time::Duration;
@@ -42,12 +43,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // responses instead of unbounded queueing.
     let registry = Arc::new(ModelRegistry::new());
     registry.install("digits", snn.clone(), scheme, 8);
+    // Observability on: 1-in-8 request tracing and per-stage engine
+    // profiling, both dumped at the end of the run.
     let runtime = Arc::new(ServeRuntime::start(
         ServeConfig {
             workers: 2,
             queue_capacity: 256,
             max_batch: 8,
             batch_linger: Duration::from_micros(200),
+            trace: TraceConfig {
+                sample_every: 8,
+                ..TraceConfig::default()
+            },
+            profile: true,
         },
         Arc::clone(&registry),
     )?);
@@ -137,11 +145,38 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
     )?;
     println!("\nbursty 60k rps overload:\n{overload}");
+
+    // The server answers STATS frames inline even under load: fetch the
+    // Prometheus-style dump and a sample of the trace over the wire.
+    let metrics = client.dump_metrics()?;
+    let shed_line = metrics
+        .lines()
+        .find(|l| l.starts_with("bsnn_net_responses_shed_total"))
+        .unwrap_or("bsnn_net_responses_shed_total <missing>");
+    println!(
+        "\nmetrics dump: {} lines, e.g. `{shed_line}`",
+        metrics.lines().count()
+    );
+    let trace = client.dump_trace()?;
+    println!(
+        "trace dump: {} bytes of Chrome trace JSON (load in ui.perfetto.dev)",
+        trace.len()
+    );
+
     println!(
         "\nfront-end: {}\nruntime:\n{}",
         server.shutdown(),
         runtime.metrics()
     );
+
+    // Per-stage engine profile: which kernel each stage ran (dense,
+    // sparse, or PSP-cache replay) and where the stepping time went.
+    println!("\nengine profiles:");
+    for name in registry.names() {
+        if let Some(entry) = registry.get(&name) {
+            println!("{}", format_profile(&name, &entry.profile().snapshot()));
+        }
+    }
     let _ = std::fs::remove_dir_all(&deploy_dir);
     Ok(())
 }

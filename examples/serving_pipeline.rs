@@ -43,6 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             queue_capacity: 256,
             max_batch: 8,
             batch_linger: Duration::from_micros(200),
+            ..ServeConfig::default()
         },
         Arc::clone(&registry),
     )?;
