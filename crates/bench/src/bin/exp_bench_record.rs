@@ -6,7 +6,7 @@
 //!
 //! ```text
 //! cargo run --release -p bsnn-bench --bin exp_bench_record -- \
-//!     [--out DIR] [--quick] [--min-mlp-b16-speedup X]
+//!     [--out DIR] [--quick] [--min-mlp-b16-speedup X] [--require-packed]
 //! ```
 //!
 //! `--quick` shrinks training and the serve waves for CI smoke runs;
@@ -14,6 +14,11 @@
 //! auto-dispatch lane-steps/s reaches `X ×` its sequential baseline — a
 //! machine-independent floor guarding the sparsity-adaptive dispatch
 //! win (absolute lane-steps/s floors would be runner-dependent).
+//! `--require-packed` exits nonzero unless the packed bit-plane kernel
+//! is either auto-selected on at least one stage, or its forced-packed
+//! batch-16 throughput lands within the dispatch hysteresis (1.15×) of
+//! forced-dense on at least one workload — so the packed path can't
+//! silently rot.
 //!
 //! Numbers are wall-clock measurements of this machine; the JSON
 //! records the workload shape alongside every figure so comparisons
@@ -121,34 +126,41 @@ fn batched_steps_per_sec(
 }
 
 /// One workload's core-simulation record as a JSON object string, plus
-/// the auto-dispatch batch-16 speedup vs sequential (the floor metric).
+/// the auto-dispatch batch-16 speedup vs sequential (the floor metric)
+/// and whether the packed kernel "held its ground" — auto-selected on
+/// at least one stage, or forced-packed within the dispatch hysteresis
+/// (1.15×) of forced-dense.
 fn core_record(
     name: &str,
     net: &SpikingNetwork,
     images: &[Vec<f32>],
     scheme: CodingScheme,
-) -> (String, f64) {
+) -> (String, f64, bool) {
     let cfg = EvalConfig::new(scheme, SIM_STEPS);
     let policy = autotune_cached(net, scheme, &AutotuneConfig::default());
     let auto = DispatchPolicy {
         mode: DispatchMode::Auto,
         thresholds: policy.density_thresholds.clone(),
+        packed_thresholds: policy.packed_thresholds.clone(),
     };
     let dense = DispatchPolicy::forced(DispatchMode::ForceDense);
+    let packed = DispatchPolicy::forced(DispatchMode::ForcePacked);
     let seq = seq_steps_per_sec(net, images, &cfg);
     let (b1, _, _) = batched_steps_per_sec(net, images, &cfg, 1, &auto);
     let (b4, _, _) = batched_steps_per_sec(net, images, &cfg, 4, &auto);
     let (b16, stats, profile) = batched_steps_per_sec(net, images, &cfg, 16, &auto);
     let (b16_dense, _, _) = batched_steps_per_sec(net, images, &cfg, 16, &dense);
+    let (b16_packed, _, _) = batched_steps_per_sec(net, images, &cfg, 16, &packed);
     let stages: Vec<String> = stats
         .iter()
         .enumerate()
         .map(|(k, st)| {
             format!(
                 concat!(
-                    "{{\"stage\": {}, \"crossover\": {:.4}, \"mean_density\": {:.3}, ",
-                    "\"sparse_steps\": {}, \"dense_steps\": {}, \"cached_steps\": {}, ",
-                    "\"kernel_ms\": {:.2}}}"
+                    "{{\"stage\": {}, \"crossover\": {:.4}, \"packed_crossover\": {:.4}, ",
+                    "\"mean_density\": {:.3}, ",
+                    "\"sparse_steps\": {}, \"dense_steps\": {}, \"packed_steps\": {}, ",
+                    "\"cached_steps\": {}, \"kernel_ms\": {:.2}}}"
                 ),
                 k,
                 policy
@@ -156,9 +168,15 @@ fn core_record(
                     .get(k)
                     .copied()
                     .unwrap_or(bsnn_core::batch::DEFAULT_DENSITY_CROSSOVER),
+                policy
+                    .packed_thresholds
+                    .get(k)
+                    .copied()
+                    .unwrap_or(bsnn_core::batch::DEFAULT_PACKED_CROSSOVER),
                 st.mean_density(),
                 st.sparse_steps,
                 st.dense_steps,
+                st.packed_steps,
                 st.cached_steps,
                 profile
                     .stages
@@ -167,6 +185,8 @@ fn core_record(
             )
         })
         .collect();
+    let packed_selected = stats.iter().any(|st| st.packed_steps > 0);
+    let packed_ok = packed_selected || b16_packed * 1.15 >= b16_dense;
     let mut s = String::new();
     let _ = write!(
         s,
@@ -174,7 +194,7 @@ fn core_record(
             "{{\"workload\": \"{}\", \"neurons\": {}, \"coding\": \"{}\", ",
             "\"steps\": {}, \"lane_steps_per_sec\": {{\"sequential\": {:.0}, ",
             "\"batch1\": {:.0}, \"batch4\": {:.0}, \"batch16\": {:.0}, ",
-            "\"batch16_forced_dense\": {:.0}}}, ",
+            "\"batch16_forced_dense\": {:.0}, \"batch16_forced_packed\": {:.0}}}, ",
             "\"speedup_batch16_vs_sequential\": {:.2}, ",
             "\"dispatch_batch16\": [{}]}}"
         ),
@@ -187,10 +207,11 @@ fn core_record(
         b4,
         b16,
         b16_dense,
+        b16_packed,
         b16 / seq,
         stages.join(", "),
     );
-    (s, b16 / seq)
+    (s, b16 / seq, packed_ok)
 }
 
 /// One workload's end-to-end dataset-evaluation record (images/s for
@@ -216,6 +237,7 @@ fn eval_record(
     let dispatch = DispatchPolicy {
         mode: DispatchMode::Auto,
         thresholds: policy.density_thresholds.clone(),
+        packed_thresholds: policy.packed_thresholds.clone(),
     };
     let batched = best_secs(3, || {
         std::hint::black_box(
@@ -310,11 +332,13 @@ fn serve_record(
             format!(
                 concat!(
                     "{{\"stage\": {}, \"dense_steps\": {}, \"sparse_steps\": {}, ",
-                    "\"cached_steps\": {}, \"mean_density\": {:.3}, \"kernel_ms\": {:.2}}}"
+                    "\"packed_steps\": {}, \"cached_steps\": {}, \"mean_density\": {:.3}, ",
+                    "\"kernel_ms\": {:.2}}}"
                 ),
                 k,
                 st.dense_steps,
                 st.sparse_steps,
+                st.packed_steps,
                 st.cached_steps,
                 st.mean_density,
                 st.kernel_nanos as f64 / 1e6,
@@ -358,6 +382,7 @@ fn main() {
     let mut out_dir = ".".to_string();
     let mut quick = false;
     let mut min_mlp_b16_speedup: Option<f64> = None;
+    let mut require_packed = false;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -371,10 +396,11 @@ fn main() {
                         .expect("floor must be a number"),
                 )
             }
+            "--require-packed" => require_packed = true,
             other => {
                 eprintln!(
                     "unknown flag `{other}` (usage: exp_bench_record [--out DIR] [--quick] \
-                     [--min-mlp-b16-speedup X])"
+                     [--min-mlp-b16-speedup X] [--require-packed])"
                 );
                 std::process::exit(2);
             }
@@ -394,11 +420,12 @@ fn main() {
     );
 
     eprintln!("measuring core simulation throughput...");
-    let (mlp_core, mlp_b16_speedup) = core_record("mlp_144_32_10", &mlp, &mlp_images, mlp_scheme);
-    let (cnn_core, cnn_b16_speedup) =
+    let (mlp_core, mlp_b16_speedup, mlp_packed_ok) =
+        core_record("mlp_144_32_10", &mlp, &mlp_images, mlp_scheme);
+    let (cnn_core, cnn_b16_speedup, cnn_packed_ok) =
         core_record("vgg_tiny_1x12x12", &cnn, &cnn_images, cnn_scheme);
     let core = format!(
-        "{{\n  \"schema\": \"bsnn-bench-core-v4\",\n  \"note\": \"lane-steps/s = images × time-steps simulated per wall-clock second; sequential = {SIM_BATCH} back-to-back single-image runs; batch* rows run the density-dispatching engine at the autotuned crossovers, batch16_forced_dense pins the pre-dispatch dense kernels; dispatch_batch16 records each stage's measured density and strategy mix plus kernel_ms of stage wall time summed over all {SIM_REPS} measurement reps (ProfileSink); dataset_eval = full evaluate_dataset passes (batched width from the autotuner)\",\n  \"workloads\": [\n    {},\n    {}\n  ],\n  \"dataset_eval\": [\n    {},\n    {}\n  ]\n}}\n",
+        "{{\n  \"schema\": \"bsnn-bench-core-v5\",\n  \"note\": \"lane-steps/s = images × time-steps simulated per wall-clock second; sequential = {SIM_BATCH} back-to-back single-image runs; batch* rows run the density-dispatching engine at the autotuned crossovers, batch16_forced_dense pins the pre-dispatch dense kernels and batch16_forced_packed pins the bit-plane mask kernels (u64 activity masks + power-of-two exponent planes, register-blocked replay); dispatch_batch16 records each stage's measured density and strategy mix (dense/sparse/packed/cached) plus kernel_ms of stage wall time summed over all {SIM_REPS} measurement reps (ProfileSink); dataset_eval = full evaluate_dataset passes (batched width from the autotuner)\",\n  \"workloads\": [\n    {},\n    {}\n  ],\n  \"dataset_eval\": [\n    {},\n    {}\n  ]\n}}\n",
         mlp_core,
         cnn_core,
         eval_record("mlp_144_32_10", &mlp, &mlp_test, mlp_scheme),
@@ -422,10 +449,24 @@ fn main() {
         }
         eprintln!("perf floor ok: mlp batch-16 {mlp_b16_speedup:.2}x >= {floor:.2}x");
     }
+    if require_packed {
+        if !(mlp_packed_ok || cnn_packed_ok) {
+            println!("{core}");
+            eprintln!(
+                "FAIL: packed kernel neither auto-selected on any stage nor within the \
+                 1.15x hysteresis of forced-dense on any workload"
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "packed kernel ok: selected or within hysteresis (mlp {mlp_packed_ok}, \
+             vgg_tiny {cnn_packed_ok})"
+        );
+    }
 
     eprintln!("measuring serving throughput...");
     let serve = format!(
-        "{{\n  \"schema\": \"bsnn-bench-serve-v4\",\n  \"note\": \"one closed-loop wave per config (cold worker engines included), confidence-margin early exit (horizon 96); latency percentiles are within-bucket interpolated log-bucket ranks; batch_policy=autotuned splits popped micro-batches to the model's measured width and installs its density crossovers; ragged lockstep chunks are padded to fixed widths with dead lanes; stage_profile comes from the engine ProfileSink (kernel_ms = stage wall time over the whole wave)\",\n  \"configs\": [\n    {},\n    {},\n    {},\n    {},\n    {},\n    {}\n  ]\n}}\n",
+        "{{\n  \"schema\": \"bsnn-bench-serve-v5\",\n  \"note\": \"one closed-loop wave per config (cold worker engines included), confidence-margin early exit (horizon 96); latency percentiles are within-bucket interpolated log-bucket ranks; batch_policy=autotuned splits popped micro-batches to the model's measured width and installs its density and packed crossovers; ragged lockstep chunks are padded to fixed widths with dead lanes; stage_profile comes from the engine ProfileSink (kernel_ms = stage wall time over the whole wave, packed_steps = bit-plane kernel selections)\",\n  \"configs\": [\n    {},\n    {},\n    {},\n    {},\n    {},\n    {}\n  ]\n}}\n",
         serve_record("mlp_144_32_10", &mlp, mlp_scheme, &mlp_images, 4, 1, mlp_wave, false),
         serve_record("mlp_144_32_10", &mlp, mlp_scheme, &mlp_images, 4, 8, mlp_wave, false),
         serve_record("mlp_144_32_10", &mlp, mlp_scheme, &mlp_images, 4, 8, mlp_wave, true),

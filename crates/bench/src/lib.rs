@@ -71,6 +71,7 @@ pub fn evaluate_autotuned(
         &DispatchPolicy {
             mode: DispatchMode::Auto,
             thresholds: policy.density_thresholds.clone(),
+            packed_thresholds: policy.packed_thresholds.clone(),
         },
     )
     .expect("dataset evaluation");
@@ -137,11 +138,12 @@ fn autotune_cache_path(
 ) -> Option<PathBuf> {
     let mut model_bytes = Vec::new();
     bsnn_core::snapshot::save_network(net, &mut model_bytes).ok()?;
-    // "at1" salts the key with the cache-entry format generation: bump
+    // "at2" salts the key with the cache-entry format generation: bump
     // it when the probe or the kernels change meaningfully, so stale
-    // measurements from older binaries are not reused.
+    // measurements from older binaries are not reused (at2 = packed
+    // bit-plane kernels + packed_thresholds line).
     let tag = format!(
-        "at1|{salt}|{scheme}|{:?}|{}|{}|{}|{}|{}|{}|{}",
+        "at2|{salt}|{scheme}|{:?}|{}|{}|{}|{}|{}|{}|{}",
         cfg.widths,
         cfg.steps,
         cfg.reps,
@@ -186,6 +188,12 @@ fn render_autotune_cache(policy: &BatchPolicy) -> String {
         .map(|t| format!("{t}"))
         .collect();
     s.push_str(&format!("thresholds {}\n", thresholds.join(",")));
+    let packed: Vec<String> = policy
+        .packed_thresholds
+        .iter()
+        .map(|t| format!("{t}"))
+        .collect();
+    s.push_str(&format!("packed_thresholds {}\n", packed.join(",")));
     for p in &policy.probes {
         s.push_str(&format!("probe {} {}\n", p.width, p.lane_steps_per_sec));
     }
@@ -196,6 +204,7 @@ fn read_autotune_cache(path: &std::path::Path) -> Option<BatchPolicy> {
     let text = fs::read_to_string(path).ok()?;
     let mut preferred_batch = None;
     let mut density_thresholds = Vec::new();
+    let mut packed_thresholds = Vec::new();
     let mut probes = Vec::new();
     for line in text.lines() {
         let mut parts = line.split_whitespace();
@@ -205,6 +214,13 @@ fn read_autotune_cache(path: &std::path::Path) -> Option<BatchPolicy> {
                 if let Some(list) = parts.next() {
                     for v in list.split(',') {
                         density_thresholds.push(v.parse().ok()?);
+                    }
+                }
+            }
+            "packed_thresholds" => {
+                if let Some(list) = parts.next() {
+                    for v in list.split(',') {
+                        packed_thresholds.push(v.parse().ok()?);
                     }
                 }
             }
@@ -219,6 +235,7 @@ fn read_autotune_cache(path: &std::path::Path) -> Option<BatchPolicy> {
         preferred_batch: preferred_batch?,
         probes,
         density_thresholds,
+        packed_thresholds,
     })
 }
 
@@ -527,6 +544,7 @@ mod tests {
                 },
             ],
             density_thresholds: vec![0.28125, 0.0, 1.01],
+            packed_thresholds: vec![0.0625, 1.01, 0.0],
         };
         let path = cache_dir().join("test-autotune-roundtrip.txt");
         fs::write(&path, render_autotune_cache(&policy)).unwrap();

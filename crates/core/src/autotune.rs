@@ -136,6 +136,11 @@ pub struct BatchPolicy {
     /// calibration was disabled (consumers then use
     /// [`crate::batch::DEFAULT_DENSITY_CROSSOVER`]).
     pub density_thresholds: Vec<f32>,
+    /// Calibrated packed/dense crossovers, same layout: below a
+    /// stage's entry the bit-plane packed kernel preempts the sparse
+    /// event replay. Empty when calibration was disabled
+    /// ([`crate::batch::DEFAULT_PACKED_CROSSOVER`] applies).
+    pub packed_thresholds: Vec<f32>,
 }
 
 impl BatchPolicy {
@@ -203,21 +208,41 @@ fn density_input(rng: &mut StdRng, len: usize, width: usize, d: f32) -> Vec<f32>
         .collect()
 }
 
+/// A grid scan's crossover density: `0.0` means "always dense"; a
+/// value above 1.0 means the challenger won the whole grid.
+fn crossover_from(first_dense_win: Option<usize>) -> f32 {
+    match first_dense_win {
+        Some(0) => 0.0,
+        Some(gi) => (DENSITY_GRID[gi - 1] + DENSITY_GRID[gi]) / 2.0,
+        None => 1.01,
+    }
+}
+
 /// Micro-benchmarks each stage's synapse strategy-vs-strategy over the
 /// density grid at lockstep width `width` and returns the per-stage
-/// crossover densities (hidden stages, then the output synapse).
-/// `0.0` means "always dense"; a value above 1.0 means "always sparse".
+/// crossover densities (hidden stages, then the output synapse) for
+/// both challengers: `(sparse_thresholds, packed_thresholds)`. `0.0`
+/// means "always dense"; a value above 1.0 means "always the
+/// challenger". The packed strategy is timed the way the engine runs
+/// it per stage: hidden-fed stages (index ≥ 1) replay pre-built
+/// bit-planes — fire packs them for free during staging, so the mask
+/// build happens outside the timed region — while stage 0 self-packs
+/// from the input SoA. Both are timed with no magnitude base / no
+/// uniform magnitude (every synthetic magnitude reads raw), which is
+/// the strategy's worst case — real spike traffic rides the exponent
+/// plane.
 fn calibrate_density_thresholds(
     net: &SpikingNetwork,
     width: usize,
     cfg: &AutotuneConfig,
     rng: &mut StdRng,
-) -> Result<Vec<f32>, SnnError> {
+) -> Result<(Vec<f32>, Vec<f32>), SnnError> {
     let mut synapses: Vec<&Synapse> = net.layers().iter().map(|l| l.synapse()).collect();
     synapses.push(net.output_synapse());
     let mut scratch = KernelScratch::default();
     let mut thresholds = Vec::with_capacity(synapses.len());
-    for syn in synapses {
+    let mut packed_thresholds = Vec::with_capacity(synapses.len());
+    for (stage_idx, syn) in synapses.into_iter().enumerate() {
         let in_len = syn.input_len();
         let out_len = syn.output_len();
         let mut psp = vec![0.0f32; out_len * width];
@@ -225,17 +250,31 @@ fn calibrate_density_thresholds(
         // Iterations per timed measurement, sized so tiny stages are
         // still measurable above timer resolution.
         let iters = (32_768 / (in_len * width).max(1)).clamp(2, 64);
-        // Index into the grid of the first density where dense won
-        // (the grid is scanned in ascending density, where sparse can
-        // only get weaker).
-        let mut first_dense_win = None;
+        // Index into the grid of the first density where dense beat
+        // each challenger (the grid is scanned in ascending density,
+        // where event-driven strategies can only get weaker).
+        let mut sparse_lost = None;
+        let mut packed_lost = None;
         for (gi, &d) in DENSITY_GRID.iter().enumerate() {
+            if sparse_lost.is_some() && packed_lost.is_some() {
+                break;
+            }
             let input = density_input(rng, in_len, width, d);
+            // Hidden-fed stages get their bit-planes from fire's
+            // staging pass at runtime, so the plane build is not
+            // charged to the packed strategy here.
+            let masks: Option<Vec<u64>> = (stage_idx >= 1 && width <= 64).then(|| {
+                input
+                    .chunks_exact(width)
+                    .map(crate::synapse::lane_mask)
+                    .collect()
+            });
             let mut dense_best = f64::INFINITY;
             let mut sparse_best = f64::INFINITY;
+            let mut packed_best = f64::INFINITY;
             // Each strategy is charged its full per-step cost: the
             // kernel plus the integration pass in the layout it
-            // produces (the sparse path's fold is a transposed add).
+            // produces (the event paths' fold is a transposed add).
             for _ in 0..cfg.density_reps {
                 psp.iter_mut().for_each(|p| *p = 0.0);
                 let t0 = Instant::now();
@@ -251,19 +290,49 @@ fn calibrate_density_thresholds(
                     crate::batch::integrate(&mut vmem, &psp, true, out_len, width);
                 }
                 sparse_best = sparse_best.min(t0.elapsed().as_secs_f64());
+                psp.iter_mut().for_each(|p| *p = 0.0);
+                let t0 = Instant::now();
+                match &masks {
+                    Some(masks) => {
+                        for _ in 0..iters {
+                            syn.accumulate_batch_packed_planes(
+                                &input,
+                                &mut psp,
+                                width,
+                                masks,
+                                None,
+                                None,
+                                &mut scratch,
+                            )?;
+                            crate::batch::integrate(&mut vmem, &psp, true, out_len, width);
+                        }
+                    }
+                    None => {
+                        for _ in 0..iters {
+                            syn.accumulate_batch_packed(
+                                &input,
+                                &mut psp,
+                                width,
+                                None,
+                                &mut scratch,
+                            )?;
+                            crate::batch::integrate(&mut vmem, &psp, true, out_len, width);
+                        }
+                    }
+                }
+                packed_best = packed_best.min(t0.elapsed().as_secs_f64());
             }
-            if sparse_best * SPARSE_WIN_MARGIN >= dense_best {
-                first_dense_win = Some(gi);
-                break;
+            if sparse_lost.is_none() && sparse_best * SPARSE_WIN_MARGIN >= dense_best {
+                sparse_lost = Some(gi);
+            }
+            if packed_lost.is_none() && packed_best * SPARSE_WIN_MARGIN >= dense_best {
+                packed_lost = Some(gi);
             }
         }
-        thresholds.push(match first_dense_win {
-            Some(0) => 0.0,
-            Some(gi) => (DENSITY_GRID[gi - 1] + DENSITY_GRID[gi]) / 2.0,
-            None => 1.01,
-        });
+        thresholds.push(crossover_from(sparse_lost));
+        packed_thresholds.push(crossover_from(packed_lost));
     }
-    Ok(thresholds)
+    Ok((thresholds, packed_thresholds))
 }
 
 /// Measures `net`'s lockstep throughput at each candidate width on a
@@ -296,10 +365,10 @@ pub fn autotune_batch(
     cfg.validate()?;
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let max_width = *cfg.widths.iter().max().expect("nonempty widths");
-    let density_thresholds = if cfg.calibrate_density {
+    let (mut density_thresholds, mut packed_thresholds) = if cfg.calibrate_density {
         calibrate_density_thresholds(net, max_width, cfg, &mut rng)?
     } else {
-        Vec::new()
+        (Vec::new(), Vec::new())
     };
     let images = warmup_images(&mut rng, max_width, net.input_len());
     let eval = EvalConfig::new(scheme, cfg.steps).with_phase_period(cfg.phase_period);
@@ -309,6 +378,7 @@ pub fn autotune_batch(
         engine.set_dispatch(DispatchPolicy {
             mode: DispatchMode::Auto,
             thresholds: density_thresholds.clone(),
+            packed_thresholds: packed_thresholds.clone(),
         });
         let refs: Vec<&[f32]> = images[..width].iter().map(|v| v.as_slice()).collect();
         let mut best = f64::INFINITY;
@@ -338,15 +408,15 @@ pub fn autotune_batch(
             preferred = probe;
         }
     }
-    let density_thresholds = if cfg.calibrate_density && preferred.width != max_width {
-        calibrate_density_thresholds(net, preferred.width, cfg, &mut rng)?
-    } else {
-        density_thresholds
-    };
+    if cfg.calibrate_density && preferred.width != max_width {
+        (density_thresholds, packed_thresholds) =
+            calibrate_density_thresholds(net, preferred.width, cfg, &mut rng)?;
+    }
     Ok(BatchPolicy {
         preferred_batch: preferred.width,
         probes,
         density_thresholds,
+        packed_thresholds,
     })
 }
 
@@ -414,9 +484,15 @@ mod tests {
         let net = tiny_network();
         let scheme = CodingScheme::new(InputCoding::Real, HiddenCoding::Rate);
         let policy = autotune_batch(&net, scheme, &quick_cfg()).unwrap();
-        // One crossover per hidden stage plus the output synapse.
+        // One crossover per hidden stage plus the output synapse, for
+        // both challengers.
         assert_eq!(policy.density_thresholds.len(), net.layers().len() + 1);
-        for &th in &policy.density_thresholds {
+        assert_eq!(policy.packed_thresholds.len(), net.layers().len() + 1);
+        for &th in policy
+            .density_thresholds
+            .iter()
+            .chain(&policy.packed_thresholds)
+        {
             assert!((0.0..=1.01).contains(&th), "crossover {th} out of range");
         }
         // Calibration off → no thresholds recorded.
@@ -426,6 +502,7 @@ mod tests {
         };
         let policy = autotune_batch(&net, scheme, &cfg).unwrap();
         assert!(policy.density_thresholds.is_empty());
+        assert!(policy.packed_thresholds.is_empty());
     }
 
     #[test]

@@ -86,16 +86,30 @@ use std::time::Instant;
 /// [`crate::autotune::autotune_batch`].
 pub const DEFAULT_DENSITY_CROSSOVER: f32 = 0.05;
 
-/// How the engine chooses between the sparse and dense kernels.
+/// Packed-kernel crossover for stages without a calibrated threshold:
+/// below this density the bit-plane packed kernel
+/// ([`crate::synapse::Synapse::accumulate_batch_packed`]) runs instead
+/// of the sparse event replay. Uncalibrated it mirrors
+/// [`DEFAULT_DENSITY_CROSSOVER`] — the packed replay's register
+/// blocking makes it at worst the event path's equal, so wherever
+/// sparse used to win by default, packed now runs. Measure the real
+/// per-stage crossovers with [`crate::autotune::autotune_batch`].
+pub const DEFAULT_PACKED_CROSSOVER: f32 = 0.05;
+
+/// How the engine chooses between the packed, sparse, and dense
+/// kernels.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum DispatchMode {
-    /// Per (stage, step): sparse below the stage's density crossover.
+    /// Per (stage, step): packed below the stage's packed crossover,
+    /// else sparse below the density crossover, else dense.
     #[default]
     Auto,
     /// Always the dense lockstep kernels (the pre-dispatch behavior).
     ForceDense,
     /// Always the sparse event-list kernels.
     ForceSparse,
+    /// Always the bit-plane packed kernels.
+    ForcePacked,
 }
 
 /// The engine's kernel-dispatch configuration.
@@ -107,6 +121,10 @@ pub struct DispatchPolicy {
     /// final entry for the output synapse. Missing entries (or an empty
     /// vector) fall back to [`DEFAULT_DENSITY_CROSSOVER`].
     pub thresholds: Vec<f32>,
+    /// Per-stage packed-kernel crossovers, same layout. Below a
+    /// stage's entry the packed kernel preempts the sparse one;
+    /// missing entries fall back to [`DEFAULT_PACKED_CROSSOVER`].
+    pub packed_thresholds: Vec<f32>,
 }
 
 impl DispatchPolicy {
@@ -115,15 +133,24 @@ impl DispatchPolicy {
         DispatchPolicy {
             mode,
             thresholds: Vec::new(),
+            packed_thresholds: Vec::new(),
         }
     }
 
-    /// The crossover for one stage index.
+    /// The sparse/dense crossover for one stage index.
     fn threshold(&self, stage: usize) -> f32 {
         self.thresholds
             .get(stage)
             .copied()
             .unwrap_or(DEFAULT_DENSITY_CROSSOVER)
+    }
+
+    /// The packed crossover for one stage index.
+    fn packed_threshold(&self, stage: usize) -> f32 {
+        self.packed_thresholds
+            .get(stage)
+            .copied()
+            .unwrap_or(DEFAULT_PACKED_CROSSOVER)
     }
 }
 
@@ -134,6 +161,8 @@ pub struct StageDispatchStats {
     pub dense_steps: u64,
     /// Steps executed with the sparse event-list kernel.
     pub sparse_steps: u64,
+    /// Steps executed with the bit-plane packed kernel.
+    pub packed_steps: u64,
     /// Steps that reused the cached PSP (no kernel ran).
     pub cached_steps: u64,
     /// Sum of the observed input densities over executed steps.
@@ -143,7 +172,7 @@ pub struct StageDispatchStats {
 impl StageDispatchStats {
     /// Mean input density over the steps that ran a kernel.
     pub fn mean_density(&self) -> f64 {
-        let executed = self.dense_steps + self.sparse_steps;
+        let executed = self.dense_steps + self.sparse_steps + self.packed_steps;
         if executed == 0 {
             0.0
         } else {
@@ -160,6 +189,8 @@ pub enum KernelKind {
     Dense,
     /// The sparse event-list kernel ran.
     Sparse,
+    /// The bit-plane packed kernel ran.
+    Packed,
     /// The cached first-stage PSP was replayed (no kernel ran).
     Cached,
 }
@@ -173,6 +204,7 @@ const DENSITY_FP: f64 = 1_000_000.0;
 struct StageProfileCell {
     dense_steps: AtomicU64,
     sparse_steps: AtomicU64,
+    packed_steps: AtomicU64,
     cached_steps: AtomicU64,
     /// Density × [`DENSITY_FP`], summed over dense + sparse steps.
     density_fp_sum: AtomicU64,
@@ -233,6 +265,11 @@ impl ProfileSink {
                 cell.density_fp_sum
                     .fetch_add((density * DENSITY_FP) as u64, Ordering::Relaxed);
             }
+            KernelKind::Packed => {
+                cell.packed_steps.fetch_add(1, Ordering::Relaxed);
+                cell.density_fp_sum
+                    .fetch_add((density * DENSITY_FP) as u64, Ordering::Relaxed);
+            }
             KernelKind::Cached => {
                 cell.cached_steps.fetch_add(1, Ordering::Relaxed);
             }
@@ -254,6 +291,7 @@ impl ProfileSink {
         for cell in &self.stages {
             cell.dense_steps.store(0, Ordering::Relaxed);
             cell.sparse_steps.store(0, Ordering::Relaxed);
+            cell.packed_steps.store(0, Ordering::Relaxed);
             cell.cached_steps.store(0, Ordering::Relaxed);
             cell.density_fp_sum.store(0, Ordering::Relaxed);
             cell.kernel_nanos.store(0, Ordering::Relaxed);
@@ -272,7 +310,8 @@ impl ProfileSink {
                 .map(|cell| {
                     let dense = cell.dense_steps.load(Ordering::Relaxed);
                     let sparse = cell.sparse_steps.load(Ordering::Relaxed);
-                    let executed = dense + sparse;
+                    let packed = cell.packed_steps.load(Ordering::Relaxed);
+                    let executed = dense + sparse + packed;
                     let mean_density = if executed == 0 {
                         0.0
                     } else {
@@ -283,6 +322,7 @@ impl ProfileSink {
                     StageProfileSnapshot {
                         dense_steps: dense,
                         sparse_steps: sparse,
+                        packed_steps: packed,
                         cached_steps: cell.cached_steps.load(Ordering::Relaxed),
                         mean_density,
                         kernel_nanos: cell.kernel_nanos.load(Ordering::Relaxed),
@@ -316,6 +356,8 @@ pub struct StageProfileSnapshot {
     pub dense_steps: u64,
     /// Steps executed with the sparse event-list kernel.
     pub sparse_steps: u64,
+    /// Steps executed with the bit-plane packed kernel.
+    pub packed_steps: u64,
     /// Steps that replayed the cached PSP (no kernel ran).
     pub cached_steps: u64,
     /// Mean input density over the steps that ran a kernel.
@@ -327,7 +369,7 @@ pub struct StageProfileSnapshot {
 impl StageProfileSnapshot {
     /// Total steps accounted to this stage.
     pub fn total_steps(&self) -> u64 {
-        self.dense_steps + self.sparse_steps + self.cached_steps
+        self.dense_steps + self.sparse_steps + self.packed_steps + self.cached_steps
     }
 }
 
@@ -360,6 +402,21 @@ struct StageState {
     /// layout into the batch-innermost membrane, so no standalone
     /// transpose pass ever runs.
     psp_lane_major: bool,
+    /// Bit-plane of `out`, built by `fire_lanes` in the same pass that
+    /// writes the spikes: one `u64` per neuron, bit `b` set iff lane
+    /// `b` fired this step. Rebuilt every step at the current width
+    /// (so retirement compaction never has to remap it) and consumed
+    /// by the *next* stage's packed kernel within the same `step`
+    /// call.
+    plane_masks: Vec<u64>,
+    /// The step's single spike magnitude when the threshold policy is
+    /// uniform across neurons and lanes (fixed/phase) — the degenerate
+    /// one-entry exponent plane. `None` for burst layers, whose
+    /// magnitudes the packed replay reads off `out` directly.
+    plane_uniform: Option<f32>,
+    /// Whether `plane_masks` was built this step (lockstep width fit
+    /// the 64-bit plane and the dispatch mode can select packed).
+    planes_valid: bool,
 }
 
 impl StageState {
@@ -373,6 +430,9 @@ impl StageState {
         self.out.clear();
         self.out.resize(len, 0.0);
         self.psp_lane_major = false;
+        self.plane_masks.clear();
+        self.plane_uniform = None;
+        self.planes_valid = false;
     }
 
     fn remove_column(&mut self, width: usize, col: usize) {
@@ -478,6 +538,14 @@ pub struct BatchedNetwork {
     /// whenever the width changes.
     input_psp_cache: Vec<PspSlot>,
     dispatch: DispatchPolicy,
+    /// Per-stage magnitude base for the packed kernel's exponent
+    /// plane: stage `k`'s input spikes carry the presynaptic layer's
+    /// threshold, so magnitudes are `vth · 2^j` exactly (phase halving
+    /// and power-of-two burst growth are exact in `f32`). `None` when
+    /// the presynaptic magnitudes have no common power-of-two base
+    /// (non-pow2 burst β, analog input) — the packed kernel then
+    /// carries every magnitude on its raw side channel.
+    packed_base: Vec<Option<f32>>,
     scratch: KernelScratch,
     /// Per-stage dispatch counters (hidden stages, then the output
     /// synapse); reset by [`begin_batch`](Self::begin_batch).
@@ -502,6 +570,21 @@ impl BatchedNetwork {
         }
         let stages = vec![StageState::default(); template.layers().len()];
         let n_dispatch = template.layers().len() + 1;
+        // Stage k ≥ 1 is fed by layer k − 1's spikes, whose magnitudes
+        // are that layer's threshold at fire time: vth (fixed),
+        // vth · 2^−(1+phase) (phase), or vth · g with g a power of β
+        // (burst) — all exact `vth · 2^j` when β is a power of two.
+        // Stage 0's base depends on the input coding; the driver
+        // installs it via `set_input_magnitude_base`.
+        let mut packed_base = vec![None; n_dispatch];
+        for (k, layer) in template.layers().iter().enumerate() {
+            packed_base[k + 1] = match layer.policy() {
+                ThresholdPolicy::Fixed { vth } | ThresholdPolicy::Phase { vth, .. } => Some(vth),
+                ThresholdPolicy::Burst { vth, beta } => {
+                    crate::synapse::is_exact_pow2(beta).then_some(vth)
+                }
+            };
+        }
         Ok(BatchedNetwork {
             template,
             max_batch,
@@ -514,6 +597,7 @@ impl BatchedNetwork {
             input_nnz: Vec::new(),
             input_psp_cache: Vec::new(),
             dispatch: DispatchPolicy::default(),
+            packed_base,
             scratch: KernelScratch::default(),
             stats: vec![StageDispatchStats::default(); n_dispatch],
             profile: None,
@@ -543,6 +627,19 @@ impl BatchedNetwork {
     /// The active kernel-dispatch policy.
     pub fn dispatch(&self) -> &DispatchPolicy {
         &self.dispatch
+    }
+
+    /// Declares the common power-of-two base of the *staged input's*
+    /// spike magnitudes, enabling the packed kernel's exponent plane
+    /// on stage 0: `Some(1.0)` for rate coding (unit spikes) and phase
+    /// coding (`2^−k` weights), `None` for analog drives (real coding)
+    /// or anything else. A wrong base never corrupts results — the
+    /// packed pack pass verifies each magnitude's reconstruction
+    /// bit-exactly and falls back to raw storage — it only wastes the
+    /// plane. Hidden-stage bases are derived from the layer thresholds
+    /// at construction.
+    pub fn set_input_magnitude_base(&mut self, base: Option<f32>) {
+        self.packed_base[0] = base;
     }
 
     /// Per-stage dispatch counters of the current batch (one entry per
@@ -714,6 +811,15 @@ impl BatchedNetwork {
             )));
         }
         let step_t0 = self.profile.is_some().then(Instant::now);
+        // Fire packs each stage's spike row into its bit-plane in the
+        // same pass whenever the packed kernel could consume it: the
+        // width must fit the 64-bit mask plane and the dispatch mode
+        // must be able to select packed.
+        let build_planes = w <= 64
+            && matches!(
+                self.dispatch.mode,
+                DispatchMode::Auto | DispatchMode::ForcePacked
+            );
         for (k, layer) in self.template.layers().iter().enumerate() {
             let stage_t0 = self.profile.is_some().then(Instant::now);
             let (done, rest) = self.stages.split_at_mut(k);
@@ -722,6 +828,16 @@ impl BatchedNetwork {
                 &self.input_soa
             } else {
                 &done[k - 1].out
+            };
+            // Stage k's packed kernel replays the bit-plane stage k−1's
+            // fire built earlier in this same step; stage 0 has no
+            // presynaptic fire pass and self-packs instead.
+            let planes = if k == 0 {
+                None
+            } else {
+                let prev = &done[k - 1];
+                prev.planes_valid
+                    .then_some((prev.plane_masks.as_slice(), prev.plane_uniform))
             };
             // 1. PSP accumulation, dispatched on the input's spike
             // density; the first stage may serve straight from the
@@ -745,7 +861,7 @@ impl BatchedNetwork {
                 (KernelKind::Cached, 0.0)
             } else {
                 let events = stage_events(k, w, &self.input_nnz, spike_counts);
-                let sparse = accumulate_dispatched(
+                let kind = accumulate_dispatched(
                     layer.synapse(),
                     input,
                     &mut stage.psp,
@@ -753,25 +869,24 @@ impl BatchedNetwork {
                     events,
                     &self.dispatch,
                     k,
+                    self.packed_base[k],
+                    planes,
                     &mut self.scratch,
                     &mut self.stats[k],
                 )?;
-                stage.psp_lane_major = sparse;
+                // Sparse and packed kernels both write lane-major.
+                let lane_major = kind != KernelKind::Dense;
+                stage.psp_lane_major = lane_major;
                 if let Some(tok) = token {
                     if self.input_psp_cache.len() < MAX_INPUT_PSP_SLOTS {
                         self.input_psp_cache.push(PspSlot {
                             token: tok,
                             psp: stage.psp.clone(),
-                            lane_major: sparse,
+                            lane_major,
                         });
                     }
                 }
-                integrate(&mut stage.vmem, &stage.psp, sparse, n, w);
-                let kind = if sparse {
-                    KernelKind::Sparse
-                } else {
-                    KernelKind::Dense
-                };
+                integrate(&mut stage.vmem, &stage.psp, lane_major, n, w);
                 (
                     kind,
                     events as f64 / (layer.synapse().input_len() * w) as f64,
@@ -784,9 +899,10 @@ impl BatchedNetwork {
                     }
                 }
             }
-            // 3–4. Fire, reset, update burst functions, count spikes.
+            // 3–4. Fire, reset, update burst functions, count spikes —
+            // and pack the spike row's bit-plane in the same pass.
             let counts = &mut spike_counts[(k + 1) * w..(k + 2) * w];
-            fire_lanes(
+            stage.plane_uniform = fire_lanes(
                 layer.policy(),
                 layer.reset_mode(),
                 t,
@@ -795,7 +911,9 @@ impl BatchedNetwork {
                 &mut stage.out,
                 counts,
                 w,
+                build_planes.then_some(&mut stage.plane_masks),
             );
+            stage.planes_valid = build_planes;
             if let (Some(sink), Some(t0)) = (&self.profile, stage_t0) {
                 sink.record_stage(k, kind, density, t0.elapsed().as_nanos() as u64);
             }
@@ -809,7 +927,11 @@ impl BatchedNetwork {
         let k_out = self.stages.len();
         let out_t0 = self.profile.is_some().then(Instant::now);
         let events = stage_events(k_out, w, &self.input_nnz, spike_counts);
-        self.out_psp_lane_major = accumulate_dispatched(
+        let out_planes = self.stages.last().and_then(|s| {
+            s.planes_valid
+                .then_some((s.plane_masks.as_slice(), s.plane_uniform))
+        });
+        let out_kind = accumulate_dispatched(
             self.template.output_synapse(),
             last_out,
             &mut self.out_psp,
@@ -817,9 +939,12 @@ impl BatchedNetwork {
             events,
             &self.dispatch,
             k_out,
+            self.packed_base[k_out],
+            out_planes,
             &mut self.scratch,
             &mut self.stats[k_out],
         )?;
+        self.out_psp_lane_major = out_kind != KernelKind::Dense;
         integrate(
             &mut self.out_vmem,
             &self.out_psp,
@@ -835,14 +960,9 @@ impl BatchedNetwork {
             }
         }
         if let Some(sink) = &self.profile {
-            let kind = if self.out_psp_lane_major {
-                KernelKind::Sparse
-            } else {
-                KernelKind::Dense
-            };
             let density = events as f64 / (self.template.output_synapse().input_len() * w) as f64;
             if let Some(t0) = out_t0 {
-                sink.record_stage(k_out, kind, density, t0.elapsed().as_nanos() as u64);
+                sink.record_stage(k_out, out_kind, density, t0.elapsed().as_nanos() as u64);
             }
             if let Some(t0) = step_t0 {
                 sink.record_step(t0.elapsed().as_nanos() as u64);
@@ -902,33 +1022,66 @@ fn accumulate_dispatched(
     events: u64,
     dispatch: &DispatchPolicy,
     stage_idx: usize,
+    base: Option<f32>,
+    planes: Option<(&[u64], Option<f32>)>,
     scratch: &mut KernelScratch,
     st: &mut StageDispatchStats,
-) -> Result<bool, SnnError> {
+) -> Result<KernelKind, SnnError> {
     let density = events as f64 / (syn.input_len() * w) as f64;
-    let sparse = match dispatch.mode {
-        DispatchMode::ForceDense => false,
-        DispatchMode::ForceSparse => true,
-        DispatchMode::Auto => (density as f32) < dispatch.threshold(stage_idx),
+    let kind = match dispatch.mode {
+        DispatchMode::ForceDense => KernelKind::Dense,
+        DispatchMode::ForceSparse => KernelKind::Sparse,
+        DispatchMode::ForcePacked => KernelKind::Packed,
+        DispatchMode::Auto => {
+            let d = density as f32;
+            if d < dispatch.packed_threshold(stage_idx) {
+                KernelKind::Packed
+            } else if d < dispatch.threshold(stage_idx) {
+                KernelKind::Sparse
+            } else {
+                KernelKind::Dense
+            }
+        }
     };
     psp.iter_mut().for_each(|p| *p = 0.0);
-    if sparse {
-        syn.accumulate_batch_sparse(input, psp, w, scratch)?;
-    } else {
-        syn.accumulate_batch(input, psp, w)?;
+    match kind {
+        KernelKind::Dense => {
+            syn.accumulate_batch(input, psp, w)?;
+            st.dense_steps += 1;
+        }
+        KernelKind::Sparse => {
+            syn.accumulate_batch_sparse(input, psp, w, scratch)?;
+            st.sparse_steps += 1;
+        }
+        KernelKind::Packed => {
+            // Hidden-fed stages replay the bit-plane fire built during
+            // staging; stage 0 (and any caller without planes)
+            // self-packs from the input SoA.
+            match planes {
+                Some((masks, uniform)) => syn
+                    .accumulate_batch_packed_planes(input, psp, w, masks, uniform, base, scratch)?,
+                None => syn.accumulate_batch_packed(input, psp, w, base, scratch)?,
+            }
+            st.packed_steps += 1;
+        }
+        KernelKind::Cached => unreachable!("cache hits never dispatch a kernel"),
     }
     st.density_sum += density;
-    if sparse {
-        st.sparse_steps += 1;
-    } else {
-        st.dense_steps += 1;
-    }
-    Ok(sparse)
+    Ok(kind)
 }
 
 /// The fire/reset/burst update of one stage across all lanes, batch
 /// innermost, reproducing [`crate::SpikingLayer::step`] exactly per
 /// lane.
+///
+/// When `masks` is `Some`, a trailing [`pack_fire_masks`] sweep packs
+/// the spike rows into their bit-planes — one `u64` per neuron, bit
+/// `b` set iff lane `b` fired — so the next stage's packed kernel gets
+/// its planes without rescanning the input SoA. Callers only request
+/// planes at widths ≤ 64. Returns the step's uniform spike magnitude
+/// (the one-entry exponent plane) when the policy has one: fixed and
+/// phase thresholds are uniform across neurons and lanes; burst
+/// magnitudes are not.
 #[allow(clippy::too_many_arguments)]
 fn fire_lanes(
     policy: ThresholdPolicy,
@@ -939,15 +1092,19 @@ fn fire_lanes(
     out: &mut [f32],
     counts: &mut [u64],
     width: usize,
-) {
+    masks: Option<&mut Vec<u64>>,
+) -> Option<f32> {
+    debug_assert!(masks.is_none() || width <= 64);
     match policy {
         ThresholdPolicy::Fixed { vth } => {
-            fire_uniform_threshold(vth, reset, vmem, out, counts, width);
+            fire_uniform_threshold(vth, reset, vmem, out, counts, width, masks);
+            Some(vth)
         }
         ThresholdPolicy::Phase { vth, period } => {
             let phase = (t % period as u64) as i32;
             let th = vth * 0.5f32.powi(1 + phase);
-            fire_uniform_threshold(th, reset, vmem, out, counts, width);
+            fire_uniform_threshold(th, reset, vmem, out, counts, width, masks);
+            Some(th)
         }
         ThresholdPolicy::Burst { vth, beta } => {
             for ((vrow, grow), orow) in vmem
@@ -972,12 +1129,15 @@ fn fire_lanes(
                     counts[l] += fire as u64;
                 }
             }
+            pack_fire_masks(out, width, masks);
+            None
         }
     }
 }
 
 /// Fire/reset for policies whose threshold is uniform across neurons
-/// and lanes at a given step (fixed and phase).
+/// and lanes at a given step (fixed and phase); `masks` requests the
+/// trailing bit-plane sweep ([`pack_fire_masks`]).
 fn fire_uniform_threshold(
     th: f32,
     reset: ResetMode,
@@ -985,6 +1145,7 @@ fn fire_uniform_threshold(
     out: &mut [f32],
     counts: &mut [u64],
     width: usize,
+    masks: Option<&mut Vec<u64>>,
 ) {
     for (vrow, orow) in vmem
         .chunks_exact_mut(width)
@@ -1002,6 +1163,27 @@ fn fire_uniform_threshold(
                 vrow[l]
             };
             counts[l] += fire as u64;
+        }
+    }
+    pack_fire_masks(out, width, masks);
+}
+
+/// Pack the just-written spike rows into per-neuron bit-planes, one
+/// `u64` per neuron with bit `b` set iff lane `b` fired.
+///
+/// This runs as a separate pass *after* the fire loop on purpose:
+/// folding `mrow |= (fire as u64) << l` into the fire body introduces a
+/// loop-carried scalar dependency with a variable shift that defeats
+/// SLP vectorization of the whole fire update. A second sweep over the
+/// cache-hot spike rows with the branch-free `movmskps` fold
+/// ([`crate::synapse::lane_mask`]) keeps fire at full SIMD speed and
+/// packs 4 lanes per instruction.
+#[inline(always)]
+fn pack_fire_masks(out: &[f32], width: usize, masks: Option<&mut Vec<u64>>) {
+    if let Some(masks) = masks {
+        masks.clear();
+        for orow in out.chunks_exact(width) {
+            masks.push(crate::synapse::lane_mask(orow));
         }
     }
 }
@@ -1169,6 +1351,11 @@ impl<'net> BatchedStepwiseInference<'net> {
             .filter(|&p| (p as usize) <= MAX_INPUT_PSP_SLOTS)
             .map(u64::from);
         let input_is_spiking = cfg.scheme.input != InputCoding::Real;
+        // Spiking input codings emit unit-base magnitudes: 1.0 (rate,
+        // TTFS) or 2^−(1+phase) (phase) — all exactly `1.0 · 2^j`, so
+        // the packed kernel's exponent plane covers stage 0. Real
+        // coding stages an analog drive with no common base.
+        net.set_input_magnitude_base(input_is_spiking.then_some(1.0));
         let cache_rows = if input_is_spiking {
             input_period.unwrap_or(0) as usize
         } else {
@@ -1596,6 +1783,7 @@ mod tests {
         for mode in [
             DispatchMode::ForceDense,
             DispatchMode::ForceSparse,
+            DispatchMode::ForcePacked,
             DispatchMode::Auto,
         ] {
             let mut engine = BatchedNetwork::new(tiny_network(0.25), 2).unwrap();
@@ -1606,18 +1794,29 @@ mod tests {
             pots.push((0..2).map(|l| run.output_potentials(l)).collect::<Vec<_>>());
             // Every (stage, step) is accounted to exactly one bucket.
             for st in engine.dispatch_stats() {
-                assert_eq!(st.dense_steps + st.sparse_steps + st.cached_steps, 7);
+                assert_eq!(
+                    st.dense_steps + st.sparse_steps + st.packed_steps + st.cached_steps,
+                    7
+                );
                 assert!(st.mean_density() >= 0.0 && st.mean_density() <= 1.0);
             }
             let stats = engine.dispatch_stats();
             match mode {
-                DispatchMode::ForceDense => assert!(stats.iter().all(|s| s.sparse_steps == 0)),
-                DispatchMode::ForceSparse => assert!(stats.iter().all(|s| s.dense_steps == 0)),
+                DispatchMode::ForceDense => {
+                    assert!(stats.iter().all(|s| s.sparse_steps + s.packed_steps == 0))
+                }
+                DispatchMode::ForceSparse => {
+                    assert!(stats.iter().all(|s| s.dense_steps + s.packed_steps == 0))
+                }
+                DispatchMode::ForcePacked => {
+                    assert!(stats.iter().all(|s| s.dense_steps + s.sparse_steps == 0))
+                }
                 DispatchMode::Auto => {}
             }
         }
         assert_eq!(pots[0], pots[1], "sparse vs dense bit drift");
-        assert_eq!(pots[0], pots[2], "auto vs dense bit drift");
+        assert_eq!(pots[0], pots[2], "packed vs dense bit drift");
+        assert_eq!(pots[0], pots[3], "auto vs dense bit drift");
     }
 
     #[test]
@@ -1651,6 +1850,7 @@ mod tests {
         for (st, ds) in snap.stages.iter().zip(engine.dispatch_stats()) {
             assert_eq!(st.dense_steps, ds.dense_steps);
             assert_eq!(st.sparse_steps, ds.sparse_steps);
+            assert_eq!(st.packed_steps, ds.packed_steps);
             assert_eq!(st.cached_steps, ds.cached_steps);
         }
         sink.reset();

@@ -94,14 +94,22 @@ pub struct SpikingLayer {
     g: Vec<f32>,
     out: Vec<f32>,
     psp: Vec<f32>,
-    /// Input-generation token of the cached `psp`: when the caller
-    /// presents the same token again, the PSP is reused without
-    /// recomputation (real input coding drives the first stage with a
-    /// constant analog vector, so its generation never changes within a
-    /// run). `None` when nothing is cached.
-    cached_token: Option<u64>,
+    /// Cached PSP rows keyed by input-generation token: when the caller
+    /// presents a token it has seen before, the matching PSP is reused
+    /// without recomputation. Real input coding drives the first stage
+    /// with a constant analog vector (one generation per run); periodic
+    /// encoders (phase, TTFS) cycle through at most `period`
+    /// generations, so each distinct token's synapse pass runs once and
+    /// every later period replays from here. Bounded at
+    /// [`MAX_PSP_SLOTS`]; a `None` token clears all slots.
+    psp_slots: Vec<(u64, Vec<f32>)>,
     reset: ResetMode,
 }
+
+/// Upper bound on cached PSP generations per layer — covers every
+/// practical phase period / TTFS window while keeping the worst-case
+/// memory at 32 PSP rows. Matches the lockstep engine's slot cap.
+const MAX_PSP_SLOTS: usize = 32;
 
 impl SpikingLayer {
     /// Builds a spiking layer.
@@ -133,7 +141,7 @@ impl SpikingLayer {
             g: vec![1.0; n],
             out: vec![0.0; n],
             psp: vec![0.0; n],
-            cached_token: None,
+            psp_slots: Vec::new(),
             reset: ResetMode::Subtraction,
         })
     }
@@ -192,7 +200,7 @@ impl SpikingLayer {
     pub fn reset(&mut self) {
         self.vmem.iter_mut().for_each(|v| *v = 0.0);
         self.g.iter_mut().for_each(|g| *g = 1.0);
-        self.cached_token = None;
+        self.psp_slots.clear();
     }
 
     /// The threshold of neuron `j` at time `t` under the current state.
@@ -225,13 +233,14 @@ impl SpikingLayer {
     /// token*.
     ///
     /// The token identifies the content of `input`: callers that know
-    /// their drive signal is unchanged since the previous step (e.g. real
-    /// input coding's constant analog vector) pass the same `Some(token)`
-    /// again, and the layer reuses the previously computed PSP without an
-    /// O(n) buffer compare or clone. `None` (or a changed token) always
-    /// recomputes — the token alone governs caching. Passing an unchanged
-    /// token with *different* input contents is a caller contract
-    /// violation and yields stale PSPs.
+    /// their drive signal repeats a previously seen generation (real
+    /// input coding's constant analog vector, or a periodic encoder
+    /// re-emitting phase `t mod k`) pass that generation's `Some(token)`
+    /// again, and the layer reuses the PSP it computed for it without an
+    /// O(n) buffer compare. `None` always recomputes and drops every
+    /// cached generation — the token alone governs caching. Passing a
+    /// previously used token with *different* input contents is a caller
+    /// contract violation and yields stale PSPs.
     ///
     /// # Errors
     ///
@@ -243,15 +252,33 @@ impl SpikingLayer {
         t: u64,
         token: Option<u64>,
     ) -> Result<&[f32], SnnError> {
-        // 1. PSP accumulation (reused when the generation token matches).
-        let reuse = token.is_some() && self.cached_token == token;
-        if !reuse {
-            self.psp.iter_mut().for_each(|p| *p = 0.0);
-            self.synapse.accumulate(input, &mut self.psp)?;
-            self.cached_token = token;
-        }
-        for (v, p) in self.vmem.iter_mut().zip(&self.psp) {
-            *v += p;
+        // 1. PSP accumulation (replayed when a cached generation
+        //    matches the token).
+        let hit = token.and_then(|tok| self.psp_slots.iter().position(|(k, _)| *k == tok));
+        match hit {
+            Some(idx) => {
+                for (v, p) in self.vmem.iter_mut().zip(&self.psp_slots[idx].1) {
+                    *v += p;
+                }
+            }
+            None => {
+                self.psp.iter_mut().for_each(|p| *p = 0.0);
+                self.synapse.accumulate(input, &mut self.psp)?;
+                match token {
+                    Some(tok) => {
+                        if self.psp_slots.len() == MAX_PSP_SLOTS {
+                            // Degenerate caller (more generations than
+                            // slots): start over rather than thrash.
+                            self.psp_slots.clear();
+                        }
+                        self.psp_slots.push((tok, self.psp.clone()));
+                    }
+                    None => self.psp_slots.clear(),
+                }
+                for (v, p) in self.vmem.iter_mut().zip(&self.psp) {
+                    *v += p;
+                }
+            }
         }
         if let Some(b) = &self.bias {
             for (v, bb) in self.vmem.iter_mut().zip(b) {
@@ -580,6 +607,29 @@ mod tests {
         // `None` step recomputes rather than resurrecting stale PSPs.
         let _ = l.step_with_token(&[1.0, 0.0], 4, Some(8)).unwrap();
         assert_eq!(l.potentials()[0], v2[0] + 2.0);
+    }
+
+    #[test]
+    fn psp_cache_replays_periodic_generations() {
+        // Three generations cycling as a periodic encoder would drive
+        // them: the second period must replay each generation from its
+        // slot even though newer generations were cached in between
+        // (the single-slot cache this replaced could not).
+        let mut l = identity_layer(2, ThresholdPolicy::Fixed { vth: 1e9 });
+        let gens = [[0.25f32, 0.0], [0.0, 0.5], [0.125, 0.125]];
+        for t in 0..6u64 {
+            let tok = t % 3;
+            let _ = l
+                .step_with_token(&gens[tok as usize], t, Some(tok))
+                .unwrap();
+        }
+        // Every generation integrated exactly twice (all sums exact in
+        // f32).
+        assert_eq!(l.potentials(), &[0.75, 1.25]);
+        // The replay is a true cache hit: a different buffer under a
+        // seen token is not read (the documented caller contract).
+        let _ = l.step_with_token(&[9.0, 9.0], 6, Some(0)).unwrap();
+        assert_eq!(l.potentials(), &[1.0, 1.25]);
     }
 
     #[test]

@@ -156,10 +156,13 @@ pub struct StepwiseInference<'net> {
     t: u64,
     record_input_trains: bool,
     input_is_spiking: bool,
-    /// Input-generation token forwarded to the first stage's PSP cache:
-    /// `Some` (and constant for the whole run) when the encoder's drive
-    /// is static, `None` otherwise.
-    input_token: Option<u64>,
+    /// Period `p` of the encoder's drive, when it is a pure function of
+    /// `t mod p` (real coding: `p = 1`; phase/TTFS: the period/window).
+    /// The first stage's PSP cache is keyed by `t mod p`, so after the
+    /// first period every step replays a cached PSP instead of running
+    /// the synapse. `None` (stateful rate coding, or a period beyond
+    /// the layer's slot budget) disables caching.
+    input_period: Option<u64>,
 }
 
 impl<'net> StepwiseInference<'net> {
@@ -187,7 +190,9 @@ impl<'net> StepwiseInference<'net> {
         let record_input_trains = matches!(cfg.record, RecordLevel::Trains { .. })
             && cfg.scheme.input != InputCoding::Real;
         let input_is_spiking = cfg.scheme.input != InputCoding::Real;
-        let input_token = encoder.is_static().then_some(0);
+        // Cache first-stage PSPs per `t mod p` when the drive is
+        // periodic and the period fits the layer's 32-slot budget.
+        let input_period = encoder.period().map(u64::from).filter(|&p| p <= 32);
         let buf = vec![0.0f32; net.input_len()];
         Ok(StepwiseInference {
             net,
@@ -198,7 +203,7 @@ impl<'net> StepwiseInference<'net> {
             t: 0,
             record_input_trains,
             input_is_spiking,
-            input_token,
+            input_period,
         })
     }
 
@@ -220,8 +225,12 @@ impl<'net> StepwiseInference<'net> {
         } else if self.input_is_spiking {
             self.record.add_count(0, n_in as u64);
         }
-        self.net
-            .step_with_token(&self.buf, t, &mut self.record, self.input_token)?;
+        self.net.step_with_token(
+            &self.buf,
+            t,
+            &mut self.record,
+            self.input_period.map(|p| t % p),
+        )?;
         self.record.end_step();
         self.t += 1;
         Ok(true)
@@ -811,10 +820,14 @@ mod tests {
     #[test]
     fn stepwise_rebuild_matches_seed_path_exactly() {
         let (mut dnn, train, test) = trained_setup();
+        // Phase and TTFS inputs exercise the periodic first-stage PSP
+        // cache (token = t mod period) against the seed's uncached
+        // per-step synapse pass; real input exercises the static token.
         for scheme in [
             CodingScheme::recommended(),
             CodingScheme::new(InputCoding::Real, HiddenCoding::Rate),
             CodingScheme::new(InputCoding::Rate, HiddenCoding::Phase),
+            CodingScheme::new(InputCoding::Ttfs, HiddenCoding::Burst),
         ] {
             let mut snn = snn_for(&mut dnn, &train, scheme);
             for record in [

@@ -11,9 +11,10 @@
 //! autotuned `preferred_batch` lockstep width) between the header and
 //! the network body, so deployment-time measurements travel with the
 //! weights; version 3 extends the block with the per-stage sparse/dense
-//! density crossovers measured by the same autotuning pass. Version-1
-//! and version-2 streams still load (missing fields default). Writers
-//! emit version 3.
+//! density crossovers measured by the same autotuning pass, and
+//! version 4 appends the packed/dense crossovers for the bit-plane
+//! kernels. Version-1 through version-3 streams still load (missing
+//! fields default). Writers emit version 4.
 //!
 //! Only the *static* structure is serialized (weights, thresholds,
 //! geometry); dynamic state (membrane potentials, burst functions) is
@@ -28,7 +29,7 @@ use bsnn_tensor::Tensor;
 use std::io::{self, Read, Write};
 
 const MAGIC: &[u8; 4] = b"BSNN";
-const VERSION: u32 = 3;
+const VERSION: u32 = 4;
 
 /// Deployment metadata carried alongside the network structure.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -42,6 +43,11 @@ pub struct SnapshotMeta {
     /// recorded; consumers fall back to
     /// [`crate::batch::DEFAULT_DENSITY_CROSSOVER`]).
     pub density_thresholds: Vec<f32>,
+    /// Calibrated packed/dense density crossovers for the bit-plane
+    /// kernels, same layout as `density_thresholds` (empty = none
+    /// recorded; consumers fall back to
+    /// [`crate::batch::DEFAULT_PACKED_CROSSOVER`]).
+    pub packed_thresholds: Vec<f32>,
 }
 
 /// Errors from reading or writing a network snapshot.
@@ -282,7 +288,7 @@ pub fn save_network<W: Write>(net: &SpikingNetwork, writer: W) -> Result<(), Sna
     save_network_with_meta(net, SnapshotMeta::default(), writer)
 }
 
-/// Writes a network snapshot carrying `meta` (format version 3).
+/// Writes a network snapshot carrying `meta` (format version 4).
 ///
 /// # Errors
 ///
@@ -296,6 +302,7 @@ pub fn save_network_with_meta<W: Write>(
     write_u32(&mut writer, VERSION)?;
     write_u32(&mut writer, meta.preferred_batch)?;
     write_f32_slice(&mut writer, &meta.density_thresholds)?;
+    write_f32_slice(&mut writer, &meta.packed_thresholds)?;
     write_u32(&mut writer, net.input_len() as u32)?;
     write_u32(&mut writer, net.layers().len() as u32)?;
     for layer in net.layers() {
@@ -342,7 +349,9 @@ pub fn load_network<R: Read>(reader: R) -> Result<SpikingNetwork, SnapshotError>
 /// Reads a network snapshot together with its [`SnapshotMeta`].
 /// Version-1 streams (which predate the metadata block) decode with
 /// default metadata; version-2 streams (which predate the density
-/// crossovers) decode with empty `density_thresholds`.
+/// crossovers) decode with empty `density_thresholds`; version-3
+/// streams (which predate the bit-plane kernels) decode with empty
+/// `packed_thresholds`.
 ///
 /// # Errors
 ///
@@ -364,7 +373,7 @@ pub fn load_network_with_meta<R: Read>(
             preferred_batch: read_u32(&mut reader)?,
             ..SnapshotMeta::default()
         },
-        3 => {
+        3 | 4 => {
             let preferred_batch = read_u32(&mut reader)?;
             let density_thresholds = read_f32_vec(&mut reader)?;
             if density_thresholds.len() > 4097 {
@@ -373,9 +382,22 @@ pub fn load_network_with_meta<R: Read>(
                     density_thresholds.len()
                 )));
             }
+            let packed_thresholds = if version >= 4 {
+                let v = read_f32_vec(&mut reader)?;
+                if v.len() > 4097 {
+                    return Err(SnapshotError::Format(format!(
+                        "implausible packed threshold count {}",
+                        v.len()
+                    )));
+                }
+                v
+            } else {
+                Vec::new()
+            };
             SnapshotMeta {
                 preferred_batch,
                 density_thresholds,
+                packed_thresholds,
             }
         }
         other => {
@@ -484,6 +506,7 @@ mod tests {
             SnapshotMeta {
                 preferred_batch: 16,
                 density_thresholds: vec![0.28125, 0.09375, 0.0],
+                packed_thresholds: vec![0.0625, 0.03125],
             },
             &mut buf,
         )
@@ -491,14 +514,16 @@ mod tests {
         let (_, meta) = load_network_with_meta(buf.as_slice()).expect("load");
         assert_eq!(meta.preferred_batch, 16);
         assert_eq!(meta.density_thresholds, vec![0.28125, 0.09375, 0.0]);
+        assert_eq!(meta.packed_thresholds, vec![0.0625, 0.03125]);
         // A plain save carries no preference.
         let mut plain = Vec::new();
         save_network(&net, &mut plain).expect("save");
         let (_, meta) = load_network_with_meta(plain.as_slice()).expect("load");
         assert_eq!(meta, SnapshotMeta::default());
-        // The v3 header is magic + version + preferred_batch + the
-        // threshold block (count + values); the network body follows.
-        let body = 16 + 4 * 3;
+        // The v4 header is magic + version + preferred_batch + two
+        // threshold blocks (count + values each); the network body
+        // follows.
+        let body = 16 + 4 * 3 + 4 + 4 * 2;
         // A version-1 stream (no meta block at all) still loads, with
         // default metadata.
         let mut v1 = Vec::new();
@@ -519,6 +544,21 @@ mod tests {
         let (restored, meta) = load_network_with_meta(v2.as_slice()).expect("load v2");
         assert_eq!(meta.preferred_batch, 8);
         assert!(meta.density_thresholds.is_empty());
+        assert_eq!(restored.num_neurons(), net.num_neurons());
+        // A version-3 stream (density crossovers, no packed block)
+        // loads with empty packed thresholds.
+        let mut v3 = Vec::new();
+        v3.extend_from_slice(MAGIC);
+        v3.extend_from_slice(&3u32.to_le_bytes());
+        v3.extend_from_slice(&8u32.to_le_bytes());
+        v3.extend_from_slice(&2u32.to_le_bytes());
+        v3.extend_from_slice(&0.25f32.to_le_bytes());
+        v3.extend_from_slice(&0.5f32.to_le_bytes());
+        v3.extend_from_slice(&buf[body..]);
+        let (restored, meta) = load_network_with_meta(v3.as_slice()).expect("load v3");
+        assert_eq!(meta.preferred_batch, 8);
+        assert_eq!(meta.density_thresholds, vec![0.25, 0.5]);
+        assert!(meta.packed_thresholds.is_empty());
         assert_eq!(restored.num_neurons(), net.num_neurons());
     }
 

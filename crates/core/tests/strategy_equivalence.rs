@@ -133,21 +133,27 @@ fn check_policy(
         assert_eq!(&run.layer_counts(lane), counts, "{ctx}: lane {lane} spikes");
     }
     // Accounting sanity: every (stage, step) lands in exactly one
-    // strategy bucket, and forced modes never run the other kernel.
+    // strategy bucket, and forced modes never run another kernel.
     for st in engine.dispatch_stats() {
         assert_eq!(
-            st.dense_steps + st.sparse_steps + st.cached_steps,
+            st.dense_steps + st.sparse_steps + st.packed_steps + st.cached_steps,
             STEPS as u64,
             "{ctx}: dispatch accounting"
         );
     }
     match engine.dispatch().mode {
-        DispatchMode::ForceDense => {
-            assert!(engine.dispatch_stats().iter().all(|s| s.sparse_steps == 0))
-        }
-        DispatchMode::ForceSparse => {
-            assert!(engine.dispatch_stats().iter().all(|s| s.dense_steps == 0))
-        }
+        DispatchMode::ForceDense => assert!(engine
+            .dispatch_stats()
+            .iter()
+            .all(|s| s.sparse_steps == 0 && s.packed_steps == 0)),
+        DispatchMode::ForceSparse => assert!(engine
+            .dispatch_stats()
+            .iter()
+            .all(|s| s.dense_steps == 0 && s.packed_steps == 0)),
+        DispatchMode::ForcePacked => assert!(engine
+            .dispatch_stats()
+            .iter()
+            .all(|s| s.dense_steps == 0 && s.sparse_steps == 0)),
         DispatchMode::Auto => {}
     }
 }
@@ -166,6 +172,7 @@ fn sweep(template: &SpikingNetwork, scheme: CodingScheme, seed: u64) {
             for (mode, name) in [
                 (DispatchMode::ForceSparse, "sparse"),
                 (DispatchMode::ForceDense, "dense"),
+                (DispatchMode::ForcePacked, "packed"),
                 (DispatchMode::Auto, "auto"),
             ] {
                 let ctx = format!("{scheme} active={active} density={pixel_density} {name}");
@@ -179,11 +186,21 @@ fn sweep(template: &SpikingNetwork, scheme: CodingScheme, seed: u64) {
                 );
             }
             // Auto with extreme thresholds degenerates to the forced
-            // modes; a mixed per-stage vector exercises disagreeing
-            // stages within one step.
-            for thresholds in [vec![0.0; 3], vec![1.01; 3], vec![1.01, 0.0, 0.5]] {
-                let ctx =
-                    format!("{scheme} active={active} density={pixel_density} auto{thresholds:?}");
+            // modes; mixed per-stage vectors exercise disagreeing
+            // stages within one step — including stages where the
+            // packed crossover preempts sparse, and mixes of packed
+            // and dense stages.
+            for (thresholds, packed) in [
+                (vec![0.0; 3], vec![0.0; 3]),
+                (vec![1.01; 3], vec![0.0; 3]),
+                (vec![1.01, 0.0, 0.5], vec![0.0; 3]),
+                (vec![1.01; 3], vec![1.01; 3]),
+                (vec![1.01; 3], vec![1.01, 0.0, 1.01]),
+                (vec![0.5, 1.01, 0.0], vec![0.0, 1.01, 0.0]),
+            ] {
+                let ctx = format!(
+                    "{scheme} active={active} density={pixel_density} auto{thresholds:?}/p{packed:?}"
+                );
                 check_policy(
                     template,
                     &images,
@@ -191,6 +208,7 @@ fn sweep(template: &SpikingNetwork, scheme: CodingScheme, seed: u64) {
                     DispatchPolicy {
                         mode: DispatchMode::Auto,
                         thresholds,
+                        packed_thresholds: packed,
                     },
                     &reference,
                     &ctx,
@@ -251,6 +269,7 @@ fn retirement_is_dispatch_invariant() {
     for mode in [
         DispatchMode::ForceSparse,
         DispatchMode::ForceDense,
+        DispatchMode::ForcePacked,
         DispatchMode::Auto,
     ] {
         let mut engine = BatchedNetwork::new(template.clone(), BATCH).unwrap();

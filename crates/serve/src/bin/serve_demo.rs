@@ -211,14 +211,16 @@ fn main() -> ExitCode {
         let policy =
             autotune_batch(&snn, scheme, &AutotuneConfig::default()).expect("autotune probe");
         println!(
-            "autotune: preferred lockstep width {} ({:.2}x vs scalar), density crossovers {:?}",
+            "autotune: preferred lockstep width {} ({:.2}x vs scalar), density crossovers {:?}, packed crossovers {:?}",
             policy.preferred_batch,
             policy.speedup_vs_scalar(),
-            policy.density_thresholds
+            policy.density_thresholds,
+            policy.packed_thresholds
         );
         SnapshotMeta {
             preferred_batch: policy.preferred_batch as u32,
             density_thresholds: policy.density_thresholds,
+            packed_thresholds: policy.packed_thresholds,
         }
     } else {
         SnapshotMeta::default()

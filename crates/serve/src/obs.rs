@@ -20,8 +20,8 @@
 //!   of a dump — used by `bsnn_loadgen --check-shed-metrics` to
 //!   reconcile observed SHED responses against the server's counters.
 //! * **Stage profiles** — [`format_profile`] renders a
-//!   [`bsnn_core::ProfileSnapshot`] (per-stage dense/sparse/cached
-//!   kernel counts, mean firing density, kernel wall time) the way the
+//!   [`bsnn_core::ProfileSnapshot`] (per-stage dense/sparse/packed/
+//!   cached kernel counts, mean firing density, kernel wall time) the way the
 //!   demo binaries print it at exit; the same numbers appear as
 //!   `bsnn_model_stage_*` series in the Prometheus dump.
 //!
@@ -444,6 +444,11 @@ impl MetricsHub {
                 );
                 let _ = writeln!(
                     out,
+                    "bsnn_model_stage_packed_steps_total{{model=\"{label}\",stage=\"{stage}\"}} {}",
+                    s.packed_steps
+                );
+                let _ = writeln!(
+                    out,
                     "bsnn_model_stage_cached_steps_total{{model=\"{label}\",stage=\"{stage}\"}} {}",
                     s.cached_steps
                 );
@@ -521,8 +526,9 @@ pub fn parse_metric(text: &str, name: &str) -> Option<f64> {
 }
 
 /// Renders a per-model [`ProfileSnapshot`] the way the demo binaries
-/// print it at exit: one line per stage with the dense/sparse/cached
-/// kernel mix, mean firing density, and kernel wall time.
+/// print it at exit: one line per stage with the
+/// dense/sparse/packed/cached kernel mix, mean firing density, and
+/// kernel wall time.
 pub fn format_profile(model: &str, profile: &ProfileSnapshot) -> String {
     let mut out = String::new();
     let _ = writeln!(
@@ -535,9 +541,10 @@ pub fn format_profile(model: &str, profile: &ProfileSnapshot) -> String {
     for (stage, s) in profile.stages.iter().enumerate() {
         let _ = writeln!(
             out,
-            "  stage {stage}: dense {} sparse {} cached {}  density {:.4}  kernel {:.2} ms",
+            "  stage {stage}: dense {} sparse {} packed {} cached {}  density {:.4}  kernel {:.2} ms",
             s.dense_steps,
             s.sparse_steps,
+            s.packed_steps,
             s.cached_steps,
             s.mean_density,
             s.kernel_nanos as f64 / 1e6

@@ -39,6 +39,7 @@ pub struct ModelEntry {
     phase_period: u32,
     preferred_batch: Option<usize>,
     density_thresholds: Vec<f32>,
+    packed_thresholds: Vec<f32>,
     profile: Arc<ProfileSink>,
 }
 
@@ -84,6 +85,13 @@ impl ModelEntry {
         &self.density_thresholds
     }
 
+    /// Calibrated per-stage packed/dense density crossovers (empty =
+    /// none measured; engines fall back to
+    /// [`bsnn_core::batch::DEFAULT_PACKED_CROSSOVER`]).
+    pub fn packed_thresholds(&self) -> &[f32] {
+        &self.packed_thresholds
+    }
+
     /// The entry's kernel-profile sink (one cell per stage, hidden
     /// layers + output). Workers with profiling enabled attach it to
     /// their lockstep engines; it accumulates across all of them and
@@ -119,7 +127,15 @@ impl ModelRegistry {
         scheme: CodingScheme,
         phase_period: u32,
     ) -> u64 {
-        self.install_entry(name.into(), network, scheme, phase_period, None, Vec::new())
+        self.install_entry(
+            name.into(),
+            network,
+            scheme,
+            phase_period,
+            None,
+            Vec::new(),
+            Vec::new(),
+        )
     }
 
     /// [`install`](Self::install) with an explicit preferred lockstep
@@ -138,6 +154,7 @@ impl ModelRegistry {
             scheme,
             phase_period,
             (preferred_batch > 0).then_some(preferred_batch),
+            Vec::new(),
             Vec::new(),
         )
     }
@@ -160,6 +177,7 @@ impl ModelRegistry {
             phase_period,
             (policy.preferred_batch > 0).then_some(policy.preferred_batch),
             policy.density_thresholds.clone(),
+            policy.packed_thresholds.clone(),
         )
     }
 
@@ -190,6 +208,7 @@ impl ModelRegistry {
         Ok((epoch, policy))
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn install_entry(
         &self,
         name: String,
@@ -198,6 +217,7 @@ impl ModelRegistry {
         phase_period: u32,
         preferred_batch: Option<usize>,
         density_thresholds: Vec<f32>,
+        packed_thresholds: Vec<f32>,
     ) -> u64 {
         let epoch = self.next_epoch.fetch_add(1, Ordering::Relaxed) + 1;
         // One profile cell per lockstep stage: hidden layers + output.
@@ -210,6 +230,7 @@ impl ModelRegistry {
             phase_period,
             preferred_batch,
             density_thresholds,
+            packed_thresholds,
             profile,
         });
         self.models
@@ -246,6 +267,7 @@ impl ModelRegistry {
             phase_period,
             (preferred > 0).then_some(preferred),
             meta.density_thresholds,
+            meta.packed_thresholds,
         ))
     }
 
@@ -389,6 +411,7 @@ mod tests {
             bsnn_core::snapshot::SnapshotMeta {
                 preferred_batch: 4,
                 density_thresholds: vec![0.1875, 0.375],
+                packed_thresholds: vec![0.0625, 0.03125],
             },
             &mut buf,
         )
@@ -398,11 +421,13 @@ mod tests {
         let shipped = reg.get("shipped").unwrap();
         assert_eq!(shipped.preferred_batch(), Some(4));
         assert_eq!(shipped.density_thresholds(), &[0.1875, 0.375]);
+        assert_eq!(shipped.packed_thresholds(), &[0.0625, 0.03125]);
         // A full measured policy installs both knobs.
         let policy = bsnn_core::autotune::BatchPolicy {
             preferred_batch: 8,
             probes: vec![],
             density_thresholds: vec![0.5, 0.0],
+            packed_thresholds: vec![0.125, 0.0],
         };
         reg.install_with_policy(
             "measured",
@@ -414,6 +439,7 @@ mod tests {
         let measured = reg.get("measured").unwrap();
         assert_eq!(measured.preferred_batch(), Some(8));
         assert_eq!(measured.density_thresholds(), &[0.5, 0.0]);
+        assert_eq!(measured.packed_thresholds(), &[0.125, 0.0]);
     }
 
     #[test]

@@ -89,6 +89,7 @@ fn build_cached(
     engine.set_dispatch(DispatchPolicy {
         mode: DispatchMode::Auto,
         thresholds: entry.density_thresholds().to_vec(),
+        packed_thresholds: entry.packed_thresholds().to_vec(),
     });
     if profile {
         engine.set_profile_sink(Some(Arc::clone(entry.profile())));
