@@ -91,6 +91,6 @@ pub use simulator::{
     EvalResult, ImageResult, StepwiseInference,
 };
 pub use snapshot::{
-    load_network, load_network_with_meta, save_network, save_network_with_meta, SnapshotError,
-    SnapshotMeta,
+    load_network, load_network_with_meta, save_network, save_network_to_path,
+    save_network_with_meta, SnapshotError, SnapshotMeta,
 };

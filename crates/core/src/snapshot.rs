@@ -11,10 +11,20 @@
 //! autotuned `preferred_batch` lockstep width) between the header and
 //! the network body, so deployment-time measurements travel with the
 //! weights; version 3 extends the block with the per-stage sparse/dense
-//! density crossovers measured by the same autotuning pass, and
-//! version 4 appends the packed/dense crossovers for the bit-plane
-//! kernels. Version-1 through version-3 streams still load (missing
-//! fields default). Writers emit version 4.
+//! density crossovers measured by the same autotuning pass, version 4
+//! appends the packed/dense crossovers for the bit-plane kernels, and
+//! version 5 appends an FNV-1a 64 content checksum over the entire
+//! stream (magic through body) as an 8-byte little-endian trailer, so a
+//! torn or bit-flipped file is rejected with a typed
+//! [`SnapshotError::Checksum`] instead of whatever decode error the
+//! corruption happens to trip. Version-1 through version-4 streams
+//! still load (missing fields default, no checksum verified). Writers
+//! emit version 5.
+//!
+//! [`save_network_to_path`] writes through a temp file in the target
+//! directory and atomically renames it into place, so a directory
+//! watcher can never observe (let alone install) a half-written
+//! snapshot.
 //!
 //! Only the *static* structure is serialized (weights, thresholds,
 //! geometry); dynamic state (membrane potentials, burst functions) is
@@ -29,7 +39,54 @@ use bsnn_tensor::Tensor;
 use std::io::{self, Read, Write};
 
 const MAGIC: &[u8; 4] = b"BSNN";
-const VERSION: u32 = 4;
+const VERSION: u32 = 5;
+
+/// FNV-1a 64 offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64 prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a 64 over `bytes`, continuing from `state` (seed with
+/// [`FNV_OFFSET`] via [`fnv1a`] for a fresh digest).
+fn fnv1a_update(mut state: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        state ^= b as u64;
+        state = state.wrapping_mul(FNV_PRIME);
+    }
+    state
+}
+
+/// FNV-1a 64 digest of `bytes` — the checksum function of snapshot
+/// format v5 (public so tools can verify snapshots without decoding
+/// them).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    fnv1a_update(FNV_OFFSET, bytes)
+}
+
+/// A `Read` adapter that folds every byte it hands out into a running
+/// FNV-1a digest, so the loader can checksum the stream exactly as
+/// parsed without buffering it.
+struct HashingReader<R> {
+    inner: R,
+    digest: u64,
+}
+
+impl<R: Read> HashingReader<R> {
+    fn new(inner: R) -> Self {
+        HashingReader {
+            inner,
+            digest: FNV_OFFSET,
+        }
+    }
+}
+
+impl<R: Read> Read for HashingReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.digest = fnv1a_update(self.digest, &buf[..n]);
+        Ok(n)
+    }
+}
 
 /// Deployment metadata carried alongside the network structure.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -57,6 +114,14 @@ pub enum SnapshotError {
     Io(io::Error),
     /// The stream is not a BSNN snapshot or uses an unsupported version.
     Format(String),
+    /// The v5 content checksum does not match the stream — the file is
+    /// torn or bit-flipped.
+    Checksum {
+        /// Checksum recorded in the stream's trailer.
+        expected: u64,
+        /// Checksum computed over the stream as read.
+        actual: u64,
+    },
     /// The decoded structure is internally inconsistent.
     Invalid(SnnError),
 }
@@ -66,6 +131,11 @@ impl std::fmt::Display for SnapshotError {
         match self {
             SnapshotError::Io(e) => write!(f, "snapshot i/o failed: {e}"),
             SnapshotError::Format(msg) => write!(f, "invalid snapshot format: {msg}"),
+            SnapshotError::Checksum { expected, actual } => write!(
+                f,
+                "snapshot checksum mismatch: stream says {expected:#018x}, \
+                 content hashes to {actual:#018x}"
+            ),
             SnapshotError::Invalid(e) => write!(f, "snapshot decodes to invalid network: {e}"),
         }
     }
@@ -76,7 +146,7 @@ impl std::error::Error for SnapshotError {
         match self {
             SnapshotError::Io(e) => Some(e),
             SnapshotError::Invalid(e) => Some(e),
-            SnapshotError::Format(_) => None,
+            SnapshotError::Format(_) | SnapshotError::Checksum { .. } => None,
         }
     }
 }
@@ -288,12 +358,60 @@ pub fn save_network<W: Write>(net: &SpikingNetwork, writer: W) -> Result<(), Sna
     save_network_with_meta(net, SnapshotMeta::default(), writer)
 }
 
-/// Writes a network snapshot carrying `meta` (format version 4).
+/// Writes a network snapshot carrying `meta` (format version 5: the
+/// stream ends with an FNV-1a 64 checksum over everything before it).
 ///
 /// # Errors
 ///
 /// Returns I/O errors from the writer.
 pub fn save_network_with_meta<W: Write>(
+    net: &SpikingNetwork,
+    meta: SnapshotMeta,
+    mut writer: W,
+) -> Result<(), SnapshotError> {
+    // Serialize into memory first so the checksum covers the exact
+    // bytes written and the caller's writer sees one contiguous stream.
+    let mut buf = Vec::new();
+    write_snapshot_body(net, meta, &mut buf)?;
+    let digest = fnv1a(&buf);
+    buf.extend_from_slice(&digest.to_le_bytes());
+    writer.write_all(&buf)?;
+    Ok(())
+}
+
+/// Writes a network snapshot to `path` atomically: the bytes go to a
+/// `.tmp` sibling first and are renamed into place only once complete,
+/// so a concurrent reader (e.g. a snapshot watcher) can never observe a
+/// torn file under `path`.
+///
+/// # Errors
+///
+/// Returns I/O errors from writing or renaming the temp file.
+pub fn save_network_to_path<P: AsRef<std::path::Path>>(
+    net: &SpikingNetwork,
+    meta: SnapshotMeta,
+    path: P,
+) -> Result<(), SnapshotError> {
+    let path = path.as_ref();
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    let result = (|| {
+        let mut file = std::fs::File::create(&tmp)?;
+        save_network_with_meta(net, meta, &mut file)?;
+        file.sync_all()?;
+        drop(file);
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// Serializes the whole snapshot except the v5 checksum trailer.
+fn write_snapshot_body<W: Write>(
     net: &SpikingNetwork,
     meta: SnapshotMeta,
     mut writer: W,
@@ -351,16 +469,19 @@ pub fn load_network<R: Read>(reader: R) -> Result<SpikingNetwork, SnapshotError>
 /// default metadata; version-2 streams (which predate the density
 /// crossovers) decode with empty `density_thresholds`; version-3
 /// streams (which predate the bit-plane kernels) decode with empty
-/// `packed_thresholds`.
+/// `packed_thresholds`; version-4 streams (which predate the content
+/// checksum) decode without integrity verification.
 ///
 /// # Errors
 ///
 /// Returns [`SnapshotError::Format`] for corrupt or foreign streams,
-/// and [`SnapshotError::Invalid`] if the decoded stages are mutually
-/// inconsistent.
+/// [`SnapshotError::Checksum`] when a v5 stream's content does not
+/// hash to its recorded trailer, and [`SnapshotError::Invalid`] if the
+/// decoded stages are mutually inconsistent.
 pub fn load_network_with_meta<R: Read>(
-    mut reader: R,
+    reader: R,
 ) -> Result<(SpikingNetwork, SnapshotMeta), SnapshotError> {
+    let mut reader = HashingReader::new(reader);
     let mut magic = [0u8; 4];
     reader.read_exact(&mut magic)?;
     if &magic != MAGIC {
@@ -373,7 +494,7 @@ pub fn load_network_with_meta<R: Read>(
             preferred_batch: read_u32(&mut reader)?,
             ..SnapshotMeta::default()
         },
-        3 | 4 => {
+        3..=5 => {
             let preferred_batch = read_u32(&mut reader)?;
             let density_thresholds = read_f32_vec(&mut reader)?;
             if density_thresholds.len() > 4097 {
@@ -438,6 +559,17 @@ pub fn load_network_with_meta<R: Read>(
         tag => return Err(SnapshotError::Format(format!("unknown bias tag {tag}"))),
     };
     let net = SpikingNetwork::new(input_len, layers, output_synapse, output_bias)?;
+    if version >= 5 {
+        // The digest must be captured before the trailer passes through
+        // the hashing reader (the checksum covers magic through body).
+        let actual = reader.digest;
+        let mut trailer = [0u8; 8];
+        reader.read_exact(&mut trailer)?;
+        let expected = u64::from_le_bytes(trailer);
+        if expected != actual {
+            return Err(SnapshotError::Checksum { expected, actual });
+        }
+    }
     Ok((net, meta))
 }
 
@@ -520,10 +652,12 @@ mod tests {
         save_network(&net, &mut plain).expect("save");
         let (_, meta) = load_network_with_meta(plain.as_slice()).expect("load");
         assert_eq!(meta, SnapshotMeta::default());
-        // The v4 header is magic + version + preferred_batch + two
+        // The v5 header is magic + version + preferred_batch + two
         // threshold blocks (count + values each); the network body
-        // follows.
+        // follows, and the stream ends with the 8-byte checksum trailer
+        // (stripped below — pre-v5 streams have no trailer).
         let body = 16 + 4 * 3 + 4 + 4 * 2;
+        let buf = &buf[..buf.len() - 8];
         // A version-1 stream (no meta block at all) still loads, with
         // default metadata.
         let mut v1 = Vec::new();
@@ -560,6 +694,78 @@ mod tests {
         assert_eq!(meta.density_thresholds, vec![0.25, 0.5]);
         assert!(meta.packed_thresholds.is_empty());
         assert_eq!(restored.num_neurons(), net.num_neurons());
+        // A version-4 stream (full meta block, no checksum trailer) is
+        // exactly the v5 bytes minus the trailer with the version
+        // rewritten — it loads without integrity verification.
+        let mut v4 = buf.to_vec();
+        v4[4..8].copy_from_slice(&4u32.to_le_bytes());
+        let (restored, meta) = load_network_with_meta(v4.as_slice()).expect("load v4");
+        assert_eq!(meta.preferred_batch, 16);
+        assert_eq!(meta.packed_thresholds, vec![0.0625, 0.03125]);
+        assert_eq!(restored.num_neurons(), net.num_neurons());
+    }
+
+    #[test]
+    fn checksum_rejects_bit_flips_anywhere_in_the_body() {
+        let (net, _, _) = sample_network(HiddenCoding::Rate);
+        let mut buf = Vec::new();
+        save_network(&net, &mut buf).expect("save");
+        assert!(load_network(buf.as_slice()).is_ok(), "pristine loads");
+        // Flip one bit at several deterministic offsets spread across
+        // the stream; every corruption must be rejected, and ones the
+        // structural decode can't see must be caught by the checksum.
+        let len = buf.len() - 8; // body only; trailer flips are covered below
+        let mut checksum_hits = 0;
+        for k in 1..=7u64 {
+            let at = (k.wrapping_mul(0x9e37_79b9_7f4a_7c15) % len as u64) as usize;
+            let mut bad = buf.clone();
+            bad[at] ^= 1 << (k % 8);
+            match load_network(bad.as_slice()) {
+                Ok(_) => panic!("bit flip at {at} loaded"),
+                Err(SnapshotError::Checksum { expected, actual }) => {
+                    assert_ne!(expected, actual);
+                    checksum_hits += 1;
+                }
+                Err(_) => {} // structural decode tripped first — fine
+            }
+        }
+        assert!(checksum_hits > 0, "checksum must catch silent flips");
+        // A flipped trailer byte is also a checksum mismatch.
+        let mut bad = buf.clone();
+        let at = buf.len() - 3;
+        bad[at] ^= 0x10;
+        assert!(matches!(
+            load_network(bad.as_slice()),
+            Err(SnapshotError::Checksum { .. })
+        ));
+    }
+
+    #[test]
+    fn atomic_path_save_round_trips_and_leaves_no_temp_file() {
+        let dir = std::env::temp_dir().join(format!(
+            "bsnn-snap-atomic-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.bsnn");
+        let (net, _, _) = sample_network(HiddenCoding::Rate);
+        let meta = SnapshotMeta {
+            preferred_batch: 4,
+            ..SnapshotMeta::default()
+        };
+        save_network_to_path(&net, meta, &path).expect("atomic save");
+        let file = std::fs::File::open(&path).unwrap();
+        let (restored, meta) = load_network_with_meta(file).expect("load");
+        assert_eq!(meta.preferred_batch, 4);
+        assert_eq!(restored.num_neurons(), net.num_neurons());
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|x| x == "tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "temp file must be renamed away");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

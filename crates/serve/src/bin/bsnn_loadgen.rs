@@ -11,9 +11,12 @@
 //! Assertion flags turn the report into an exit code for CI:
 //! `--min-completed-rps`, `--require-shed`, `--max-protocol-errors`,
 //! `--max-p99-us` (p99 ceiling on admitted traffic), `--max-dropped`,
-//! `--check-shed-metrics` (the server's `bsnn_net_responses_shed_total`
-//! delta over the run must equal the SHED responses this generator
-//! observed). Observability flags write artifacts: `--json` dumps the
+//! `--max-deadline-exceeded` (ceiling on `DEADLINE_EXCEEDED` responses
+//! when `--deadline-us` is set), `--check-shed-metrics` (the server's
+//! `bsnn_net_responses_shed_total` delta over the run must equal the
+//! SHED responses this generator observed), and
+//! `--check-deadline-metrics` (same reconciliation for the server's
+//! deadline and degraded response counters). Observability flags write artifacts: `--json` dumps the
 //! report as machine-readable JSON, `--dump-metrics` fetches the
 //! server's Prometheus text dump over a `STATS` frame, and
 //! `--dump-trace` fetches its sampled Chrome trace (Perfetto-loadable;
@@ -41,15 +44,18 @@ struct Args {
     connections: usize,
     steps: usize,
     policy: String,
+    deadline_us: u64,
     min_completed_rps: f64,
     require_shed: bool,
     max_protocol_errors: Option<usize>,
     max_p99_us: Option<u64>,
     max_dropped: Option<usize>,
+    max_deadline_exceeded: Option<usize>,
     json: Option<String>,
     dump_metrics: Option<String>,
     dump_trace: Option<String>,
     check_shed_metrics: bool,
+    check_deadline_metrics: bool,
 }
 
 impl Default for Args {
@@ -63,15 +69,18 @@ impl Default for Args {
             connections: 2,
             steps: 96,
             policy: "margin".into(),
+            deadline_us: 0, // 0 = no deadline
             min_completed_rps: 0.0,
             require_shed: false,
             max_protocol_errors: None,
             max_p99_us: None,
             max_dropped: None,
+            max_deadline_exceeded: None,
             json: None,
             dump_metrics: None,
             dump_trace: None,
             check_shed_metrics: false,
+            check_deadline_metrics: false,
         }
     }
 }
@@ -79,9 +88,10 @@ impl Default for Args {
 fn usage() -> &'static str {
     "bsnn_loadgen [--addr A] [--model M] [--rps R] [--burst B] \
      [--duration-s S] [--connections K] [--steps N] [--policy margin|fixed] \
-     [--min-completed-rps R] [--require-shed] [--max-protocol-errors N] \
-     [--max-p99-us T] [--max-dropped N] [--json F] [--dump-metrics F] \
-     [--dump-trace F] [--check-shed-metrics]"
+     [--deadline-us T] [--min-completed-rps R] [--require-shed] \
+     [--max-protocol-errors N] [--max-p99-us T] [--max-dropped N] \
+     [--max-deadline-exceeded N] [--json F] [--dump-metrics F] \
+     [--dump-trace F] [--check-shed-metrics] [--check-deadline-metrics]"
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -114,6 +124,11 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--steps: {e}"))?
             }
             "--policy" => args.policy = value("--policy")?,
+            "--deadline-us" => {
+                args.deadline_us = value("--deadline-us")?
+                    .parse()
+                    .map_err(|e| format!("--deadline-us: {e}"))?
+            }
             "--min-completed-rps" => {
                 args.min_completed_rps = value("--min-completed-rps")?
                     .parse()
@@ -141,10 +156,18 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("--max-dropped: {e}"))?,
                 )
             }
+            "--max-deadline-exceeded" => {
+                args.max_deadline_exceeded = Some(
+                    value("--max-deadline-exceeded")?
+                        .parse()
+                        .map_err(|e| format!("--max-deadline-exceeded: {e}"))?,
+                )
+            }
             "--json" => args.json = Some(value("--json")?),
             "--dump-metrics" => args.dump_metrics = Some(value("--dump-metrics")?),
             "--dump-trace" => args.dump_trace = Some(value("--dump-trace")?),
             "--check-shed-metrics" => args.check_shed_metrics = true,
+            "--check-deadline-metrics" => args.check_deadline_metrics = true,
             "--help" | "-h" => return Err(usage().to_string()),
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
         }
@@ -186,6 +209,7 @@ fn main() -> ExitCode {
     let spec = OpenLoadSpec {
         connections: args.connections,
         policy,
+        deadline: (args.deadline_us > 0).then(|| Duration::from_micros(args.deadline_us)),
         ..OpenLoadSpec::new(
             args.model.clone(),
             arrival,
@@ -211,6 +235,23 @@ fn main() -> ExitCode {
             Ok(v) => Some(v),
             Err(e) => {
                 eprintln!("metrics baseline fetch failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        None
+    };
+    // Same cumulative-delta reconciliation for the deadline and
+    // degraded counters.
+    let fault_before = if args.check_deadline_metrics {
+        let fetch = |name| fetch_metric(&args.addr, name);
+        match (
+            fetch("bsnn_net_responses_deadline_total"),
+            fetch("bsnn_net_responses_degraded_total"),
+        ) {
+            (Ok(deadline), Ok(degraded)) => Some((deadline, degraded)),
+            (Err(e), _) | (_, Err(e)) => {
+                eprintln!("deadline metrics baseline fetch failed: {e}");
                 return ExitCode::FAILURE;
             }
         }
@@ -302,6 +343,15 @@ fn main() -> ExitCode {
             failed = true;
         }
     }
+    if let Some(max) = args.max_deadline_exceeded {
+        if report.deadline_exceeded > max {
+            eprintln!(
+                "FAIL: {} deadline-exceeded responses (max {max})",
+                report.deadline_exceeded
+            );
+            failed = true;
+        }
+    }
     if let Some(before) = shed_before {
         match fetch_metric(&args.addr, "bsnn_net_responses_shed_total") {
             Ok(after) => {
@@ -324,6 +374,38 @@ fn main() -> ExitCode {
                 failed = true;
             }
         }
+    }
+    if let Some((deadline_before, degraded_before)) = fault_before {
+        let reconcile =
+            |name: &str, before: f64, observed: usize, failed: &mut bool| match fetch_metric(
+                &args.addr, name,
+            ) {
+                Ok(after) => {
+                    let delta = (after - before).round() as i64;
+                    if delta != observed as i64 {
+                        eprintln!("FAIL: server {name} delta {delta} != {observed} observed");
+                        *failed = true;
+                    } else {
+                        println!("{name} reconciles: server delta {delta} == observed {observed}");
+                    }
+                }
+                Err(e) => {
+                    eprintln!("FAIL: {name} re-fetch failed: {e}");
+                    *failed = true;
+                }
+            };
+        reconcile(
+            "bsnn_net_responses_deadline_total",
+            deadline_before,
+            report.deadline_exceeded,
+            &mut failed,
+        );
+        reconcile(
+            "bsnn_net_responses_degraded_total",
+            degraded_before,
+            report.degraded,
+            &mut failed,
+        );
     }
     if failed {
         return ExitCode::FAILURE;

@@ -42,6 +42,9 @@ struct Args {
     linger_us: u64,
     queue_capacity: usize,
     watermark: usize,
+    degrade_watermark: usize,
+    degrade_max_steps: usize,
+    quarantine_after: usize,
     max_connections: usize,
     run_secs: u64,
     stats_every_secs: u64,
@@ -63,7 +66,10 @@ impl Default for Args {
             max_batch: 8,
             linger_us: 200,
             queue_capacity: 1024,
-            watermark: 0, // 0 = 3/4 of queue capacity
+            watermark: 0,         // 0 = 3/4 of queue capacity
+            degrade_watermark: 0, // 0 = brownout off
+            degrade_max_steps: 0, // 0 = library default (32)
+            quarantine_after: 3,
             max_connections: 1024,
             run_secs: 0, // forever
             stats_every_secs: 0,
@@ -78,6 +84,7 @@ impl Default for Args {
 fn usage() -> &'static str {
     "bsnn_server [--addr A] [--demo-model] [--snapshot-dir D] [--workers W] \
      [--batch B] [--linger-us T] [--queue-cap C] [--watermark H] \
+     [--degrade-watermark H] [--degrade-max-steps N] [--quarantine-after N] \
      [--max-conns N] [--run-secs S] [--stats-every-s S] \
      [--metrics-addr A] [--trace-out F] [--trace-sample N] [--profile]"
 }
@@ -115,6 +122,21 @@ fn parse_args() -> Result<Args, String> {
                 args.watermark = value("--watermark")?
                     .parse()
                     .map_err(|e| format!("--watermark: {e}"))?
+            }
+            "--degrade-watermark" => {
+                args.degrade_watermark = value("--degrade-watermark")?
+                    .parse()
+                    .map_err(|e| format!("--degrade-watermark: {e}"))?
+            }
+            "--degrade-max-steps" => {
+                args.degrade_max_steps = value("--degrade-max-steps")?
+                    .parse()
+                    .map_err(|e| format!("--degrade-max-steps: {e}"))?
+            }
+            "--quarantine-after" => {
+                args.quarantine_after = value("--quarantine-after")?
+                    .parse()
+                    .map_err(|e| format!("--quarantine-after: {e}"))?
             }
             "--max-conns" => {
                 args.max_connections = value("--max-conns")?
@@ -208,6 +230,8 @@ fn main() -> ExitCode {
                 ..TraceConfig::default()
             },
             profile: args.profile,
+            quarantine_threshold: args.quarantine_after,
+            ..ServeConfig::default()
         },
         Arc::clone(&registry),
     ) {
@@ -237,6 +261,9 @@ fn main() -> ExitCode {
         max_connections: args.max_connections,
         shed: ShedConfig {
             queue_high_watermark: args.watermark,
+            degrade_watermark: args.degrade_watermark,
+            degraded_max_steps: args.degrade_max_steps,
+            ..ShedConfig::default()
         },
         ..NetConfig::default()
     };

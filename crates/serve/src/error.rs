@@ -24,6 +24,16 @@ pub enum ServeError {
     Simulation(SnnError),
     /// Loading a model snapshot failed.
     Snapshot(String),
+    /// A model snapshot's content checksum did not match — the file is
+    /// torn or bit-flipped. Distinct from [`ServeError::Snapshot`] so
+    /// the watcher can count integrity failures separately.
+    SnapshotChecksum(String),
+    /// The request's deadline expired before a worker could serve it
+    /// (checked at admission, at dequeue, and at batch formation).
+    DeadlineExceeded,
+    /// The model has been quarantined by the worker supervisor after
+    /// repeatedly panicking workers (poison-model detection).
+    ModelQuarantined(String),
     /// A runtime-internal failure that is not the caller's fault: a
     /// worker thread could not be spawned, or a request was dropped
     /// without a response (e.g. a worker panicked). Often retryable.
@@ -40,6 +50,16 @@ impl fmt::Display for ServeError {
             ServeError::InvalidConfig(msg) => write!(f, "invalid serve configuration: {msg}"),
             ServeError::Simulation(e) => write!(f, "simulation failed: {e}"),
             ServeError::Snapshot(msg) => write!(f, "model snapshot failed to load: {msg}"),
+            ServeError::SnapshotChecksum(msg) => {
+                write!(f, "model snapshot failed integrity check: {msg}")
+            }
+            ServeError::DeadlineExceeded => write!(f, "request deadline exceeded"),
+            ServeError::ModelQuarantined(name) => {
+                write!(
+                    f,
+                    "model `{name}` is quarantined after repeated worker panics"
+                )
+            }
             ServeError::Internal(msg) => write!(f, "internal runtime failure: {msg}"),
         }
     }

@@ -1,0 +1,187 @@
+//! Deterministic fault injection for chaos testing.
+//!
+//! A [`FaultPlan`] is a *budgeted, seeded* description of the faults a
+//! test wants injected — worker panics attributed to a named model,
+//! dequeue stalls that let deadlines expire in the queue — plus pure
+//! helpers for deterministically corrupting snapshot bytes. The plan
+//! itself contains no wall-clock reads and no RNG: every decision is a
+//! counter decrement, and every corruption site is derived from a caller
+//! seed through [`splitmix64`]. Running the same test twice injects the
+//! same faults at the same points.
+//!
+//! The hooks are threaded into the worker pool through
+//! [`crate::ServeConfig::fault_plan`]; a `None` plan (the default)
+//! compiles to a handful of never-taken branches, so production builds
+//! pay nothing for the harness.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// A budgeted fault-injection plan shared between a test and the worker
+/// pool it targets. All budgets are consumed atomically, so plans are
+/// safe to share across workers; a zero budget (the default) makes every
+/// hook inert.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    /// Model whose groups trigger injected panics while the budget
+    /// lasts.
+    panic_model: Option<String>,
+    /// Remaining injected panics.
+    panic_budget: AtomicU64,
+    /// How long one injected dequeue stall pauses a worker.
+    stall: Duration,
+    /// Remaining injected stalls.
+    stall_budget: AtomicU64,
+}
+
+impl FaultPlan {
+    /// An inert plan (no faults armed).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arms `times` injected worker panics, fired whenever a worker is
+    /// about to serve a group for `model`. The panic unwinds through the
+    /// normal drop-guard path, so it exercises exactly what a real
+    /// poisoned model would.
+    #[must_use]
+    pub fn panic_on_model(mut self, model: impl Into<String>, times: u64) -> Self {
+        self.panic_model = Some(model.into());
+        self.panic_budget = AtomicU64::new(times);
+        self
+    }
+
+    /// Arms `times` dequeue stalls of `pause` each: a worker about to
+    /// pop sleeps first, letting queued deadlines expire while the queue
+    /// backs up.
+    #[must_use]
+    pub fn stall_dequeue(mut self, pause: Duration, times: u64) -> Self {
+        self.stall = pause;
+        self.stall_budget = AtomicU64::new(times);
+        self
+    }
+
+    /// Remaining armed panics (tests assert the budget was consumed).
+    pub fn panics_remaining(&self) -> u64 {
+        self.panic_budget.load(Ordering::Relaxed)
+    }
+
+    /// Remaining armed stalls.
+    pub fn stalls_remaining(&self) -> u64 {
+        self.stall_budget.load(Ordering::Relaxed)
+    }
+
+    /// Atomically consumes one unit of `budget`; returns whether a unit
+    /// was available.
+    fn consume(budget: &AtomicU64) -> bool {
+        budget
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |b| b.checked_sub(1))
+            .is_ok()
+    }
+
+    /// Worker hook: panics if a panic is armed for `model`.
+    pub(crate) fn maybe_panic(&self, model: &str) {
+        if self.panic_model.as_deref() == Some(model) && Self::consume(&self.panic_budget) {
+            panic!("injected worker panic for model `{model}`");
+        }
+    }
+
+    /// Worker hook: sleeps one stall if a stall is armed.
+    pub(crate) fn maybe_stall(&self) {
+        if Self::consume(&self.stall_budget) {
+            std::thread::sleep(self.stall);
+        }
+    }
+}
+
+/// One step of the splitmix64 sequence: advances `state` and returns the
+/// next output. A tiny, well-distributed PRF — exactly enough to derive
+/// deterministic corruption sites from a test seed.
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Flips one seed-determined bit in `bytes` and returns the byte offset
+/// flipped. Same seed + same length → same flip.
+///
+/// # Panics
+///
+/// Panics if `bytes` is empty (nothing to corrupt).
+pub fn corrupt_bit(bytes: &mut [u8], seed: u64) -> usize {
+    assert!(!bytes.is_empty(), "nothing to corrupt");
+    let mut state = seed;
+    let offset = (splitmix64(&mut state) % bytes.len() as u64) as usize;
+    let bit = (splitmix64(&mut state) % 8) as u8;
+    bytes[offset] ^= 1 << bit;
+    offset
+}
+
+/// A seed-determined strictly-smaller length to truncate a `len`-byte
+/// stream at (always ≥ 1 byte shorter, never empty-to-empty). Same seed
+/// + same length → same cut.
+///
+/// # Panics
+///
+/// Panics if `len` is zero.
+pub fn truncate_len(len: usize, seed: u64) -> usize {
+    assert!(len > 0, "nothing to truncate");
+    let mut state = seed ^ len as u64;
+    (splitmix64(&mut state) % len as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budgets_are_consumed_exactly() {
+        let plan = FaultPlan::new()
+            .panic_on_model("poison", 2)
+            .stall_dequeue(Duration::ZERO, 1);
+        assert_eq!(plan.panics_remaining(), 2);
+        // A non-matching model never consumes the budget.
+        plan.maybe_panic("healthy");
+        assert_eq!(plan.panics_remaining(), 2);
+        for _ in 0..2 {
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                plan.maybe_panic("poison")
+            }));
+            assert!(r.is_err(), "armed panic must fire");
+        }
+        assert_eq!(plan.panics_remaining(), 0);
+        // Budget exhausted: the hook is inert again.
+        plan.maybe_panic("poison");
+        plan.maybe_stall();
+        assert_eq!(plan.stalls_remaining(), 0);
+        plan.maybe_stall();
+    }
+
+    #[test]
+    fn corruption_is_deterministic() {
+        let original = vec![0xa5u8; 64];
+        let mut a = original.clone();
+        let mut b = original.clone();
+        assert_eq!(corrupt_bit(&mut a, 7), corrupt_bit(&mut b, 7));
+        assert_eq!(a, b);
+        assert_ne!(a, original, "exactly one bit differs");
+        let diff: u32 = a
+            .iter()
+            .zip(&original)
+            .map(|(x, y)| (x ^ y).count_ones())
+            .sum();
+        assert_eq!(diff, 1);
+        // Different seeds explore different sites (over a few tries).
+        let mut sites = std::collections::HashSet::new();
+        for seed in 0..8u64 {
+            let mut c = original.clone();
+            sites.insert((corrupt_bit(&mut c, seed), c));
+        }
+        assert!(sites.len() > 1);
+        assert_eq!(truncate_len(100, 3), truncate_len(100, 3));
+        assert!(truncate_len(100, 3) < 100);
+    }
+}

@@ -47,6 +47,16 @@
 //!   directory and hot-installs `name.bsnn` files once their
 //!   (mtime, length) is stable; a corrupt file keeps the old model
 //!   live.
+//! * **Fault tolerance** ([`supervisor`], [`fault`], [`shed`]) —
+//!   panicked workers are respawned in place with fresh engine caches
+//!   and a model that repeatedly kills workers is quarantined
+//!   (poison-model detection); optional per-request deadlines are
+//!   checked at admission, dequeue, and batch formation with
+//!   earliest-deadline-first queue ordering; a Normal → Degraded → Shed
+//!   brownout controller tightens exit policies (the paper's anytime
+//!   knob) before it starts refusing; and a seeded, budgeted
+//!   [`fault::FaultPlan`] injects worker panics, dequeue stalls, and
+//!   snapshot corruption deterministically for chaos tests.
 //! * **Observability** ([`obs`]) — sampled request lifecycle tracing
 //!   into a lock-free ring ([`obs::Tracer`], exported as Perfetto-
 //!   loadable Chrome trace JSON), a Prometheus-style metrics dump
@@ -71,6 +81,7 @@
 
 pub mod error;
 pub mod exit;
+pub mod fault;
 pub mod loadgen;
 pub mod metrics;
 pub mod net;
@@ -80,6 +91,7 @@ pub mod registry;
 pub mod request;
 pub mod runtime;
 pub mod shed;
+pub mod supervisor;
 pub mod watch;
 mod worker;
 
@@ -88,13 +100,15 @@ pub use error::ServeError;
 pub use exit::{
     run_batch_with_policies, run_batch_with_policies_each, run_with_policy, ExitOutcome,
 };
+pub use fault::FaultPlan;
 pub use loadgen::{
     run_closed_loop, run_open_loop, run_open_loop_net, ArrivalProcess, LoadReport, LoadSpec,
     OpenLoadReport, OpenLoadSpec,
 };
 pub use metrics::{Histogram, MetricsSnapshot, ServeMetrics};
 pub use net::{
-    NetClient, NetConfig, NetResponse, NetServer, NetServerHandle, NetStatsHandle, NetStatsSnapshot,
+    BackoffPolicy, NetClient, NetConfig, NetResponse, NetServer, NetServerHandle, NetStatsHandle,
+    NetStatsSnapshot,
 };
 pub use obs::{
     format_profile, parse_metric, MetricsHub, SpanKind, TraceConfig, TraceEvent, Tracer,
@@ -103,5 +117,8 @@ pub use queue::{BatchQueue, PushError};
 pub use registry::{ModelEntry, ModelRegistry};
 pub use request::{ExitPolicy, ExitReason, InferRequest, InferResponse, ResponseHandle};
 pub use runtime::{ServeConfig, ServeRuntime};
-pub use shed::{AdmissionControl, AdmitError, ShedConfig, ShedReason};
+pub use shed::{
+    degrade_policy, AdmissionControl, AdmitError, BrownoutState, ShedConfig, ShedReason,
+};
+pub use supervisor::Supervisor;
 pub use watch::{SnapshotWatcher, WatchConfig, WatchHandle, WatchStatsHandle};

@@ -16,7 +16,7 @@
 //! omission).
 
 use crate::metrics::Histogram;
-use crate::net::{decode_response, encode_request, FrameReader, NetResponse};
+use crate::net::{decode_response, encode_request_with_deadline, FrameReader, NetResponse};
 use crate::request::{ExitPolicy, ExitReason, InferRequest, ResponseHandle};
 use crate::runtime::ServeRuntime;
 use crate::shed::{AdmissionControl, AdmitError, ShedConfig};
@@ -222,6 +222,11 @@ pub struct OpenLoadSpec {
     /// Admission control used by the in-process runner (the networked
     /// runner sheds server-side and ignores this).
     pub shed: ShedConfig,
+    /// Optional per-request deadline, measured from each request's
+    /// *scheduled* arrival (a generator that falls behind charges its
+    /// own lateness against the deadline, consistent with how latency
+    /// is measured). `None` sends no deadline.
+    pub deadline: Option<Duration>,
 }
 
 impl OpenLoadSpec {
@@ -236,6 +241,7 @@ impl OpenLoadSpec {
             model: model.into(),
             drain_timeout: Duration::from_secs(5),
             shed: ShedConfig::default(),
+            deadline: None,
         }
     }
 }
@@ -251,6 +257,12 @@ pub struct OpenLoadReport {
     pub completed: usize,
     /// Requests refused with an explicit SHED.
     pub shed: usize,
+    /// Requests answered `DEADLINE_EXCEEDED` (refused at admission or
+    /// expired before a batch lane would take them).
+    pub deadline_exceeded: usize,
+    /// Completed requests served under brownout with a tightened exit
+    /// policy (the response's degraded flag; a subset of `completed`).
+    pub degraded: usize,
     /// Requests answered with an error (or rejected non-shed).
     pub errors: usize,
     /// Admitted requests still unanswered when the drain timeout hit.
@@ -281,7 +293,8 @@ impl OpenLoadReport {
         format!(
             concat!(
                 "{{\"offered\":{},\"admitted\":{},\"completed\":{},",
-                "\"shed\":{},\"errors\":{},\"dropped\":{},",
+                "\"shed\":{},\"deadline_exceeded\":{},\"degraded\":{},",
+                "\"errors\":{},\"dropped\":{},",
                 "\"protocol_errors\":{},\"elapsed_secs\":{:.6},",
                 "\"offered_rps\":{:.3},\"completed_rps\":{:.3},",
                 "\"latency_us_p50\":{},\"latency_us_p95\":{},",
@@ -291,6 +304,8 @@ impl OpenLoadReport {
             self.admitted,
             self.completed,
             self.shed,
+            self.deadline_exceeded,
+            self.degraded,
             self.errors,
             self.dropped,
             self.protocol_errors,
@@ -314,8 +329,14 @@ impl fmt::Display for OpenLoadReport {
         )?;
         writeln!(
             f,
-            "outcomes   shed {}  errors {}  dropped {}  protocol-errors {}",
-            self.shed, self.errors, self.dropped, self.protocol_errors
+            "outcomes   shed {}  deadline-exceeded {}  degraded {}  errors {}  dropped {}  \
+             protocol-errors {}",
+            self.shed,
+            self.deadline_exceeded,
+            self.degraded,
+            self.errors,
+            self.dropped,
+            self.protocol_errors
         )?;
         write!(
             f,
@@ -333,6 +354,8 @@ struct OpenTally {
     admitted: AtomicUsize,
     completed: AtomicUsize,
     shed: AtomicUsize,
+    deadline_exceeded: AtomicUsize,
+    degraded: AtomicUsize,
     errors: AtomicUsize,
     dropped: AtomicUsize,
     protocol_errors: AtomicUsize,
@@ -352,6 +375,8 @@ fn open_report(
         admitted: tally.admitted.load(Ordering::Relaxed),
         completed,
         shed: tally.shed.load(Ordering::Relaxed),
+        deadline_exceeded: tally.deadline_exceeded.load(Ordering::Relaxed),
+        degraded: tally.degraded.load(Ordering::Relaxed),
         errors: tally.errors.load(Ordering::Relaxed),
         dropped: tally.dropped.load(Ordering::Relaxed),
         protocol_errors: tally.protocol_errors.load(Ordering::Relaxed),
@@ -422,9 +447,15 @@ pub fn run_open_loop(
                         if pending[i].1.is_ready() {
                             let (scheduled, handle) = pending.swap_remove(i);
                             match handle.wait() {
-                                Ok(_) => {
+                                Ok(resp) => {
                                     tally.completed.fetch_add(1, Ordering::Relaxed);
+                                    if resp.degraded {
+                                        tally.degraded.fetch_add(1, Ordering::Relaxed);
+                                    }
                                     latency.record(scheduled.elapsed().as_micros().max(1) as u64);
+                                }
+                                Err(ServeError::DeadlineExceeded) => {
+                                    tally.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
                                 }
                                 Err(_) => {
                                     tally.errors.fetch_add(1, Ordering::Relaxed);
@@ -440,11 +471,14 @@ pub fn run_open_loop(
                     wait_until(scheduled);
                     poll(&mut pending);
                     tally.offered.fetch_add(1, Ordering::Relaxed);
-                    let request = InferRequest::new(
+                    let mut request = InferRequest::new(
                         images[i % images.len()].clone(),
                         spec.model.clone(),
                         spec.policy.clone(),
                     );
+                    if let Some(d) = spec.deadline {
+                        request = request.with_deadline(scheduled + d);
+                    }
                     match admission.try_admit(request) {
                         Ok(handle) => {
                             tally.admitted.fetch_add(1, Ordering::Relaxed);
@@ -452,6 +486,9 @@ pub fn run_open_loop(
                         }
                         Err(AdmitError::Shed(_)) => {
                             tally.shed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(AdmitError::Rejected(ServeError::DeadlineExceeded)) => {
+                            tally.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
                         }
                         Err(AdmitError::Rejected(_)) => {
                             tally.errors.fetch_add(1, Ordering::Relaxed);
@@ -463,9 +500,15 @@ pub fn run_open_loop(
                 for (scheduled, handle) in pending {
                     let remaining = deadline.saturating_duration_since(Instant::now());
                     match handle.wait_timeout(remaining) {
-                        Ok(Ok(_)) => {
+                        Ok(Ok(resp)) => {
                             tally.completed.fetch_add(1, Ordering::Relaxed);
+                            if resp.degraded {
+                                tally.degraded.fetch_add(1, Ordering::Relaxed);
+                            }
                             latency.record(scheduled.elapsed().as_micros().max(1) as u64);
+                        }
+                        Ok(Err(ServeError::DeadlineExceeded)) => {
+                            tally.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
                         }
                         Ok(Err(_)) => {
                             tally.errors.fetch_add(1, Ordering::Relaxed);
@@ -554,14 +597,20 @@ pub fn run_open_loop_net<A: ToSocketAddrs>(
                                 .unwrap()
                                 .remove(&response.request_id());
                             match response {
-                                NetResponse::Ok { .. } => {
+                                NetResponse::Ok { response, .. } => {
                                     tally.completed.fetch_add(1, Ordering::Relaxed);
+                                    if response.degraded {
+                                        tally.degraded.fetch_add(1, Ordering::Relaxed);
+                                    }
                                     if let Some(at) = scheduled {
                                         latency.record(at.elapsed().as_micros().max(1) as u64);
                                     }
                                 }
                                 NetResponse::Shed { .. } => {
                                     tally.shed.fetch_add(1, Ordering::Relaxed);
+                                }
+                                NetResponse::DeadlineExceeded { .. } => {
+                                    tally.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
                                 }
                                 NetResponse::Error { .. } => {
                                     tally.errors.fetch_add(1, Ordering::Relaxed);
@@ -597,12 +646,22 @@ pub fn run_open_loop_net<A: ToSocketAddrs>(
                     wait_until(scheduled);
                     id += 1;
                     buf.clear();
-                    if encode_request(
+                    // The wire deadline is relative to server receipt; a
+                    // late sender has already burned part of its budget,
+                    // so ship only what remains of the scheduled window.
+                    let deadline_us = spec_ref.deadline.map_or(0, |d| {
+                        let remaining = (scheduled + d).saturating_duration_since(Instant::now());
+                        u64::try_from(remaining.as_micros())
+                            .unwrap_or(u64::MAX)
+                            .max(1)
+                    });
+                    if encode_request_with_deadline(
                         &mut buf,
                         id,
                         &spec_ref.model,
                         &spec_ref.policy,
                         &images[i % images.len()],
+                        deadline_us,
                     )
                     .is_err()
                     {
@@ -627,11 +686,14 @@ pub fn run_open_loop_net<A: ToSocketAddrs>(
     })?;
 
     let mut report = open_report(&tally, &latency, spec, started.elapsed());
-    // Over the wire, everything sent that wasn't shed or errored was
-    // admitted by the server.
-    report.admitted = report
-        .offered
-        .saturating_sub(report.shed + report.errors + report.protocol_errors);
+    // Over the wire, everything sent that wasn't refused (shed,
+    // deadline-expired at admission) or errored was admitted by the
+    // server. Deadline refusals past admission are indistinguishable
+    // from admission-time ones on the wire, so all count as not
+    // admitted — the conservative reading for capacity claims.
+    report.admitted = report.offered.saturating_sub(
+        report.shed + report.deadline_exceeded + report.errors + report.protocol_errors,
+    );
     Ok(report)
 }
 
@@ -676,6 +738,8 @@ mod tests {
             admitted: 90,
             completed: 80,
             shed: 10,
+            deadline_exceeded: 3,
+            degraded: 2,
             errors: 5,
             dropped: 5,
             protocol_errors: 0,
@@ -694,6 +758,8 @@ mod tests {
             "\"admitted\":90",
             "\"completed\":80",
             "\"shed\":10",
+            "\"deadline_exceeded\":3",
+            "\"degraded\":2",
             "\"errors\":5",
             "\"dropped\":5",
             "\"protocol_errors\":0",

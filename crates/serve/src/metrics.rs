@@ -1,6 +1,7 @@
 //! Lock-free serving metrics: counters plus log-bucketed histograms with
 //! approximate quantiles.
 
+use crate::error::ServeError;
 use crate::request::{ExitReason, InferResult};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -152,6 +153,16 @@ pub struct ServeMetrics {
     completed: AtomicU64,
     /// Requests answered with an error.
     failed: AtomicU64,
+    /// Requests answered `DeadlineExceeded` (counted apart from `failed`
+    /// — the server worked correctly; the client's budget ran out).
+    deadline_exceeded: AtomicU64,
+    /// Requests answered under brownout degradation (tightened exit
+    /// policy; still a success).
+    degraded: AtomicU64,
+    /// Panicked workers respawned by the supervisor.
+    worker_restarts: AtomicU64,
+    /// Models quarantined by poison-model detection.
+    models_quarantined: AtomicU64,
     /// Completed requests that exited before their hard horizon.
     early_exits: AtomicU64,
     /// End-to-end latency (queue + service), µs.
@@ -174,6 +185,10 @@ impl Default for ServeMetrics {
             shed: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             failed: AtomicU64::new(0),
+            deadline_exceeded: AtomicU64::new(0),
+            degraded: AtomicU64::new(0),
+            worker_restarts: AtomicU64::new(0),
+            models_quarantined: AtomicU64::new(0),
             early_exits: AtomicU64::new(0),
             // 12.5%-growth buckets, 1 µs up to 2^25 µs (~33.5 s): a
             // sub-linger (µs-scale) latency lands in a bucket of its own
@@ -218,11 +233,31 @@ impl ServeMetrics {
         self.batch.record(occupancy as u64);
     }
 
+    /// The current approximate p99 end-to-end latency in µs (0 when no
+    /// request completed yet). Cheap enough to poll per admission — the
+    /// brownout controller uses it as its latency signal.
+    pub fn latency_p99_us(&self) -> u64 {
+        self.latency_us.quantile(0.99)
+    }
+
+    /// Counts one worker respawn after a panic.
+    pub fn observe_worker_restart(&self) {
+        self.worker_restarts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one model entering quarantine.
+    pub fn observe_quarantine(&self) {
+        self.models_quarantined.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Records the outcome of one served request.
     pub fn observe_result(&self, result: &InferResult) {
         match result {
             Ok(resp) => {
                 self.completed.fetch_add(1, Ordering::Relaxed);
+                if resp.degraded {
+                    self.degraded.fetch_add(1, Ordering::Relaxed);
+                }
                 if resp.exit != ExitReason::HorizonReached {
                     self.early_exits.fetch_add(1, Ordering::Relaxed);
                 }
@@ -231,6 +266,9 @@ impl ServeMetrics {
                 self.queue_us.record(resp.queue_micros);
                 self.steps.record(resp.steps as u64);
                 self.spikes.record(resp.spikes);
+            }
+            Err(ServeError::DeadlineExceeded) => {
+                self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
             }
             Err(_) => {
                 self.failed.fetch_add(1, Ordering::Relaxed);
@@ -247,6 +285,10 @@ impl ServeMetrics {
             shed: self.shed.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
             failed: self.failed.load(Ordering::Relaxed),
+            deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
+            worker_restarts: self.worker_restarts.load(Ordering::Relaxed),
+            models_quarantined: self.models_quarantined.load(Ordering::Relaxed),
             early_exits: self.early_exits.load(Ordering::Relaxed),
             queue_depth,
             latency_us_p50: self.latency_us.quantile(0.50),
@@ -277,6 +319,14 @@ pub struct MetricsSnapshot {
     pub completed: u64,
     /// Requests answered with an error.
     pub failed: u64,
+    /// Requests answered `DeadlineExceeded` (not counted in `failed`).
+    pub deadline_exceeded: u64,
+    /// Requests answered under brownout degradation.
+    pub degraded: u64,
+    /// Panicked workers respawned by the supervisor.
+    pub worker_restarts: u64,
+    /// Models quarantined by poison-model detection.
+    pub models_quarantined: u64,
     /// Completed requests that exited before their hard horizon.
     pub early_exits: u64,
     /// Queue depth at snapshot time.
@@ -309,6 +359,11 @@ impl fmt::Display for MetricsSnapshot {
             f,
             "requests   submitted {}  completed {}  failed {}  rejected {}  shed {}  early-exit {}",
             self.submitted, self.completed, self.failed, self.rejected, self.shed, self.early_exits
+        )?;
+        writeln!(
+            f,
+            "fault      deadline-exceeded {}  degraded {}  worker-restarts {}  quarantined {}",
+            self.deadline_exceeded, self.degraded, self.worker_restarts, self.models_quarantined
         )?;
         writeln!(
             f,
@@ -467,19 +522,28 @@ mod tests {
             queue_micros: 50,
             service_micros: 450,
             batch_size: 2,
+            degraded: false,
         };
         m.observe_result(&Ok(ok.clone()));
         m.observe_result(&Ok(InferResponse {
             exit: ExitReason::HorizonReached,
+            degraded: true,
             ..ok
         }));
         m.observe_result(&Err(ServeError::UnknownModel("x".into())));
+        m.observe_result(&Err(ServeError::DeadlineExceeded));
+        m.observe_worker_restart();
+        m.observe_quarantine();
         let snap = m.snapshot(5);
         assert_eq!(snap.submitted, 2);
         assert_eq!(snap.rejected, 1);
         assert_eq!(snap.shed, 2);
         assert_eq!(snap.completed, 2);
-        assert_eq!(snap.failed, 1);
+        assert_eq!(snap.failed, 1, "deadline-exceeded is not a failure");
+        assert_eq!(snap.deadline_exceeded, 1);
+        assert_eq!(snap.degraded, 1);
+        assert_eq!(snap.worker_restarts, 1);
+        assert_eq!(snap.models_quarantined, 1);
         assert_eq!(snap.early_exits, 1);
         assert_eq!(snap.queue_depth, 5);
         // Two identical 500 µs latencies: rank 1 of 2 interpolates to
@@ -492,5 +556,7 @@ mod tests {
         assert!(report.contains("early-exit 1"));
         assert!(report.contains("shed 2"));
         assert!(report.contains("queue depth 5"));
+        assert!(report.contains("deadline-exceeded 1"));
+        assert!(report.contains("worker-restarts 1"));
     }
 }

@@ -14,18 +14,23 @@
 //! payload. The payload's first byte is the frame kind:
 //!
 //! ```text
-//! request  (kind 1): id u64 | model_len u8 + UTF-8 | policy | npix u32 | f32 × npix
+//! request  (kind 1): id u64 | model_len u8 + UTF-8 | policy
+//!                    | deadline_µs u64 | npix u32 | f32 × npix
 //!   policy: tag u8 — 0 Fixed{steps u32}
 //!                    1 ConfidenceMargin{margin f32, patience u32,
 //!                                       check_every u32, max_steps u32}
 //!                    2 SpikeBudget{max_spikes u64, max_steps u32}
+//!   deadline_µs: remaining completion budget relative to server receipt;
+//!                0 = no deadline
 //! response (kind 2): id u64 | status u8
 //!   status 0 OK:    prediction u32 | steps u32 | spikes u64 | margin f32
 //!                   | exit u8 | model_epoch u64 | queue_µs u64
-//!                   | service_µs u64 | batch u32
+//!                   | service_µs u64 | batch u32 | degraded u8
 //!   status 1 SHED:  reason u8 (see ShedReason::code) — refused before
 //!                   queueing; back off and retry
 //!   status 2 ERROR: message_len u16 | UTF-8 message
+//!   status 3 DEADLINE_EXCEEDED: (empty) — the deadline expired at
+//!                   admission, in the queue, or at batch formation
 //! stats    (kind 3): what u8 — 0 Prometheus metrics dump,
 //!                              1 Chrome trace-event JSON
 //! stats-reply (kind 4): what u8 | UTF-8 text (the requested dump)
@@ -81,6 +86,9 @@ pub const STATUS_OK: u8 = 0;
 pub const STATUS_SHED: u8 = 1;
 /// Response status: the request failed.
 pub const STATUS_ERROR: u8 = 2;
+/// Response status: the request's deadline expired before it could be
+/// served.
+pub const STATUS_DEADLINE: u8 = 3;
 
 /// A malformed wire frame (the connection that sent it is poisoned).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -163,7 +171,7 @@ fn exit_reason_from_code(code: u8) -> Result<ExitReason, WireError> {
     }
 }
 
-/// Appends one encoded request frame to `buf`.
+/// Appends one encoded request frame with no deadline to `buf`.
 ///
 /// # Errors
 ///
@@ -174,6 +182,25 @@ pub fn encode_request(
     model: &str,
     policy: &ExitPolicy,
     image: &[f32],
+) -> Result<(), WireError> {
+    encode_request_with_deadline(buf, request_id, model, policy, image, 0)
+}
+
+/// Appends one encoded request frame to `buf`. `deadline_us` is the
+/// remaining completion budget in µs relative to server receipt (`0` =
+/// no deadline): the server answers `DEADLINE_EXCEEDED` instead of a
+/// result once it runs out.
+///
+/// # Errors
+///
+/// [`WireError::FieldTooLarge`] if the model name exceeds 255 bytes.
+pub fn encode_request_with_deadline(
+    buf: &mut Vec<u8>,
+    request_id: u64,
+    model: &str,
+    policy: &ExitPolicy,
+    image: &[f32],
+    deadline_us: u64,
 ) -> Result<(), WireError> {
     if model.len() > u8::MAX as usize {
         return Err(WireError::FieldTooLarge("model name"));
@@ -212,6 +239,7 @@ pub fn encode_request(
             buf.extend_from_slice(&(max_steps as u32).to_le_bytes());
         }
     }
+    buf.extend_from_slice(&deadline_us.to_le_bytes());
     buf.extend_from_slice(&(image.len() as u32).to_le_bytes());
     for px in image {
         buf.extend_from_slice(&px.to_le_bytes());
@@ -235,6 +263,16 @@ pub fn encode_response_ok(buf: &mut Vec<u8>, request_id: u64, resp: &InferRespon
     buf.extend_from_slice(&resp.queue_micros.to_le_bytes());
     buf.extend_from_slice(&resp.service_micros.to_le_bytes());
     buf.extend_from_slice(&(resp.batch_size as u32).to_le_bytes());
+    buf.push(resp.degraded as u8);
+    finish_frame(buf, at);
+}
+
+/// Appends one encoded DEADLINE_EXCEEDED response frame to `buf`.
+pub fn encode_response_deadline(buf: &mut Vec<u8>, request_id: u64) {
+    let at = reserve_frame(buf);
+    buf.push(KIND_RESPONSE);
+    buf.extend_from_slice(&request_id.to_le_bytes());
+    buf.push(STATUS_DEADLINE);
     finish_frame(buf, at);
 }
 
@@ -386,8 +424,13 @@ impl<'a> Cursor<'a> {
 pub struct WireRequest {
     /// Client-chosen id, echoed verbatim in the response.
     pub request_id: u64,
-    /// The decoded inference request.
+    /// The decoded inference request (its `deadline` field is *not* set
+    /// by decoding — the server applies `deadline_us` against its own
+    /// clock at admission, keeping the decoder pure).
     pub request: InferRequest,
+    /// Remaining completion budget in µs relative to receipt; `0` = no
+    /// deadline.
+    pub deadline_us: u64,
 }
 
 /// A decoded response frame.
@@ -414,6 +457,11 @@ pub enum NetResponse {
         /// Human-readable failure description.
         message: String,
     },
+    /// The request's deadline expired before it could be served.
+    DeadlineExceeded {
+        /// Echoed request id.
+        request_id: u64,
+    },
 }
 
 impl NetResponse {
@@ -422,7 +470,8 @@ impl NetResponse {
         match self {
             NetResponse::Ok { request_id, .. }
             | NetResponse::Shed { request_id, .. }
-            | NetResponse::Error { request_id, .. } => *request_id,
+            | NetResponse::Error { request_id, .. }
+            | NetResponse::DeadlineExceeded { request_id } => *request_id,
         }
     }
 }
@@ -483,6 +532,7 @@ pub fn decode_request(payload: &[u8]) -> Result<WireRequest, WireError> {
         },
         tag => return Err(WireError::BadPolicyTag(tag)),
     };
+    let deadline_us = c.u64()?;
     let npix = c.u32()? as usize;
     // The cursor bounds-checks against the actual payload, so a huge
     // declared npix with a short payload is Truncated, not an allocation.
@@ -495,6 +545,7 @@ pub fn decode_request(payload: &[u8]) -> Result<WireRequest, WireError> {
     Ok(WireRequest {
         request_id,
         request,
+        deadline_us,
     })
 }
 
@@ -523,6 +574,7 @@ pub fn decode_response(payload: &[u8]) -> Result<NetResponse, WireError> {
                 queue_micros: c.u64()?,
                 service_micros: c.u64()?,
                 batch_size: c.u32()? as usize,
+                degraded: c.u8()? != 0,
             },
         },
         STATUS_SHED => NetResponse::Shed {
@@ -539,6 +591,7 @@ pub fn decode_response(payload: &[u8]) -> Result<NetResponse, WireError> {
                 message,
             }
         }
+        STATUS_DEADLINE => NetResponse::DeadlineExceeded { request_id },
         status => return Err(WireError::BadCode(status)),
     };
     c.finish()?;
@@ -617,6 +670,8 @@ pub struct NetStats {
     responses_ok: AtomicU64,
     responses_shed: AtomicU64,
     responses_error: AtomicU64,
+    responses_deadline: AtomicU64,
+    responses_degraded: AtomicU64,
     protocol_errors: AtomicU64,
     timeouts: AtomicU64,
     bytes_in: AtomicU64,
@@ -637,6 +692,8 @@ impl NetStats {
             responses_ok: self.responses_ok.load(Ordering::Relaxed),
             responses_shed: self.responses_shed.load(Ordering::Relaxed),
             responses_error: self.responses_error.load(Ordering::Relaxed),
+            responses_deadline: self.responses_deadline.load(Ordering::Relaxed),
+            responses_degraded: self.responses_degraded.load(Ordering::Relaxed),
             protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
             timeouts: self.timeouts.load(Ordering::Relaxed),
             bytes_in: self.bytes_in.load(Ordering::Relaxed),
@@ -675,6 +732,10 @@ pub struct NetStatsSnapshot {
     pub responses_shed: u64,
     /// ERROR responses written.
     pub responses_error: u64,
+    /// DEADLINE_EXCEEDED responses written.
+    pub responses_deadline: u64,
+    /// OK responses flagged degraded (a subset of `responses_ok`).
+    pub responses_degraded: u64,
     /// Connections poisoned by malformed/oversized frames.
     pub protocol_errors: u64,
     /// Connections closed by read/idle timeout.
@@ -694,11 +755,14 @@ impl fmt::Display for NetStatsSnapshot {
         )?;
         writeln!(
             f,
-            "net frames in {}  ok {}  shed {}  error {}  protocol-errors {}",
+            "net frames in {}  ok {}  shed {}  error {}  deadline {}  degraded {}  \
+             protocol-errors {}",
             self.frames_in,
             self.responses_ok,
             self.responses_shed,
             self.responses_error,
+            self.responses_deadline,
+            self.responses_degraded,
             self.protocol_errors
         )?;
         write!(f, "net bytes  in {}  out {}", self.bytes_in, self.bytes_out)
@@ -980,7 +1044,14 @@ impl NetServer {
                 match handle.wait() {
                     Ok(resp) => {
                         NetStats::bump(&self.stats.responses_ok);
+                        if resp.degraded {
+                            NetStats::bump(&self.stats.responses_degraded);
+                        }
                         encode_response_ok(&mut conn.wbuf, id, &resp);
+                    }
+                    Err(ServeError::DeadlineExceeded) => {
+                        NetStats::bump(&self.stats.responses_deadline);
+                        encode_response_deadline(&mut conn.wbuf, id);
                     }
                     Err(e) => {
                         NetStats::bump(&self.stats.responses_error);
@@ -1042,13 +1113,24 @@ impl NetServer {
     }
 
     /// Admits one decoded request, queueing the handle or writing an
-    /// immediate SHED/ERROR response.
+    /// immediate SHED/ERROR/DEADLINE_EXCEEDED response. The wire's
+    /// relative deadline budget becomes an absolute instant here, on the
+    /// server's clock — client and server clocks never have to agree.
     fn admit(&self, conn: &mut Conn, wire: WireRequest) {
-        match self.admission.try_admit(wire.request) {
+        let mut request = wire.request;
+        if wire.deadline_us > 0 {
+            request =
+                request.with_deadline(Instant::now() + Duration::from_micros(wire.deadline_us));
+        }
+        match self.admission.try_admit(request) {
             Ok(handle) => conn.pending.push((wire.request_id, handle)),
             Err(AdmitError::Shed(reason)) => {
                 NetStats::bump(&self.stats.responses_shed);
                 encode_response_shed(&mut conn.wbuf, wire.request_id, reason);
+            }
+            Err(AdmitError::Rejected(ServeError::DeadlineExceeded)) => {
+                NetStats::bump(&self.stats.responses_deadline);
+                encode_response_deadline(&mut conn.wbuf, wire.request_id);
             }
             Err(AdmitError::Rejected(e)) => {
                 NetStats::bump(&self.stats.responses_error);
@@ -1193,31 +1275,129 @@ impl<R: Read> FrameReader<R> {
     }
 }
 
+/// A deterministic, jitter-free bounded exponential backoff schedule:
+/// attempt `k` (0-based) waits `min(base · 2^k, max)` before re-dialing.
+/// No randomness means tests can pin the exact schedule; fleets that
+/// need jitter can layer it on top.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BackoffPolicy {
+    /// Delay before the first retry.
+    pub base: Duration,
+    /// Delay ceiling.
+    pub max: Duration,
+    /// Total connection attempts (the first dial counts; `1` means no
+    /// retries, `0` is treated as `1`).
+    pub attempts: u32,
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> Self {
+        BackoffPolicy {
+            base: Duration::from_millis(10),
+            max: Duration::from_secs(1),
+            attempts: 6,
+        }
+    }
+}
+
+impl BackoffPolicy {
+    /// The delay after failed attempt `attempt` (0-based):
+    /// `min(base · 2^attempt, max)`.
+    pub fn delay(&self, attempt: u32) -> Duration {
+        let factor = 1u32.checked_shl(attempt).unwrap_or(u32::MAX);
+        self.base
+            .checked_mul(factor)
+            .unwrap_or(self.max)
+            .min(self.max)
+    }
+}
+
 /// A simple blocking client for the framed protocol — one request in
 /// flight at a time (the open-loop load generator manages its own
-/// streams for pipelining).
+/// streams for pipelining). Remembers its resolved address, so a dead
+/// server can be re-dialed with [`reconnect`](Self::reconnect) under a
+/// [`BackoffPolicy`].
 #[derive(Debug)]
 pub struct NetClient {
     stream: TcpStream,
     reader: FrameReader<TcpStream>,
     next_id: u64,
+    addr: SocketAddr,
+    backoff: BackoffPolicy,
 }
 
 impl NetClient {
-    /// Connects to a [`NetServer`].
+    /// Connects to a [`NetServer`] (single attempt; use
+    /// [`connect_with_backoff`](Self::connect_with_backoff) to retry).
     ///
     /// # Errors
     ///
     /// Connection-level I/O errors.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
+        Self::connect_with_backoff(
+            addr,
+            BackoffPolicy {
+                attempts: 1,
+                ..BackoffPolicy::default()
+            },
+        )
+    }
+
+    /// Connects to a [`NetServer`], retrying under `backoff`; the policy
+    /// is kept for later [`reconnect`](Self::reconnect)s.
+    ///
+    /// # Errors
+    ///
+    /// The last connection-level I/O error once attempts are exhausted.
+    pub fn connect_with_backoff<A: ToSocketAddrs>(
+        addr: A,
+        backoff: BackoffPolicy,
+    ) -> io::Result<Self> {
+        let addr = addr.to_socket_addrs()?.next().ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "address resolved to nothing")
+        })?;
+        let stream = Self::dial(addr, &backoff)?;
         let reader = FrameReader::new(stream.try_clone()?, usize::MAX >> 1);
         Ok(NetClient {
             stream,
             reader,
             next_id: 1,
+            addr,
+            backoff,
         })
+    }
+
+    fn dial(addr: SocketAddr, backoff: &BackoffPolicy) -> io::Result<TcpStream> {
+        let attempts = backoff.attempts.max(1);
+        let mut last: Option<io::Error> = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                std::thread::sleep(backoff.delay(attempt - 1));
+            }
+            match TcpStream::connect(addr) {
+                Ok(stream) => {
+                    stream.set_nodelay(true)?;
+                    return Ok(stream);
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.expect("at least one dial attempt runs"))
+    }
+
+    /// Drops the current stream (and any unread frames on it) and
+    /// re-dials the remembered address under the client's backoff
+    /// policy. Pending request ids are abandoned; the id counter is not
+    /// reset, so stale responses can never be confused for new ones.
+    ///
+    /// # Errors
+    ///
+    /// The last connection-level I/O error once attempts are exhausted.
+    pub fn reconnect(&mut self) -> io::Result<()> {
+        let stream = Self::dial(self.addr, &self.backoff)?;
+        self.reader = FrameReader::new(stream.try_clone()?, usize::MAX >> 1);
+        self.stream = stream;
+        Ok(())
     }
 
     /// Sends one request and blocks for its response (requests and
@@ -1233,10 +1413,41 @@ impl NetClient {
         policy: &ExitPolicy,
         image: &[f32],
     ) -> io::Result<NetResponse> {
+        self.call_inner(model, policy, image, 0)
+    }
+
+    /// Like [`call`](Self::call), but gives the server `deadline` to
+    /// answer — past it the server responds
+    /// [`NetResponse::DeadlineExceeded`] instead of occupying a batch
+    /// lane.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, or `InvalidData` for undecodable response bytes.
+    pub fn call_with_deadline(
+        &mut self,
+        model: &str,
+        policy: &ExitPolicy,
+        image: &[f32],
+        deadline: Duration,
+    ) -> io::Result<NetResponse> {
+        let deadline_us = u64::try_from(deadline.as_micros())
+            .unwrap_or(u64::MAX)
+            .max(1);
+        self.call_inner(model, policy, image, deadline_us)
+    }
+
+    fn call_inner(
+        &mut self,
+        model: &str,
+        policy: &ExitPolicy,
+        image: &[f32],
+        deadline_us: u64,
+    ) -> io::Result<NetResponse> {
         let id = self.next_id;
         self.next_id += 1;
         let mut buf = Vec::with_capacity(64 + image.len() * 4);
-        encode_request(&mut buf, id, model, policy, image)
+        encode_request_with_deadline(&mut buf, id, model, policy, image, deadline_us)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
         self.stream.write_all(&buf)?;
         loop {
@@ -1311,6 +1522,7 @@ mod tests {
             queue_micros: 17,
             service_micros: 450,
             batch_size: 8,
+            degraded: false,
         }
     }
 
@@ -1339,15 +1551,41 @@ mod tests {
             assert_eq!(wire.request.model, "digits");
             assert_eq!(wire.request.policy, policy);
             assert_eq!(wire.request.image, image);
+            assert_eq!(wire.deadline_us, 0, "plain encode_request has no deadline");
         }
     }
 
     #[test]
+    fn deadline_rides_the_request_frame() {
+        let mut buf = Vec::new();
+        encode_request_with_deadline(
+            &mut buf,
+            9,
+            "m",
+            &ExitPolicy::Fixed { steps: 4 },
+            &[0.5],
+            2_500,
+        )
+        .unwrap();
+        let total = frame_ready(&buf, 1 << 20).unwrap().unwrap();
+        let wire = decode_request(&buf[4..total]).unwrap();
+        assert_eq!(wire.request_id, 9);
+        assert_eq!(wire.deadline_us, 2_500);
+        assert_eq!(wire.request.image, vec![0.5]);
+    }
+
+    #[test]
     fn response_frames_round_trip() {
+        let degraded_resp = InferResponse {
+            degraded: true,
+            ..sample_response()
+        };
         let mut buf = Vec::new();
         encode_response_ok(&mut buf, 1, &sample_response());
         encode_response_shed(&mut buf, 2, ShedReason::QueueDepth);
         encode_response_error(&mut buf, 3, "boom");
+        encode_response_deadline(&mut buf, 4);
+        encode_response_ok(&mut buf, 5, &degraded_resp);
         let mut decoded = Vec::new();
         let mut rest = buf.as_slice();
         while let Some(total) = frame_ready(rest, 1 << 20).unwrap() {
@@ -1369,8 +1607,28 @@ mod tests {
                     request_id: 3,
                     message: "boom".into()
                 },
+                NetResponse::DeadlineExceeded { request_id: 4 },
+                NetResponse::Ok {
+                    request_id: 5,
+                    response: degraded_resp
+                },
             ]
         );
+    }
+
+    #[test]
+    fn backoff_schedule_is_pinned_and_jitter_free() {
+        let policy = BackoffPolicy {
+            base: Duration::from_millis(10),
+            max: Duration::from_millis(100),
+            attempts: 6,
+        };
+        let schedule: Vec<u64> = (0..6).map(|k| policy.delay(k).as_millis() as u64).collect();
+        assert_eq!(schedule, vec![10, 20, 40, 80, 100, 100]);
+        // Huge attempt indices saturate at the ceiling instead of
+        // overflowing.
+        assert_eq!(policy.delay(63), Duration::from_millis(100));
+        assert_eq!(policy.delay(200), Duration::from_millis(100));
     }
 
     #[test]
@@ -1533,6 +1791,7 @@ mod tests {
                         capacity: 256,
                     },
                     profile: true,
+                    ..ServeConfig::default()
                 },
                 registry,
             )

@@ -392,6 +392,16 @@ impl MetricsHub {
             let _ = writeln!(out, "bsnn_net_responses_ok_total {}", n.responses_ok);
             let _ = writeln!(out, "bsnn_net_responses_shed_total {}", n.responses_shed);
             let _ = writeln!(out, "bsnn_net_responses_error_total {}", n.responses_error);
+            let _ = writeln!(
+                out,
+                "bsnn_net_responses_deadline_total {}",
+                n.responses_deadline
+            );
+            let _ = writeln!(
+                out,
+                "bsnn_net_responses_degraded_total {}",
+                n.responses_degraded
+            );
             let _ = writeln!(out, "bsnn_net_protocol_errors_total {}", n.protocol_errors);
             let _ = writeln!(out, "bsnn_net_bytes_in_total {}", n.bytes_in);
             let _ = writeln!(out, "bsnn_net_bytes_out_total {}", n.bytes_out);
@@ -403,6 +413,11 @@ impl MetricsHub {
             let _ = writeln!(out, "bsnn_watch_installs_total {}", w.installs);
             let _ = writeln!(out, "bsnn_watch_removals_total {}", w.removals);
             let _ = writeln!(out, "bsnn_watch_failures_total {}", w.failures);
+            let _ = writeln!(
+                out,
+                "bsnn_watch_checksum_failures_total {}",
+                w.checksum_failures
+            );
         }
         let registry = self.runtime.registry();
         for name in registry.names() {
@@ -476,6 +491,18 @@ fn render_runtime(out: &mut String, snap: &MetricsSnapshot) {
     let _ = writeln!(out, "bsnn_requests_shed_total {}", snap.shed);
     let _ = writeln!(out, "bsnn_requests_completed_total {}", snap.completed);
     let _ = writeln!(out, "bsnn_requests_failed_total {}", snap.failed);
+    let _ = writeln!(
+        out,
+        "bsnn_requests_deadline_exceeded_total {}",
+        snap.deadline_exceeded
+    );
+    let _ = writeln!(out, "bsnn_requests_degraded_total {}", snap.degraded);
+    let _ = writeln!(out, "bsnn_worker_restarts_total {}", snap.worker_restarts);
+    let _ = writeln!(
+        out,
+        "bsnn_models_quarantined_total {}",
+        snap.models_quarantined
+    );
     let _ = writeln!(out, "bsnn_requests_early_exit_total {}", snap.early_exits);
     out.push_str("# TYPE bsnn_queue_depth gauge\n");
     let _ = writeln!(out, "bsnn_queue_depth {}", snap.queue_depth);
@@ -687,6 +714,24 @@ mod tests {
         assert_eq!(parse_metric(&text, "bsnn_queue_depth"), Some(0.0));
         assert_eq!(parse_metric(&text, "bsnn_watch_scans_total"), Some(1.0));
         assert_eq!(parse_metric(&text, "bsnn_watch_failures_total"), Some(0.0));
+        assert_eq!(
+            parse_metric(&text, "bsnn_watch_checksum_failures_total"),
+            Some(0.0)
+        );
+        // The fault-tolerance counters render from a fresh runtime too.
+        assert_eq!(
+            parse_metric(&text, "bsnn_requests_deadline_exceeded_total"),
+            Some(0.0)
+        );
+        assert_eq!(
+            parse_metric(&text, "bsnn_requests_degraded_total"),
+            Some(0.0)
+        );
+        assert_eq!(parse_metric(&text, "bsnn_worker_restarts_total"), Some(0.0));
+        assert_eq!(
+            parse_metric(&text, "bsnn_models_quarantined_total"),
+            Some(0.0)
+        );
         assert_eq!(parse_metric(&text, "bsnn_missing_metric"), None);
         // Quantile series are addressable by their full labeled key.
         assert!(parse_metric(&text, "bsnn_latency_us{quantile=\"0.99\"}").is_some());

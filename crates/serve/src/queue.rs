@@ -10,7 +10,7 @@
 //! the linger window.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 /// Why a [`BatchQueue::push`] was refused.
@@ -109,12 +109,86 @@ impl<T> BatchQueue<T> {
     /// signal.
     pub fn pop_batch(&self, max_batch: usize, linger: Duration) -> Vec<T> {
         let max_batch = max_batch.max(1);
-        let mut state = self.state.lock().expect("queue poisoned");
+        let state = self.state.lock().expect("queue poisoned");
+        let (mut state, take) = self.wait_for_batch(state, max_batch, linger);
+        if take == 0 {
+            return Vec::new();
+        }
+        let batch: Vec<T> = state.items.drain(..take).collect();
+        drop(state);
+        // A leftover backlog may be able to fill another consumer's
+        // batch.
+        self.changed.notify_one();
+        batch
+    }
+
+    /// Pops an adaptive micro-batch like [`pop_batch`](Self::pop_batch),
+    /// but selects the `max_batch` items with the *smallest* `key`
+    /// across the whole queue instead of the oldest ones, returning
+    /// them in key order (ties retire FIFO — the sort is stable over
+    /// queue position). Unselected items keep their relative order.
+    ///
+    /// This is the deadline-aware consumption path: with a key of
+    /// "deadline, earliest first, `None` last", near-expiry work is
+    /// never starved behind a burst of far-deadline arrivals.
+    ///
+    /// The scan is `O(n log n)` over the current depth — fine for the
+    /// bounded queues this runtime uses (capacity ≤ a few thousand).
+    pub fn pop_batch_by_key<K, F>(&self, max_batch: usize, linger: Duration, mut key: F) -> Vec<T>
+    where
+        K: Ord,
+        F: FnMut(&T) -> K,
+    {
+        let max_batch = max_batch.max(1);
+        let state = self.state.lock().expect("queue poisoned");
+        let (mut state, take) = self.wait_for_batch(state, max_batch, linger);
+        if take == 0 {
+            return Vec::new();
+        }
+        // Rank every queued item; the stable sort makes equal keys
+        // retire in queue (FIFO) order.
+        let mut ranked: Vec<(K, usize)> = state
+            .items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (key(t), i))
+            .collect();
+        ranked.sort_by(|a, b| a.0.cmp(&b.0));
+        let picked: Vec<usize> = ranked.into_iter().take(take).map(|(_, i)| i).collect();
+        // Remove back-to-front so earlier indices stay valid, then
+        // deliver in key order.
+        let mut by_desc_index: Vec<(usize, usize)> = picked
+            .iter()
+            .enumerate()
+            .map(|(rank, &idx)| (idx, rank))
+            .collect();
+        by_desc_index.sort_unstable_by_key(|&(idx, _)| std::cmp::Reverse(idx));
+        let mut out: Vec<Option<T>> = (0..picked.len()).map(|_| None).collect();
+        for (idx, rank) in by_desc_index {
+            out[rank] = state.items.remove(idx);
+        }
+        drop(state);
+        self.changed.notify_one();
+        out.into_iter()
+            .map(|t| t.expect("picked index was removed"))
+            .collect()
+    }
+
+    /// Blocks until a batch is ready (phase 1: first item; phase 2:
+    /// linger for the batch to fill) and returns how many items the
+    /// caller should take. Returns 0 only when the queue is closed and
+    /// drained — the shutdown signal.
+    fn wait_for_batch<'a>(
+        &'a self,
+        mut state: MutexGuard<'a, QueueState<T>>,
+        max_batch: usize,
+        linger: Duration,
+    ) -> (MutexGuard<'a, QueueState<T>>, usize) {
         loop {
             // Phase 1: wait for the first item (or shutdown).
             while state.items.is_empty() {
                 if state.closed {
-                    return Vec::new();
+                    return (state, 0);
                 }
                 state = self.changed.wait(state).expect("queue poisoned");
             }
@@ -147,16 +221,11 @@ impl<T> BatchQueue<T> {
             let take = state.items.len().min(max_batch);
             if take == 0 {
                 if state.closed {
-                    return Vec::new();
+                    return (state, 0);
                 }
                 continue;
             }
-            let batch: Vec<T> = state.items.drain(..take).collect();
-            drop(state);
-            // A leftover backlog may be able to fill another consumer's
-            // batch.
-            self.changed.notify_one();
-            return batch;
+            return (state, take);
         }
     }
 }
@@ -189,6 +258,46 @@ mod tests {
         }
         assert_eq!(q.pop_batch(4, Duration::ZERO), vec![0, 1, 2, 3]);
         assert_eq!(q.pop_batch(4, Duration::ZERO), vec![4, 5]);
+    }
+
+    #[test]
+    fn pop_batch_by_key_selects_smallest_keys_in_key_order() {
+        let q = BatchQueue::new(8);
+        for v in [30, 10, 40, 20, 50] {
+            q.push(v).unwrap();
+        }
+        // The three smallest values win regardless of arrival order,
+        // and come back sorted by key.
+        assert_eq!(
+            q.pop_batch_by_key(3, Duration::ZERO, |v| *v),
+            vec![10, 20, 30]
+        );
+        // The survivors keep their relative queue order.
+        assert_eq!(q.pop_batch(8, Duration::ZERO), vec![40, 50]);
+    }
+
+    #[test]
+    fn pop_batch_by_key_breaks_ties_fifo() {
+        let q = BatchQueue::new(8);
+        for (id, key) in [(0, 1u8), (1, 0), (2, 1), (3, 0), (4, 1)] {
+            q.push((id, key)).unwrap();
+        }
+        // Equal keys retire in arrival order: both key-0 items first
+        // (ids 1 then 3), then the oldest key-1 item (id 0).
+        let batch = q.pop_batch_by_key(3, Duration::ZERO, |(_, k)| *k);
+        assert_eq!(batch, vec![(1, 0), (3, 0), (0, 1)]);
+        assert_eq!(q.pop_batch(8, Duration::ZERO), vec![(2, 1), (4, 1)]);
+    }
+
+    #[test]
+    fn pop_batch_by_key_drains_closed_queue() {
+        let q = BatchQueue::new(4);
+        q.push(9).unwrap();
+        q.close();
+        assert_eq!(q.pop_batch_by_key(4, Duration::ZERO, |v| *v), vec![9]);
+        assert!(q
+            .pop_batch_by_key(4, Duration::from_millis(20), |v| *v)
+            .is_empty());
     }
 
     #[test]

@@ -249,7 +249,10 @@ impl ModelRegistry {
     /// # Errors
     ///
     /// Returns [`ServeError::Snapshot`] when the stream is corrupt or
-    /// decodes to an inconsistent network.
+    /// decodes to an inconsistent network, and the more specific
+    /// [`ServeError::SnapshotChecksum`] when a v5 stream's checksum
+    /// trailer does not match its content (bit rot or truncation caught
+    /// before any decode error could misattribute it).
     pub fn install_snapshot<R: Read>(
         &self,
         name: impl Into<String>,
@@ -257,8 +260,10 @@ impl ModelRegistry {
         scheme: CodingScheme,
         phase_period: u32,
     ) -> Result<u64, ServeError> {
-        let (network, meta) = snapshot::load_network_with_meta(reader)
-            .map_err(|e| ServeError::Snapshot(e.to_string()))?;
+        let (network, meta) = snapshot::load_network_with_meta(reader).map_err(|e| match e {
+            snapshot::SnapshotError::Checksum { .. } => ServeError::SnapshotChecksum(e.to_string()),
+            other => ServeError::Snapshot(other.to_string()),
+        })?;
         let preferred = meta.preferred_batch as usize;
         Ok(self.install_entry(
             name.into(),
@@ -378,6 +383,26 @@ mod tests {
             .install_snapshot("bad", &b"NOPE"[..], CodingScheme::recommended(), 8)
             .unwrap_err();
         assert!(matches!(err, ServeError::Snapshot(_)));
+    }
+
+    #[test]
+    fn bit_flipped_snapshot_is_a_typed_checksum_error() {
+        let net = tiny_network(1.0);
+        let mut buf = Vec::new();
+        bsnn_core::snapshot::save_network(&net, &mut buf).unwrap();
+        // Flip one bit in the body (past the header, before the
+        // checksum trailer).
+        let mid = buf.len() / 2;
+        buf[mid] ^= 0x10;
+        let reg = ModelRegistry::new();
+        let err = reg
+            .install_snapshot("rot", buf.as_slice(), CodingScheme::recommended(), 8)
+            .unwrap_err();
+        assert!(
+            matches!(err, ServeError::SnapshotChecksum(_)),
+            "expected the typed checksum error, got {err:?}"
+        );
+        assert!(reg.is_empty(), "nothing installed from a corrupt stream");
     }
 
     #[test]

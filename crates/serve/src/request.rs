@@ -127,16 +127,40 @@ pub struct InferRequest {
     pub model: String,
     /// When to stop simulating.
     pub policy: ExitPolicy,
+    /// Optional completion deadline. Checked at admission, at dequeue,
+    /// and at lockstep-batch formation: an expired request is answered
+    /// [`ServeError::DeadlineExceeded`] instead of occupying a batch
+    /// lane, and the queue retires near-expiry work first.
+    pub deadline: Option<std::time::Instant>,
+    /// Whether brownout admission control tightened this request's exit
+    /// policy (the flag is echoed on the response so clients can tell a
+    /// degraded answer from a full-fidelity one).
+    pub degraded: bool,
 }
 
 impl InferRequest {
-    /// A request against `model` with the given image and policy.
+    /// A request against `model` with the given image and policy (no
+    /// deadline, not degraded).
     pub fn new(image: Vec<f32>, model: impl Into<String>, policy: ExitPolicy) -> Self {
         InferRequest {
             image,
             model: model.into(),
             policy,
+            deadline: None,
+            degraded: false,
         }
+    }
+
+    /// The same request with a completion deadline attached.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: std::time::Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Whether the deadline (if any) has passed at `now`.
+    pub fn deadline_expired(&self, now: std::time::Instant) -> bool {
+        self.deadline.is_some_and(|d| d <= now)
     }
 }
 
@@ -162,6 +186,9 @@ pub struct InferResponse {
     pub service_micros: u64,
     /// Size of the micro-batch this request was served in.
     pub batch_size: usize,
+    /// Whether the answer was produced under brownout degradation (the
+    /// server tightened the exit policy to shed load gracefully).
+    pub degraded: bool,
 }
 
 /// Result type delivered through a [`ResponseHandle`].

@@ -1,12 +1,15 @@
 //! The serving runtime: configuration, submission, lifecycle.
 
 use crate::error::ServeError;
+use crate::fault::FaultPlan;
 use crate::metrics::{MetricsSnapshot, ServeMetrics};
 use crate::obs::{SpanKind, TraceConfig, Tracer};
 use crate::queue::{BatchQueue, PushError};
 use crate::registry::ModelRegistry;
 use crate::request::{InferRequest, ResponseHandle, ResponseSlot};
+use crate::supervisor::{Blame, Supervisor};
 use crate::worker::{worker_loop, QueuedRequest, WorkerCtx};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -30,6 +33,13 @@ pub struct ServeConfig {
     /// Whether workers record per-stage kernel profiles into each
     /// model's [`crate::registry::ModelEntry::profile`] sink.
     pub profile: bool,
+    /// Worker panics attributed to one model before the supervisor
+    /// quarantines it (poison-model detection). `0` disables quarantine;
+    /// panicked workers are respawned either way.
+    pub quarantine_threshold: usize,
+    /// Fault-injection hooks for chaos tests (see [`crate::fault`]).
+    /// `None` — the default — injects nothing.
+    pub fault_plan: Option<Arc<FaultPlan>>,
 }
 
 impl Default for ServeConfig {
@@ -43,6 +53,8 @@ impl Default for ServeConfig {
             batch_linger: Duration::from_micros(200),
             trace: TraceConfig::default(),
             profile: false,
+            quarantine_threshold: 3,
+            fault_plan: None,
         }
     }
 }
@@ -98,6 +110,7 @@ pub struct ServeRuntime {
     registry: Arc<ModelRegistry>,
     metrics: Arc<ServeMetrics>,
     tracer: Arc<Tracer>,
+    supervisor: Arc<Supervisor>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -113,6 +126,7 @@ impl ServeRuntime {
         let queue = Arc::new(BatchQueue::new(cfg.queue_capacity));
         let metrics = Arc::new(ServeMetrics::new());
         let tracer = Arc::new(Tracer::new(&cfg.trace));
+        let supervisor = Arc::new(Supervisor::new(cfg.quarantine_threshold));
         let mut workers = Vec::with_capacity(cfg.workers);
         for i in 0..cfg.workers {
             let spawned = std::thread::Builder::new()
@@ -121,16 +135,49 @@ impl ServeRuntime {
                     let queue = Arc::clone(&queue);
                     let registry = Arc::clone(&registry);
                     let metrics = Arc::clone(&metrics);
+                    let tracer = Arc::clone(&tracer);
+                    let supervisor = Arc::clone(&supervisor);
+                    let fault = cfg.fault_plan.clone();
                     let max_batch = cfg.max_batch;
                     let linger = cfg.batch_linger;
+                    let profile = cfg.profile;
                     // Worker tids start at 1; tid 0 is the submit /
                     // admission path in exported traces.
-                    let ctx = WorkerCtx {
-                        tracer: Arc::clone(&tracer),
-                        tid: i as u64 + 1,
-                        profile: cfg.profile,
-                    };
-                    move || worker_loop(queue, registry, metrics, max_batch, linger, ctx)
+                    let tid = i as u64 + 1;
+                    // Supervision wrapper: run the worker body under
+                    // `catch_unwind`; a panic respawns it *in place*
+                    // with fresh engine caches (they are locals of the
+                    // body) after attributing the panic through the
+                    // blame cell. A clean return means the queue closed.
+                    move || {
+                        let blame = Arc::new(Blame::default());
+                        loop {
+                            let run = catch_unwind(AssertUnwindSafe(|| {
+                                let ctx = WorkerCtx {
+                                    tracer: Arc::clone(&tracer),
+                                    tid,
+                                    profile,
+                                    supervisor: Arc::clone(&supervisor),
+                                    blame: Arc::clone(&blame),
+                                    fault: fault.clone(),
+                                };
+                                worker_loop(
+                                    Arc::clone(&queue),
+                                    Arc::clone(&registry),
+                                    Arc::clone(&metrics),
+                                    max_batch,
+                                    linger,
+                                    ctx,
+                                );
+                            }));
+                            match run {
+                                Ok(()) => return,
+                                Err(_) => {
+                                    supervisor.record_panic(blame.take().as_deref(), &metrics);
+                                }
+                            }
+                        }
+                    }
                 });
             match spawned {
                 Ok(handle) => workers.push(handle),
@@ -152,6 +199,7 @@ impl ServeRuntime {
             registry,
             metrics,
             tracer,
+            supervisor,
             workers,
         })
     }
@@ -218,6 +266,12 @@ impl ServeRuntime {
     /// [`ServeConfig::trace`] enabled sampling).
     pub fn tracer(&self) -> &Arc<Tracer> {
         &self.tracer
+    }
+
+    /// The worker supervisor: panic attribution and poison-model
+    /// quarantine state.
+    pub fn supervisor(&self) -> &Arc<Supervisor> {
+        &self.supervisor
     }
 
     /// The bounded queue's capacity (admission control derives its

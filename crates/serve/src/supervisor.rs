@@ -1,0 +1,186 @@
+//! Worker supervision: panic attribution, respawn accounting, and
+//! poison-model quarantine.
+//!
+//! A panicking worker already cannot hang its clients — the queue's
+//! drop-guard errors every in-flight slot — but before this module the
+//! pool silently shrank by one thread per panic until nothing was left.
+//! The runtime now wraps each worker body in `catch_unwind` and respawns
+//! it *in place* with fresh engine caches (the caches are locals of the
+//! worker body, so a respawn rebuilds them from the registry's current
+//! epoch by construction). [`Supervisor`] keeps the books: which model
+//! was being served when the panic happened (via the crate-private
+//! `Blame` cell, written by the worker just before it touches a
+//! group), how many panics each
+//! model has caused, and — past a configurable threshold — a quarantine
+//! set. Requests for a quarantined model are answered
+//! [`crate::ServeError::ModelQuarantined`] without ever reaching an
+//! engine, so one poison model cannot grind the pool through an endless
+//! panic/respawn cycle. Restart and quarantine counts surface through
+//! [`crate::MetricsSnapshot`] and the Prometheus exposition.
+
+use crate::metrics::ServeMetrics;
+use std::collections::{HashMap, HashSet};
+use std::sync::Mutex;
+
+/// The model a worker is currently serving — written before each group,
+/// cleared after, read by the supervision wrapper when a panic unwinds
+/// past it. One cell per worker thread, so there is no cross-worker
+/// contention.
+#[derive(Debug, Default)]
+pub(crate) struct Blame(Mutex<Option<String>>);
+
+impl Blame {
+    pub(crate) fn set(&self, model: &str) {
+        if let Ok(mut guard) = self.0.lock() {
+            *guard = Some(model.to_string());
+        }
+    }
+
+    pub(crate) fn clear(&self) {
+        if let Ok(mut guard) = self.0.lock() {
+            *guard = None;
+        }
+    }
+
+    /// Takes the blamed model, leaving the cell empty. Runs during
+    /// unwinding, so it must never panic — a poisoned cell just means
+    /// no attribution.
+    pub(crate) fn take(&self) -> Option<String> {
+        match self.0.lock() {
+            Ok(mut guard) => guard.take(),
+            Err(poisoned) => poisoned.into_inner().take(),
+        }
+    }
+}
+
+/// Shared panic bookkeeping of one worker pool.
+#[derive(Debug)]
+pub struct Supervisor {
+    /// Panics from one model before it is quarantined; `0` disables
+    /// quarantine (panics are still counted and the worker respawned).
+    threshold: usize,
+    state: Mutex<SupervisorState>,
+}
+
+#[derive(Debug, Default)]
+struct SupervisorState {
+    panics: HashMap<String, usize>,
+    quarantined: HashSet<String>,
+}
+
+impl Supervisor {
+    pub(crate) fn new(threshold: usize) -> Self {
+        Supervisor {
+            threshold,
+            state: Mutex::new(SupervisorState::default()),
+        }
+    }
+
+    /// Records one worker panic attributed to `model` (when the blame
+    /// cell knew), quarantining the model once it crosses the threshold.
+    /// Called from the respawn wrapper, never during unwinding.
+    pub(crate) fn record_panic(&self, model: Option<&str>, metrics: &ServeMetrics) {
+        metrics.observe_worker_restart();
+        let Some(model) = model else { return };
+        let mut state = self.state.lock().expect("supervisor state poisoned");
+        let count = state.panics.entry(model.to_string()).or_insert(0);
+        *count += 1;
+        if self.threshold > 0 && *count >= self.threshold && state.quarantined.insert(model.into())
+        {
+            metrics.observe_quarantine();
+        }
+    }
+
+    /// Whether `model` has been quarantined.
+    pub fn is_quarantined(&self, model: &str) -> bool {
+        self.state
+            .lock()
+            .expect("supervisor state poisoned")
+            .quarantined
+            .contains(model)
+    }
+
+    /// Panics attributed to `model` so far.
+    pub fn panics_for(&self, model: &str) -> usize {
+        self.state
+            .lock()
+            .expect("supervisor state poisoned")
+            .panics
+            .get(model)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// The quarantined models, sorted by name.
+    pub fn quarantined_models(&self) -> Vec<String> {
+        let state = self.state.lock().expect("supervisor state poisoned");
+        let mut names: Vec<String> = state.quarantined.iter().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Lifts a quarantine (an operator fixed or replaced the model). No
+    /// effect if the model was not quarantined; the panic count resets
+    /// so the next incident needs a full threshold again.
+    pub fn release(&self, model: &str) {
+        let mut state = self.state.lock().expect("supervisor state poisoned");
+        state.quarantined.remove(model);
+        state.panics.remove(model);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quarantine_after_threshold_panics() {
+        let metrics = ServeMetrics::new();
+        let sup = Supervisor::new(3);
+        for i in 1..=2 {
+            sup.record_panic(Some("poison"), &metrics);
+            assert_eq!(sup.panics_for("poison"), i);
+            assert!(!sup.is_quarantined("poison"));
+        }
+        sup.record_panic(Some("poison"), &metrics);
+        assert!(sup.is_quarantined("poison"));
+        assert!(!sup.is_quarantined("healthy"));
+        assert_eq!(sup.quarantined_models(), vec!["poison".to_string()]);
+        // A fourth panic does not double-count the quarantine.
+        sup.record_panic(Some("poison"), &metrics);
+        let snap = metrics.snapshot(0);
+        assert_eq!(snap.worker_restarts, 4);
+        assert_eq!(snap.models_quarantined, 1);
+        // Release resets both the flag and the count.
+        sup.release("poison");
+        assert!(!sup.is_quarantined("poison"));
+        assert_eq!(sup.panics_for("poison"), 0);
+    }
+
+    #[test]
+    fn unattributed_and_disabled_panics_never_quarantine() {
+        let metrics = ServeMetrics::new();
+        let sup = Supervisor::new(1);
+        sup.record_panic(None, &metrics);
+        assert!(sup.quarantined_models().is_empty());
+        let disabled = Supervisor::new(0);
+        for _ in 0..10 {
+            disabled.record_panic(Some("m"), &metrics);
+        }
+        assert!(!disabled.is_quarantined("m"));
+        assert_eq!(disabled.panics_for("m"), 10);
+        assert_eq!(metrics.snapshot(0).worker_restarts, 11);
+    }
+
+    #[test]
+    fn blame_cell_round_trips() {
+        let blame = Blame::default();
+        assert_eq!(blame.take(), None);
+        blame.set("m");
+        assert_eq!(blame.take(), Some("m".to_string()));
+        assert_eq!(blame.take(), None);
+        blame.set("a");
+        blame.clear();
+        assert_eq!(blame.take(), None);
+    }
+}

@@ -17,6 +17,7 @@
 //! Install failures (truncated/corrupt snapshot) are counted and the old
 //! model stays live — a bad deploy never takes down serving.
 
+use crate::error::ServeError;
 use crate::registry::ModelRegistry;
 use bsnn_core::coding::CodingScheme;
 use std::collections::HashMap;
@@ -65,14 +66,18 @@ pub struct WatchStats {
     /// Snapshot files that failed to load (the previous model, if any,
     /// stays live).
     pub failures: u64,
+    /// The subset of `failures` rejected by the snapshot checksum
+    /// trailer ([`crate::ServeError::SnapshotChecksum`]) — bit rot or
+    /// truncation on disk, as opposed to structural decode errors.
+    pub checksum_failures: u64,
 }
 
 impl fmt::Display for WatchStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "watch  scans {}  installs {}  removals {}  failures {}",
-            self.scans, self.installs, self.removals, self.failures
+            "watch  scans {}  installs {}  removals {}  failures {} (checksum {})",
+            self.scans, self.installs, self.removals, self.failures, self.checksum_failures
         )
     }
 }
@@ -83,6 +88,7 @@ struct SharedStats {
     installs: AtomicU64,
     removals: AtomicU64,
     failures: AtomicU64,
+    checksum_failures: AtomicU64,
 }
 
 impl SharedStats {
@@ -92,6 +98,7 @@ impl SharedStats {
             installs: self.installs.load(Ordering::Relaxed),
             removals: self.removals.load(Ordering::Relaxed),
             failures: self.failures.load(Ordering::Relaxed),
+            checksum_failures: self.checksum_failures.load(Ordering::Relaxed),
         }
     }
 }
@@ -229,29 +236,34 @@ impl SnapshotWatcher {
             }
             // Stable across two scans: install.
             let path = self.dir.join(format!("{name}.bsnn"));
-            let outcome = fs::File::open(&path)
-                .map_err(|e| e.to_string())
-                .and_then(|f| {
-                    self.registry
-                        .install_snapshot(
-                            name.clone(),
-                            std::io::BufReader::new(f),
-                            self.cfg.scheme,
-                            self.cfg.phase_period,
-                        )
-                        .map_err(|e| e.to_string())
-                });
+            // `Err(true)` = the checksum trailer caught the corruption.
+            let outcome = match fs::File::open(&path) {
+                Ok(f) => self
+                    .registry
+                    .install_snapshot(
+                        name.clone(),
+                        std::io::BufReader::new(f),
+                        self.cfg.scheme,
+                        self.cfg.phase_period,
+                    )
+                    .map(|_epoch| ())
+                    .map_err(|e| matches!(e, ServeError::SnapshotChecksum(_))),
+                Err(_) => Err(false),
+            };
             match outcome {
-                Ok(_epoch) => {
+                Ok(()) => {
                     tracked.installed = Some(*sig);
                     self.stats.installs.fetch_add(1, Ordering::Relaxed);
                     changed += 1;
                 }
-                Err(_) => {
+                Err(checksum) => {
                     // Corrupt or unreadable: count it, keep the old model
                     // live, and re-attempt only if the file changes again.
                     tracked.installed = Some(*sig);
                     self.stats.failures.fetch_add(1, Ordering::Relaxed);
+                    if checksum {
+                        self.stats.checksum_failures.fetch_add(1, Ordering::Relaxed);
+                    }
                 }
             }
         }
@@ -439,8 +451,56 @@ mod tests {
         w.scan_once();
         w.scan_once();
         assert_eq!(w.stats().failures, 1);
+        assert_eq!(
+            w.stats().checksum_failures,
+            0,
+            "garbage magic is a format error, not a checksum mismatch"
+        );
         let still = w.registry.get("m").expect("old model stays live");
         assert_eq!(still.epoch(), good.epoch());
+
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// A bit-flipped (but structurally plausible) snapshot is caught by
+    /// the v5 checksum trailer, counted separately, and the last-good
+    /// epoch keeps serving.
+    #[test]
+    fn bit_flipped_snapshot_counts_a_checksum_failure() {
+        let dir = temp_dir("bitflip");
+        let mut w = watcher(&dir);
+        fs::write(dir.join("m.bsnn"), snapshot_bytes(3)).unwrap();
+        w.scan_once();
+        w.scan_once();
+        let good = w.registry.get("m").expect("installed");
+
+        // A bit-flipped snapshot under a fresh name (fresh names avoid
+        // any mtime-granularity dependence in change detection): never
+        // installed, counted as a checksum failure.
+        let mut rotten = snapshot_bytes(3);
+        let mid = rotten.len() / 2;
+        rotten[mid] ^= 0x04;
+        fs::write(dir.join("rot.bsnn"), &rotten).unwrap();
+        w.scan_once();
+        w.scan_once();
+        let stats = w.stats();
+        assert_eq!(stats.failures, 1);
+        assert_eq!(stats.checksum_failures, 1, "trailer caught the bit flip");
+        assert!(w.registry.get("rot").is_none());
+        assert_eq!(
+            w.registry.get("m").unwrap().epoch(),
+            good.epoch(),
+            "last-good epoch keeps serving"
+        );
+        // Truncation is caught too (by the length-aware decoder or the
+        // trailer — both refuse the install).
+        let full = snapshot_bytes(3);
+        fs::write(dir.join("trunc.bsnn"), &full[..full.len() - 7]).unwrap();
+        w.scan_once();
+        w.scan_once();
+        assert_eq!(w.stats().failures, 2);
+        assert!(w.registry.get("trunc").is_none());
+        assert_eq!(w.registry.get("m").unwrap().epoch(), good.epoch());
 
         let _ = fs::remove_dir_all(&dir);
     }

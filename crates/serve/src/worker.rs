@@ -14,11 +14,13 @@
 
 use crate::error::ServeError;
 use crate::exit::run_batch_with_policies_each;
+use crate::fault::FaultPlan;
 use crate::metrics::ServeMetrics;
 use crate::obs::{SpanKind, Tracer};
 use crate::queue::BatchQueue;
 use crate::registry::ModelRegistry;
 use crate::request::{InferRequest, InferResponse, InferResult, ResponseSlot};
+use crate::supervisor::{Blame, Supervisor};
 use bsnn_core::batch::{BatchedNetwork, DispatchMode, DispatchPolicy};
 use bsnn_core::SnnError;
 use std::collections::HashMap;
@@ -56,14 +58,19 @@ impl Drop for QueuedRequest {
     }
 }
 
-/// Per-worker observability context: the shared tracer, this worker's
-/// trace track id, and whether engines feed the per-model profile
-/// sinks.
+/// Per-worker observability and supervision context: the shared tracer,
+/// this worker's trace track id, whether engines feed the per-model
+/// profile sinks, the pool's supervisor (quarantine checks), this
+/// worker's blame cell (panic attribution), and the optional
+/// fault-injection plan.
 #[derive(Debug)]
 pub(crate) struct WorkerCtx {
     pub(crate) tracer: Arc<Tracer>,
     pub(crate) tid: u64,
     pub(crate) profile: bool,
+    pub(crate) supervisor: Arc<Supervisor>,
+    pub(crate) blame: Arc<Blame>,
+    pub(crate) fault: Option<Arc<FaultPlan>>,
 }
 
 /// A worker's long-lived lockstep engine for one registry model. Built
@@ -112,11 +119,26 @@ pub(crate) fn worker_loop(
 ) {
     let mut cache: HashMap<String, CachedModel> = HashMap::new();
     loop {
-        let batch = queue.pop_batch(max_batch, linger);
+        if let Some(plan) = &ctx.fault {
+            plan.maybe_stall();
+        }
+        // Earliest-deadline-first pop: lanes with a deadline retire
+        // before lanes without one, nearest deadline first; deadline-less
+        // lanes (and equal deadlines) keep FIFO order via the stable
+        // selection, so a burst of deadline-less traffic cannot starve
+        // near-expiry work and vice versa.
+        let batch = queue.pop_batch_by_key(max_batch, linger, |q| {
+            (q.request.deadline.is_none(), q.request.deadline)
+        });
         if batch.is_empty() {
             return;
         }
         metrics.observe_batch(batch.len());
+        // Dequeue-time deadline check: a request that expired while
+        // queued is answered immediately instead of occupying a lockstep
+        // lane (the second of the three deadline checkpoints — see
+        // admission in [`crate::shed`] and batch formation below).
+        let now = Instant::now();
         // Group by model, preserving arrival order within each group;
         // each group runs as one lockstep batch.
         let mut groups: Vec<(String, Vec<QueuedRequest>)> = Vec::new();
@@ -125,6 +147,10 @@ pub(crate) fn worker_loop(
                 // Queue-wait span: from enqueue to this dequeue.
                 ctx.tracer
                     .complete(SpanKind::Queued, ctx.tid, token, queued.enqueued, 0, 0);
+            }
+            if queued.request.deadline_expired(now) {
+                queued.fulfill(&metrics, Err(ServeError::DeadlineExceeded));
+                continue;
             }
             match groups
                 .iter_mut()
@@ -156,10 +182,26 @@ fn serve_group(
     metrics: &ServeMetrics,
     ctx: &WorkerCtx,
 ) {
+    // Poison-model quarantine: a model whose requests have repeatedly
+    // killed workers is refused up front — it must never reach an engine
+    // again, or the pool grinds through an endless panic/respawn cycle.
+    if ctx.supervisor.is_quarantined(name) {
+        for queued in group {
+            queued.fulfill(metrics, Err(ServeError::ModelQuarantined(name.to_string())));
+        }
+        return;
+    }
+    // From here until the group is served, an unwinding panic is this
+    // model's fault; the supervision wrapper reads the cell.
+    ctx.blame.set(name);
+    if let Some(plan) = &ctx.fault {
+        plan.maybe_panic(name);
+    }
     let Some(entry) = registry.get(name) else {
         for queued in group {
             queued.fulfill(metrics, Err(ServeError::UnknownModel(name.to_string())));
         }
+        ctx.blame.clear();
         return;
     };
     // Epoch-checked engine: a hot-swap invalidates this worker's cached
@@ -174,11 +216,16 @@ fn serve_group(
         })
         .or_insert_with(|| build_cached(&entry, max_batch, ctx.profile));
     // Per-lane validation isolates malformed requests so they cannot
-    // fail the whole lockstep group.
+    // fail the whole lockstep group. Batch formation is the last of the
+    // three deadline checkpoints: an expired lane is answered here and
+    // never enters the lockstep run.
     let input_len = entry.network().input_len();
+    let now = Instant::now();
     let mut lanes: Vec<QueuedRequest> = Vec::with_capacity(group.len());
     for queued in group {
-        if let Err(e) = queued.request.policy.validate() {
+        if queued.request.deadline_expired(now) {
+            queued.fulfill(metrics, Err(ServeError::DeadlineExceeded));
+        } else if let Err(e) = queued.request.policy.validate() {
             queued.fulfill(metrics, Err(e));
         } else if queued.request.image.len() != input_len {
             let e = ServeError::Simulation(SnnError::InputSizeMismatch {
@@ -201,10 +248,11 @@ fn serve_group(
     loop {
         let chunk: Vec<QueuedRequest> = lanes.by_ref().take(width_cap).collect();
         if chunk.is_empty() {
-            return;
+            break;
         }
         serve_lockstep_chunk(chunk, &entry, &mut cached.engine, metrics, ctx);
     }
+    ctx.blame.clear();
 }
 
 /// Runs one lockstep sub-batch (all same model, all pre-validated)
@@ -223,6 +271,7 @@ fn serve_lockstep_chunk(
         .map(|q| q.enqueued.elapsed().as_micros() as u64)
         .collect();
     let tokens: Vec<Option<u64>> = lanes.iter().map(|q| q.trace).collect();
+    let degraded: Vec<bool> = lanes.iter().map(|q| q.request.degraded).collect();
     // Move the image buffers out of the requests (no clone) so the
     // engine can borrow them while the slots are fulfilled lane by lane.
     let images_owned: Vec<Vec<f32>> = lanes
@@ -263,6 +312,7 @@ fn serve_lockstep_chunk(
                         queue_micros: queue_micros[lane],
                         service_micros: started.elapsed().as_micros() as u64,
                         batch_size: lockstep_width,
+                        degraded: degraded[lane],
                     }),
                 );
                 if let Some(token) = token {
@@ -325,6 +375,9 @@ mod tests {
             tracer: Arc::new(Tracer::new(&TraceConfig::default())),
             tid: 1,
             profile: false,
+            supervisor: Arc::new(Supervisor::new(3)),
+            blame: Arc::new(Blame::default()),
+            fault: None,
         }
     }
 
@@ -417,6 +470,69 @@ mod tests {
             .map(|h| h.wait().unwrap().batch_size)
             .collect();
         assert_eq!(widths, vec![4, 4, 4, 4, 2, 2], "capped at max_batch");
+    }
+
+    #[test]
+    fn quarantined_model_is_refused_before_reaching_an_engine() {
+        let scheme = CodingScheme::new(InputCoding::Real, HiddenCoding::Rate);
+        let registry = ModelRegistry::new();
+        registry.install("poison", tiny_network(), scheme, 8);
+        let metrics = ServeMetrics::new();
+        let mut cache = HashMap::new();
+        let ctx = ctx();
+        let blame_metrics = ServeMetrics::new();
+        for _ in 0..3 {
+            ctx.supervisor.record_panic(Some("poison"), &blame_metrics);
+        }
+        let (group, handles): (Vec<_>, Vec<_>) = (0..2).map(|_| queued("poison")).unzip();
+        serve_group("poison", group, &registry, &mut cache, 8, &metrics, &ctx);
+        for handle in handles {
+            assert!(matches!(
+                handle.wait(),
+                Err(ServeError::ModelQuarantined(name)) if name == "poison"
+            ));
+        }
+        assert!(
+            cache.is_empty(),
+            "no engine may be built for a quarantined model"
+        );
+    }
+
+    #[test]
+    fn expired_lane_never_enters_a_lockstep_batch() {
+        let scheme = CodingScheme::new(InputCoding::Real, HiddenCoding::Rate);
+        let registry = ModelRegistry::new();
+        registry.install("m", tiny_network(), scheme, 8);
+        let metrics = ServeMetrics::new();
+        let mut cache = HashMap::new();
+        let past = Instant::now() - Duration::from_millis(1);
+        let far = Instant::now() + Duration::from_secs(60);
+        let make = |deadline: Option<Instant>| {
+            let (mut q, h) = queued("m");
+            q.request.deadline = deadline;
+            (q, h)
+        };
+        let (expired, expired_h) = make(Some(past));
+        let (live, live_h) = make(Some(far));
+        let (plain, plain_h) = make(None);
+        serve_group(
+            "m",
+            vec![expired, live, plain],
+            &registry,
+            &mut cache,
+            8,
+            &metrics,
+            &ctx(),
+        );
+        assert_eq!(expired_h.wait(), Err(ServeError::DeadlineExceeded));
+        let live = live_h.wait().unwrap();
+        let plain = plain_h.wait().unwrap();
+        assert_eq!(live.batch_size, 2, "the expired lane freed its slot");
+        assert_eq!(plain.batch_size, 2);
+        let snap = metrics.snapshot(0);
+        assert_eq!(snap.deadline_exceeded, 1);
+        assert_eq!(snap.completed, 2);
+        assert_eq!(snap.failed, 0);
     }
 
     #[test]

@@ -274,6 +274,7 @@ fn overload_sheds_explicitly_over_tcp() {
     cfg.max_batch = 1;
     net_cfg.shed = ShedConfig {
         queue_high_watermark: 2,
+        ..ShedConfig::default()
     };
     let (handle, addr) = start_server(cfg, net_cfg);
 
@@ -303,6 +304,9 @@ fn overload_sheds_explicitly_over_tcp() {
         match decode_response(&payload).unwrap() {
             NetResponse::Ok { .. } => ok += 1,
             NetResponse::Shed { .. } => shed += 1,
+            NetResponse::DeadlineExceeded { request_id } => {
+                panic!("unexpected DEADLINE for {request_id} (none was requested)")
+            }
             NetResponse::Error { message, .. } => panic!("unexpected ERROR: {message}"),
         }
     }

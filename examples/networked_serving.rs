@@ -56,6 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 ..TraceConfig::default()
             },
             profile: true,
+            ..ServeConfig::default()
         },
         Arc::clone(&registry),
     )?);
@@ -65,6 +66,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         NetConfig {
             shed: ShedConfig {
                 queue_high_watermark: 64,
+                ..ShedConfig::default()
             },
             ..NetConfig::default()
         },
