@@ -181,10 +181,11 @@ fn engine_rate(net: &SpikingNetwork, images: &[Vec<f32>], dispatch: &DispatchPol
     }) / 1e9;
     for (k, s) in sink.snapshot().stages.iter().enumerate() {
         println!(
-            "    stage {k}: dense {} sparse {} packed {} cached {}  density {:.3}  kernel {:.3} ms",
+            "    stage {k}: dense {} sparse {} packed {} quant {} cached {}  density {:.3}  kernel {:.3} ms",
             s.dense_steps,
             s.sparse_steps,
             s.packed_steps,
+            s.quant_steps,
             s.cached_steps,
             s.mean_density,
             s.kernel_nanos as f64 / 1e6,
@@ -202,10 +203,13 @@ fn main() {
         }
     }
 
-    // Engine-level: Auto with crossovers pinned to 0 runs the exact
-    // forced-dense kernel schedule *plus* the bit-plane build in fire,
-    // so the delta between the two rows is the cost of packing planes
-    // nobody consumes (the price Auto pays for the option).
+    // Engine-level: Auto with crossovers pinned to the smallest
+    // positive density runs the forced-dense kernel schedule on every
+    // spiking step *plus* the bit-plane build in fire, so the delta
+    // between the two rows is the cost of packing planes (almost)
+    // nobody consumes — the price Auto pays for the option. (Exactly
+    // 0.0 would no longer measure this: the engine skips plane builds
+    // entirely when no stage can consume them.)
     let net = random_mlp(&mut rng);
     let images: Vec<Vec<f32>> = (0..WIDTH)
         .map(|_| (0..144).map(|_| rng.gen_range(0.0..1.0f32)).collect())
@@ -214,7 +218,9 @@ fn main() {
     let auto_pinned_dense = DispatchPolicy {
         mode: DispatchMode::Auto,
         thresholds: vec![0.0; 2],
-        packed_thresholds: vec![0.0; 2],
+        packed_thresholds: vec![f32::MIN_POSITIVE; 2],
+        quant_thresholds: vec![0.0; 2],
+        quant_eligible: vec![false; 2],
     };
     let packed_forced = DispatchPolicy::forced(DispatchMode::ForcePacked);
     println!("\nengine (random 144-32-10 MLP, phase-burst, batch {WIDTH}, 64 steps):");

@@ -72,6 +72,8 @@ pub fn evaluate_autotuned(
             mode: DispatchMode::Auto,
             thresholds: policy.density_thresholds.clone(),
             packed_thresholds: policy.packed_thresholds.clone(),
+            quant_thresholds: policy.quant_thresholds.clone(),
+            quant_eligible: policy.quant_eligible.clone(),
         },
     )
     .expect("dataset evaluation");
@@ -138,12 +140,12 @@ fn autotune_cache_path(
 ) -> Option<PathBuf> {
     let mut model_bytes = Vec::new();
     bsnn_core::snapshot::save_network(net, &mut model_bytes).ok()?;
-    // "at2" salts the key with the cache-entry format generation: bump
+    // "at3" salts the key with the cache-entry format generation: bump
     // it when the probe or the kernels change meaningfully, so stale
-    // measurements from older binaries are not reused (at2 = packed
-    // bit-plane kernels + packed_thresholds line).
+    // measurements from older binaries are not reused (at3 = int8 quant
+    // kernels + quant_thresholds/quant_eligible lines + accuracy gate).
     let tag = format!(
-        "at2|{salt}|{scheme}|{:?}|{}|{}|{}|{}|{}|{}|{}",
+        "at3|{salt}|{scheme}|{:?}|{}|{}|{}|{}|{}|{}|{}|{}|{}",
         cfg.widths,
         cfg.steps,
         cfg.reps,
@@ -151,7 +153,9 @@ fn autotune_cache_path(
         cfg.seed,
         cfg.phase_period,
         cfg.calibrate_density,
-        cfg.density_reps
+        cfg.density_reps,
+        cfg.quant_delta,
+        cfg.quant_gate_images
     );
     let key = fnv1a64(tag.as_bytes(), fnv1a64(&model_bytes, FNV_OFFSET));
     Some(cache_dir().join(format!("autotune-{key:016x}.txt")))
@@ -194,6 +198,18 @@ fn render_autotune_cache(policy: &BatchPolicy) -> String {
         .map(|t| format!("{t}"))
         .collect();
     s.push_str(&format!("packed_thresholds {}\n", packed.join(",")));
+    let quant: Vec<String> = policy
+        .quant_thresholds
+        .iter()
+        .map(|t| format!("{t}"))
+        .collect();
+    s.push_str(&format!("quant_thresholds {}\n", quant.join(",")));
+    let eligible: Vec<String> = policy
+        .quant_eligible
+        .iter()
+        .map(|&e| if e { "1".into() } else { "0".to_string() })
+        .collect();
+    s.push_str(&format!("quant_eligible {}\n", eligible.join(",")));
     for p in &policy.probes {
         s.push_str(&format!("probe {} {}\n", p.width, p.lane_steps_per_sec));
     }
@@ -205,6 +221,8 @@ fn read_autotune_cache(path: &std::path::Path) -> Option<BatchPolicy> {
     let mut preferred_batch = None;
     let mut density_thresholds = Vec::new();
     let mut packed_thresholds = Vec::new();
+    let mut quant_thresholds = Vec::new();
+    let mut quant_eligible = Vec::new();
     let mut probes = Vec::new();
     for line in text.lines() {
         let mut parts = line.split_whitespace();
@@ -224,6 +242,24 @@ fn read_autotune_cache(path: &std::path::Path) -> Option<BatchPolicy> {
                     }
                 }
             }
+            "quant_thresholds" => {
+                if let Some(list) = parts.next() {
+                    for v in list.split(',') {
+                        quant_thresholds.push(v.parse().ok()?);
+                    }
+                }
+            }
+            "quant_eligible" => {
+                if let Some(list) = parts.next() {
+                    for v in list.split(',') {
+                        quant_eligible.push(match v {
+                            "0" => false,
+                            "1" => true,
+                            _ => return None,
+                        });
+                    }
+                }
+            }
             "probe" => probes.push(BatchProbe {
                 width: parts.next()?.parse().ok()?,
                 lane_steps_per_sec: parts.next()?.parse().ok()?,
@@ -236,6 +272,8 @@ fn read_autotune_cache(path: &std::path::Path) -> Option<BatchPolicy> {
         probes,
         density_thresholds,
         packed_thresholds,
+        quant_thresholds,
+        quant_eligible,
     })
 }
 
@@ -545,6 +583,8 @@ mod tests {
             ],
             density_thresholds: vec![0.28125, 0.0, 1.01],
             packed_thresholds: vec![0.0625, 1.01, 0.0],
+            quant_thresholds: vec![0.09375, 0.0, 1.01],
+            quant_eligible: vec![true, false, true],
         };
         let path = cache_dir().join("test-autotune-roundtrip.txt");
         fs::write(&path, render_autotune_cache(&policy)).unwrap();
@@ -553,6 +593,8 @@ mod tests {
         fs::write(&path, "preferred_batch eight\n").unwrap();
         assert_eq!(read_autotune_cache(&path), None);
         fs::write(&path, "unexpected_key 3\n").unwrap();
+        assert_eq!(read_autotune_cache(&path), None);
+        fs::write(&path, "quant_eligible yes,no\n").unwrap();
         assert_eq!(read_autotune_cache(&path), None);
         let _ = fs::remove_file(&path);
         assert_eq!(read_autotune_cache(&path), None, "missing file");

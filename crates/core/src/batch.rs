@@ -96,12 +96,23 @@ pub const DEFAULT_DENSITY_CROSSOVER: f32 = 0.05;
 /// per-stage crossovers with [`crate::autotune::autotune_batch`].
 pub const DEFAULT_PACKED_CROSSOVER: f32 = 0.05;
 
-/// How the engine chooses between the packed, sparse, and dense
-/// kernels.
+/// Quantized-kernel crossover for stages without a calibrated
+/// threshold: below this density an *eligible* stage (see
+/// [`DispatchPolicy::quant_eligible`]) runs the int8 kernel
+/// ([`crate::quant::QuantizedDense`]) instead of the packed replay.
+/// Eligibility is off by default — quantized dispatch is approximate,
+/// so a stage must first pass the autotuner's accuracy-delta gate
+/// ([`crate::autotune::AutotuneConfig::quant_delta`]) before any
+/// threshold applies.
+pub const DEFAULT_QUANT_CROSSOVER: f32 = 0.05;
+
+/// How the engine chooses between the quantized, packed, sparse, and
+/// dense kernels.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum DispatchMode {
-    /// Per (stage, step): packed below the stage's packed crossover,
-    /// else sparse below the density crossover, else dense.
+    /// Per (stage, step): quantized below the stage's quant crossover
+    /// (accuracy-gated stages only), else packed below the packed
+    /// crossover, else sparse below the density crossover, else dense.
     #[default]
     Auto,
     /// Always the dense lockstep kernels (the pre-dispatch behavior).
@@ -110,6 +121,11 @@ pub enum DispatchMode {
     ForceSparse,
     /// Always the bit-plane packed kernels.
     ForcePacked,
+    /// Always the int8 quantized kernels where a stage has a quantized
+    /// table and the lockstep width fits the mask plane; other stages
+    /// fall back to the packed kernels. Bypasses the accuracy gate —
+    /// for benchmarks and the quant probe, not production serving.
+    ForceQuantized,
 }
 
 /// The engine's kernel-dispatch configuration.
@@ -125,6 +141,15 @@ pub struct DispatchPolicy {
     /// stage's entry the packed kernel preempts the sparse one;
     /// missing entries fall back to [`DEFAULT_PACKED_CROSSOVER`].
     pub packed_thresholds: Vec<f32>,
+    /// Per-stage quantized-kernel crossovers, same layout; consulted
+    /// only for stages marked eligible. Missing entries fall back to
+    /// [`DEFAULT_QUANT_CROSSOVER`].
+    pub quant_thresholds: Vec<f32>,
+    /// Per-stage accuracy-gate verdicts: `Auto` dispatch may pick the
+    /// quantized kernel only where this is `true`. Missing entries (or
+    /// an empty vector — the default) mean **not eligible**, so an
+    /// uncalibrated engine never quantizes and stays bit-exact.
+    pub quant_eligible: Vec<bool>,
 }
 
 impl DispatchPolicy {
@@ -134,6 +159,8 @@ impl DispatchPolicy {
             mode,
             thresholds: Vec::new(),
             packed_thresholds: Vec::new(),
+            quant_thresholds: Vec::new(),
+            quant_eligible: Vec::new(),
         }
     }
 
@@ -152,6 +179,20 @@ impl DispatchPolicy {
             .copied()
             .unwrap_or(DEFAULT_PACKED_CROSSOVER)
     }
+
+    /// The quantized crossover for one stage index.
+    fn quant_threshold(&self, stage: usize) -> f32 {
+        self.quant_thresholds
+            .get(stage)
+            .copied()
+            .unwrap_or(DEFAULT_QUANT_CROSSOVER)
+    }
+
+    /// Whether the accuracy gate cleared this stage for quantized
+    /// dispatch under `Auto`.
+    fn stage_quant_eligible(&self, stage: usize) -> bool {
+        self.quant_eligible.get(stage).copied().unwrap_or(false)
+    }
 }
 
 /// Per-stage kernel-dispatch counters of one lockstep run.
@@ -163,6 +204,8 @@ pub struct StageDispatchStats {
     pub sparse_steps: u64,
     /// Steps executed with the bit-plane packed kernel.
     pub packed_steps: u64,
+    /// Steps executed with the int8 quantized kernel.
+    pub quant_steps: u64,
     /// Steps that reused the cached PSP (no kernel ran).
     pub cached_steps: u64,
     /// Sum of the observed input densities over executed steps.
@@ -172,7 +215,7 @@ pub struct StageDispatchStats {
 impl StageDispatchStats {
     /// Mean input density over the steps that ran a kernel.
     pub fn mean_density(&self) -> f64 {
-        let executed = self.dense_steps + self.sparse_steps + self.packed_steps;
+        let executed = self.dense_steps + self.sparse_steps + self.packed_steps + self.quant_steps;
         if executed == 0 {
             0.0
         } else {
@@ -191,6 +234,8 @@ pub enum KernelKind {
     Sparse,
     /// The bit-plane packed kernel ran.
     Packed,
+    /// The int8 quantized kernel ran.
+    Quantized,
     /// The cached first-stage PSP was replayed (no kernel ran).
     Cached,
 }
@@ -205,6 +250,7 @@ struct StageProfileCell {
     dense_steps: AtomicU64,
     sparse_steps: AtomicU64,
     packed_steps: AtomicU64,
+    quant_steps: AtomicU64,
     cached_steps: AtomicU64,
     /// Density × [`DENSITY_FP`], summed over dense + sparse steps.
     density_fp_sum: AtomicU64,
@@ -270,6 +316,11 @@ impl ProfileSink {
                 cell.density_fp_sum
                     .fetch_add((density * DENSITY_FP) as u64, Ordering::Relaxed);
             }
+            KernelKind::Quantized => {
+                cell.quant_steps.fetch_add(1, Ordering::Relaxed);
+                cell.density_fp_sum
+                    .fetch_add((density * DENSITY_FP) as u64, Ordering::Relaxed);
+            }
             KernelKind::Cached => {
                 cell.cached_steps.fetch_add(1, Ordering::Relaxed);
             }
@@ -292,6 +343,7 @@ impl ProfileSink {
             cell.dense_steps.store(0, Ordering::Relaxed);
             cell.sparse_steps.store(0, Ordering::Relaxed);
             cell.packed_steps.store(0, Ordering::Relaxed);
+            cell.quant_steps.store(0, Ordering::Relaxed);
             cell.cached_steps.store(0, Ordering::Relaxed);
             cell.density_fp_sum.store(0, Ordering::Relaxed);
             cell.kernel_nanos.store(0, Ordering::Relaxed);
@@ -311,7 +363,8 @@ impl ProfileSink {
                     let dense = cell.dense_steps.load(Ordering::Relaxed);
                     let sparse = cell.sparse_steps.load(Ordering::Relaxed);
                     let packed = cell.packed_steps.load(Ordering::Relaxed);
-                    let executed = dense + sparse + packed;
+                    let quant = cell.quant_steps.load(Ordering::Relaxed);
+                    let executed = dense + sparse + packed + quant;
                     let mean_density = if executed == 0 {
                         0.0
                     } else {
@@ -323,6 +376,7 @@ impl ProfileSink {
                         dense_steps: dense,
                         sparse_steps: sparse,
                         packed_steps: packed,
+                        quant_steps: quant,
                         cached_steps: cell.cached_steps.load(Ordering::Relaxed),
                         mean_density,
                         kernel_nanos: cell.kernel_nanos.load(Ordering::Relaxed),
@@ -358,6 +412,8 @@ pub struct StageProfileSnapshot {
     pub sparse_steps: u64,
     /// Steps executed with the bit-plane packed kernel.
     pub packed_steps: u64,
+    /// Steps executed with the int8 quantized kernel.
+    pub quant_steps: u64,
     /// Steps that replayed the cached PSP (no kernel ran).
     pub cached_steps: u64,
     /// Mean input density over the steps that ran a kernel.
@@ -369,7 +425,11 @@ pub struct StageProfileSnapshot {
 impl StageProfileSnapshot {
     /// Total steps accounted to this stage.
     pub fn total_steps(&self) -> u64 {
-        self.dense_steps + self.sparse_steps + self.packed_steps + self.cached_steps
+        self.dense_steps
+            + self.sparse_steps
+            + self.packed_steps
+            + self.quant_steps
+            + self.cached_steps
     }
 }
 
@@ -546,6 +606,13 @@ pub struct BatchedNetwork {
     /// (non-pow2 burst β, analog input) — the packed kernel then
     /// carries every magnitude on its raw side channel.
     packed_base: Vec<Option<f32>>,
+    /// Per-stage int8 weight tables for the quantized kernel: derived
+    /// eagerly from dense-synapse weights at construction, overridable
+    /// from snapshot blobs via [`install_quantized`](Self::install_quantized).
+    /// `None` for conv/pool stages (their kernels scatter geometry, not
+    /// a weight matrix) and for stages that failed quantization.
+    quant: Vec<Option<crate::quant::QuantizedDense>>,
+    quant_scratch: crate::quant::QuantScratch,
     scratch: KernelScratch,
     /// Per-stage dispatch counters (hidden stages, then the output
     /// synapse); reset by [`begin_batch`](Self::begin_batch).
@@ -585,6 +652,24 @@ impl BatchedNetwork {
                 }
             };
         }
+        // Quantize every dense stage's weights eagerly: the table is
+        // inert until a policy marks a stage eligible (or a forced
+        // quant run asks for it), so default dispatch stays bit-exact.
+        let quant = (0..n_dispatch)
+            .map(|k| {
+                let syn = if k < template.layers().len() {
+                    template.layers()[k].synapse()
+                } else {
+                    template.output_synapse()
+                };
+                match syn {
+                    crate::synapse::Synapse::Dense { weight } => {
+                        crate::quant::QuantizedDense::from_weights(weight)
+                    }
+                    _ => None,
+                }
+            })
+            .collect();
         Ok(BatchedNetwork {
             template,
             max_batch,
@@ -598,6 +683,8 @@ impl BatchedNetwork {
             input_psp_cache: Vec::new(),
             dispatch: DispatchPolicy::default(),
             packed_base,
+            quant,
+            quant_scratch: crate::quant::QuantScratch::default(),
             scratch: KernelScratch::default(),
             stats: vec![StageDispatchStats::default(); n_dispatch],
             profile: None,
@@ -629,6 +716,20 @@ impl BatchedNetwork {
         &self.dispatch
     }
 
+    /// Whether any plane-fed stage (k ≥ 1: hidden stages and the
+    /// output synapse) can ever consume a fire-pass bit-plane under
+    /// the current `Auto` thresholds. A calibrated policy that zeroed
+    /// every downstream packed/quant crossover never replays a plane,
+    /// so fire skips building them.
+    fn planes_useful(&self) -> bool {
+        (1..self.stats.len()).any(|k| {
+            self.dispatch.packed_threshold(k) > 0.0
+                || (self.dispatch.stage_quant_eligible(k)
+                    && self.quant[k].is_some()
+                    && self.dispatch.quant_threshold(k) > 0.0)
+        })
+    }
+
     /// Declares the common power-of-two base of the *staged input's*
     /// spike magnitudes, enabling the packed kernel's exponent plane
     /// on stage 0: `Some(1.0)` for rate coding (unit spikes) and phase
@@ -640,6 +741,54 @@ impl BatchedNetwork {
     /// at construction.
     pub fn set_input_magnitude_base(&mut self, base: Option<f32>) {
         self.packed_base[0] = base;
+    }
+
+    /// The per-stage int8 weight tables (hidden stages, then the output
+    /// synapse). Entries are `None` for conv/pool stages and stages
+    /// that failed quantization.
+    pub fn quantized(&self) -> &[Option<crate::quant::QuantizedDense>] {
+        &self.quant
+    }
+
+    /// Replaces the per-stage int8 tables (the snapshot-v6 install
+    /// path: serve a saved model with the exact codes it was gated
+    /// with, instead of re-deriving them from the f32 weights).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnnError::InvalidConfig`] when the table count is not
+    /// `layers + 1` or a `Some` entry's shape does not match its
+    /// stage's synapse.
+    pub fn install_quantized(
+        &mut self,
+        tables: Vec<Option<crate::quant::QuantizedDense>>,
+    ) -> Result<(), SnnError> {
+        let n_dispatch = self.template.layers().len() + 1;
+        if tables.len() != n_dispatch {
+            return Err(SnnError::InvalidConfig(format!(
+                "quantized table count {} != {n_dispatch} dispatch stages",
+                tables.len()
+            )));
+        }
+        for (k, table) in tables.iter().enumerate() {
+            let Some(qd) = table else { continue };
+            let syn = if k < self.template.layers().len() {
+                self.template.layers()[k].synapse()
+            } else {
+                self.template.output_synapse()
+            };
+            if qd.input_len() != syn.input_len() || qd.output_len() != syn.output_len() {
+                return Err(SnnError::InvalidConfig(format!(
+                    "quantized table {k} shape {}x{} != stage shape {}x{}",
+                    qd.input_len(),
+                    qd.output_len(),
+                    syn.input_len(),
+                    syn.output_len()
+                )));
+            }
+        }
+        self.quant = tables;
+        Ok(())
     }
 
     /// Per-stage dispatch counters of the current batch (one entry per
@@ -812,14 +961,20 @@ impl BatchedNetwork {
         }
         let step_t0 = self.profile.is_some().then(Instant::now);
         // Fire packs each stage's spike row into its bit-plane in the
-        // same pass whenever the packed kernel could consume it: the
-        // width must fit the 64-bit mask plane and the dispatch mode
-        // must be able to select packed.
+        // same pass whenever the packed or quantized kernel could
+        // consume it: the width must fit the 64-bit mask plane and the
+        // dispatch mode must be able to select a plane consumer. Under
+        // Auto the per-stage thresholds are consulted too — a policy
+        // whose calibration zeroed every downstream packed/quant
+        // crossover (dense always wins) makes the plane build pure
+        // overhead, so fire skips it (the BENCH v5 stage-0 MLP
+        // regression: auto paid plane builds it never replayed).
         let build_planes = w <= 64
-            && matches!(
-                self.dispatch.mode,
-                DispatchMode::Auto | DispatchMode::ForcePacked
-            );
+            && match self.dispatch.mode {
+                DispatchMode::ForcePacked | DispatchMode::ForceQuantized => true,
+                DispatchMode::Auto => self.planes_useful(),
+                DispatchMode::ForceDense | DispatchMode::ForceSparse => false,
+            };
         for (k, layer) in self.template.layers().iter().enumerate() {
             let stage_t0 = self.profile.is_some().then(Instant::now);
             let (done, rest) = self.stages.split_at_mut(k);
@@ -871,6 +1026,8 @@ impl BatchedNetwork {
                     k,
                     self.packed_base[k],
                     planes,
+                    self.quant[k].as_ref(),
+                    &mut self.quant_scratch,
                     &mut self.scratch,
                     &mut self.stats[k],
                 )?;
@@ -941,6 +1098,8 @@ impl BatchedNetwork {
             k_out,
             self.packed_base[k_out],
             out_planes,
+            self.quant[k_out].as_ref(),
+            &mut self.quant_scratch,
             &mut self.scratch,
             &mut self.stats[k_out],
         )?;
@@ -1024,17 +1183,35 @@ fn accumulate_dispatched(
     stage_idx: usize,
     base: Option<f32>,
     planes: Option<(&[u64], Option<f32>)>,
+    quant: Option<&crate::quant::QuantizedDense>,
+    quant_scratch: &mut crate::quant::QuantScratch,
     scratch: &mut KernelScratch,
     st: &mut StageDispatchStats,
 ) -> Result<KernelKind, SnnError> {
     let density = events as f64 / (syn.input_len() * w) as f64;
+    // The int8 kernel needs a quantized table and a width that fits
+    // the 64-bit mask plane; elsewhere ForceQuantized degrades to the
+    // packed kernels (which themselves degrade to sparse past 64).
+    let quant_ok = quant.is_some() && w <= 64;
     let kind = match dispatch.mode {
         DispatchMode::ForceDense => KernelKind::Dense,
         DispatchMode::ForceSparse => KernelKind::Sparse,
         DispatchMode::ForcePacked => KernelKind::Packed,
+        DispatchMode::ForceQuantized => {
+            if quant_ok {
+                KernelKind::Quantized
+            } else {
+                KernelKind::Packed
+            }
+        }
         DispatchMode::Auto => {
             let d = density as f32;
-            if d < dispatch.packed_threshold(stage_idx) {
+            if quant_ok
+                && dispatch.stage_quant_eligible(stage_idx)
+                && d < dispatch.quant_threshold(stage_idx)
+            {
+                KernelKind::Quantized
+            } else if d < dispatch.packed_threshold(stage_idx) {
                 KernelKind::Packed
             } else if d < dispatch.threshold(stage_idx) {
                 KernelKind::Sparse
@@ -1063,6 +1240,16 @@ fn accumulate_dispatched(
                 None => syn.accumulate_batch_packed(input, psp, w, base, scratch)?,
             }
             st.packed_steps += 1;
+        }
+        KernelKind::Quantized => {
+            let qd = quant.expect("dispatch checked the table above");
+            match planes {
+                Some((masks, uniform)) => {
+                    qd.accumulate_packed_planes(input, psp, w, masks, uniform, base, quant_scratch)?
+                }
+                None => qd.accumulate_packed(input, psp, w, base, quant_scratch)?,
+            }
+            st.quant_steps += 1;
         }
         KernelKind::Cached => unreachable!("cache hits never dispatch a kernel"),
     }
@@ -1795,12 +1982,20 @@ mod tests {
             // Every (stage, step) is accounted to exactly one bucket.
             for st in engine.dispatch_stats() {
                 assert_eq!(
-                    st.dense_steps + st.sparse_steps + st.packed_steps + st.cached_steps,
+                    st.dense_steps
+                        + st.sparse_steps
+                        + st.packed_steps
+                        + st.quant_steps
+                        + st.cached_steps,
                     7
                 );
                 assert!(st.mean_density() >= 0.0 && st.mean_density() <= 1.0);
             }
             let stats = engine.dispatch_stats();
+            assert!(
+                stats.iter().all(|s| s.quant_steps == 0),
+                "gate off by default"
+            );
             match mode {
                 DispatchMode::ForceDense => {
                     assert!(stats.iter().all(|s| s.sparse_steps + s.packed_steps == 0))
@@ -1811,12 +2006,42 @@ mod tests {
                 DispatchMode::ForcePacked => {
                     assert!(stats.iter().all(|s| s.dense_steps + s.sparse_steps == 0))
                 }
-                DispatchMode::Auto => {}
+                DispatchMode::ForceQuantized | DispatchMode::Auto => {}
             }
         }
         assert_eq!(pots[0], pots[1], "sparse vs dense bit drift");
         assert_eq!(pots[0], pots[2], "packed vs dense bit drift");
         assert_eq!(pots[0], pots[3], "auto vs dense bit drift");
+    }
+
+    #[test]
+    fn forced_quantized_runs_int8_and_stays_close() {
+        let cfg = EvalConfig::new(real_rate(), 7);
+        let imgs: [[f32; 2]; 2] = [[0.9, 0.0], [0.0, 0.6]];
+        let refs: Vec<&[f32]> = imgs.iter().map(|i| i.as_slice()).collect();
+        let mut dense = BatchedNetwork::new(tiny_network(0.25), 2).unwrap();
+        let mut run = BatchedStepwiseInference::new(&mut dense, &refs, &cfg).unwrap();
+        while run.advance().unwrap() {}
+        let expected: Vec<Vec<f32>> = (0..2).map(|l| run.output_potentials(l)).collect();
+        let mut engine = BatchedNetwork::new(tiny_network(0.25), 2).unwrap();
+        assert!(engine.quantized().iter().all(Option::is_some));
+        engine.set_dispatch(DispatchPolicy::forced(DispatchMode::ForceQuantized));
+        let mut run = BatchedStepwiseInference::new(&mut engine, &refs, &cfg).unwrap();
+        while run.advance().unwrap() {}
+        // Identity weights round-trip through scale 1/127 with only
+        // rounding-level error, so potentials stay close but need not
+        // be bit-identical.
+        for (lane, want) in expected.iter().enumerate() {
+            let got = run.output_potentials(lane);
+            for (g, w) in got.iter().zip(want) {
+                assert!((g - w).abs() <= 1e-3, "lane {lane}: {g} vs {w}");
+            }
+        }
+        // Dense stages all have tables, so every step runs the int8 kernel.
+        for st in engine.dispatch_stats() {
+            assert_eq!(st.quant_steps + st.cached_steps, 7);
+            assert_eq!(st.dense_steps + st.sparse_steps + st.packed_steps, 0);
+        }
     }
 
     #[test]
@@ -1851,6 +2076,7 @@ mod tests {
             assert_eq!(st.dense_steps, ds.dense_steps);
             assert_eq!(st.sparse_steps, ds.sparse_steps);
             assert_eq!(st.packed_steps, ds.packed_steps);
+            assert_eq!(st.quant_steps, ds.quant_steps);
             assert_eq!(st.cached_steps, ds.cached_steps);
         }
         sink.reset();

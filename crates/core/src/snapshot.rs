@@ -17,9 +17,14 @@
 //! stream (magic through body) as an 8-byte little-endian trailer, so a
 //! torn or bit-flipped file is rejected with a typed
 //! [`SnapshotError::Checksum`] instead of whatever decode error the
-//! corruption happens to trip. Version-1 through version-4 streams
-//! still load (missing fields default, no checksum verified). Writers
-//! emit version 5.
+//! corruption happens to trip. Version 6 appends the quantized
+//! inference artifacts: per-stage quant/dense crossovers, the accuracy
+//! gate's eligibility verdicts, and the int8 weight tables themselves
+//! (codes + per-column scales), so a serving process installs the exact
+//! quantization that passed the gate instead of re-deriving it.
+//! Version-1 through version-5 streams still load (missing fields
+//! default, pre-v5 streams have no checksum verified). Writers emit
+//! version 6.
 //!
 //! [`save_network_to_path`] writes through a temp file in the target
 //! directory and atomically renames it into place, so a directory
@@ -39,7 +44,7 @@ use bsnn_tensor::Tensor;
 use std::io::{self, Read, Write};
 
 const MAGIC: &[u8; 4] = b"BSNN";
-const VERSION: u32 = 5;
+const VERSION: u32 = 6;
 
 /// FNV-1a 64 offset basis.
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
@@ -105,6 +110,20 @@ pub struct SnapshotMeta {
     /// recorded; consumers fall back to
     /// [`crate::batch::DEFAULT_PACKED_CROSSOVER`]).
     pub packed_thresholds: Vec<f32>,
+    /// Calibrated quant/dense density crossovers for the int8 kernels,
+    /// same layout as `density_thresholds` (empty = none recorded;
+    /// consumers fall back to
+    /// [`crate::batch::DEFAULT_QUANT_CROSSOVER`]).
+    pub quant_thresholds: Vec<f32>,
+    /// Per-stage accuracy-gate verdicts from
+    /// [`crate::autotune::autotune_batch`]: `true` means the stage may
+    /// quantize under `Auto` dispatch (empty = gate never ran, which
+    /// consumers treat as all-ineligible).
+    pub quant_eligible: Vec<bool>,
+    /// Int8 weight tables, one slot per dispatch stage (`None` for
+    /// stages with no quantizable weight matrix; empty = no tables
+    /// recorded, consumers re-derive from the f32 weights).
+    pub quant_tables: Vec<Option<crate::quant::QuantizedDense>>,
 }
 
 /// Errors from reading or writing a network snapshot.
@@ -201,6 +220,98 @@ fn read_f32_vec<R: Read>(r: &mut R) -> Result<Vec<f32>, SnapshotError> {
     let mut out = Vec::with_capacity(len);
     for _ in 0..len {
         out.push(read_f32(r)?);
+    }
+    Ok(out)
+}
+
+fn write_bool_slice<W: Write>(w: &mut W, v: &[bool]) -> io::Result<()> {
+    write_u32(w, v.len() as u32)?;
+    for &b in v {
+        w.write_all(&[b as u8])?;
+    }
+    Ok(())
+}
+
+fn read_bool_vec<R: Read>(r: &mut R) -> Result<Vec<bool>, SnapshotError> {
+    let len = read_u32(r)? as usize;
+    if len > 4097 {
+        return Err(SnapshotError::Format(format!(
+            "implausible flag count {len}"
+        )));
+    }
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        let mut b = [0u8; 1];
+        r.read_exact(&mut b)?;
+        out.push(match b[0] {
+            0 => false,
+            1 => true,
+            tag => return Err(SnapshotError::Format(format!("unknown flag byte {tag}"))),
+        });
+    }
+    Ok(out)
+}
+
+fn write_quant_tables<W: Write>(
+    w: &mut W,
+    tables: &[Option<crate::quant::QuantizedDense>],
+) -> io::Result<()> {
+    write_u32(w, tables.len() as u32)?;
+    for slot in tables {
+        match slot {
+            None => w.write_all(&[0u8])?,
+            Some(qd) => {
+                w.write_all(&[1u8])?;
+                write_u32(w, qd.input_len() as u32)?;
+                write_u32(w, qd.output_len() as u32)?;
+                // i8 codes are raw two's-complement bytes.
+                let bytes: Vec<u8> = qd.codes().iter().map(|&c| c as u8).collect();
+                w.write_all(&bytes)?;
+                for &s in qd.scales() {
+                    write_f32(w, s)?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn read_quant_tables<R: Read>(
+    r: &mut R,
+) -> Result<Vec<Option<crate::quant::QuantizedDense>>, SnapshotError> {
+    let len = read_u32(r)? as usize;
+    if len > 4097 {
+        return Err(SnapshotError::Format(format!(
+            "implausible quant table count {len}"
+        )));
+    }
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        let mut tag = [0u8; 1];
+        r.read_exact(&mut tag)?;
+        match tag[0] {
+            0 => out.push(None),
+            1 => {
+                let in_len = read_u32(r)? as usize;
+                let out_len = read_u32(r)? as usize;
+                if in_len == 0 || out_len == 0 || in_len.saturating_mul(out_len) > 1 << 28 {
+                    return Err(SnapshotError::Format(format!(
+                        "implausible quant table shape {in_len}x{out_len}"
+                    )));
+                }
+                let mut bytes = vec![0u8; in_len * out_len];
+                r.read_exact(&mut bytes)?;
+                let codes: Vec<i8> = bytes.into_iter().map(|b| b as i8).collect();
+                let mut scales = Vec::with_capacity(out_len);
+                for _ in 0..out_len {
+                    scales.push(read_f32(r)?);
+                }
+                let qd = crate::quant::QuantizedDense::from_parts(in_len, out_len, codes, scales)
+                    .map_err(SnapshotError::Invalid)?;
+                out.push(Some(qd));
+            }
+            tag => return Err(SnapshotError::Format(format!("unknown quant tag {tag}"))),
+        }
     }
     Ok(out)
 }
@@ -421,6 +532,9 @@ fn write_snapshot_body<W: Write>(
     write_u32(&mut writer, meta.preferred_batch)?;
     write_f32_slice(&mut writer, &meta.density_thresholds)?;
     write_f32_slice(&mut writer, &meta.packed_thresholds)?;
+    write_f32_slice(&mut writer, &meta.quant_thresholds)?;
+    write_bool_slice(&mut writer, &meta.quant_eligible)?;
+    write_quant_tables(&mut writer, &meta.quant_tables)?;
     write_u32(&mut writer, net.input_len() as u32)?;
     write_u32(&mut writer, net.layers().len() as u32)?;
     for layer in net.layers() {
@@ -470,12 +584,14 @@ pub fn load_network<R: Read>(reader: R) -> Result<SpikingNetwork, SnapshotError>
 /// crossovers) decode with empty `density_thresholds`; version-3
 /// streams (which predate the bit-plane kernels) decode with empty
 /// `packed_thresholds`; version-4 streams (which predate the content
-/// checksum) decode without integrity verification.
+/// checksum) decode without integrity verification; version-5 streams
+/// (which predate the quantized path) decode with empty quant
+/// thresholds, eligibility, and tables.
 ///
 /// # Errors
 ///
 /// Returns [`SnapshotError::Format`] for corrupt or foreign streams,
-/// [`SnapshotError::Checksum`] when a v5 stream's content does not
+/// [`SnapshotError::Checksum`] when a v5+ stream's content does not
 /// hash to its recorded trailer, and [`SnapshotError::Invalid`] if the
 /// decoded stages are mutually inconsistent.
 pub fn load_network_with_meta<R: Read>(
@@ -494,7 +610,7 @@ pub fn load_network_with_meta<R: Read>(
             preferred_batch: read_u32(&mut reader)?,
             ..SnapshotMeta::default()
         },
-        3..=5 => {
+        3..=6 => {
             let preferred_batch = read_u32(&mut reader)?;
             let density_thresholds = read_f32_vec(&mut reader)?;
             if density_thresholds.len() > 4097 {
@@ -515,10 +631,27 @@ pub fn load_network_with_meta<R: Read>(
             } else {
                 Vec::new()
             };
+            let (quant_thresholds, quant_eligible, quant_tables) = if version >= 6 {
+                let th = read_f32_vec(&mut reader)?;
+                if th.len() > 4097 {
+                    return Err(SnapshotError::Format(format!(
+                        "implausible quant threshold count {}",
+                        th.len()
+                    )));
+                }
+                let el = read_bool_vec(&mut reader)?;
+                let tables = read_quant_tables(&mut reader)?;
+                (th, el, tables)
+            } else {
+                (Vec::new(), Vec::new(), Vec::new())
+            };
             SnapshotMeta {
                 preferred_batch,
                 density_thresholds,
                 packed_thresholds,
+                quant_thresholds,
+                quant_eligible,
+                quant_tables,
             }
         }
         other => {
@@ -639,6 +772,7 @@ mod tests {
                 preferred_batch: 16,
                 density_thresholds: vec![0.28125, 0.09375, 0.0],
                 packed_thresholds: vec![0.0625, 0.03125],
+                ..SnapshotMeta::default()
             },
             &mut buf,
         )
@@ -647,16 +781,21 @@ mod tests {
         assert_eq!(meta.preferred_batch, 16);
         assert_eq!(meta.density_thresholds, vec![0.28125, 0.09375, 0.0]);
         assert_eq!(meta.packed_thresholds, vec![0.0625, 0.03125]);
+        assert!(meta.quant_thresholds.is_empty());
+        assert!(meta.quant_eligible.is_empty());
+        assert!(meta.quant_tables.is_empty());
         // A plain save carries no preference.
         let mut plain = Vec::new();
         save_network(&net, &mut plain).expect("save");
         let (_, meta) = load_network_with_meta(plain.as_slice()).expect("load");
         assert_eq!(meta, SnapshotMeta::default());
-        // The v5 header is magic + version + preferred_batch + two
-        // threshold blocks (count + values each); the network body
-        // follows, and the stream ends with the 8-byte checksum trailer
-        // (stripped below — pre-v5 streams have no trailer).
-        let body = 16 + 4 * 3 + 4 + 4 * 2;
+        // The v6 header is magic + version + preferred_batch + two
+        // threshold blocks (count + values each) + three empty quant
+        // blocks (count each); the network body follows, and the stream
+        // ends with the 8-byte checksum trailer (stripped below —
+        // pre-v5 streams have no trailer).
+        let quant_block = 4 * 3;
+        let body = 16 + 4 * 3 + 4 + 4 * 2 + quant_block;
         let buf = &buf[..buf.len() - 8];
         // A version-1 stream (no meta block at all) still loads, with
         // default metadata.
@@ -694,15 +833,72 @@ mod tests {
         assert_eq!(meta.density_thresholds, vec![0.25, 0.5]);
         assert!(meta.packed_thresholds.is_empty());
         assert_eq!(restored.num_neurons(), net.num_neurons());
-        // A version-4 stream (full meta block, no checksum trailer) is
-        // exactly the v5 bytes minus the trailer with the version
-        // rewritten — it loads without integrity verification.
-        let mut v4 = buf.to_vec();
+        // A version-4 stream (pre-quant meta block, no checksum
+        // trailer) is the v6 bytes minus trailer and quant blocks with
+        // the version rewritten — it loads without integrity
+        // verification.
+        let mut v4 = buf[..body - quant_block].to_vec();
+        v4.extend_from_slice(&buf[body..]);
         v4[4..8].copy_from_slice(&4u32.to_le_bytes());
         let (restored, meta) = load_network_with_meta(v4.as_slice()).expect("load v4");
         assert_eq!(meta.preferred_batch, 16);
         assert_eq!(meta.packed_thresholds, vec![0.0625, 0.03125]);
+        assert!(meta.quant_tables.is_empty());
         assert_eq!(restored.num_neurons(), net.num_neurons());
+        // A version-5 stream is the same bytes plus a recomputed
+        // checksum trailer — it loads with integrity verification and
+        // empty quant fields.
+        let mut v5 = v4.clone();
+        v5[4..8].copy_from_slice(&5u32.to_le_bytes());
+        let digest = fnv1a(&v5);
+        v5.extend_from_slice(&digest.to_le_bytes());
+        let (restored, meta) = load_network_with_meta(v5.as_slice()).expect("load v5");
+        assert_eq!(meta.preferred_batch, 16);
+        assert!(meta.quant_thresholds.is_empty());
+        assert_eq!(restored.num_neurons(), net.num_neurons());
+    }
+
+    #[test]
+    fn quant_artifacts_round_trip_through_v6() {
+        let (net, _, _) = sample_network(HiddenCoding::Burst);
+        // Derive real tables for every dispatch stage the way the
+        // batched engine does (None for conv/pool stages).
+        let mut tables: Vec<Option<crate::quant::QuantizedDense>> = net
+            .layers()
+            .iter()
+            .map(|l| match l.synapse() {
+                Synapse::Dense { weight } => crate::quant::QuantizedDense::from_weights(weight),
+                _ => None,
+            })
+            .collect();
+        tables.push(match net.output_synapse() {
+            Synapse::Dense { weight } => crate::quant::QuantizedDense::from_weights(weight),
+            _ => None,
+        });
+        assert!(
+            tables.iter().any(Option::is_some),
+            "vgg_tiny has dense stages"
+        );
+        let n = tables.len();
+        let meta = SnapshotMeta {
+            preferred_batch: 16,
+            density_thresholds: vec![0.25; n],
+            packed_thresholds: vec![0.125; n],
+            quant_thresholds: vec![0.0625; n],
+            quant_eligible: tables.iter().map(Option::is_some).collect(),
+            quant_tables: tables,
+        };
+        let mut buf = Vec::new();
+        save_network_with_meta(&net, meta.clone(), &mut buf).expect("save");
+        let (restored, got) = load_network_with_meta(buf.as_slice()).expect("load");
+        assert_eq!(got, meta, "quant meta must survive the round trip");
+        assert_eq!(restored.num_neurons(), net.num_neurons());
+        // A corrupted scale inside a quant table must be caught by the
+        // checksum or the table validator, never silently accepted.
+        let mut bad = buf.clone();
+        let at = buf.len() / 2;
+        bad[at] ^= 0x40;
+        assert!(load_network(bad.as_slice()).is_err());
     }
 
     #[test]

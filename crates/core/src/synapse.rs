@@ -123,7 +123,7 @@ fn pow2_from_biased(e: u8) -> f32 {
 /// and non-finite inputs all fail the quotient test (`RAW_EXP` is never
 /// a valid answer, so it can double as the sentinel).
 #[inline]
-fn pow2_exponent(v: f32, base: f32) -> Option<u8> {
+pub(crate) fn pow2_exponent(v: f32, base: f32) -> Option<u8> {
     let bits = (v / base).to_bits();
     let exp = bits >> 23; // sign and exponent together: must be a
                           // positive normal power of two
@@ -679,8 +679,11 @@ impl Synapse {
     /// [`KernelScratch::plane_events`] after this call.
     ///
     /// `psp_lanes` is lane-major, exactly as for the sparse kernel.
-    /// Conv/pool stages and batches wider than the 64-bit mask plane
-    /// delegate to the event-list path (bit-identical by construction).
+    /// Conv/pool stages run a mask-driven scatter at ≤64 lanes: set
+    /// bits select the live (pixel, lane) events directly, skipping the
+    /// sparse path's per-lane O(batch · n_in) deinterleave staging.
+    /// Batches wider than the 64-bit mask plane delegate to the
+    /// event-list path (bit-identical by construction).
     ///
     /// # Errors
     ///
@@ -696,6 +699,21 @@ impl Synapse {
     ) -> Result<(), SnnError> {
         let weight = match self {
             Synapse::Dense { weight } if batch <= 64 && batch != 0 => weight,
+            Synapse::Conv { .. } | Synapse::Pool { .. } if batch <= 64 && batch != 0 => {
+                // Self-pack: one `lane_mask` pass builds the activity
+                // plane, then the masked scatter replays raw staged
+                // magnitudes (conv/pool never compresses exponents —
+                // the scatter multiplies the raw float directly, so no
+                // exponent plane is needed).
+                scratch.active.clear();
+                scratch.exps.clear();
+                scratch.raws.clear();
+                scratch.masks.clear();
+                scratch
+                    .masks
+                    .extend(input.chunks_exact(batch).map(lane_mask));
+                return self.packed_convpool(input, psp_lanes, batch, &scratch.masks, None);
+            }
             _ => return self.accumulate_batch_sparse(input, psp_lanes, batch, scratch),
         };
         if input.len() != self.input_len() * batch {
@@ -809,9 +827,11 @@ impl Synapse {
     /// (burst-fed stages), each event's magnitude is read straight from
     /// the staged input — bit-identical by definition.
     ///
-    /// Conv/pool stages and batches wider than the 64-bit mask plane
-    /// delegate to the event-list path, exactly as the self-packing
-    /// kernel does.
+    /// Conv/pool stages replay the same planes through the mask-driven
+    /// scatter (set bits select live (pixel, lane) events directly, no
+    /// per-lane deinterleave staging); batches wider than the 64-bit
+    /// mask plane delegate to the event-list path, exactly as the
+    /// self-packing kernel does.
     ///
     /// # Errors
     ///
@@ -835,6 +855,20 @@ impl Synapse {
     ) -> Result<(), SnnError> {
         let weight = match self {
             Synapse::Dense { weight } if batch <= 64 && batch != 0 => weight,
+            Synapse::Conv { .. } | Synapse::Pool { .. } if batch <= 64 && batch != 0 => {
+                // One exponent-plane decode per step (bit-identical
+                // reconstruction, as in the dense replay below), then
+                // the masked scatter.
+                let mag = match (uniform, base) {
+                    (Some(u), Some(g)) => Some(match pow2_exponent(u, g) {
+                        Some(e) => g * pow2_from_biased(e),
+                        None => u,
+                    }),
+                    (Some(u), None) => Some(u),
+                    (None, _) => None,
+                };
+                return self.packed_convpool(input, psp_lanes, batch, masks, mag);
+            }
             _ => return self.accumulate_batch_sparse(input, psp_lanes, batch, scratch),
         };
         if input.len() != self.input_len() * batch {
@@ -902,6 +936,92 @@ impl Synapse {
         }
         Ok(())
     }
+
+    /// Mask-plane staging for conv/pool stages: walks the input pixels
+    /// in ascending order, skips dead masks, and scatters each live
+    /// (pixel, lane) event through the hoisted kernel-range loops.
+    ///
+    /// Per lane, the visited pixels in ascending order are exactly the
+    /// lane's nonzero pixels in ascending order — the batch-1 scatter's
+    /// traversal — and the inner `ky → kx (→ co)` order is unchanged,
+    /// so every (lane, output) accumulator sees the event-list path's
+    /// exact operation sequence and results stay bit-identical.
+    ///
+    /// `mag` is the step's single decoded magnitude when the
+    /// presynaptic drive is uniform (`None` reads each event's
+    /// magnitude off the staged input).
+    fn packed_convpool(
+        &self,
+        input: &[f32],
+        psp_lanes: &mut [f32],
+        batch: usize,
+        masks: &[u64],
+        mag: Option<f32>,
+    ) -> Result<(), SnnError> {
+        debug_assert!((1..=64).contains(&batch));
+        if input.len() != self.input_len() * batch {
+            return Err(SnnError::InputSizeMismatch {
+                expected: self.input_len() * batch,
+                actual: input.len(),
+            });
+        }
+        if masks.len() != self.input_len() {
+            return Err(SnnError::InputSizeMismatch {
+                expected: self.input_len(),
+                actual: masks.len(),
+            });
+        }
+        let out_len = self.output_len();
+        if psp_lanes.len() != out_len * batch {
+            return Err(SnnError::InputSizeMismatch {
+                expected: out_len * batch,
+                actual: psp_lanes.len(),
+            });
+        }
+        match self {
+            Synapse::Conv {
+                weight,
+                geom,
+                in_shape,
+                out_shape,
+            } => {
+                let plan = ScatterPlan {
+                    w: weight.as_slice(),
+                    c_in: in_shape.c,
+                    c_out: weight.shape()[0],
+                    geom,
+                    ih: in_shape.h,
+                    iw: in_shape.w,
+                    oh: out_shape.h,
+                    ow: out_shape.w,
+                };
+                conv_scatter_masked(batch, input, psp_lanes, out_len, &plan, masks, mag);
+            }
+            Synapse::Pool {
+                geom,
+                in_shape,
+                out_shape,
+                scale,
+            } => {
+                let unit = *scale / (geom.kernel_h * geom.kernel_w) as f32;
+                let plan = ScatterPlan {
+                    w: std::slice::from_ref(&unit),
+                    c_in: in_shape.c,
+                    c_out: 1,
+                    geom,
+                    ih: in_shape.h,
+                    iw: in_shape.w,
+                    oh: out_shape.h,
+                    ow: out_shape.w,
+                };
+                pool_scatter_masked(batch, input, psp_lanes, out_len, &plan, masks, mag);
+            }
+            Synapse::Dense { .. } => {
+                unreachable!("dense stages use the row-replay packed kernel")
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Reusable buffers of the sparse event-list kernel
@@ -932,8 +1052,8 @@ pub struct KernelScratch {
 impl KernelScratch {
     /// Total events of the last packed pack pass — one popcount per
     /// mask word, the bit plane's free density probe. Meaningful only
-    /// directly after a dense [`Synapse::accumulate_batch_packed`]
-    /// call (conv/pool and >64-lane batches bypass the plane).
+    /// directly after a self-packing [`Synapse::accumulate_batch_packed`]
+    /// call at ≤64 lanes (wider batches bypass the plane).
     pub fn plane_events(&self) -> u64 {
         self.masks.iter().map(|m| m.count_ones() as u64).sum()
     }
@@ -1065,6 +1185,148 @@ fn pool_scatter<L: LaneFma>(batch: usize, input: &[f32], psp: &mut [f32], plan: 
                         let ox = (ix + pad_w - kx) / stride_w;
                         let o = ((ci * oh + oy) * ow + ox) * batch;
                         L::fma(&mut psp[o..o + batch], lanes, unit);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Decode one pixel's mask into `(lane, magnitude)` event arrays: set
+/// bits in ascending lane order, magnitudes either the step's uniform
+/// decode or read off the staged SoA input.
+#[inline(always)]
+fn decode_mask_events(
+    input: &[f32],
+    batch: usize,
+    i: usize,
+    mut mm: u64,
+    mag: Option<f32>,
+    lane_of: &mut [usize; 64],
+    mag_of: &mut [f32; 64],
+) -> usize {
+    let mut cnt = 0usize;
+    match mag {
+        Some(u) => {
+            while mm != 0 {
+                let b = mm.trailing_zeros() as usize;
+                mm &= mm - 1;
+                lane_of[cnt] = b;
+                mag_of[cnt] = u;
+                cnt += 1;
+            }
+        }
+        None => {
+            while mm != 0 {
+                let b = mm.trailing_zeros() as usize;
+                mm &= mm - 1;
+                lane_of[cnt] = b;
+                mag_of[cnt] = input[i * batch + b];
+                cnt += 1;
+            }
+        }
+    }
+    cnt
+}
+
+/// Mask-driven sibling of [`conv_scatter`]: events come off the bit
+/// plane instead of a deinterleaved batch-1 row, and `psp_lanes` is
+/// lane-major. The kernel weight is loaded once per window position and
+/// scattered to every live lane; per (lane, output) accumulator the
+/// contribution order equals the batch-1 scatter's (ascending pixel,
+/// then `ky → kx → co`), so results are bit-identical to the event-list
+/// path.
+fn conv_scatter_masked(
+    batch: usize,
+    input: &[f32],
+    psp_lanes: &mut [f32],
+    out_len: usize,
+    plan: &ScatterPlan<'_>,
+    masks: &[u64],
+    mag: Option<f32>,
+) {
+    let (kh, kw) = (plan.geom.kernel_h, plan.geom.kernel_w);
+    let (stride_h, stride_w) = (plan.geom.stride_h.max(1), plan.geom.stride_w.max(1));
+    let (pad_h, pad_w) = (plan.geom.pad_h, plan.geom.pad_w);
+    let (ih, iw, oh, ow) = (plan.ih, plan.iw, plan.oh, plan.ow);
+    let mut lane_of = [0usize; 64];
+    let mut mag_of = [0.0f32; 64];
+    for ci in 0..plan.c_in {
+        for iy in 0..ih {
+            let Some((ky_first, ky_last)) = valid_kernel_range(iy, pad_h, stride_h, kh, oh) else {
+                continue;
+            };
+            for ix in 0..iw {
+                let i = (ci * ih + iy) * iw + ix;
+                let m = masks[i];
+                if m == 0 {
+                    continue;
+                }
+                let Some((kx_first, kx_last)) = valid_kernel_range(ix, pad_w, stride_w, kw, ow)
+                else {
+                    continue;
+                };
+                let cnt = decode_mask_events(input, batch, i, m, mag, &mut lane_of, &mut mag_of);
+                for ky in (ky_first..=ky_last).step_by(stride_h) {
+                    let oy = (iy + pad_h - ky) / stride_h;
+                    for kx in (kx_first..=kx_last).step_by(stride_w) {
+                        let ox = (ix + pad_w - kx) / stride_w;
+                        for co in 0..plan.c_out {
+                            let wv = plan.w[((co * plan.c_in + ci) * kh + ky) * kw + kx];
+                            let o = (co * oh + oy) * ow + ox;
+                            for (&b, &s) in lane_of[..cnt].iter().zip(&mag_of[..cnt]) {
+                                psp_lanes[b * out_len + o] += s * wv;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Mask-driven sibling of [`pool_scatter`]: depthwise traversal with the
+/// precomputed unit weight, events off the bit plane, lane-major PSP.
+fn pool_scatter_masked(
+    batch: usize,
+    input: &[f32],
+    psp_lanes: &mut [f32],
+    out_len: usize,
+    plan: &ScatterPlan<'_>,
+    masks: &[u64],
+    mag: Option<f32>,
+) {
+    let (kh, kw) = (plan.geom.kernel_h, plan.geom.kernel_w);
+    let (stride_h, stride_w) = (plan.geom.stride_h.max(1), plan.geom.stride_w.max(1));
+    let (pad_h, pad_w) = (plan.geom.pad_h, plan.geom.pad_w);
+    let (ih, iw, oh, ow) = (plan.ih, plan.iw, plan.oh, plan.ow);
+    let unit = plan.w[0];
+    let mut lane_of = [0usize; 64];
+    let mut mag_of = [0.0f32; 64];
+    for ci in 0..plan.c_in {
+        for iy in 0..ih {
+            let Some((ky_first, ky_last)) = valid_kernel_range(iy, pad_h, stride_h, kh, oh) else {
+                continue;
+            };
+            for ix in 0..iw {
+                let i = (ci * ih + iy) * iw + ix;
+                let m = masks[i];
+                if m == 0 {
+                    continue;
+                }
+                let Some((kx_first, kx_last)) = valid_kernel_range(ix, pad_w, stride_w, kw, ow)
+                else {
+                    continue;
+                };
+                let cnt = decode_mask_events(input, batch, i, m, mag, &mut lane_of, &mut mag_of);
+                for ky in (ky_first..=ky_last).step_by(stride_h) {
+                    let oy = (iy + pad_h - ky) / stride_h;
+                    for kx in (kx_first..=kx_last).step_by(stride_w) {
+                        let ox = (ix + pad_w - kx) / stride_w;
+                        let o = (ci * oh + oy) * ow + ox;
+                        for (&b, &s) in lane_of[..cnt].iter().zip(&mag_of[..cnt]) {
+                            psp_lanes[b * out_len + o] += s * unit;
+                        }
                     }
                 }
             }

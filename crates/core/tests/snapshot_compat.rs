@@ -1,0 +1,250 @@
+//! Snapshot version compatibility matrix: every on-disk format version
+//! ever shipped (v1 through the current v6) must keep loading, each
+//! yielding the same network and exactly the metadata its era could
+//! record. The older streams are derived from a current one by byte
+//! surgery — stripping the blocks each version predates and rewriting
+//! the version word — which pins the wire layout itself, not just the
+//! writer/reader pair of this build.
+//!
+//! Version history under test:
+//!   v1  network structure only
+//!   v2  + preferred_batch
+//!   v3  + density_thresholds
+//!   v4  + packed_thresholds
+//!   v5  + FNV-1a content checksum trailer
+//!   v6  + quant thresholds / eligibility / int8 tables
+
+use bsnn_core::layer::{SpikingLayer, ThresholdPolicy};
+use bsnn_core::snapshot::SnapshotMeta;
+use bsnn_core::snapshot::{fnv1a, load_network_with_meta, save_network_with_meta, SnapshotError};
+use bsnn_core::synapse::Synapse;
+use bsnn_core::{QuantizedDense, SpikingNetwork};
+use bsnn_tensor::Tensor;
+
+const IN: usize = 6;
+const HID: usize = 4;
+const OUT: usize = 3;
+
+fn ramp_weight(n_in: usize, n_out: usize, step: f32) -> Tensor {
+    Tensor::from_vec(
+        (0..n_in * n_out)
+            .map(|i| (i as f32).mul_add(step, -0.4))
+            .collect(),
+        &[n_in, n_out],
+    )
+    .unwrap()
+}
+
+fn network() -> SpikingNetwork {
+    let hidden = SpikingLayer::new(
+        Synapse::Dense {
+            weight: ramp_weight(IN, HID, 0.037),
+        },
+        Some((0..HID).map(|i| i as f32 * 0.01).collect()),
+        ThresholdPolicy::Burst {
+            vth: 0.3,
+            beta: 2.0,
+        },
+    )
+    .unwrap();
+    let out = Synapse::Dense {
+        weight: ramp_weight(HID, OUT, 0.083),
+    };
+    SpikingNetwork::new(IN, vec![hidden], out, None).unwrap()
+}
+
+fn full_meta(net: &SpikingNetwork) -> SnapshotMeta {
+    let hidden_weight = match net.layers()[0].synapse() {
+        Synapse::Dense { weight } => weight,
+        _ => unreachable!(),
+    };
+    let out_weight = match net.output_synapse() {
+        Synapse::Dense { weight } => weight,
+        _ => unreachable!(),
+    };
+    SnapshotMeta {
+        preferred_batch: 16,
+        density_thresholds: vec![0.5, 0.25],
+        packed_thresholds: vec![0.125, 0.0625],
+        quant_thresholds: vec![0.05, 0.075],
+        quant_eligible: vec![true, false],
+        quant_tables: vec![
+            Some(QuantizedDense::from_weights(hidden_weight).unwrap()),
+            Some(QuantizedDense::from_weights(out_weight).unwrap()),
+        ],
+    }
+}
+
+/// Byte extents of the variable metadata blocks in a v6 stream of
+/// [`network`] + [`full_meta`]: everything between the version word and
+/// the network body, in write order.
+struct Blocks {
+    /// Offset of `preferred_batch` (right after magic + version).
+    meta_start: usize,
+    /// One block per metadata generation, as (start, end) byte ranges.
+    preferred_batch: (usize, usize),
+    density: (usize, usize),
+    packed: (usize, usize),
+    quant: (usize, usize),
+}
+
+fn blocks() -> Blocks {
+    let meta_start = 8;
+    let pb = (meta_start, meta_start + 4);
+    let density = (pb.1, pb.1 + 4 + 4 * 2);
+    let packed = (density.1, density.1 + 4 + 4 * 2);
+    // quant thresholds (4 + 4·2) + eligibility (4 + 1·2) + tables:
+    // count word, then per table tag + dims + codes + scales.
+    let table = |n_in: usize, n_out: usize| 1 + 4 + 4 + n_in * n_out + 4 * n_out;
+    let quant_len = (4 + 4 * 2) + (4 + 2) + 4 + table(IN, HID) + table(HID, OUT);
+    let quant = (packed.1, packed.1 + quant_len);
+    Blocks {
+        meta_start,
+        preferred_batch: pb,
+        density,
+        packed,
+        quant,
+    }
+}
+
+/// Rewrites a v6 stream as an earlier version: keeps metadata blocks up
+/// to `keep_end`, drops the rest, stamps `version`, and re-trailers
+/// (v5+) or strips the checksum (v4 and older).
+fn downgrade(v6: &[u8], version: u32, keep_end: usize) -> Vec<u8> {
+    let b = blocks();
+    let mut out = Vec::with_capacity(v6.len());
+    out.extend_from_slice(&v6[..4]);
+    out.extend_from_slice(&version.to_le_bytes());
+    out.extend_from_slice(&v6[b.meta_start..keep_end]);
+    out.extend_from_slice(&v6[b.quant.1..v6.len() - 8]);
+    if version >= 5 {
+        let digest = fnv1a(&out);
+        out.extend_from_slice(&digest.to_le_bytes());
+    }
+    out
+}
+
+fn assert_same_network(loaded: &SpikingNetwork, original: &SpikingNetwork) {
+    assert_eq!(loaded.input_len(), original.input_len());
+    assert_eq!(loaded.layers().len(), original.layers().len());
+    for (a, b) in loaded.layers().iter().zip(original.layers()) {
+        match (a.synapse(), b.synapse()) {
+            (Synapse::Dense { weight: wa }, Synapse::Dense { weight: wb }) => {
+                assert_eq!(wa.as_slice(), wb.as_slice());
+            }
+            _ => panic!("synapse kind changed across the round trip"),
+        }
+        assert_eq!(a.bias(), b.bias());
+    }
+    match (loaded.output_synapse(), original.output_synapse()) {
+        (Synapse::Dense { weight: wa }, Synapse::Dense { weight: wb }) => {
+            assert_eq!(wa.as_slice(), wb.as_slice());
+        }
+        _ => panic!("output synapse kind changed across the round trip"),
+    }
+}
+
+#[test]
+fn every_snapshot_version_loads_with_its_eras_metadata() {
+    let net = network();
+    let meta = full_meta(&net);
+    let mut v6 = Vec::new();
+    save_network_with_meta(&net, meta.clone(), &mut v6).unwrap();
+    let b = blocks();
+
+    // The expected metadata per version: each stream carries exactly
+    // what its format generation could express, defaults elsewhere.
+    let cases: [(u32, usize, SnapshotMeta); 6] = [
+        (1, b.meta_start, SnapshotMeta::default()),
+        (
+            2,
+            b.preferred_batch.1,
+            SnapshotMeta {
+                preferred_batch: meta.preferred_batch,
+                ..SnapshotMeta::default()
+            },
+        ),
+        (
+            3,
+            b.density.1,
+            SnapshotMeta {
+                preferred_batch: meta.preferred_batch,
+                density_thresholds: meta.density_thresholds.clone(),
+                ..SnapshotMeta::default()
+            },
+        ),
+        (
+            4,
+            b.packed.1,
+            SnapshotMeta {
+                quant_thresholds: Vec::new(),
+                quant_eligible: Vec::new(),
+                quant_tables: Vec::new(),
+                ..meta.clone()
+            },
+        ),
+        (
+            5,
+            b.packed.1,
+            SnapshotMeta {
+                quant_thresholds: Vec::new(),
+                quant_eligible: Vec::new(),
+                quant_tables: Vec::new(),
+                ..meta.clone()
+            },
+        ),
+        (6, b.quant.1, meta.clone()),
+    ];
+    for (version, keep_end, expected) in cases {
+        let stream = downgrade(&v6, version, keep_end);
+        if version == 6 {
+            assert_eq!(stream, v6, "v6 downgrade must be the identity");
+        }
+        let (loaded, got) = load_network_with_meta(&stream[..])
+            .unwrap_or_else(|e| panic!("v{version} stream failed to load: {e}"));
+        assert_same_network(&loaded, &net);
+        assert_eq!(got, expected, "v{version} metadata");
+    }
+}
+
+#[test]
+fn checksummed_versions_reject_corruption_unchecksummed_do_not_pretend_to() {
+    let net = network();
+    let meta = full_meta(&net);
+    let mut v6 = Vec::new();
+    save_network_with_meta(&net, meta, &mut v6).unwrap();
+    let b = blocks();
+    for (version, keep_end) in [(5u32, b.packed.1), (6, b.quant.1)] {
+        let mut stream = downgrade(&v6, version, keep_end);
+        // Flip inside the last output weight: structurally sound, so
+        // only the content checksum can catch it.
+        let idx = stream.len() - 16;
+        stream[idx] ^= 0x10;
+        match load_network_with_meta(&stream[..]) {
+            Err(SnapshotError::Checksum { expected, actual }) => {
+                assert_ne!(expected, actual, "v{version} checksum fields")
+            }
+            other => panic!("v{version} corrupt stream gave {other:?}"),
+        }
+    }
+    // v4 predates the trailer: the same flip decodes silently — the
+    // documented (weaker) contract for legacy streams.
+    let mut v4 = downgrade(&v6, 4, b.packed.1);
+    let idx = v4.len() - 8;
+    v4[idx] ^= 0x10;
+    load_network_with_meta(&v4[..]).expect("v4 has no integrity trailer");
+}
+
+#[test]
+fn future_versions_are_refused_up_front() {
+    let net = network();
+    let mut v6 = Vec::new();
+    save_network_with_meta(&net, full_meta(&net), &mut v6).unwrap();
+    let stream = downgrade(&v6, 7, blocks().quant.1);
+    match load_network_with_meta(&stream[..]) {
+        Err(SnapshotError::Format(msg)) => {
+            assert!(msg.contains("version"), "unexpected message: {msg}")
+        }
+        other => panic!("v7 stream gave {other:?}"),
+    }
+}

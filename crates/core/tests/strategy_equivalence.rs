@@ -27,6 +27,14 @@ use rand::SeedableRng;
 const BATCH: usize = 16;
 const STEPS: usize = 16;
 
+/// Absolute bound on output-potential drift under int8 dispatch. The
+/// dominant term is spike-timing divergence (a hidden potential nudged
+/// across its threshold fires a step early or late), not the raw
+/// codebook error, so the bound is loose relative to a single layer's
+/// `weight_error_bound`. Runs are seeded and arithmetic is exactly
+/// reproducible, so observed drift is stable; this sits well above it.
+const QUANT_POTENTIAL_TOL: f32 = 2.5;
+
 /// A conv → pool → dense network covering every synapse kernel.
 fn conv_pool_network(seed: u64) -> SpikingNetwork {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -136,7 +144,7 @@ fn check_policy(
     // strategy bucket, and forced modes never run another kernel.
     for st in engine.dispatch_stats() {
         assert_eq!(
-            st.dense_steps + st.sparse_steps + st.packed_steps + st.cached_steps,
+            st.dense_steps + st.sparse_steps + st.packed_steps + st.quant_steps + st.cached_steps,
             STEPS as u64,
             "{ctx}: dispatch accounting"
         );
@@ -145,16 +153,100 @@ fn check_policy(
         DispatchMode::ForceDense => assert!(engine
             .dispatch_stats()
             .iter()
-            .all(|s| s.sparse_steps == 0 && s.packed_steps == 0)),
+            .all(|s| s.sparse_steps == 0 && s.packed_steps == 0 && s.quant_steps == 0)),
         DispatchMode::ForceSparse => assert!(engine
             .dispatch_stats()
             .iter()
-            .all(|s| s.dense_steps == 0 && s.packed_steps == 0)),
+            .all(|s| s.dense_steps == 0 && s.packed_steps == 0 && s.quant_steps == 0)),
         DispatchMode::ForcePacked => assert!(engine
             .dispatch_stats()
             .iter()
-            .all(|s| s.dense_steps == 0 && s.sparse_steps == 0)),
-        DispatchMode::Auto => {}
+            .all(|s| s.dense_steps == 0 && s.sparse_steps == 0 && s.quant_steps == 0)),
+        DispatchMode::ForceQuantized | DispatchMode::Auto => {}
+    }
+}
+
+/// Runs the batch under a quantized dispatch policy and checks every
+/// lane stays *close* to the scalar reference. The int8 path is
+/// approximate by design — per-weight error is bounded by half a
+/// quantization step, and a potential nudged across a firing threshold
+/// can shift downstream spike timing — so unlike the f32 strategies the
+/// contract is closeness plus bounded prediction churn, the same
+/// standard the autotuner's accuracy gate enforces. Silent lanes see no
+/// events, so they must still match the reference bit for bit.
+fn check_quantized_close(
+    template: &SpikingNetwork,
+    images: &[Vec<f32>],
+    cfg: &EvalConfig,
+    dispatch: DispatchPolicy,
+    reference: &[(Vec<f32>, usize, Vec<u64>)],
+    ctx: &str,
+) {
+    let quantized_mode = dispatch.mode == DispatchMode::ForceQuantized;
+    let mut engine = BatchedNetwork::new(template.clone(), BATCH).unwrap();
+    engine.set_dispatch(dispatch);
+    let refs: Vec<&[f32]> = images.iter().map(|i| i.as_slice()).collect();
+    let mut run = BatchedStepwiseInference::new(&mut engine, &refs, cfg).unwrap();
+    while run.advance().unwrap() {}
+    let mut quant_ran_any_spikes = false;
+    for (lane, (pots, pred, counts)) in reference.iter().enumerate() {
+        // Bias alone can fire hidden neurons on an all-zero image, so
+        // "no events reached any int8 kernel" is judged by the
+        // reference spike record, not the input.
+        let silent = images[lane].iter().all(|&p| p == 0.0) && counts.iter().all(|&c| c == 0);
+        let lane_pots = run.output_potentials(lane);
+        if silent {
+            for (a, b) in lane_pots.iter().zip(pots) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{ctx}: silent lane {lane}");
+            }
+            assert_eq!(run.prediction(lane), *pred, "{ctx}: silent lane {lane}");
+            continue;
+        }
+        quant_ran_any_spikes = true;
+        let mut drift = 0.0f32;
+        for (a, b) in lane_pots.iter().zip(pots) {
+            assert!(a.is_finite(), "{ctx}: lane {lane} non-finite potential");
+            drift = drift.max((a - b).abs());
+        }
+        assert!(
+            drift <= QUANT_POTENTIAL_TOL,
+            "{ctx}: lane {lane} potential drift {drift}"
+        );
+        // The argmax may only move when the reference was close to a
+        // tie at the observed drift scale; a flip across a clear
+        // margin means the int8 path is broken, not merely rounded.
+        let mut sorted = pots.clone();
+        sorted.sort_by(|a, b| b.total_cmp(a));
+        let margin = match &sorted[..] {
+            [best, second, ..] => best - second,
+            _ => 0.0,
+        };
+        if run.prediction(lane) != *pred {
+            assert!(
+                margin <= 2.0 * drift.max(f32::EPSILON),
+                "{ctx}: lane {lane} flipped prediction across margin {margin} (drift {drift})"
+            );
+        }
+    }
+    // Accounting still holds, and ForceQuantized never runs the f32
+    // dense or sparse kernels — stages without an int8 table (conv,
+    // pool) degrade to packed, never further.
+    for st in engine.dispatch_stats() {
+        assert_eq!(
+            st.dense_steps + st.sparse_steps + st.packed_steps + st.quant_steps + st.cached_steps,
+            STEPS as u64,
+            "{ctx}: dispatch accounting"
+        );
+        if quantized_mode {
+            assert_eq!(st.dense_steps, 0, "{ctx}: dense under ForceQuantized");
+            assert_eq!(st.sparse_steps, 0, "{ctx}: sparse under ForceQuantized");
+        }
+    }
+    if quantized_mode && quant_ran_any_spikes {
+        // At least one stage has a quantizable dense table in both test
+        // networks, so int8 steps must actually have run.
+        let quant_total: u64 = engine.dispatch_stats().iter().map(|s| s.quant_steps).sum();
+        assert!(quant_total > 0, "{ctx}: ForceQuantized ran no int8 steps");
     }
 }
 
@@ -189,17 +281,21 @@ fn sweep(template: &SpikingNetwork, scheme: CodingScheme, seed: u64) {
             // modes; mixed per-stage vectors exercise disagreeing
             // stages within one step — including stages where the
             // packed crossover preempts sparse, and mixes of packed
-            // and dense stages.
-            for (thresholds, packed) in [
-                (vec![0.0; 3], vec![0.0; 3]),
-                (vec![1.01; 3], vec![0.0; 3]),
-                (vec![1.01, 0.0, 0.5], vec![0.0; 3]),
-                (vec![1.01; 3], vec![1.01; 3]),
-                (vec![1.01; 3], vec![1.01, 0.0, 1.01]),
-                (vec![0.5, 1.01, 0.0], vec![0.0, 1.01, 0.0]),
+            // and dense stages. Quant thresholds without eligibility
+            // must be dead weight: the gate's veto keeps Auto exactly
+            // on the f32 kernels.
+            for (thresholds, packed, quant) in [
+                (vec![0.0; 3], vec![0.0; 3], vec![0.0; 3]),
+                (vec![1.01; 3], vec![0.0; 3], vec![0.0; 3]),
+                (vec![1.01, 0.0, 0.5], vec![0.0; 3], vec![0.0; 3]),
+                (vec![1.01; 3], vec![1.01; 3], vec![0.0; 3]),
+                (vec![1.01; 3], vec![1.01, 0.0, 1.01], vec![0.0; 3]),
+                (vec![0.5, 1.01, 0.0], vec![0.0, 1.01, 0.0], vec![0.0; 3]),
+                // Crossovers set but every stage vetoed by the gate.
+                (vec![1.01; 3], vec![1.01; 3], vec![1.01; 3]),
             ] {
                 let ctx = format!(
-                    "{scheme} active={active} density={pixel_density} auto{thresholds:?}/p{packed:?}"
+                    "{scheme} active={active} density={pixel_density} auto{thresholds:?}/p{packed:?}/q{quant:?}"
                 );
                 check_policy(
                     template,
@@ -209,11 +305,39 @@ fn sweep(template: &SpikingNetwork, scheme: CodingScheme, seed: u64) {
                         mode: DispatchMode::Auto,
                         thresholds,
                         packed_thresholds: packed,
+                        quant_thresholds: quant,
+                        quant_eligible: vec![false; 3],
                     },
                     &reference,
                     &ctx,
                 );
             }
+            // The int8 strategy: forced on every stage that has a
+            // table, and Auto with gate-cleared eligibility at a
+            // crossover above the whole density range. Closeness, not
+            // bit-equality — see `check_quantized_close`.
+            check_quantized_close(
+                template,
+                &images,
+                &cfg,
+                DispatchPolicy::forced(DispatchMode::ForceQuantized),
+                &reference,
+                &format!("{scheme} active={active} density={pixel_density} force-quant"),
+            );
+            check_quantized_close(
+                template,
+                &images,
+                &cfg,
+                DispatchPolicy {
+                    mode: DispatchMode::Auto,
+                    thresholds: vec![0.5; 3],
+                    packed_thresholds: vec![0.2; 3],
+                    quant_thresholds: vec![1.01; 3],
+                    quant_eligible: vec![true; 3],
+                },
+                &reference,
+                &format!("{scheme} active={active} density={pixel_density} auto-quant"),
+            );
         }
     }
 }

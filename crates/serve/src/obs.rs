@@ -464,6 +464,11 @@ impl MetricsHub {
                 );
                 let _ = writeln!(
                     out,
+                    "bsnn_model_stage_quant_steps_total{{model=\"{label}\",stage=\"{stage}\"}} {}",
+                    s.quant_steps
+                );
+                let _ = writeln!(
+                    out,
                     "bsnn_model_stage_cached_steps_total{{model=\"{label}\",stage=\"{stage}\"}} {}",
                     s.cached_steps
                 );
@@ -568,10 +573,11 @@ pub fn format_profile(model: &str, profile: &ProfileSnapshot) -> String {
     for (stage, s) in profile.stages.iter().enumerate() {
         let _ = writeln!(
             out,
-            "  stage {stage}: dense {} sparse {} packed {} cached {}  density {:.4}  kernel {:.2} ms",
+            "  stage {stage}: dense {} sparse {} packed {} quant {} cached {}  density {:.4}  kernel {:.2} ms",
             s.dense_steps,
             s.sparse_steps,
             s.packed_steps,
+            s.quant_steps,
             s.cached_steps,
             s.mean_density,
             s.kernel_nanos as f64 / 1e6

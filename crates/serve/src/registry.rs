@@ -40,6 +40,9 @@ pub struct ModelEntry {
     preferred_batch: Option<usize>,
     density_thresholds: Vec<f32>,
     packed_thresholds: Vec<f32>,
+    quant_thresholds: Vec<f32>,
+    quant_eligible: Vec<bool>,
+    quant_tables: Vec<Option<bsnn_core::QuantizedDense>>,
     profile: Arc<ProfileSink>,
 }
 
@@ -92,6 +95,27 @@ impl ModelEntry {
         &self.packed_thresholds
     }
 
+    /// Calibrated per-stage quant/dense density crossovers for the
+    /// int8 kernels (empty = none measured; engines fall back to
+    /// [`bsnn_core::batch::DEFAULT_QUANT_CROSSOVER`]).
+    pub fn quant_thresholds(&self) -> &[f32] {
+        &self.quant_thresholds
+    }
+
+    /// Per-stage accuracy-gate verdicts: `true` lets the stage pick the
+    /// int8 kernel under `Auto` dispatch (empty = gate never ran →
+    /// quantization stays off).
+    pub fn quant_eligible(&self) -> &[bool] {
+        &self.quant_eligible
+    }
+
+    /// Int8 weight tables shipped in the model's snapshot, one slot per
+    /// dispatch stage (empty = none shipped; engines derive their own
+    /// from the f32 weights).
+    pub fn quant_tables(&self) -> &[Option<bsnn_core::QuantizedDense>] {
+        &self.quant_tables
+    }
+
     /// The entry's kernel-profile sink (one cell per stage, hidden
     /// layers + output). Workers with profiling enabled attach it to
     /// their lockstep engines; it accumulates across all of them and
@@ -101,6 +125,19 @@ impl ModelEntry {
     pub fn profile(&self) -> &Arc<ProfileSink> {
         &self.profile
     }
+}
+
+/// Dispatch-tuning metadata an entry is installed with — everything a
+/// worker needs to configure its lockstep engines beyond the network
+/// itself.
+#[derive(Debug, Default)]
+struct DispatchMeta {
+    preferred_batch: Option<usize>,
+    density_thresholds: Vec<f32>,
+    packed_thresholds: Vec<f32>,
+    quant_thresholds: Vec<f32>,
+    quant_eligible: Vec<bool>,
+    quant_tables: Vec<Option<bsnn_core::QuantizedDense>>,
 }
 
 /// Thread-safe named model store.
@@ -132,9 +169,7 @@ impl ModelRegistry {
             network,
             scheme,
             phase_period,
-            None,
-            Vec::new(),
-            Vec::new(),
+            DispatchMeta::default(),
         )
     }
 
@@ -153,9 +188,10 @@ impl ModelRegistry {
             network,
             scheme,
             phase_period,
-            (preferred_batch > 0).then_some(preferred_batch),
-            Vec::new(),
-            Vec::new(),
+            DispatchMeta {
+                preferred_batch: (preferred_batch > 0).then_some(preferred_batch),
+                ..DispatchMeta::default()
+            },
         )
     }
 
@@ -175,9 +211,14 @@ impl ModelRegistry {
             network,
             scheme,
             phase_period,
-            (policy.preferred_batch > 0).then_some(policy.preferred_batch),
-            policy.density_thresholds.clone(),
-            policy.packed_thresholds.clone(),
+            DispatchMeta {
+                preferred_batch: (policy.preferred_batch > 0).then_some(policy.preferred_batch),
+                density_thresholds: policy.density_thresholds.clone(),
+                packed_thresholds: policy.packed_thresholds.clone(),
+                quant_thresholds: policy.quant_thresholds.clone(),
+                quant_eligible: policy.quant_eligible.clone(),
+                quant_tables: Vec::new(),
+            },
         )
     }
 
@@ -208,16 +249,13 @@ impl ModelRegistry {
         Ok((epoch, policy))
     }
 
-    #[allow(clippy::too_many_arguments)]
     fn install_entry(
         &self,
         name: String,
         network: SpikingNetwork,
         scheme: CodingScheme,
         phase_period: u32,
-        preferred_batch: Option<usize>,
-        density_thresholds: Vec<f32>,
-        packed_thresholds: Vec<f32>,
+        meta: DispatchMeta,
     ) -> u64 {
         let epoch = self.next_epoch.fetch_add(1, Ordering::Relaxed) + 1;
         // One profile cell per lockstep stage: hidden layers + output.
@@ -228,9 +266,12 @@ impl ModelRegistry {
             network,
             scheme,
             phase_period,
-            preferred_batch,
-            density_thresholds,
-            packed_thresholds,
+            preferred_batch: meta.preferred_batch,
+            density_thresholds: meta.density_thresholds,
+            packed_thresholds: meta.packed_thresholds,
+            quant_thresholds: meta.quant_thresholds,
+            quant_eligible: meta.quant_eligible,
+            quant_tables: meta.quant_tables,
             profile,
         });
         self.models
@@ -270,9 +311,14 @@ impl ModelRegistry {
             network,
             scheme,
             phase_period,
-            (preferred > 0).then_some(preferred),
-            meta.density_thresholds,
-            meta.packed_thresholds,
+            DispatchMeta {
+                preferred_batch: (preferred > 0).then_some(preferred),
+                density_thresholds: meta.density_thresholds,
+                packed_thresholds: meta.packed_thresholds,
+                quant_thresholds: meta.quant_thresholds,
+                quant_eligible: meta.quant_eligible,
+                quant_tables: meta.quant_tables,
+            },
         ))
     }
 
@@ -390,10 +436,11 @@ mod tests {
         let net = tiny_network(1.0);
         let mut buf = Vec::new();
         bsnn_core::snapshot::save_network(&net, &mut buf).unwrap();
-        // Flip one bit in the body (past the header, before the
-        // checksum trailer).
-        let mid = buf.len() / 2;
-        buf[mid] ^= 0x10;
+        // Flip one bit inside the last weight value (the stream tail is
+        // weights + bias tag (4) + checksum trailer (8)), which decodes
+        // structurally fine — only the checksum can catch it.
+        let at = buf.len() - 16;
+        buf[at] ^= 0x10;
         let reg = ModelRegistry::new();
         let err = reg
             .install_snapshot("rot", buf.as_slice(), CodingScheme::recommended(), 8)
@@ -437,6 +484,14 @@ mod tests {
                 preferred_batch: 4,
                 density_thresholds: vec![0.1875, 0.375],
                 packed_thresholds: vec![0.0625, 0.03125],
+                quant_thresholds: vec![0.09375, 0.0],
+                quant_eligible: vec![true, false],
+                quant_tables: vec![
+                    bsnn_core::QuantizedDense::from_weights(
+                        &Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]).unwrap(),
+                    ),
+                    None,
+                ],
             },
             &mut buf,
         )
@@ -447,12 +502,19 @@ mod tests {
         assert_eq!(shipped.preferred_batch(), Some(4));
         assert_eq!(shipped.density_thresholds(), &[0.1875, 0.375]);
         assert_eq!(shipped.packed_thresholds(), &[0.0625, 0.03125]);
+        assert_eq!(shipped.quant_thresholds(), &[0.09375, 0.0]);
+        assert_eq!(shipped.quant_eligible(), &[true, false]);
+        assert_eq!(shipped.quant_tables().len(), 2);
+        assert!(shipped.quant_tables()[0].is_some());
+        assert!(shipped.quant_tables()[1].is_none());
         // A full measured policy installs both knobs.
         let policy = bsnn_core::autotune::BatchPolicy {
             preferred_batch: 8,
             probes: vec![],
             density_thresholds: vec![0.5, 0.0],
             packed_thresholds: vec![0.125, 0.0],
+            quant_thresholds: vec![0.25, 0.0],
+            quant_eligible: vec![true, false],
         };
         reg.install_with_policy(
             "measured",
@@ -465,6 +527,12 @@ mod tests {
         assert_eq!(measured.preferred_batch(), Some(8));
         assert_eq!(measured.density_thresholds(), &[0.5, 0.0]);
         assert_eq!(measured.packed_thresholds(), &[0.125, 0.0]);
+        assert_eq!(measured.quant_thresholds(), &[0.25, 0.0]);
+        assert_eq!(measured.quant_eligible(), &[true, false]);
+        assert!(
+            measured.quant_tables().is_empty(),
+            "engines derive their own"
+        );
     }
 
     #[test]

@@ -97,7 +97,16 @@ fn build_cached(
         mode: DispatchMode::Auto,
         thresholds: entry.density_thresholds().to_vec(),
         packed_thresholds: entry.packed_thresholds().to_vec(),
+        quant_thresholds: entry.quant_thresholds().to_vec(),
+        quant_eligible: entry.quant_eligible().to_vec(),
     });
+    // Snapshot-shipped int8 tables override the engine's self-derived
+    // ones, so serving runs the exact quantization the accuracy gate
+    // approved. A shape mismatch (stale blob vs current weights) keeps
+    // the self-derived tables instead of failing the install.
+    if !entry.quant_tables().is_empty() {
+        let _ = engine.install_quantized(entry.quant_tables().to_vec());
+    }
     if profile {
         engine.set_profile_sink(Some(Arc::clone(entry.profile())));
     }
